@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Uniform wrappers running each algorithm on a Problem and extracting the
+ * metric tuple the paper's tables report (ARG, in-constraints rate,
+ * circuit depth, parameter count, latency split).
+ */
+
+#ifndef RASENGAN_BENCH_ALGO_RUNNERS_H
+#define RASENGAN_BENCH_ALGO_RUNNERS_H
+
+#include "baselines/chocoq.h"
+#include "baselines/hea.h"
+#include "baselines/pqaoa.h"
+#include "core/rasengan.h"
+#include "problems/metrics.h"
+#include "problems/problem.h"
+
+namespace rasengan::bench {
+
+struct AlgoMetrics
+{
+    double arg = 0.0;
+    double inConstraints = 0.0;
+    int depth = 0;
+    int params = 0;
+    double quantumSeconds = 0.0;
+    double classicalSeconds = 0.0;
+    bool failed = false;
+};
+
+inline AlgoMetrics
+fromVqa(const problems::Problem &problem,
+        const baselines::VqaResult &result)
+{
+    AlgoMetrics m;
+    m.arg = problem.arg(result.expectedObjective);
+    m.inConstraints = result.inConstraintsRate;
+    m.depth = result.circuitDepth;
+    m.params = result.numParams;
+    m.quantumSeconds = result.quantumSeconds;
+    m.classicalSeconds = result.classicalSeconds;
+    return m;
+}
+
+inline AlgoMetrics
+runHea(const problems::Problem &problem, int iterations,
+       const qsim::NoiseModel &noise = {}, uint64_t seed = 11)
+{
+    baselines::HeaOptions options;
+    options.maxIterations = iterations;
+    options.noise = noise;
+    options.seed = seed;
+    options.trajectories = 4;
+    baselines::Hea solver(problem, options);
+    return fromVqa(problem, solver.run());
+}
+
+inline AlgoMetrics
+runPqaoa(const problems::Problem &problem, int iterations,
+         const qsim::NoiseModel &noise = {}, uint64_t seed = 11)
+{
+    baselines::PqaoaOptions options;
+    options.maxIterations = iterations;
+    options.noise = noise;
+    options.seed = seed;
+    options.trajectories = 4;
+    // The paper composes P-QAOA with FrozenQubits and Red-QAOA.
+    options.frozenQubits = problem.numVars() >= 10 ? 2 : 1;
+    options.smartInit = true;
+    baselines::Pqaoa solver(problem, options);
+    return fromVqa(problem, solver.run());
+}
+
+inline AlgoMetrics
+runChocoq(const problems::Problem &problem, int iterations,
+          const qsim::NoiseModel &noise = {}, uint64_t seed = 11)
+{
+    baselines::ChocoqOptions options;
+    options.maxIterations = iterations;
+    options.noise = noise;
+    options.seed = seed;
+    options.trajectories = 4;
+    baselines::Chocoq solver(problem, options);
+    return fromVqa(problem, solver.run());
+}
+
+inline AlgoMetrics
+runRasengan(const problems::Problem &problem, int iterations,
+            const qsim::NoiseModel &noise = {}, uint64_t seed = 7)
+{
+    core::RasenganOptions options;
+    options.maxIterations = iterations;
+    options.seed = seed;
+    if (noise.enabled()) {
+        options.execution =
+            core::RasenganOptions::Execution::NoisyGateLevel;
+        options.noise = noise;
+        options.trajectories = 4;
+        options.shotsPerSegment = 512;
+    }
+    core::RasenganSolver solver(problem, options);
+    core::RasenganResult result = solver.run();
+
+    AlgoMetrics m;
+    m.failed = result.failed;
+    m.arg = problem.arg(result.expectedObjective);
+    m.inConstraints = result.inConstraintsRate;
+    m.depth = result.maxSegmentDepth;
+    m.params = result.numParams;
+    m.quantumSeconds = result.quantumSeconds;
+    m.classicalSeconds = result.classicalSeconds;
+    return m;
+}
+
+} // namespace rasengan::bench
+
+#endif // RASENGAN_BENCH_ALGO_RUNNERS_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 11: evaluation on "real-world" platforms -- here,
+ * gate-level trajectory simulation under the IBM Kyiv and IBM Brisbane
+ * calibration noise models (the substitution documented in DESIGN.md) on
+ * the small-scale F1 / K1 / J1 benchmarks with <= 100 iterations.
+ *
+ * (a) average ARG per device, against the mean-feasible-solution
+ *     baseline;
+ * (b) average in-constraints rate per device.
+ *
+ * Paper shape: baselines land above the mean-feasible line and their
+ * in-constraints rate collapses (6.3% for Choco-Q on Kyiv); Rasengan
+ * beats the baseline by orders of magnitude with a 100% in-constraints
+ * rate on both devices, insensitive to the error-rate gap between them.
+ */
+
+#include <map>
+
+#include "algo_runners.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "device/device.h"
+#include "problems/suite.h"
+
+using namespace rasengan;
+using namespace rasengan::bench;
+
+int
+main()
+{
+    banner("Figure 11: ARG and in-constraints rate under device noise");
+    const int iters = budget(80);
+    const std::vector<std::string> cases = {"F1", "K1", "J1"};
+
+    for (const device::DeviceModel &device :
+         {device::DeviceModel::ibmKyiv(),
+          device::DeviceModel::ibmBrisbane()}) {
+        qsim::NoiseModel noise = device.toNoiseModel();
+        std::printf("\n-- %s (2q error %.2f%%) --\n", device.name.c_str(),
+                    100.0 * device.error2q);
+
+        std::vector<double> base_args;
+        std::map<std::string, std::vector<double>> args, rates;
+        for (const std::string &id : cases) {
+            problems::Problem p = problems::makeBenchmark(id);
+            base_args.push_back(problems::meanFeasibleArg(p));
+            std::map<std::string, AlgoMetrics> metrics;
+            metrics["HEA"] = runHea(p, iters, noise);
+            metrics["P-QAOA"] = runPqaoa(p, iters, noise);
+            metrics["Choco-Q"] = runChocoq(p, iters, noise);
+            metrics["Rasengan"] = runRasengan(p, iters, noise);
+            for (const auto &[name, m] : metrics) {
+                args[name].push_back(m.arg);
+                rates[name].push_back(m.inConstraints);
+            }
+        }
+
+        Table table({"method", "avg-ARG", "in-constr"});
+        table.printHeader();
+        table.cell(std::string("feas-mean"));
+        table.cell(mean(base_args), "%.3f");
+        table.cell(std::string("(baseline)"));
+        table.endRow();
+        for (const char *name : {"HEA", "P-QAOA", "Choco-Q", "Rasengan"}) {
+            table.cell(std::string(name));
+            table.cell(mean(args[name]), "%.3f");
+            table.cell(100.0 * mean(rates[name]), "%.1f%%");
+            table.endRow();
+        }
+    }
+
+    std::printf("\nexpected shape (paper): only Rasengan beats the "
+                "feas-mean ARG; purification pins its in-constraints rate "
+                "at 100%% on both devices.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 13: total shots (a) and quantum latency (b) of one
+ * Rasengan execution as a function of the number of segments, at 1024
+ * shots per segment.
+ *
+ * Paper shape: shots grow linearly with segment count; latency grows
+ * sub-linearly because each extra segment is a short constant-depth
+ * circuit and per-shot overhead dominates.
+ */
+
+#include "bench_util.h"
+#include "core/rasengan.h"
+#include "device/latency.h"
+#include "problems/suite.h"
+
+using namespace rasengan;
+using namespace rasengan::bench;
+
+int
+main()
+{
+    banner("Figure 13: shots and latency vs number of segments");
+    problems::Problem problem = problems::makeBenchmark("K3");
+
+    // Baseline chain length with everything in one segment.
+    core::RasenganOptions probe;
+    probe.transitionsPerSegment = 0;
+    core::RasenganSolver probe_solver(problem, probe);
+    const int chain = probe_solver.numParams();
+    std::printf("benchmark K3: chain of %d transition operators\n\n",
+                chain);
+
+    Table table({"segments", "per-seg", "shots", "latency-ms",
+                 "max-depth"});
+    table.printHeader();
+
+    device::LatencyModel latency(device::DeviceModel::ibmQuebec());
+    const uint64_t shots_per_segment = 1024;
+
+    for (int per_seg = chain; per_seg >= 1;
+         per_seg = (per_seg + 1) / 2 - ((per_seg == 1) ? 1 : 0)) {
+        core::RasenganOptions options;
+        options.transitionsPerSegment = per_seg;
+        options.shotsPerSegment = shots_per_segment;
+        core::RasenganSolver solver(problem, options);
+
+        int segments = static_cast<int>(solver.segments().size());
+        uint64_t total_shots = segments * shots_per_segment;
+
+        std::vector<double> nominal(solver.numParams(), 0.6);
+        double total_ms = 0.0;
+        int max_depth = 0;
+        for (int s = 0; s < segments; ++s) {
+            circuit::Circuit circ = solver.segmentCircuit(
+                s, problem.trivialFeasible(), nominal);
+            circuit::Circuit lowered = circuit::transpile(circ);
+            total_ms += 1e3 * latency.executionTimeSeconds(
+                                  lowered, shots_per_segment);
+            max_depth = std::max(max_depth, lowered.depth());
+        }
+
+        table.cell(segments);
+        table.cell(per_seg);
+        table.cell(static_cast<int>(total_shots));
+        table.cell(total_ms, "%.1f");
+        table.cell(max_depth);
+        table.endRow();
+        if (per_seg == 1)
+            break;
+    }
+
+    std::printf("\nexpected shape (paper): shots linear in segments; "
+                "latency sub-linear (short constant-depth segments, "
+                "per-shot overhead dominates).\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Figure 15: ablation of the three circuit optimizations on
+ * deployable circuit depth --
+ *   base : raw transition chain, one monolithic circuit
+ *   +opt1: Hamiltonian simplification (Algorithm 1)
+ *   +opt2: pruning + early stop
+ *   +opt3: segmented execution
+ *
+ * Paper shape: opt1 helps where constraints are not already sparsest
+ * (~10%), opt2 cuts >50%, opt3 is the largest cut (~82%), together
+ * >94.6%.
+ */
+
+#include "bench_util.h"
+#include "core/rasengan.h"
+#include "problems/suite.h"
+
+using namespace rasengan;
+using namespace rasengan::bench;
+
+namespace {
+
+int
+depthWith(const problems::Problem &problem, bool simplify, bool prune,
+          bool segmented)
+{
+    core::RasenganOptions options;
+    options.simplify = simplify;
+    options.prune = prune;
+    // Opt 3 at its strongest setting: one transition per segment (the
+    // paper's "minimal execution circuit depth").
+    options.transitionsPerSegment = segmented ? 1 : 0;
+    core::RasenganSolver solver(problem, options);
+    return solver.maxSegmentCost().first;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 15: circuit-depth ablation of opt1/opt2/opt3");
+
+    Table table({"bench", "base", "+opt1", "+opt1,2", "+opt1,2,3",
+                 "reduction"});
+    table.printHeader();
+
+    double total_base = 0.0, total_all = 0.0;
+    for (const char *id : {"F1", "K1", "J1", "S1", "G1"}) {
+        problems::Problem p = problems::makeBenchmark(id);
+        int base = depthWith(p, false, false, false);
+        int opt1 = depthWith(p, true, false, false);
+        int opt12 = depthWith(p, true, true, false);
+        int opt123 = depthWith(p, true, true, true);
+        total_base += base;
+        total_all += opt123;
+
+        table.cell(id);
+        table.cell(base);
+        table.cell(opt1);
+        table.cell(opt12);
+        table.cell(opt123);
+        table.cell(100.0 * (1.0 - static_cast<double>(opt123) / base),
+                   "%.1f%%");
+        table.endRow();
+    }
+
+    std::printf("\noverall depth reduction: %.1f%% (paper: >94.6%%)\n",
+                100.0 * (1.0 - total_all / total_base));
+    return 0;
+}

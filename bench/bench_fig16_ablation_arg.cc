@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduces Figure 16: ablation of the optimization strategies on ARG
+ * (left) and in-constraints rate (right), on a noise-free simulator and
+ * under the IBM Kyiv / Brisbane noise models.  Configurations stack:
+ *   base      : no simplification, no pruning, one segment, no purify
+ *   +opt1     : simplification
+ *   +opt2     : + pruning/early-stop
+ *   +opt3     : + segmentation + purification
+ *
+ * Paper shape: opt1 ~1.04x ARG, opt2 ~1.2-1.4x, opt3 the big jump
+ * (segmentation 2.43x, purification ~303x on hardware); in-constraints
+ * rate climbs from a few percent to 100% with purification.
+ */
+
+#include <map>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/rasengan.h"
+#include "device/device.h"
+#include "problems/metrics.h"
+#include "problems/suite.h"
+
+using namespace rasengan;
+using namespace rasengan::bench;
+
+namespace {
+
+struct Config
+{
+    const char *name;
+    bool simplify, prune, segmented, purify;
+};
+
+constexpr Config kConfigs[] = {
+    {"base", false, false, false, false},
+    {"+opt1", true, false, false, false},
+    {"+opt1,2", true, true, false, false},
+    {"+opt1,2,3", true, true, true, true},
+};
+
+struct Outcome
+{
+    double arg = 0.0;
+    double rate = 0.0;
+    bool failed = false;
+};
+
+Outcome
+runConfig(const problems::Problem &problem, const Config &config,
+          const qsim::NoiseModel &noise, int iters)
+{
+    core::RasenganOptions options;
+    options.simplify = config.simplify;
+    options.prune = config.prune;
+    options.transitionsPerSegment = config.segmented ? 3 : 0;
+    options.purify = config.purify;
+    options.maxIterations = iters;
+    if (noise.enabled()) {
+        options.execution =
+            core::RasenganOptions::Execution::NoisyGateLevel;
+        options.noise = noise;
+        options.trajectories = 4;
+        options.shotsPerSegment = 256;
+    }
+    core::RasenganSolver solver(problem, options);
+    core::RasenganResult res = solver.run();
+    Outcome out;
+    out.failed = res.failed;
+    if (!res.failed) {
+        out.arg = problem.arg(res.expectedObjective);
+        out.rate = res.inConstraintsRate;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 16: ARG / in-constraints ablation (sim + devices)");
+    const int iters = budget(30);
+    const std::vector<std::string> cases = {"F1", "K1", "J1"};
+
+    struct Env
+    {
+        const char *name;
+        qsim::NoiseModel noise;
+    };
+    std::vector<Env> envs = {
+        {"noise-free", {}},
+        {"ibm_kyiv", device::DeviceModel::ibmKyiv().toNoiseModel()},
+        {"ibm_brisbane",
+         device::DeviceModel::ibmBrisbane().toNoiseModel()},
+    };
+
+    for (const Env &env : envs) {
+        std::printf("\n-- %s --\n", env.name);
+        Table table({"config", "avg-ARG", "in-constr", "fails"});
+        table.printHeader();
+        for (const Config &config : kConfigs) {
+            std::vector<double> args, rates;
+            int failures = 0;
+            for (const std::string &id : cases) {
+                problems::Problem p = problems::makeBenchmark(id);
+                Outcome out = runConfig(p, config, env.noise, iters);
+                if (out.failed) {
+                    ++failures;
+                    continue;
+                }
+                args.push_back(out.arg);
+                rates.push_back(out.rate);
+            }
+            table.cell(std::string(config.name));
+            if (args.empty()) {
+                table.cell(std::string("-"));
+                table.cell(std::string("-"));
+            } else {
+                table.cell(mean(args), "%.4f");
+                table.cell(100.0 * mean(rates), "%.1f%%");
+            }
+            table.cell(failures);
+            table.endRow();
+        }
+    }
+
+    std::printf("\nexpected shape (paper): each opt improves ARG; "
+                "purification takes the in-constraints rate to 100%% "
+                "under noise.\n");
+    return 0;
+}

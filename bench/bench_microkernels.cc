@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot kernels underneath the
+ * experiment harnesses: dense gate application, sparse pair rotation,
+ * transpilation, routing, exact RREF, and chain construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/transpile.h"
+#include "core/basis.h"
+#include "core/chain.h"
+#include "core/rasengan.h"
+#include "device/routing.h"
+#include "linalg/rref.h"
+#include "problems/suite.h"
+#include "qsim/sparsestate.h"
+#include "qsim/statevector.h"
+
+namespace {
+
+using namespace rasengan;
+
+void
+BM_DenseHadamardLayer(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    qsim::Statevector sv(n);
+    qsim::Mat2 h = qsim::gateMatrix(circuit::GateKind::H, 0.0);
+    for (auto _ : state) {
+        for (int q = 0; q < n; ++q)
+            sv.apply1q(q, h);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n *
+                            static_cast<int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_DenseHadamardLayer)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_DenseCxChain(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    qsim::Statevector sv(n);
+    sv.apply1q(0, qsim::gateMatrix(circuit::GateKind::H, 0.0));
+    for (auto _ : state) {
+        for (int q = 0; q + 1 < n; ++q)
+            sv.applyControlled1q({q}, q + 1,
+                                 qsim::gateMatrix(circuit::GateKind::X,
+                                                  0.0));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_DenseCxChain)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_SparsePairRotation(benchmark::State &state)
+{
+    problems::Problem p = problems::makeScalabilityFlp(
+        static_cast<int>(state.range(0)));
+    auto transitions =
+        core::makeTransitions(core::transitionVectors(p));
+    // One segment-sized pass from a fresh basis state per iteration
+    // (otherwise the support keeps doubling across iterations).
+    for (auto _ : state) {
+        qsim::SparseState s(p.numVars(), p.trivialFeasible());
+        for (size_t k = 0; k < std::min<size_t>(transitions.size(), 8); ++k)
+            transitions[k].applyTo(s, 0.3);
+        benchmark::DoNotOptimize(s.supportSize());
+    }
+}
+BENCHMARK(BM_SparsePairRotation)->Arg(21)->Arg(52)->Arg(105);
+
+void
+BM_TranspileTransitionOp(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    linalg::IntVec u(k, 1);
+    core::TransitionHamiltonian tau(u);
+    circuit::Circuit circ = tau.toCircuit(k, 0.4);
+    for (auto _ : state) {
+        circuit::Circuit lowered = circuit::transpile(circ);
+        benchmark::DoNotOptimize(lowered.size());
+    }
+}
+BENCHMARK(BM_TranspileTransitionOp)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_RouteOntoHeavyHex(benchmark::State &state)
+{
+    problems::Problem p = problems::makeBenchmark("S2");
+    core::RasenganSolver solver(p, {});
+    std::vector<double> nominal(solver.numParams(), 0.5);
+    circuit::Circuit lowered = circuit::transpile(
+        solver.segmentCircuit(0, p.trivialFeasible(), nominal));
+    device::CouplingMap map = device::CouplingMap::heavyHex(7, 15);
+    for (auto _ : state) {
+        device::RoutingResult r = device::route(lowered, map);
+        benchmark::DoNotOptimize(r.swapsInserted);
+    }
+}
+BENCHMARK(BM_RouteOntoHeavyHex);
+
+void
+BM_ExactRref(benchmark::State &state)
+{
+    problems::Problem p = problems::makeScalabilityFlp(
+        static_cast<int>(state.range(0)));
+    linalg::RatMat m = linalg::toRational(p.constraints());
+    for (auto _ : state) {
+        linalg::RrefResult r = linalg::rref(m);
+        benchmark::DoNotOptimize(r.rank);
+    }
+}
+BENCHMARK(BM_ExactRref)->Arg(21)->Arg(52)->Arg(105);
+
+void
+BM_ChainConstruction(benchmark::State &state)
+{
+    problems::Problem p = problems::makeBenchmark("S4");
+    auto transitions =
+        core::makeTransitions(core::transitionVectors(p));
+    for (auto _ : state) {
+        core::Chain chain =
+            core::buildChain(transitions, p.trivialFeasible());
+        benchmark::DoNotOptimize(chain.reachableCount);
+    }
+}
+BENCHMARK(BM_ChainConstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

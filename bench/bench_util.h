@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction harnesses: fixed-width
+ * table printing and environment knobs controlling how much work each
+ * harness performs.
+ *
+ * Knobs (environment variables):
+ *   RASENGAN_BENCH_CASES  cases per benchmark (default 2; the paper uses
+ *                         100-400, which takes hours -- raise at will)
+ *   RASENGAN_BENCH_FAST   "1" trims iteration budgets further (CI mode)
+ */
+
+#ifndef RASENGAN_BENCH_BENCH_UTIL_H
+#define RASENGAN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rasengan::bench {
+
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::atoi(value);
+}
+
+inline int
+benchCases()
+{
+    return std::max(1, envInt("RASENGAN_BENCH_CASES", 2));
+}
+
+inline bool
+fastMode()
+{
+    return envInt("RASENGAN_BENCH_FAST", 0) != 0;
+}
+
+/** Iteration budget, trimmed in fast mode. */
+inline int
+budget(int normal)
+{
+    return fastMode() ? std::max(10, normal / 5) : normal;
+}
+
+/** Minimal fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers, int col_width = 11)
+        : headers_(std::move(headers)), width_(col_width)
+    {}
+
+    void
+    printHeader() const
+    {
+        for (const auto &h : headers_)
+            std::printf("%*s", width_, h.c_str());
+        std::printf("\n");
+        for (size_t i = 0; i < headers_.size(); ++i)
+            std::printf("%*s", width_, "---------");
+        std::printf("\n");
+    }
+
+    void
+    cell(const std::string &value) const
+    {
+        std::printf("%*s", width_, value.c_str());
+    }
+
+    void
+    cell(double value, const char *fmt = "%.3f") const
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), fmt, value);
+        std::printf("%*s", width_, buf);
+    }
+
+    void
+    cell(int value) const
+    {
+        std::printf("%*d", width_, value);
+    }
+
+    void endRow() const { std::printf("\n"); }
+
+  private:
+    std::vector<std::string> headers_;
+    int width_;
+};
+
+inline void
+banner(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+} // namespace rasengan::bench
+
+#endif // RASENGAN_BENCH_BENCH_UTIL_H

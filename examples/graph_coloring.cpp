@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Graph coloring under hardware noise: run Rasengan gate-level on an
+ * IBM-Kyiv-calibrated noise model, with and without purification-based
+ * error mitigation (Section 4.3), and compare the output quality.
+ */
+
+#include <cstdio>
+
+#include "core/rasengan.h"
+#include "device/device.h"
+#include "problems/gcp.h"
+#include "problems/metrics.h"
+
+using namespace rasengan;
+
+namespace {
+
+core::RasenganResult
+runWithPurification(const problems::Problem &problem, bool purify)
+{
+    core::RasenganOptions options;
+    options.execution = core::RasenganOptions::Execution::NoisyGateLevel;
+    options.noise = device::DeviceModel::ibmKyiv().toNoiseModel();
+    options.noise.readoutError = 0.0; // isolate gate noise
+    options.purify = purify;
+    options.maxIterations = 25;
+    options.shotsPerSegment = 256;
+    options.trajectories = 4;
+    options.seed = 3;
+    core::RasenganSolver solver(problem, options);
+    return solver.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(7);
+    problems::GcpConfig config{.vertices = 3, .colors = 2, .edges = 1};
+    problems::Problem problem = problems::makeGcp("gcp-demo", config, rng);
+
+    std::printf("graph coloring: %d vertices, %d colors, %d edges -> "
+                "%d qubits, %zu proper colorings\n\n",
+                config.vertices, config.colors, config.edges,
+                problem.numVars(), problem.feasibleCount());
+    std::printf("noise model: IBM Kyiv calibration (2q error %.2f%%)\n\n",
+                100.0 * device::DeviceModel::ibmKyiv().error2q);
+
+    core::RasenganResult purified = runWithPurification(problem, true);
+    core::RasenganResult raw = runWithPurification(problem, false);
+
+    auto report = [&](const char *label, const core::RasenganResult &r) {
+        if (r.failed) {
+            std::printf("%-22s failed (no feasible output survived)\n",
+                        label);
+            return;
+        }
+        std::printf("%-22s ARG %8.4f   in-constraints %5.1f%%   "
+                    "best solution %s\n",
+                    label, problem.arg(r.expectedObjective),
+                    100.0 * r.inConstraintsRate,
+                    r.solution.toString(problem.numVars()).c_str());
+    };
+    report("with purification", purified);
+    report("without purification", raw);
+
+    std::printf("\npre-purification feasible fraction of the final "
+                "segment: %.1f%%\n",
+                100.0 * purified.finalDistribution
+                            .prePurifyFeasibleFraction);
+    std::printf("(purification validates C x = b classically between "
+                "segments and reallocates shots to surviving states)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Noise-engine walkthrough: run one Rasengan segment under increasing
+ * depolarizing noise with BOTH noise engines -- exact density-matrix
+ * evolution and Monte-Carlo trajectories -- and watch purity, outcome
+ * agreement, and the fraction of feasible outcomes decay.  Also prints
+ * the structured pipeline report (core/analysis.h).
+ */
+
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/rasengan.h"
+#include "problems/suite.h"
+#include "qsim/density.h"
+#include "qsim/noise.h"
+
+using namespace rasengan;
+
+int
+main()
+{
+    problems::Problem problem = problems::makeBenchmark("J1");
+    core::RasenganSolver solver(problem, {});
+
+    core::PipelineReport report = core::analyzePipeline(solver);
+    std::printf("%s\n", report.toString().c_str());
+
+    // One segment circuit, transpiled to {1q, CX}.
+    std::vector<double> times(solver.numParams(), 0.7);
+    circuit::Circuit segment = circuit::transpile(
+        solver.segmentCircuit(0, problem.trivialFeasible(), times));
+    const int n = segment.numQubits();
+    std::printf("segment 0 transpiled: %d qubits, depth %d, %d CX\n\n",
+                n, segment.depth(), segment.countCx());
+
+    std::printf("%10s %10s %12s %12s %12s\n", "2q-error", "purity",
+                "feas(exact)", "feas(traj)", "agreement");
+    for (double rate : {0.0, 0.002, 0.005, 0.01, 0.02}) {
+        qsim::NoiseModel noise;
+        noise.depol2q = rate;
+        noise.depol1q = rate / 10.0;
+
+        // Exact: density matrix through the noisy circuit.
+        qsim::DensityMatrix rho(n, BitVec{});
+        rho.applyNoisyCircuit(segment, noise);
+        std::vector<double> exact = rho.diagonal();
+
+        double feas_exact = 0.0;
+        for (uint64_t idx = 0; idx < exact.size(); ++idx) {
+            BitVec x = BitVec::fromIndex(
+                idx & ((uint64_t{1} << problem.numVars()) - 1));
+            // Only count states whose ancillas returned to zero.
+            if (idx < (uint64_t{1} << problem.numVars()) &&
+                problem.isFeasible(x)) {
+                feas_exact += exact[idx];
+            }
+        }
+
+        // Sampled: trajectories.
+        Rng rng(11);
+        qsim::Counts counts = qsim::sampleNoisy(
+            segment, n, BitVec{}, noise, rng, 4000, 24,
+            problem.numVars());
+        double feas_traj = counts.fraction(
+            [&](const BitVec &x) { return problem.isFeasible(x); });
+
+        // Agreement: total-variation overlap between exact diagonal
+        // (marginalized to problem qubits) and the sampled histogram.
+        double tv = 0.0;
+        std::vector<double> marginal(
+            size_t{1} << problem.numVars(), 0.0);
+        for (uint64_t idx = 0; idx < exact.size(); ++idx)
+            marginal[idx & ((uint64_t{1} << problem.numVars()) - 1)] +=
+                exact[idx];
+        for (uint64_t idx = 0; idx < marginal.size(); ++idx) {
+            double sampled =
+                counts.probability(BitVec::fromIndex(idx));
+            tv += std::abs(marginal[idx] - sampled);
+        }
+        double agreement = 1.0 - tv / 2.0;
+
+        std::printf("%10.3f %10.4f %11.1f%% %11.1f%% %11.1f%%\n", rate,
+                    rho.purity(), 100.0 * feas_exact, 100.0 * feas_traj,
+                    100.0 * agreement);
+    }
+
+    std::printf("\nreading: purity and the feasible fraction decay "
+                "together as gate noise grows; the trajectory engine "
+                "tracks the exact channel closely (validated rigorously "
+                "in tests/test_qsim.cc), which is why the hardware "
+                "benches can use trajectories at sizes where density "
+                "matrices are too large.\n");
+    return 0;
+}

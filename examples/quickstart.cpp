@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: define a small constrained binary optimization problem with
+ * the public API, solve it with Rasengan, and inspect the result.
+ *
+ * The instance is the paper's running example (Figure 1a):
+ *   two constraints over five binary variables,
+ *   C = [[1,1,-1,0,0],[0,0,1,1,-1]], b = [0,1],
+ * with a simple linear cost to minimize.
+ */
+
+#include <cstdio>
+
+#include "core/rasengan.h"
+#include "problems/problem.h"
+
+using namespace rasengan;
+
+int
+main()
+{
+    // --- 1. Describe the problem: minimize f(x) s.t. C x = b. ---------
+    linalg::IntMat c{{1, 1, -1, 0, 0}, {0, 0, 1, 1, -1}};
+    linalg::IntVec b{0, 1};
+
+    problems::QuadraticObjective objective(5);
+    const double costs[5] = {3.0, 2.0, 4.0, 1.0, 5.0};
+    for (int i = 0; i < 5; ++i)
+        objective.addLinear(i, costs[i]);
+
+    // One feasible solution, constructible by inspection: x = (0,0,0,1,0).
+    BitVec trivial = BitVec::fromString("00010");
+
+    problems::Problem problem("paper-example", "demo", c, b, objective,
+                              trivial);
+
+    std::printf("problem: %d variables, %d constraints, %zu feasible\n",
+                problem.numVars(), problem.numConstraints(),
+                problem.feasibleCount());
+    std::printf("optimal objective (brute force): %.1f\n\n",
+                problem.optimalValue());
+
+    // --- 2. Solve with Rasengan. ---------------------------------------
+    core::RasenganOptions options;
+    options.maxIterations = 150;
+    core::RasenganSolver solver(problem, options);
+
+    std::printf("pipeline: %zu transition Hamiltonians, chain length %zu, "
+                "%zu segments\n",
+                solver.transitions().size(), solver.chain().steps.size(),
+                solver.segments().size());
+
+    core::RasenganResult result = solver.run();
+
+    // --- 3. Inspect the result. -----------------------------------------
+    std::printf("\nsolution: %s  objective %.1f  (ARG %.4f)\n",
+                result.solution.toString(problem.numVars()).c_str(),
+                result.objectiveValue,
+                problem.arg(result.objectiveValue));
+    std::printf("expected objective over output distribution: %.3f\n",
+                result.expectedObjective);
+    std::printf("in-constraints rate: %.1f%%\n",
+                100.0 * result.inConstraintsRate);
+    std::printf("deepest segment after transpilation: depth %d, %d CX\n",
+                result.maxSegmentDepth, result.maxSegmentCx);
+    std::printf("final distribution:\n");
+    for (const auto &[state, prob] : result.finalDistribution.entries) {
+        if (prob > 1e-3) {
+            std::printf("  |%s>  p=%.3f  f=%.1f\n",
+                        state.toString(problem.numVars()).c_str(), prob,
+                        problem.objective(state));
+        }
+    }
+    return 0;
+}

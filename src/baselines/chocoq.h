@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Commute-Hamiltonian-based QAOA baseline (Choco-Q) [43].
+ *
+ * QAOA whose mixer commutes with the constraint operators: the initial
+ * state is one feasible solution, each layer applies the objective phase
+ * e^{-i gamma f(x)} followed by the Trotterized commuting mixer
+ * prod_k e^{-i beta H^tau(u_k)} over the full (unsimplified) homogeneous
+ * basis.  All output states stay feasible, but the mixer re-encodes every
+ * basis vector in every layer, which is where the depth gap to Rasengan
+ * comes from (Table 2).
+ */
+
+#ifndef RASENGAN_BASELINES_CHOCOQ_H
+#define RASENGAN_BASELINES_CHOCOQ_H
+
+#include <vector>
+
+#include "baselines/vqa.h"
+#include "circuit/circuit.h"
+#include "core/transition.h"
+#include "problems/problem.h"
+
+namespace rasengan::baselines {
+
+struct ChocoqOptions : VqaOptions
+{
+};
+
+class Chocoq
+{
+  public:
+    Chocoq(problems::Problem problem, ChocoqOptions options = {});
+
+    const problems::Problem &problem() const { return problem_; }
+    int numParams() const { return 2 * options_.layers; }
+    int mixerTerms() const { return static_cast<int>(transitions_.size()); }
+
+    /**
+     * Gate-level circuit: X preparation of the feasible initial state,
+     * then per layer the objective phase gates and every transition
+     * operator at the layer's beta.
+     */
+    circuit::Circuit buildCircuit(const std::vector<double> &params) const;
+
+    VqaResult run();
+
+  private:
+    qsim::SparseState simulate(const std::vector<double> &params) const;
+    double exactExpectation(const std::vector<double> &params) const;
+    qsim::Counts sampleFinal(const std::vector<double> &params, Rng &rng,
+                             uint64_t shots) const;
+
+    problems::Problem problem_;
+    ChocoqOptions options_;
+    double lambda_;
+    std::vector<core::TransitionHamiltonian> transitions_;
+};
+
+} // namespace rasengan::baselines
+
+#endif // RASENGAN_BASELINES_CHOCOQ_H

@@ -1,0 +1,136 @@
+#include "baselines/hea.h"
+
+#include <cmath>
+
+#include "baselines/qubo.h"
+#include "circuit/transpile.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "device/latency.h"
+#include "opt/factory.h"
+#include "problems/metrics.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::baselines {
+
+Hea::Hea(problems::Problem problem, HeaOptions options)
+    : problem_(std::move(problem)), options_(std::move(options))
+{
+    const int n = problem_.numVars();
+    fatal_if(n > 24, "HEA dense simulation limited to 24 qubits, got {}", n);
+    lambda_ = options_.penaltyLambda >= 0.0
+                  ? options_.penaltyLambda
+                  : problems::defaultPenaltyLambda(problem_);
+    diagonal_ = diagonalValues(penaltyQubo(problem_, lambda_), n);
+}
+
+circuit::Circuit
+Hea::buildCircuit(const std::vector<double> &params) const
+{
+    const int n = problem_.numVars();
+    const int layers = options_.layers;
+    panic_if(static_cast<int>(params.size()) != numParams(),
+             "expected {} parameters, got {}", numParams(), params.size());
+
+    circuit::Circuit circ(n);
+    size_t p = 0;
+    for (int col = 0; col <= layers; ++col) {
+        for (int q = 0; q < n; ++q) {
+            circ.ry(q, params[p++]);
+            circ.rz(q, params[p++]);
+        }
+        if (col < layers) {
+            for (int q = 0; q + 1 < n; ++q)
+                circ.cx(q, q + 1);
+        }
+    }
+    return circ;
+}
+
+double
+Hea::exactExpectation(const std::vector<double> &params) const
+{
+    qsim::Statevector sv(problem_.numVars());
+    sv.applyCircuit(buildCircuit(params));
+    double acc = 0.0;
+    const auto &amps = sv.amplitudes();
+    for (size_t i = 0; i < amps.size(); ++i)
+        acc += std::norm(amps[i]) * diagonal_[i];
+    return acc;
+}
+
+qsim::Counts
+Hea::sampleFinal(const std::vector<double> &params, Rng &rng,
+                 uint64_t shots) const
+{
+    if (options_.noise.enabled()) {
+        circuit::Circuit circ = buildCircuit(params);
+        return qsim::sampleNoisy(circ, circ.numQubits(), BitVec{},
+                                 options_.noise, rng, shots,
+                                 options_.trajectories,
+                                 problem_.numVars());
+    }
+    qsim::Statevector sv(problem_.numVars());
+    sv.applyCircuit(buildCircuit(params));
+    return sv.sample(rng, shots);
+}
+
+VqaResult
+Hea::run()
+{
+    VqaResult res;
+    res.numParams = numParams();
+
+    Stopwatch wall;
+    wall.start();
+    Stopwatch sim_time;
+
+    Rng rng(options_.seed);
+    auto objective = [&](const std::vector<double> &params) {
+        ScopedTimer guard(sim_time);
+        if (options_.noise.enabled()) {
+            qsim::Counts counts = sampleFinal(params, rng, options_.shots);
+            return problems::expectedObjective(problem_, counts, lambda_);
+        }
+        return exactExpectation(params);
+    };
+
+    // Small random initialization breaks the barren symmetry at zero.
+    std::vector<double> x0 = options_.initialParams;
+    if (x0.empty()) {
+        Rng init_rng(options_.seed + 17);
+        x0.resize(numParams());
+        for (double &p : x0)
+            p = init_rng.uniformReal(-0.2, 0.2);
+    } else {
+        fatal_if(static_cast<int>(x0.size()) != numParams(),
+                 "warm start has {} parameters, ansatz needs {}", x0.size(),
+                 numParams());
+    }
+
+    opt::OptOptions oo;
+    oo.maxIterations = options_.maxIterations;
+    oo.initialStep = 0.3;
+    oo.tolerance = 1e-5;
+    oo.seed = options_.seed;
+    auto optimizer = opt::makeOptimizer(options_.optimizer, oo);
+    res.training = optimizer->minimize(objective, x0);
+    wall.stop();
+
+    circuit::Circuit circ = buildCircuit(res.training.x);
+    res.circuitDepth = circ.depth();
+    res.circuitCx = circ.countCx();
+
+    Rng sample_rng(options_.seed + 1);
+    res.counts = sampleFinal(res.training.x, sample_rng, options_.shots);
+    finalizeMetrics(problem_, lambda_, res);
+
+    res.classicalSeconds = std::max(0.0, wall.seconds() - sim_time.seconds());
+    device::LatencyModel latency(options_.latencyDevice);
+    res.quantumSeconds =
+        latency.executionTimeSeconds(circ, options_.shots) *
+        res.training.evaluations;
+    return res;
+}
+
+} // namespace rasengan::baselines

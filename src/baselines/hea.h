@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware-efficient ansatz (HEA) baseline, after Kandala et al. [24].
+ *
+ * L entangling layers, each preceded by a column of RY+RZ rotations on
+ * every qubit, plus a final rotation column: 2 n (L+1) parameters (the
+ * >10x parameter count Table 2 reports).  Constraints are enforced softly
+ * through the penalty QUBO, as the paper does when adapting HEA to
+ * constrained problems.
+ */
+
+#ifndef RASENGAN_BASELINES_HEA_H
+#define RASENGAN_BASELINES_HEA_H
+
+#include <vector>
+
+#include "baselines/vqa.h"
+#include "circuit/circuit.h"
+#include "problems/problem.h"
+
+namespace rasengan::baselines {
+
+struct HeaOptions : VqaOptions
+{
+};
+
+class Hea
+{
+  public:
+    Hea(problems::Problem problem, HeaOptions options = {});
+
+    const problems::Problem &problem() const { return problem_; }
+    int numParams() const
+    {
+        return 2 * problem_.numVars() * (options_.layers + 1);
+    }
+
+    /**
+     * Gate-level ansatz: per column, RY(p) RZ(p) on each qubit; a linear
+     * CX entangler chain between columns.
+     */
+    circuit::Circuit buildCircuit(const std::vector<double> &params) const;
+
+    VqaResult run();
+
+  private:
+    double exactExpectation(const std::vector<double> &params) const;
+    qsim::Counts sampleFinal(const std::vector<double> &params, Rng &rng,
+                             uint64_t shots) const;
+
+    problems::Problem problem_;
+    HeaOptions options_;
+    double lambda_;
+    std::vector<double> diagonal_; ///< penalty QUBO over all variables
+};
+
+} // namespace rasengan::baselines
+
+#endif // RASENGAN_BASELINES_HEA_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Penalty-term-based QAOA (P-QAOA) [39], with the two QAOA optimization
+ * techniques the paper composes it with: FrozenQubits-style hotspot
+ * freezing [3] and Red-QAOA-style parameter seeding [40].
+ *
+ * The circuit is standard QAOA over the penalty QUBO: |+>^n, then L layers
+ * of (diagonal objective phase, RX mixer).  Training uses the exact
+ * expectation of the penalized objective; the final distribution is
+ * sampled.  FrozenQubits removes the highest-degree QUBO variables from
+ * the circuit by pinning them to the trivial solution's values; Red-QAOA
+ * seeds (gamma, beta) with a linear annealing ramp instead of a flat
+ * initial point.
+ */
+
+#ifndef RASENGAN_BASELINES_PQAOA_H
+#define RASENGAN_BASELINES_PQAOA_H
+
+#include <vector>
+
+#include "baselines/vqa.h"
+#include "circuit/circuit.h"
+#include "problems/problem.h"
+
+namespace rasengan::baselines {
+
+struct PqaoaOptions : VqaOptions
+{
+    int frozenQubits = 0;  ///< FrozenQubits: hotspot variables to pin
+    bool smartInit = false;///< Red-QAOA: annealing-ramp initial parameters
+};
+
+class Pqaoa
+{
+  public:
+    Pqaoa(problems::Problem problem, PqaoaOptions options = {});
+
+    const problems::Problem &problem() const { return problem_; }
+    int numActiveQubits() const { return static_cast<int>(active_.size()); }
+    int numParams() const { return 2 * options_.layers; }
+
+    /**
+     * Gate-level QAOA circuit over the active (unfrozen) qubits for
+     * parameters [gamma_1..gamma_L, beta_1..beta_L].
+     */
+    circuit::Circuit buildCircuit(const std::vector<double> &params) const;
+
+    /** Map an active-register outcome back to a full-variable outcome. */
+    BitVec lift(const BitVec &active_outcome) const;
+
+    /** Train and return the final sampled result. */
+    VqaResult run();
+
+  private:
+    std::vector<double> initialParams() const;
+    double exactExpectation(const std::vector<double> &params) const;
+    qsim::Counts sampleFinal(const std::vector<double> &params, Rng &rng,
+                             uint64_t shots) const;
+
+    problems::Problem problem_;
+    PqaoaOptions options_;
+    double lambda_;
+    problems::QuadraticObjective qubo_;        ///< full-variable QUBO
+    std::vector<int> active_;                  ///< active var per qubit
+    BitVec frozenValues_;                      ///< pinned bits (full space)
+    problems::QuadraticObjective reducedQubo_; ///< over active qubits
+    std::vector<double> diagonal_;             ///< reduced QUBO values
+};
+
+} // namespace rasengan::baselines
+
+#endif // RASENGAN_BASELINES_PQAOA_H

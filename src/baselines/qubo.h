@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Penalty-QUBO construction and diagonal-Hamiltonian utilities shared by
+ * the baseline VQAs.
+ *
+ * Penalty-term methods (Section 2.1) fold the constraints into the
+ * objective as lambda * ||C x - b||^2, which stays quadratic in the
+ * binaries and therefore maps to an Ising-style diagonal Hamiltonian whose
+ * time evolution is a layer of RZ and CX-RZ-CX gates.
+ */
+
+#ifndef RASENGAN_BASELINES_QUBO_H
+#define RASENGAN_BASELINES_QUBO_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "problems/problem.h"
+#include "qsim/pauli.h"
+
+namespace rasengan::baselines {
+
+/**
+ * f(x) + lambda * ||C x - b||^2 expanded to quadratic pseudo-boolean
+ * form.  @p lambda < 0 selects problems::defaultPenaltyLambda.
+ */
+problems::QuadraticObjective penaltyQubo(const problems::Problem &problem,
+                                         double lambda = -1.0);
+
+/**
+ * Append the time evolution e^{-i gamma F} of the diagonal Hamiltonian of
+ * the quadratic function @p f over qubits 0..n-1 of @p circ: P rotations
+ * for linear terms and CX-P-CX conjugations for quadratic terms (global
+ * phase from the constant term is dropped).
+ */
+void appendObjectivePhase(circuit::Circuit &circ,
+                          const problems::QuadraticObjective &f,
+                          double gamma);
+
+/**
+ * Precompute f(x) for every basis index over @p num_vars variables
+ * (dense-simulation fast path; 2^n doubles).
+ */
+std::vector<double> diagonalValues(const problems::QuadraticObjective &f,
+                                   int num_vars);
+
+/**
+ * Ising form of a quadratic pseudo-boolean function over @p num_vars
+ * qubits: substitute x_i = (1 - Z_i) / 2, producing an all-Z (diagonal)
+ * Pauli Hamiltonian with H(x-basis-state) = f(x).
+ */
+qsim::PauliHamiltonian isingHamiltonian(const problems::QuadraticObjective &f,
+                                        int num_vars);
+
+} // namespace rasengan::baselines
+
+#endif // RASENGAN_BASELINES_QUBO_H

@@ -1,0 +1,17 @@
+#include "baselines/vqa.h"
+
+#include "problems/metrics.h"
+
+namespace rasengan::baselines {
+
+void
+finalizeMetrics(const problems::Problem &problem, double lambda,
+                VqaResult &result)
+{
+    result.expectedObjective =
+        problems::expectedObjective(problem, result.counts, lambda);
+    result.inConstraintsRate =
+        problems::inConstraintsRate(problem, result.counts);
+}
+
+} // namespace rasengan::baselines

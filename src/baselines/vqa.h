@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared option/result types for the baseline VQAs (HEA, P-QAOA,
+ * Choco-Q), mirroring the evaluation protocol of Section 5: five layers,
+ * a COBYLA-style optimizer with a bounded evaluation budget, and metrics
+ * computed from a sampled output distribution.
+ */
+
+#ifndef RASENGAN_BASELINES_VQA_H
+#define RASENGAN_BASELINES_VQA_H
+
+#include "device/device.h"
+#include "opt/factory.h"
+#include "opt/optimizer.h"
+#include "problems/problem.h"
+#include "qsim/counts.h"
+#include "qsim/noise.h"
+
+namespace rasengan::baselines {
+
+struct VqaOptions
+{
+    int layers = 5;            ///< repeated ansatz layers (Section 5.2)
+    int maxIterations = 300;   ///< optimizer evaluation budget
+    uint64_t shots = 1024;     ///< final sampling shots
+    uint64_t seed = 11;
+    double penaltyLambda = -1.0; ///< <0: problems::defaultPenaltyLambda
+    opt::Method optimizer = opt::Method::Cobyla;
+
+    /** When enabled, training and sampling run gate-level under noise. */
+    qsim::NoiseModel noise;
+    int trajectories = 8;
+
+    /** Device whose durations drive the quantum-latency estimate. */
+    device::DeviceModel latencyDevice = device::DeviceModel::ibmQuebec();
+
+    /**
+     * Optional warm start (e.g. layerwise training across layer counts);
+     * empty selects each algorithm's default initialization.  Length must
+     * match the algorithm's parameter count when set.
+     */
+    std::vector<double> initialParams;
+};
+
+struct VqaResult
+{
+    qsim::Counts counts;          ///< final output distribution
+    double expectedObjective = 0; ///< penalized expectation over counts
+    double inConstraintsRate = 0; ///< feasible fraction of counts
+    int circuitDepth = 0;         ///< transpiled full-circuit depth
+    int circuitCx = 0;
+    int numParams = 0;
+    opt::OptResult training;
+    double classicalSeconds = 0.0;
+    double quantumSeconds = 0.0;
+};
+
+/** Fill the counts-derived metric fields of @p result. */
+void finalizeMetrics(const problems::Problem &problem, double lambda,
+                     VqaResult &result);
+
+} // namespace rasengan::baselines
+
+#endif // RASENGAN_BASELINES_VQA_H

@@ -1,0 +1,142 @@
+#include "circuit/draw.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rasengan::circuit {
+
+namespace {
+
+/** Short cell label for the gate's role on one qubit. */
+std::string
+cellLabel(const Gate &g, int q)
+{
+    for (int c : g.controls)
+        if (c == q)
+            return "*";
+    bool is_target = false;
+    for (int t : g.targets)
+        if (t == q)
+            is_target = true;
+    if (!is_target)
+        return "";
+    switch (g.kind) {
+      case GateKind::X:
+      case GateKind::CX:
+      case GateKind::MCX:
+        return "X";
+      case GateKind::H:
+        return "H";
+      case GateKind::Swap:
+        return "x";
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CP:
+      case GateKind::MCP: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s(%.2f)",
+                      gateName(g.kind).c_str(), g.param);
+        return buf;
+      }
+      case GateKind::Barrier:
+        return "";
+      case GateKind::Measure:
+        return "M";
+      case GateKind::Reset:
+        return "|0>";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+drawCircuit(const Circuit &circ, int max_columns)
+{
+    const int n = circ.numQubits();
+    if (n == 0)
+        return "";
+
+    // Level-schedule gates into columns (barriers flush the frontier).
+    std::vector<std::vector<const Gate *>> columns;
+    std::vector<int> level(n, 0);
+    for (const Gate &g : circ.gates()) {
+        if (g.kind == GateKind::Barrier) {
+            int frontier = 0;
+            for (int l : level)
+                frontier = std::max(frontier, l);
+            std::fill(level.begin(), level.end(), frontier);
+            continue;
+        }
+        int start = 0;
+        for (int q : g.qubits())
+            start = std::max(start, level[q]);
+        if (static_cast<size_t>(start) >= columns.size())
+            columns.resize(start + 1);
+        columns[start].push_back(&g);
+        for (int q : g.qubits())
+            level[q] = start + 1;
+    }
+
+    bool truncated = false;
+    if (max_columns > 0 &&
+        columns.size() > static_cast<size_t>(max_columns)) {
+        columns.resize(max_columns);
+        truncated = true;
+    }
+
+    // Per column: cell text per qubit plus connector flags.
+    std::vector<std::vector<std::string>> cells(
+        columns.size(), std::vector<std::string>(n));
+    std::vector<std::vector<bool>> connect(
+        columns.size(), std::vector<bool>(n, false));
+    std::vector<size_t> width(columns.size(), 1);
+
+    for (size_t col = 0; col < columns.size(); ++col) {
+        for (const Gate *g : columns[col]) {
+            auto qs = g->qubits();
+            int lo = *std::min_element(qs.begin(), qs.end());
+            int hi = *std::max_element(qs.begin(), qs.end());
+            for (int q = lo; q <= hi; ++q) {
+                std::string label = cellLabel(*g, q);
+                if (!label.empty())
+                    cells[col][q] = label;
+                else if (g->isMultiQubit())
+                    connect[col][q] = true; // pass-through wire
+            }
+        }
+        for (int q = 0; q < n; ++q)
+            width[col] = std::max(width[col], cells[col][q].size());
+    }
+
+    std::ostringstream os;
+    for (int q = 0; q < n; ++q) {
+        os << "q" << q << ": ";
+        if (q < 10)
+            os << " ";
+        for (size_t col = 0; col < columns.size(); ++col) {
+            os << "-";
+            std::string cell = cells[col][q];
+            if (cell.empty())
+                cell = connect[col][q] ? "|" : "-";
+            // Center-ish pad with the column's fill character.
+            char fill = cells[col][q].empty() && connect[col][q] ? ' ' : '-';
+            size_t pad = width[col] - cell.size();
+            os << std::string(pad / 2, fill) << cell
+               << std::string(pad - pad / 2, fill);
+            os << "-";
+        }
+        if (truncated)
+            os << "...";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace rasengan::circuit

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * ASCII circuit rendering for debugging and examples.
+ *
+ * Gates are placed into columns by the same level scheduling the depth
+ * metric uses; controls render as '*', X-targets as 'X', other targets by
+ * their mnemonic, and multi-qubit gates draw '|' connectors through the
+ * wires they span.
+ */
+
+#ifndef RASENGAN_CIRCUIT_DRAW_H
+#define RASENGAN_CIRCUIT_DRAW_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace rasengan::circuit {
+
+/**
+ * Render @p circ as ASCII art, one row per qubit.
+ * @param max_columns truncate wide circuits after this many columns
+ *                    (a trailing "..." marks the cut); <= 0 = unlimited.
+ */
+std::string drawCircuit(const Circuit &circ, int max_columns = 0);
+
+} // namespace rasengan::circuit
+
+#endif // RASENGAN_CIRCUIT_DRAW_H

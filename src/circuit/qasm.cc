@@ -1,0 +1,335 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace rasengan::circuit {
+
+namespace {
+
+/** Cursor over one statement line. */
+class LineScanner
+{
+  public:
+    explicit LineScanner(const std::string &line) : s_(line) {}
+
+    void
+    skipSpace()
+    {
+        while (pos_ < s_.size() && std::isspace(
+                   static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos_ >= s_.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const std::string &word)
+    {
+        skipSpace();
+        if (s_.compare(pos_, word.size(), word) == 0) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    /** [a-z_][a-z0-9_]* */
+    std::string
+    identifier()
+    {
+        skipSpace();
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '_')) {
+            ++pos_;
+        }
+        return s_.substr(start, pos_ - start);
+    }
+
+    std::optional<double>
+    number()
+    {
+        skipSpace();
+        const char *begin = s_.c_str() + pos_;
+        char *end = nullptr;
+        double value = std::strtod(begin, &end);
+        if (end == begin)
+            return std::nullopt;
+        pos_ += static_cast<size_t>(end - begin);
+        return value;
+    }
+
+    std::optional<int>
+    integer()
+    {
+        auto v = number();
+        if (!v || *v != static_cast<int>(*v))
+            return std::nullopt;
+        return static_cast<int>(*v);
+    }
+
+    /** q[<int>] */
+    std::optional<int>
+    qubitRef()
+    {
+        skipSpace();
+        if (!consumeWord("q") || !consume('['))
+            return std::nullopt;
+        auto idx = integer();
+        if (!idx || !consume(']'))
+            return std::nullopt;
+        return idx;
+    }
+
+  private:
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+struct Parser
+{
+    QasmParseResult result;
+    std::optional<Circuit> circ;
+
+    bool
+    fail(int line, const std::string &message)
+    {
+        result.error = message;
+        result.errorLine = line;
+        return false;
+    }
+
+    bool
+    parsePseudoOp(LineScanner &sc, int line_no, bool is_mcp)
+    {
+        // "// mcp(theta) controls=[a,b,...] target=t"
+        double theta = 0.0;
+        if (!sc.consume('('))
+            return fail(line_no, "expected '(' in pseudo-op");
+        if (is_mcp) {
+            auto v = sc.number();
+            if (!v)
+                return fail(line_no, "expected angle in mcp pseudo-op");
+            theta = *v;
+        }
+        if (!sc.consume(')'))
+            return fail(line_no, "expected ')' in pseudo-op");
+        if (!sc.consumeWord("controls") || !sc.consume('=') ||
+            !sc.consume('[')) {
+            return fail(line_no, "expected controls=[...]");
+        }
+        std::vector<int> controls;
+        if (!sc.consume(']')) {
+            while (true) {
+                auto q = sc.integer();
+                if (!q)
+                    return fail(line_no, "expected control index");
+                controls.push_back(*q);
+                if (sc.consume(']'))
+                    break;
+                if (!sc.consume(','))
+                    return fail(line_no, "expected ',' or ']'");
+            }
+        }
+        if (!sc.consumeWord("target") || !sc.consume('='))
+            return fail(line_no, "expected target=");
+        auto target = sc.integer();
+        if (!target)
+            return fail(line_no, "expected target index");
+        int max_q = *target;
+        for (int c : controls)
+            max_q = std::max(max_q, c);
+        circ->ensureQubits(max_q + 1);
+        if (is_mcp)
+            circ->mcp(controls, *target, theta);
+        else
+            circ->mcx(controls, *target);
+        return true;
+    }
+
+    bool
+    parseGate(LineScanner &sc, int line_no, const std::string &name)
+    {
+        struct Spec
+        {
+            GateKind kind;
+            int qubits;
+            bool param;
+        };
+        static const std::vector<std::pair<std::string, Spec>> kSpecs = {
+            {"x", {GateKind::X, 1, false}},
+            {"h", {GateKind::H, 1, false}},
+            {"rx", {GateKind::RX, 1, true}},
+            {"ry", {GateKind::RY, 1, true}},
+            {"rz", {GateKind::RZ, 1, true}},
+            {"p", {GateKind::P, 1, true}},
+            {"cx", {GateKind::CX, 2, false}},
+            {"cp", {GateKind::CP, 2, true}},
+            {"swap", {GateKind::Swap, 2, false}},
+        };
+        const Spec *spec = nullptr;
+        for (const auto &[n, s] : kSpecs) {
+            if (n == name) {
+                spec = &s;
+                break;
+            }
+        }
+        if (!spec)
+            return fail(line_no, "unknown gate '" + name + "'");
+
+        double theta = 0.0;
+        if (spec->param) {
+            if (!sc.consume('('))
+                return fail(line_no, "expected '(' after " + name);
+            auto v = sc.number();
+            if (!v)
+                return fail(line_no, "expected angle for " + name);
+            theta = *v;
+            if (!sc.consume(')'))
+                return fail(line_no, "expected ')' after angle");
+        }
+        std::vector<int> qs;
+        for (int i = 0; i < spec->qubits; ++i) {
+            if (i > 0 && !sc.consume(','))
+                return fail(line_no, "expected ',' between operands");
+            auto q = sc.qubitRef();
+            if (!q)
+                return fail(line_no, "expected qubit operand");
+            if (*q < 0 || *q >= circ->numQubits())
+                return fail(line_no, "qubit index out of the qreg range");
+            qs.push_back(*q);
+        }
+        if (!sc.consume(';'))
+            return fail(line_no, "expected ';'");
+
+        switch (spec->kind) {
+          case GateKind::X: circ->x(qs[0]); break;
+          case GateKind::H: circ->h(qs[0]); break;
+          case GateKind::RX: circ->rx(qs[0], theta); break;
+          case GateKind::RY: circ->ry(qs[0], theta); break;
+          case GateKind::RZ: circ->rz(qs[0], theta); break;
+          case GateKind::P: circ->p(qs[0], theta); break;
+          case GateKind::CX: circ->cx(qs[0], qs[1]); break;
+          case GateKind::CP: circ->cp(qs[0], qs[1], theta); break;
+          case GateKind::Swap: circ->swap(qs[0], qs[1]); break;
+          default: return fail(line_no, "unsupported gate");
+        }
+        return true;
+    }
+
+    bool
+    run(const std::string &text)
+    {
+        std::istringstream stream(text);
+        std::string line;
+        int line_no = 0;
+        bool saw_header = false;
+        while (std::getline(stream, line)) {
+            ++line_no;
+            LineScanner sc(line);
+            if (sc.atEnd())
+                continue;
+            if (sc.consumeWord("//")) {
+                std::string op = sc.identifier();
+                if (op == "mcp" || op == "mcx") {
+                    if (!circ)
+                        return fail(line_no, "gate before qreg");
+                    if (!parsePseudoOp(sc, line_no, op == "mcp"))
+                        return false;
+                }
+                continue; // ordinary comment
+            }
+            if (sc.consumeWord("OPENQASM")) {
+                saw_header = true;
+                continue;
+            }
+            if (sc.consumeWord("include"))
+                continue;
+            if (sc.consumeWord("qreg")) {
+                if (circ)
+                    return fail(line_no, "duplicate qreg");
+                LineScanner rest(line);
+                rest.consumeWord("qreg");
+                auto n = rest.qubitRef();
+                if (!n)
+                    return fail(line_no, "malformed qreg");
+                circ.emplace(*n);
+                continue;
+            }
+            if (sc.consumeWord("creg"))
+                continue; // classical bits are implicit in this IR
+            if (sc.consumeWord("barrier")) {
+                if (!circ)
+                    return fail(line_no, "barrier before qreg");
+                circ->barrier();
+                continue;
+            }
+            if (sc.consumeWord("measure")) {
+                if (!circ)
+                    return fail(line_no, "measure before qreg");
+                auto q = sc.qubitRef();
+                if (!q || *q < 0 || *q >= circ->numQubits())
+                    return fail(line_no, "malformed measure operand");
+                // Optional "-> c[i]" suffix is accepted and ignored.
+                circ->measure(*q);
+                continue;
+            }
+            if (sc.consumeWord("reset")) {
+                if (!circ)
+                    return fail(line_no, "reset before qreg");
+                auto q = sc.qubitRef();
+                if (!q || *q < 0 || *q >= circ->numQubits())
+                    return fail(line_no, "malformed reset operand");
+                if (!sc.consume(';'))
+                    return fail(line_no, "expected ';'");
+                circ->reset(*q);
+                continue;
+            }
+            std::string name = sc.identifier();
+            if (name.empty())
+                return fail(line_no, "unparseable statement");
+            if (!circ)
+                return fail(line_no, "gate before qreg");
+            if (!parseGate(sc, line_no, name))
+                return false;
+        }
+        if (!saw_header)
+            return fail(1, "missing OPENQASM header");
+        if (!circ)
+            return fail(line_no, "missing qreg declaration");
+        result.circuit = std::move(circ);
+        return true;
+    }
+};
+
+} // namespace
+
+QasmParseResult
+parseQasm(const std::string &text)
+{
+    Parser parser;
+    parser.run(text);
+    return std::move(parser.result);
+}
+
+} // namespace rasengan::circuit

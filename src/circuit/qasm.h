@@ -1,0 +1,35 @@
+/**
+ * @file
+ * OpenQASM 2.0 (subset) parser, the inverse of Circuit::toQasm().
+ *
+ * Supported statements: the OPENQASM/include headers, a single
+ * `qreg q[N];` declaration, the gates this IR emits (x, h, rx, ry, rz, p,
+ * cx, cp, swap), `barrier q;`, and the annotated `// mcp(...)` /
+ * `// mcx(...)` pseudo-op comments toQasm() writes for multi-controlled
+ * gates -- so dump/parse is a lossless round trip.  Useful for storing
+ * compiled segments and for interoperability tests.
+ */
+
+#ifndef RASENGAN_CIRCUIT_QASM_H
+#define RASENGAN_CIRCUIT_QASM_H
+
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace rasengan::circuit {
+
+struct QasmParseResult
+{
+    std::optional<Circuit> circuit; ///< set on success
+    std::string error;              ///< human-readable message on failure
+    int errorLine = 0;              ///< 1-based line of the failure
+};
+
+/** Parse QASM text produced by Circuit::toQasm() (or compatible). */
+QasmParseResult parseQasm(const std::string &text);
+
+} // namespace rasengan::circuit
+
+#endif // RASENGAN_CIRCUIT_QASM_H

@@ -1,0 +1,224 @@
+#include "circuit/transpile.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace rasengan::circuit {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/** CP via {P, CX}: cp(c,t,th) = p(c,th/2) cx p(t,-th/2) cx p(t,th/2). */
+void
+appendCpAsCx(Circuit &out, int control, int target, double theta)
+{
+    out.p(control, theta / 2.0);
+    out.cx(control, target);
+    out.p(target, -theta / 2.0);
+    out.cx(control, target);
+    out.p(target, theta / 2.0);
+}
+
+void
+appendSwapAsCx(Circuit &out, int a, int b)
+{
+    out.cx(a, b);
+    out.cx(b, a);
+    out.cx(a, b);
+}
+
+/** Doubly-controlled phase via 3 CP + 2 CX (no ancilla). */
+void
+appendCcp(Circuit &out, int c1, int c2, int target, double theta)
+{
+    out.cp(c2, target, theta / 2.0);
+    out.cx(c1, c2);
+    out.cp(c2, target, -theta / 2.0);
+    out.cx(c1, c2);
+    out.cp(c1, target, theta / 2.0);
+}
+
+/**
+ * Gray-code synthesis of the diagonal phase e^{i theta} on the all-ones
+ * state of @p qs: for every nonempty subset S of qs, a Z_S rotation with
+ * angle sign (-1)^{|S|} theta / 2^{m-1} (RZ convention), realized by a CX
+ * parity chain onto the last element of S.
+ */
+void
+appendAllOnesPhase(Circuit &out, const std::vector<int> &qs, double theta)
+{
+    int m = static_cast<int>(qs.size());
+    panic_if(m < 1 || m > 20, "all-ones phase on {} qubits", m);
+    double base = theta / std::ldexp(1.0, m - 1); // theta / 2^{m-1}
+    for (uint32_t code = 1; code < (1u << m); ++code) {
+        uint32_t subset = code ^ (code >> 1); // gray code enumeration
+        int popcount = __builtin_popcount(subset);
+        // RZ angle: -2 * alpha_S with alpha_S = theta (-1)^{|S|} / 2^m,
+        // i.e. +base for odd |S| and -base for even |S|.
+        double angle = (popcount % 2 == 1) ? base : -base;
+
+        std::vector<int> members;
+        for (int i = 0; i < m; ++i)
+            if (subset & (1u << i))
+                members.push_back(qs[i]);
+        int last = members.back();
+        for (size_t i = 0; i + 1 < members.size(); ++i)
+            out.cx(members[i], last);
+        out.rz(last, angle);
+        for (size_t i = members.size() - 1; i-- > 0;)
+            out.cx(members[i], last);
+    }
+}
+
+/**
+ * Compute the AND of @p controls into ancillas via a Toffoli ladder.
+ * Returns the ancilla wire holding the full conjunction.  @p emit_forward
+ * false replays the ladder in reverse (uncompute).
+ */
+int
+appendLadder(Circuit &out, const std::vector<int> &controls, int anc_base,
+             bool forward)
+{
+    int n = static_cast<int>(controls.size());
+    panic_if(n < 2, "ladder needs at least 2 controls");
+    int stages = n - 1;
+    if (forward) {
+        appendToffoli(out, controls[0], controls[1], anc_base);
+        for (int i = 2; i < n; ++i)
+            appendToffoli(out, controls[i], anc_base + i - 2,
+                          anc_base + i - 1);
+    } else {
+        for (int i = n - 1; i >= 2; --i)
+            appendToffoli(out, controls[i], anc_base + i - 2,
+                          anc_base + i - 1);
+        appendToffoli(out, controls[0], controls[1], anc_base);
+    }
+    return anc_base + stages - 1;
+}
+
+void
+lowerMcp(Circuit &out, const Gate &g, const TranspileOptions &opts,
+         int anc_base, bool lower_cp)
+{
+    const auto &cs = g.controls;
+    int t = g.targets[0];
+    double theta = g.param;
+
+    if (cs.size() == 2 && opts.mode == TranspileMode::GrayCode) {
+        // Small-case shortcut cheaper than the subset expansion.
+        appendCcp(out, cs[0], cs[1], t, theta);
+        return;
+    }
+    if (opts.mode == TranspileMode::AncillaLadder) {
+        if (cs.size() == 2) {
+            appendCcp(out, cs[0], cs[1], t, theta);
+            return;
+        }
+        int top = appendLadder(out, cs, anc_base, true);
+        if (lower_cp)
+            appendCpAsCx(out, top, t, theta);
+        else
+            out.cp(top, t, theta);
+        appendLadder(out, cs, anc_base, false);
+        return;
+    }
+    std::vector<int> qs = cs;
+    qs.push_back(t);
+    appendAllOnesPhase(out, qs, theta);
+}
+
+void
+lowerMcx(Circuit &out, const Gate &g, const TranspileOptions &opts,
+         int anc_base, bool lower_cp)
+{
+    // MCX = H(t) . MCP(pi) . H(t).
+    int t = g.targets[0];
+    if (opts.mode == TranspileMode::AncillaLadder && g.controls.size() == 2) {
+        appendToffoli(out, g.controls[0], g.controls[1], t);
+        return;
+    }
+    out.h(t);
+    Gate phase{GateKind::MCP, g.controls, {t}, kPi};
+    lowerMcp(out, phase, opts, anc_base, lower_cp);
+    out.h(t);
+}
+
+} // namespace
+
+void
+appendToffoli(Circuit &c, int a, int b, int target)
+{
+    const double t = kPi / 4.0;
+    c.h(target);
+    c.cx(b, target);
+    c.p(target, -t);
+    c.cx(a, target);
+    c.p(target, t);
+    c.cx(b, target);
+    c.p(target, -t);
+    c.cx(a, target);
+    c.p(target, t);
+    c.p(b, t);
+    c.h(target);
+    c.cx(a, b);
+    c.p(a, t);
+    c.p(b, -t);
+    c.cx(a, b);
+}
+
+int
+paperTransitionCxCost(int k)
+{
+    fatal_if(k < 1, "transition with empty support");
+    return 34 * k;
+}
+
+Circuit
+transpile(const Circuit &input, const TranspileOptions &opts)
+{
+    // Size the ancilla pool for the widest multi-controlled gate.
+    int max_anc = 0;
+    if (opts.mode == TranspileMode::AncillaLadder) {
+        for (const Gate &g : input.gates()) {
+            if ((g.kind == GateKind::MCP || g.kind == GateKind::MCX) &&
+                g.controls.size() >= 3) {
+                max_anc = std::max(
+                    max_anc, static_cast<int>(g.controls.size()) - 1);
+            }
+        }
+    }
+    int anc_base = input.numQubits();
+    Circuit out(input.numQubits() + max_anc);
+
+    for (const Gate &g : input.gates()) {
+        switch (g.kind) {
+          case GateKind::MCP:
+            lowerMcp(out, g, opts, anc_base, opts.lowerToCx);
+            break;
+          case GateKind::MCX:
+            lowerMcx(out, g, opts, anc_base, opts.lowerToCx);
+            break;
+          case GateKind::CP:
+            if (opts.lowerToCx)
+                appendCpAsCx(out, g.controls[0], g.targets[0], g.param);
+            else
+                out.append(g);
+            break;
+          case GateKind::Swap:
+            if (opts.lowerToCx)
+                appendSwapAsCx(out, g.targets[0], g.targets[1]);
+            else
+                out.append(g);
+            break;
+          default:
+            out.append(g);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace rasengan::circuit

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Fixed-capacity bit vector representing an assignment to binary variables.
+ *
+ * A BitVec stores up to 128 bits in two 64-bit words.  Bit i corresponds to
+ * binary variable x_i (equivalently qubit i, with weight 2^i when converted
+ * to a dense statevector index).  The class is a cheap value type: it is
+ * trivially copyable, hashable, and ordered, so it can key hash maps in the
+ * sparse simulator.
+ */
+
+#ifndef RASENGAN_COMMON_BITVEC_H
+#define RASENGAN_COMMON_BITVEC_H
+
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rasengan {
+
+/** Maximum number of variables a BitVec can hold. */
+constexpr int kMaxBits = 128;
+
+class BitVec
+{
+  public:
+    /** All-zero vector. */
+    constexpr BitVec() : words_{0, 0} {}
+
+    /** Construct from a dense statevector index (bit i of @p index -> x_i). */
+    static BitVec
+    fromIndex(uint64_t index)
+    {
+        BitVec v;
+        v.words_[0] = index;
+        return v;
+    }
+
+    /**
+     * Construct from a 0/1 vector, entry i -> bit i.
+     * Entries must be 0 or 1.
+     */
+    static BitVec
+    fromVector(const std::vector<int> &bits)
+    {
+        fatal_if(bits.size() > static_cast<size_t>(kMaxBits),
+                 "BitVec supports at most {} bits, got {}", kMaxBits,
+                 bits.size());
+        BitVec v;
+        for (size_t i = 0; i < bits.size(); ++i) {
+            panic_if(bits[i] != 0 && bits[i] != 1,
+                     "non-binary entry {} at position {}", bits[i], i);
+            if (bits[i])
+                v.set(static_cast<int>(i));
+        }
+        return v;
+    }
+
+    /** Parse from a string like "01101" where character i -> bit i. */
+    static BitVec
+    fromString(const std::string &s)
+    {
+        fatal_if(s.size() > static_cast<size_t>(kMaxBits),
+                 "BitVec supports at most {} bits, got {}", kMaxBits,
+                 s.size());
+        BitVec v;
+        for (size_t i = 0; i < s.size(); ++i) {
+            fatal_if(s[i] != '0' && s[i] != '1',
+                     "invalid bit character '{}'", s[i]);
+            if (s[i] == '1')
+                v.set(static_cast<int>(i));
+        }
+        return v;
+    }
+
+    /** Value of bit @p i. */
+    bool
+    get(int i) const
+    {
+        return (words_[wordOf(i)] >> bitOf(i)) & 1;
+    }
+
+    /** Set bit @p i to 1. */
+    void set(int i) { words_[wordOf(i)] |= (uint64_t{1} << bitOf(i)); }
+
+    /** Clear bit @p i. */
+    void clear(int i) { words_[wordOf(i)] &= ~(uint64_t{1} << bitOf(i)); }
+
+    /** Flip bit @p i. */
+    void flip(int i) { words_[wordOf(i)] ^= (uint64_t{1} << bitOf(i)); }
+
+    /** Assign bit @p i to @p value. */
+    void
+    assign(int i, bool value)
+    {
+        if (value)
+            set(i);
+        else
+            clear(i);
+    }
+
+    /** Number of set bits. */
+    int
+    popcount() const
+    {
+        return std::popcount(words_[0]) + std::popcount(words_[1]);
+    }
+
+    /** Interpret the low 64 bits as a statevector index. */
+    uint64_t
+    toIndex() const
+    {
+        panic_if(words_[1] != 0, "BitVec does not fit in a 64-bit index");
+        return words_[0];
+    }
+
+    /** First @p n bits as a 0/1 vector. */
+    std::vector<int>
+    toVector(int n) const
+    {
+        std::vector<int> out(n);
+        for (int i = 0; i < n; ++i)
+            out[i] = get(i) ? 1 : 0;
+        return out;
+    }
+
+    /** First @p n bits as a string, character i = bit i. */
+    std::string
+    toString(int n) const
+    {
+        std::string s(n, '0');
+        for (int i = 0; i < n; ++i)
+            if (get(i))
+                s[i] = '1';
+        return s;
+    }
+
+    /** Bitwise XOR, used for flip masks. */
+    BitVec
+    operator^(const BitVec &o) const
+    {
+        BitVec v;
+        v.words_[0] = words_[0] ^ o.words_[0];
+        v.words_[1] = words_[1] ^ o.words_[1];
+        return v;
+    }
+
+    /** Bitwise AND, used for support masking. */
+    BitVec
+    operator&(const BitVec &o) const
+    {
+        BitVec v;
+        v.words_[0] = words_[0] & o.words_[0];
+        v.words_[1] = words_[1] & o.words_[1];
+        return v;
+    }
+
+    /** Bitwise OR. */
+    BitVec
+    operator|(const BitVec &o) const
+    {
+        BitVec v;
+        v.words_[0] = words_[0] | o.words_[0];
+        v.words_[1] = words_[1] | o.words_[1];
+        return v;
+    }
+
+    friend bool
+    operator==(const BitVec &a, const BitVec &b)
+    {
+        return a.words_[0] == b.words_[0] && a.words_[1] == b.words_[1];
+    }
+
+    friend std::strong_ordering
+    operator<=>(const BitVec &a, const BitVec &b)
+    {
+        if (auto c = a.words_[1] <=> b.words_[1]; c != 0)
+            return c;
+        return a.words_[0] <=> b.words_[0];
+    }
+
+    /** 64-bit hash (splitmix-style mix of the two words). */
+    size_t
+    hash() const
+    {
+        uint64_t h = words_[0] * 0x9E3779B97F4A7C15ull;
+        h ^= (words_[1] + 0xBF58476D1CE4E5B9ull) + (h << 6) + (h >> 2);
+        h ^= h >> 31;
+        h *= 0x94D049BB133111EBull;
+        h ^= h >> 29;
+        return static_cast<size_t>(h);
+    }
+
+  private:
+    static int
+    wordOf(int i)
+    {
+        panic_if(i < 0 || i >= kMaxBits, "bit index {} out of range", i);
+        return i >> 6;
+    }
+
+    static int bitOf(int i) { return i & 63; }
+
+    uint64_t words_[2];
+};
+
+/** Hash functor so BitVec can key unordered containers. */
+struct BitVecHash
+{
+    size_t operator()(const BitVec &v) const { return v.hash(); }
+};
+
+} // namespace rasengan
+
+#endif // RASENGAN_COMMON_BITVEC_H

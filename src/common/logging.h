@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the gem5 style.
+ *
+ * Two error functions with distinct purposes:
+ *  - panic(): an internal invariant was violated (a bug in this library).
+ *    Calls std::abort() so a debugger/core dump can catch it.
+ *  - fatal(): the caller/user did something unsupported (bad configuration,
+ *    invalid argument).  Exits with status 1.
+ *
+ * Two status functions:
+ *  - warn():   something may be wrong or approximated; execution continues.
+ *  - inform(): purely informational progress output.
+ */
+
+#ifndef RASENGAN_COMMON_LOGGING_H
+#define RASENGAN_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace rasengan {
+
+/** Verbosity levels for status output. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity threshold (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Minimal "{}"-style formatter: each "{}" is replaced by the next arg. */
+inline void
+formatRest(std::ostringstream &os, const char *fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Rest>
+void
+formatRest(std::ostringstream &os, const char *fmt, T &&first, Rest &&...rest)
+{
+    for (const char *p = fmt; *p; ++p) {
+        if (p[0] == '{' && p[1] == '}') {
+            os << first;
+            formatRest(os, p + 2, std::forward<Rest>(rest)...);
+            return;
+        }
+        os << *p;
+    }
+}
+
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    std::ostringstream os;
+    formatRest(os, fmt, std::forward<Args>(args)...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace rasengan
+
+/** Report an internal bug and abort. */
+#define panic(...) \
+    ::rasengan::detail::panicImpl(__FILE__, __LINE__, \
+                                  ::rasengan::detail::format(__VA_ARGS__))
+
+/** Report an unrecoverable user error and exit(1). */
+#define fatal(...) \
+    ::rasengan::detail::fatalImpl(__FILE__, __LINE__, \
+                                  ::rasengan::detail::format(__VA_ARGS__))
+
+/** Abort with a message if the invariant @p cond does not hold. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** Exit with a message if the user-facing condition @p cond holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+namespace rasengan {
+
+/** Print a warning (level >= Warn). */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print an informational message (level >= Inform). */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::informImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print a debug message (level >= Debug). */
+template <typename... Args>
+void
+debugLog(const char *fmt, Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace rasengan
+
+#endif // RASENGAN_COMMON_LOGGING_H

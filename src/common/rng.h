@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic random number generator used throughout the library.
+ *
+ * All stochastic components (measurement sampling, noise trajectories,
+ * instance generation, optimizer perturbations) draw from an explicitly
+ * seeded Rng so that every experiment is reproducible from its seed.
+ */
+
+#ifndef RASENGAN_COMMON_RNG_H
+#define RASENGAN_COMMON_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rasengan {
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5A17F00Dull) : engine_(seed) {}
+
+    /** Reseed the generator. */
+    void seed(uint64_t s) { engine_.seed(s); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        panic_if(lo > hi, "uniformInt: empty range [{}, {}]", lo, hi);
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Standard normal sample scaled to @p mean / @p stddev. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Uniformly chosen index in [0, n). */
+    size_t
+    index(size_t n)
+    {
+        panic_if(n == 0, "index: empty range");
+        return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+
+    /** Uniformly chosen element of @p items. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &items)
+    {
+        panic_if(items.empty(), "choice: empty vector");
+        return items[index(items.size())];
+    }
+
+    /**
+     * Sample an index from an unnormalized weight vector.
+     * Weights must be non-negative with a positive sum.
+     */
+    size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights) {
+            panic_if(w < 0.0, "weightedIndex: negative weight {}", w);
+            total += w;
+        }
+        panic_if(total <= 0.0, "weightedIndex: zero total weight");
+        double r = uniformReal(0.0, total);
+        double acc = 0.0;
+        for (size_t i = 0; i < weights.size(); ++i) {
+            acc += weights[i];
+            if (r < acc)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i)
+            std::swap(items[i - 1], items[index(i)]);
+    }
+
+    /** Access the underlying engine (for std distributions). */
+    std::mt19937_64 &engine() { return engine_; }
+
+    /** Derive an independent child generator (for parallel workloads). */
+    Rng
+    fork()
+    {
+        return Rng(engine_());
+    }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace rasengan
+
+#endif // RASENGAN_COMMON_RNG_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small statistics helpers shared by the evaluation harnesses.
+ */
+
+#ifndef RASENGAN_COMMON_STATS_H
+#define RASENGAN_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace rasengan {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean of strictly positive samples; 0 for an empty sample. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile.
+ * @param xs sample (not required to be sorted)
+ * @param p  percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Minimum; +inf for an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; -inf for an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Streaming accumulator for mean/variance (Welford) plus min/max.
+ */
+class RunningStat
+{
+  public:
+    void push(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace rasengan
+
+#endif // RASENGAN_COMMON_STATS_H

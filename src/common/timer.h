@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Wall-clock stopwatch used for the classical-latency measurements.
+ */
+
+#ifndef RASENGAN_COMMON_TIMER_H
+#define RASENGAN_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace rasengan {
+
+/**
+ * A resettable stopwatch accumulating elapsed wall-clock time.
+ * start()/stop() may be called repeatedly; seconds() returns the total
+ * accumulated running time.
+ */
+class Stopwatch
+{
+  public:
+    void
+    start()
+    {
+        if (!running_) {
+            begin_ = Clock::now();
+            running_ = true;
+        }
+    }
+
+    void
+    stop()
+    {
+        if (running_) {
+            accum_ += Clock::now() - begin_;
+            running_ = false;
+        }
+    }
+
+    void
+    reset()
+    {
+        accum_ = Duration::zero();
+        running_ = false;
+    }
+
+    /** Accumulated running time in seconds (includes the open interval). */
+    double
+    seconds() const
+    {
+        Duration total = accum_;
+        if (running_)
+            total += Clock::now() - begin_;
+        return std::chrono::duration<double>(total).count();
+    }
+
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using Duration = Clock::duration;
+
+    Duration accum_ = Duration::zero();
+    Clock::time_point begin_{};
+    bool running_ = false;
+};
+
+/** RAII guard accumulating its lifetime into a Stopwatch. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Stopwatch &watch) : watch_(watch) { watch_.start(); }
+    ~ScopedTimer() { watch_.stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Stopwatch &watch_;
+};
+
+} // namespace rasengan
+
+#endif // RASENGAN_COMMON_TIMER_H

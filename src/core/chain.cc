@@ -1,0 +1,83 @@
+#include "core/chain.h"
+
+#include "common/logging.h"
+
+namespace rasengan::core {
+
+std::vector<BitVec>
+expandStates(const std::unordered_set<BitVec, BitVecHash> &states,
+             const TransitionHamiltonian &transition)
+{
+    std::vector<BitVec> partners;
+    for (const BitVec &x : states) {
+        if (auto y = transition.partner(x))
+            partners.push_back(*y);
+    }
+    return partners;
+}
+
+Chain
+buildChain(const std::vector<TransitionHamiltonian> &transitions,
+           const BitVec &start, const ChainOptions &options)
+{
+    Chain chain;
+    const int m = static_cast<int>(transitions.size());
+    if (m == 0) {
+        chain.reachableCount = 1; // only the start state
+        return chain;
+    }
+    // Theorem 1: m rounds suffice for totally unimodular constraints; the
+    // general bound is m^3 operators (m^2 rounds).  With early stop on,
+    // default to the general bound and let saturation terminate the walk;
+    // without it, stick to the TU bound to keep the chain finite.
+    const int rounds = options.rounds > 0
+                           ? options.rounds
+                           : (options.earlyStop ? m * m : m);
+
+    std::unordered_set<BitVec, BitVecHash> reachable{start};
+    int useless_streak = 0;
+    bool stopped = false;
+
+    for (int round = 0; round < rounds && !stopped; ++round) {
+        for (int k = 0; k < m && !stopped; ++k) {
+            chain.unprunedSteps.push_back(k);
+
+            std::vector<BitVec> partners =
+                expandStates(reachable, transitions[k]);
+            bool expanded = false;
+            for (const BitVec &y : partners)
+                expanded |= reachable.insert(y).second;
+            chain.unprunedCoverage.push_back(reachable.size());
+
+            if (expanded || !options.prune) {
+                chain.steps.push_back(k);
+                chain.coverage.push_back(reachable.size());
+            }
+
+            if (reachable.size() > options.maxTrackedStates) {
+                // The tracked feasible set outgrew the budget: stop the
+                // walk here; coverage becomes a lower bound.
+                chain.capped = true;
+                stopped = true;
+            }
+            if (chain.steps.size() >= options.maxChainLength)
+                stopped = true;
+
+            if (expanded) {
+                useless_streak = 0;
+            } else {
+                ++useless_streak;
+                if (options.earlyStop && useless_streak >= m) {
+                    // m consecutive operators produced nothing new: no
+                    // remaining prefix of the round can either.
+                    stopped = true;
+                }
+            }
+        }
+    }
+
+    chain.reachableCount = reachable.size();
+    return chain;
+}
+
+} // namespace rasengan::core

@@ -1,0 +1,414 @@
+#include "core/rasengan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "circuit/optimize.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/basis.h"
+#include "device/mitigation.h"
+#include "opt/cobyla.h"
+#include "problems/metrics.h"
+#include "qsim/sparsestate.h"
+
+namespace rasengan::core {
+
+namespace {
+
+using ProbMap = std::unordered_map<BitVec, double, BitVecHash>;
+using ShotMap = std::unordered_map<BitVec, uint64_t, BitVecHash>;
+
+constexpr double kFailureScore = 1e18;
+
+} // namespace
+
+RasenganSolver::RasenganSolver(problems::Problem problem,
+                               RasenganOptions options)
+    : problem_(std::move(problem)), options_(std::move(options))
+{
+    transitions_ = makeTransitions(
+        transitionVectors(problem_, options_.simplify,
+                          options_.maxTrackedStates));
+
+    ChainOptions chain_opts;
+    chain_opts.rounds = options_.rounds;
+    chain_opts.prune = options_.prune;
+    chain_opts.earlyStop = options_.prune;
+    chain_opts.maxTrackedStates = options_.maxTrackedStates;
+    chain_ = buildChain(transitions_, problem_.trivialFeasible(), chain_opts);
+
+    segments_ = partitionChain(static_cast<int>(chain_.steps.size()),
+                               options_.transitionsPerSegment);
+}
+
+circuit::Circuit
+RasenganSolver::segmentCircuit(int seg_index, const BitVec &init,
+                               const std::vector<double> &times) const
+{
+    panic_if(seg_index < 0 ||
+                 seg_index >= static_cast<int>(segments_.size()),
+             "segment {} out of range", seg_index);
+    panic_if(times.size() != chain_.steps.size(),
+             "expected {} evolution times, got {}", chain_.steps.size(),
+             times.size());
+    const Segment &seg = segments_[seg_index];
+    const int n = problem_.numVars();
+
+    circuit::Circuit circ(n);
+    // A column of X gates prepares the segment's input basis state
+    // (Section 4.2: equivalent to circuit merging).
+    for (int q = 0; q < n; ++q)
+        if (init.get(q))
+            circ.x(q);
+    for (int pos = seg.firstStep; pos < seg.firstStep + seg.stepCount;
+         ++pos) {
+        transitions_[chain_.steps[pos]].appendToCircuit(circ, times[pos]);
+    }
+    return circ;
+}
+
+std::pair<int, int>
+RasenganSolver::maxSegmentCost() const
+{
+    std::vector<double> nominal(chain_.steps.size(), options_.initialTime);
+    int max_depth = 0;
+    int max_cx = 0;
+    for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
+        circuit::Circuit circ =
+            segmentCircuit(s, problem_.trivialFeasible(), nominal);
+        circuit::Circuit lowered = circuit::transpile(
+            circ, {.mode = options_.transpileMode, .lowerToCx = true});
+        circuit::Circuit optimized = circuit::optimizeCircuit(lowered);
+        max_depth = std::max(max_depth, optimized.depth());
+        max_cx = std::max(max_cx, optimized.countCx());
+    }
+    return {max_depth, max_cx};
+}
+
+RasenganDistribution
+RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
+{
+    panic_if(times.size() != chain_.steps.size(),
+             "expected {} evolution times, got {}", chain_.steps.size(),
+             times.size());
+    const int n = problem_.numVars();
+    RasenganDistribution result;
+
+    if (segments_.empty()) {
+        // Full-rank constraints: the trivial solution is the only state.
+        result.entries.emplace_back(problem_.trivialFeasible(), 1.0);
+        return result;
+    }
+
+    const bool exact =
+        options_.execution == RasenganOptions::Execution::ExactSparse;
+
+    if (exact) {
+        ProbMap dist{{problem_.trivialFeasible(), 1.0}};
+        for (const Segment &seg : segments_) {
+            ProbMap out;
+            for (const auto &[state, p] : dist) {
+                qsim::SparseState sim(n, state);
+                for (int pos = seg.firstStep;
+                     pos < seg.firstStep + seg.stepCount; ++pos) {
+                    transitions_[chain_.steps[pos]].applyTo(sim, times[pos]);
+                }
+                for (const auto &[y, amp] : sim.amplitudes())
+                    out[y] += p * std::norm(amp);
+            }
+            // Purification (Section 4.3): validate C x = b, drop the rest.
+            double feasible_mass = 0.0, total_mass = 0.0;
+            for (const auto &[y, p] : out) {
+                total_mass += p;
+                if (problem_.isFeasible(y))
+                    feasible_mass += p;
+            }
+            result.prePurifyFeasibleFraction =
+                total_mass > 0.0 ? feasible_mass / total_mass : 0.0;
+            if (options_.purify) {
+                if (feasible_mass <= 0.0) {
+                    result.failed = true;
+                    return result;
+                }
+                ProbMap purified;
+                for (const auto &[y, p] : out)
+                    if (problem_.isFeasible(y))
+                        purified[y] = p / feasible_mass;
+                dist = std::move(purified);
+            } else {
+                for (auto &[y, p] : out)
+                    p /= total_mass;
+                dist = std::move(out);
+            }
+        }
+        result.entries.assign(dist.begin(), dist.end());
+        return result;
+    }
+
+    // Shot-based backends.
+    ShotMap dist{{problem_.trivialFeasible(), options_.shotsPerSegment}};
+
+    for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
+        const Segment &seg = segments_[s];
+        qsim::Counts raw;
+        for (const auto &[state, state_shots] : dist) {
+            if (state_shots == 0)
+                continue;
+            if (options_.execution ==
+                RasenganOptions::Execution::NoisyGateLevel) {
+                circuit::Circuit circ = segmentCircuit(s, state, times);
+                circuit::Circuit lowered = circuit::transpile(
+                    circ,
+                    {.mode = options_.transpileMode, .lowerToCx = true});
+                // The segment circuit itself prepares `state` with its
+                // leading X column, so the register starts at |0...0>.
+                qsim::Counts part = qsim::sampleNoisy(
+                    lowered, lowered.numQubits(), BitVec{}, options_.noise,
+                    rng, state_shots, options_.trajectories, n);
+                for (const auto &[y, cnt] : part.map())
+                    raw.add(y, cnt);
+            } else {
+                qsim::SparseState sim(n, state);
+                for (int pos = seg.firstStep;
+                     pos < seg.firstStep + seg.stepCount; ++pos) {
+                    transitions_[chain_.steps[pos]].applyTo(sim, times[pos]);
+                }
+                qsim::Counts part = sim.sample(rng, state_shots);
+                if (options_.execution ==
+                    RasenganOptions::Execution::NoisyInjected) {
+                    // Error injection: each shot is corrupted with the
+                    // probability that at least one CX in the segment
+                    // failed; a corrupted shot takes random bit flips.
+                    circuit::Circuit circ = segmentCircuit(s, state, times);
+                    circuit::Circuit lowered = circuit::transpile(
+                        circ,
+                        {.mode = options_.transpileMode, .lowerToCx = true});
+                    double p_err = 1.0 - std::pow(1.0 - options_.noise.depol2q,
+                                                  lowered.countCx());
+                    qsim::Counts corrupted;
+                    for (const auto &[y, cnt] : part.map()) {
+                        for (uint64_t i = 0; i < cnt; ++i) {
+                            BitVec out = y;
+                            if (rng.bernoulli(p_err)) {
+                                int flips =
+                                    1 + static_cast<int>(rng.uniformInt(0, 2));
+                                for (int f = 0; f < flips; ++f)
+                                    out.flip(static_cast<int>(
+                                        rng.uniformInt(0, n - 1)));
+                            }
+                            corrupted.add(out);
+                        }
+                    }
+                    part = std::move(corrupted);
+                }
+                for (const auto &[y, cnt] : part.map())
+                    raw.add(y, cnt);
+            }
+        }
+
+        // Optional readout mitigation: undo measurement bit flips before
+        // deciding feasibility (mitigation.h; calibrated from the noise
+        // model's readout rate).
+        if (options_.mitigateReadout && options_.noise.readoutError > 0.0 &&
+            raw.total() > 0) {
+            device::ReadoutMitigator mitigator(
+                device::ReadoutCalibration::uniform(
+                    n, options_.noise.readoutError));
+            uint64_t total = raw.total();
+            qsim::Counts mitigated;
+            for (const auto &[y, p] : mitigator.mitigate(raw, n)) {
+                uint64_t cnt = static_cast<uint64_t>(
+                    p * static_cast<double>(total) + 0.5);
+                if (cnt > 0)
+                    mitigated.add(y, cnt);
+            }
+            if (mitigated.total() > 0)
+                raw = std::move(mitigated);
+        }
+
+        // Purification + probability-preserving shot reallocation
+        // (Figures 7-8): each surviving state gets the next segment's
+        // shots proportionally to its purified frequency.
+        uint64_t feasible_shots = 0;
+        for (const auto &[y, cnt] : raw.map())
+            if (problem_.isFeasible(y))
+                feasible_shots += cnt;
+        result.prePurifyFeasibleFraction =
+            raw.total() > 0
+                ? static_cast<double>(feasible_shots) /
+                      static_cast<double>(raw.total())
+                : 0.0;
+
+        const uint64_t next_shots = static_cast<uint64_t>(
+            static_cast<double>(options_.shotsPerSegment) *
+            std::pow(std::max(options_.shotGrowth, 1e-6), s + 1));
+        ShotMap next;
+        if (options_.purify) {
+            if (feasible_shots == 0) {
+                result.failed = true;
+                return result;
+            }
+            for (const auto &[y, cnt] : raw.map()) {
+                if (!problem_.isFeasible(y)) {
+                    continue;
+                }
+                uint64_t alloc = (cnt * next_shots + feasible_shots / 2) /
+                                 feasible_shots;
+                if (alloc > 0)
+                    next[y] = alloc;
+            }
+        } else {
+            for (const auto &[y, cnt] : raw.map()) {
+                uint64_t alloc =
+                    (cnt * next_shots + raw.total() / 2) / raw.total();
+                if (alloc > 0)
+                    next[y] = alloc;
+            }
+        }
+        if (next.empty()) {
+            result.failed = true;
+            return result;
+        }
+        dist = std::move(next);
+    }
+
+    uint64_t total = 0;
+    for (const auto &[y, cnt] : dist)
+        total += cnt;
+    for (const auto &[y, cnt] : dist)
+        result.entries.emplace_back(
+            y, static_cast<double>(cnt) / static_cast<double>(total));
+    return result;
+}
+
+double
+RasenganSolver::scoreDistribution(const RasenganDistribution &dist) const
+{
+    if (dist.failed || dist.entries.empty())
+        return kFailureScore;
+    double lambda = problems::defaultPenaltyLambda(problem_);
+    double acc = 0.0;
+    for (const auto &[y, p] : dist.entries)
+        acc += p * problem_.penalizedObjective(y, lambda);
+    return acc;
+}
+
+double
+RasenganSolver::perExecutionQuantumSeconds() const
+{
+    device::LatencyModel latency(options_.latencyDevice);
+    std::vector<double> nominal(chain_.steps.size(), options_.initialTime);
+    double total = 0.0;
+    for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
+        circuit::Circuit circ =
+            segmentCircuit(s, problem_.trivialFeasible(), nominal);
+        circuit::Circuit lowered = circuit::transpile(
+            circ, {.mode = options_.transpileMode, .lowerToCx = true});
+        uint64_t shots = static_cast<uint64_t>(
+            static_cast<double>(options_.shotsPerSegment) *
+            std::pow(std::max(options_.shotGrowth, 1e-6), s));
+        total += latency.executionTimeSeconds(lowered, shots);
+    }
+    return total;
+}
+
+RasenganResult
+RasenganSolver::summarize(const std::vector<double> &times,
+                          opt::OptResult training, double classical_s,
+                          double quantum_s) const
+{
+    RasenganResult res;
+    res.training = std::move(training);
+    res.numParams = numParams();
+    res.chainLength = static_cast<int>(chain_.steps.size());
+    res.unprunedLength = static_cast<int>(chain_.unprunedSteps.size());
+    res.numSegments = static_cast<int>(segments_.size());
+    res.feasibleCovered = chain_.reachableCount;
+    res.classicalSeconds = classical_s;
+    res.quantumSeconds = quantum_s;
+
+    auto [depth, cx] = maxSegmentCost();
+    res.maxSegmentDepth = depth;
+    res.maxSegmentCx = cx;
+
+    Rng rng(options_.seed + 1);
+    res.finalDistribution = execute(times, rng);
+    res.failed = res.finalDistribution.failed;
+
+    double lambda = problems::defaultPenaltyLambda(problem_);
+    const BitVec *best = nullptr;
+    double best_obj = 0.0;
+    double expected = 0.0;
+    double feasible_mass = 0.0;
+    for (const auto &[y, p] : res.finalDistribution.entries) {
+        expected += p * problem_.penalizedObjective(y, lambda);
+        if (problem_.isFeasible(y)) {
+            feasible_mass += p;
+            double obj = problem_.objective(y);
+            if (!best || obj < best_obj) {
+                best = &y;
+                best_obj = obj;
+            }
+        }
+    }
+    if (res.failed || !best) {
+        // Noisy failure: fall back to the initial feasible solution
+        // (Figure 10d reports these runs as terminated early).
+        res.failed = true;
+        res.solution = problem_.trivialFeasible();
+        res.objectiveValue = problem_.objective(res.solution);
+        res.expectedObjective = res.objectiveValue;
+        res.inConstraintsRate = 0.0;
+        return res;
+    }
+    res.solution = *best;
+    res.objectiveValue = best_obj;
+    res.expectedObjective = expected;
+    res.inConstraintsRate = feasible_mass;
+    return res;
+}
+
+RasenganResult
+RasenganSolver::run()
+{
+    Stopwatch wall;
+    wall.start();
+
+    const int params = numParams();
+    if (params == 0) {
+        opt::OptResult trivial_training;
+        trivial_training.converged = true;
+        wall.stop();
+        return summarize({}, trivial_training, wall.seconds(), 0.0);
+    }
+
+    Rng train_rng(options_.seed);
+    Stopwatch sim_time;
+    auto objective = [&](const std::vector<double> &x) {
+        ScopedTimer guard(sim_time);
+        return scoreDistribution(execute(x, train_rng));
+    };
+
+    opt::OptOptions oo;
+    oo.maxIterations = options_.maxIterations;
+    oo.initialStep = 0.4;
+    oo.tolerance = 1e-5;
+    oo.seed = options_.seed;
+    auto optimizer = opt::makeOptimizer(options_.optimizer, oo);
+
+    std::vector<double> x0(params, options_.initialTime);
+    opt::OptResult training = optimizer->minimize(objective, x0);
+    wall.stop();
+
+    // The simulated circuit executions stand in for quantum time; what
+    // remains of the wall clock is the classical optimizer + purification
+    // share (Figure 12's breakdown).
+    double classical_s = std::max(0.0, wall.seconds() - sim_time.seconds());
+    double quantum_s =
+        perExecutionQuantumSeconds() * training.evaluations;
+    return summarize(training.x, training, classical_s, quantum_s);
+}
+
+} // namespace rasengan::core

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The end-to-end Rasengan solver (Sections 3-4).
+ *
+ * Pipeline: homogeneous basis -> (opt 1) simplification -> transition
+ * Hamiltonians -> chain construction with (opt 2) pruning/early stop ->
+ * (opt 3) segmentation -> training loop that tunes the evolution time of
+ * every kept transition with a COBYLA-style optimizer, executing the
+ * segmented pipeline and forwarding the measured distribution between
+ * segments, with purification-based error mitigation between segments.
+ *
+ * Execution backends:
+ *  - ExactSparse: propagate exact Born probabilities through the sparse
+ *    simulator (noise-free algorithmic evaluation, Table 2);
+ *  - SampledSparse: shot-sampled forwarding (adds shot noise; scales to
+ *    the 105-variable instances);
+ *  - NoisyInjected: SampledSparse plus per-segment error injection whose
+ *    rate derives from the segment's CX count and the device's two-qubit
+ *    error rate (the scalable stand-in for hardware noise, Figure 10d);
+ *  - NoisyGateLevel: full gate-level trajectory simulation of each
+ *    transpiled segment under a NoiseModel (the stand-in for the IBM
+ *    hardware runs, Figures 11/16).
+ */
+
+#ifndef RASENGAN_CORE_RASENGAN_H
+#define RASENGAN_CORE_RASENGAN_H
+
+#include <optional>
+#include <vector>
+
+#include "circuit/transpile.h"
+#include "core/chain.h"
+#include "core/segment.h"
+#include "device/device.h"
+#include "device/latency.h"
+#include "opt/factory.h"
+#include "opt/optimizer.h"
+#include "problems/problem.h"
+#include "qsim/noise.h"
+
+namespace rasengan::core {
+
+struct RasenganOptions
+{
+    enum class Execution {
+        ExactSparse,
+        SampledSparse,
+        NoisyInjected,
+        NoisyGateLevel,
+    };
+
+    /// @name Ablation toggles (Section 5.6)
+    /// @{
+    bool simplify = true;          ///< opt 1: Algorithm 1
+    bool prune = true;             ///< opt 2: chain pruning + early stop
+    int transitionsPerSegment = 3; ///< opt 3: segment size; <= 0 = one segment
+    bool purify = true;            ///< opt 3: purification between segments
+    /// @}
+
+    /// @name Training
+    /// @{
+    int maxIterations = 300;       ///< optimizer evaluation budget
+    double initialTime = 0.6;      ///< initial evolution times
+    uint64_t seed = 7;
+    opt::Method optimizer = opt::Method::Cobyla;
+    /// @}
+
+    /// @name Execution
+    /// @{
+    Execution execution = Execution::ExactSparse;
+    uint64_t shotsPerSegment = 1024;
+    /**
+     * Apply tensored readout-error mitigation (device/mitigation.h) to
+     * each segment's raw counts before purification, using the noise
+     * model's readout rate as the calibration.  Orthogonal to
+     * purification: mitigation fixes measurement flips, purification
+     * removes gate-error leakage out of the feasible space.
+     */
+    bool mitigateReadout = false;
+    /**
+     * Per-segment shot multiplier (Figure 7's "x10 for the third
+     * segment" knob): segment s executes shotsPerSegment * growth^s
+     * shots, trading execution overhead for sharper probability
+     * forwarding deep in the chain.  1.0 = uniform shots.
+     */
+    double shotGrowth = 1.0;
+    qsim::NoiseModel noise;        ///< for the two noisy backends
+    int trajectories = 8;          ///< gate-level noisy trajectories
+    circuit::TranspileMode transpileMode =
+        circuit::TranspileMode::AncillaLadder;
+    int rounds = -1;               ///< chain rounds; -1 = m (Theorem 1)
+    size_t maxTrackedStates = size_t{1} << 20; ///< pruning reachability cap
+    /// @}
+
+    /** Device whose durations drive the quantum-latency estimate. */
+    device::DeviceModel latencyDevice = device::DeviceModel::ibmQuebec();
+};
+
+/** Final output distribution of one pipeline execution. */
+struct RasenganDistribution
+{
+    std::vector<std::pair<BitVec, double>> entries; ///< state, probability
+    bool failed = false; ///< purification emptied a segment's output
+    double prePurifyFeasibleFraction = 1.0; ///< feasible mass before purify
+};
+
+struct RasenganResult
+{
+    bool failed = false;
+    BitVec solution;               ///< best feasible outcome found
+    double objectiveValue = 0.0;   ///< objective at `solution`
+    double expectedObjective = 0.0;///< expectation over final distribution
+    double inConstraintsRate = 1.0;///< feasible fraction of raw output
+    RasenganDistribution finalDistribution;
+
+    int numParams = 0;             ///< trained evolution times
+    int chainLength = 0;           ///< kept transition operators
+    int unprunedLength = 0;        ///< m * rounds before pruning
+    int numSegments = 0;
+    int maxSegmentDepth = 0;       ///< transpiled+optimized segment depth
+    int maxSegmentCx = 0;
+    size_t feasibleCovered = 0;    ///< reachable feasible states
+
+    double classicalSeconds = 0.0; ///< measured wall time (classical part)
+    double quantumSeconds = 0.0;   ///< latency-model estimate
+    opt::OptResult training;
+};
+
+class RasenganSolver
+{
+  public:
+    RasenganSolver(problems::Problem problem, RasenganOptions options = {});
+
+    const problems::Problem &problem() const { return problem_; }
+    const RasenganOptions &opts() const { return options_; }
+
+    /// @name Pipeline artifacts (available after construction)
+    /// @{
+    const std::vector<TransitionHamiltonian> &transitions() const
+    {
+        return transitions_;
+    }
+    const Chain &chain() const { return chain_; }
+    const std::vector<Segment> &segments() const { return segments_; }
+    int numParams() const { return static_cast<int>(chain_.steps.size()); }
+    /// @}
+
+    /**
+     * Gate-level circuit of segment @p seg_index: X-gates preparing
+     * @p init, then the segment's transition operators at @p times
+     * (indexed by chain position).
+     */
+    circuit::Circuit segmentCircuit(int seg_index, const BitVec &init,
+                                    const std::vector<double> &times) const;
+
+    /**
+     * Depth and CX count of the deepest segment after transpilation and
+     * peephole optimization (the paper's deployable-depth metric).
+     */
+    std::pair<int, int> maxSegmentCost() const;
+
+    /** Execute the segmented pipeline once with the given times. */
+    RasenganDistribution execute(const std::vector<double> &times,
+                                 Rng &rng) const;
+
+    /** Train the evolution times and return the full result. */
+    RasenganResult run();
+
+  private:
+    double scoreDistribution(const RasenganDistribution &dist) const;
+    RasenganResult summarize(const std::vector<double> &times,
+                             opt::OptResult training, double classical_s,
+                             double quantum_s) const;
+    double perExecutionQuantumSeconds() const;
+
+    problems::Problem problem_;
+    RasenganOptions options_;
+    std::vector<TransitionHamiltonian> transitions_;
+    Chain chain_;
+    std::vector<Segment> segments_;
+};
+
+} // namespace rasengan::core
+
+#endif // RASENGAN_CORE_RASENGAN_H

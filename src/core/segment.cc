@@ -1,0 +1,31 @@
+#include "core/segment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rasengan::core {
+
+std::vector<Segment>
+partitionChain(int chain_length, int transitions_per_segment)
+{
+    fatal_if(chain_length < 0, "negative chain length");
+    std::vector<Segment> segments;
+    if (chain_length == 0)
+        return segments;
+    if (transitions_per_segment <= 0) {
+        segments.push_back({0, chain_length});
+        return segments;
+    }
+    for (int first = 0; first < chain_length;
+         first += transitions_per_segment) {
+        Segment seg;
+        seg.firstStep = first;
+        seg.stepCount =
+            std::min(transitions_per_segment, chain_length - first);
+        segments.push_back(seg);
+    }
+    return segments;
+}
+
+} // namespace rasengan::core

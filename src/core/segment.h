@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Segmented execution (Section 4.2): partition the transition chain into
+ * fixed-size segments that are executed as independent short circuits,
+ * forwarding the measured probability distribution between segments by
+ * allocating each basis state a share of the next segment's shots.
+ */
+
+#ifndef RASENGAN_CORE_SEGMENT_H
+#define RASENGAN_CORE_SEGMENT_H
+
+#include <vector>
+
+#include "core/chain.h"
+
+namespace rasengan::core {
+
+struct Segment
+{
+    /** Positions into Chain::steps covered by this segment. */
+    int firstStep = 0;
+    int stepCount = 0;
+};
+
+/**
+ * Split @p chain_length steps into segments of @p transitions_per_segment
+ * (the last segment may be shorter).  transitions_per_segment <= 0 yields
+ * a single segment (unsegmented ablation mode).
+ */
+std::vector<Segment> partitionChain(int chain_length,
+                                    int transitions_per_segment);
+
+} // namespace rasengan::core
+
+#endif // RASENGAN_CORE_SEGMENT_H

@@ -1,0 +1,94 @@
+#include "device/device.h"
+
+#include <cmath>
+
+namespace rasengan::device {
+
+qsim::NoiseModel
+DeviceModel::toNoiseModel() const
+{
+    qsim::NoiseModel noise;
+    noise.depol1q = error1q;
+    noise.depol2q = error2q;
+    noise.readoutError = readoutError;
+    // Decoherence over one two-qubit gate duration, the dominant window.
+    double dt_us = gate2qNs * 1e-3;
+    if (t1Us > 0.0)
+        noise.amplitudeDamping = 1.0 - std::exp(-dt_us / t1Us);
+    if (t2Us > 0.0) {
+        // Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
+        double inv_tphi = 1.0 / t2Us - (t1Us > 0.0 ? 1.0 / (2.0 * t1Us) : 0.0);
+        if (inv_tphi > 0.0)
+            noise.phaseDamping = 1.0 - std::exp(-dt_us * inv_tphi);
+    }
+    return noise;
+}
+
+DeviceModel
+DeviceModel::ibmKyiv()
+{
+    DeviceModel d;
+    d.name = "ibm_kyiv";
+    d.coupling = CouplingMap::heavyHex(7, 15);
+    d.error1q = 3.5e-4;
+    d.error2q = 1.2e-2;
+    d.readoutError = 1.3e-2;
+    d.t1Us = 263.0;
+    d.t2Us = 112.0;
+    d.gate1qNs = 60.0;
+    d.gate2qNs = 533.0;
+    d.readoutNs = 1244.0;
+    d.shotOverheadUs = 250.0;
+    return d;
+}
+
+DeviceModel
+DeviceModel::ibmBrisbane()
+{
+    DeviceModel d;
+    d.name = "ibm_brisbane";
+    d.coupling = CouplingMap::heavyHex(7, 15);
+    d.error1q = 2.5e-4;
+    d.error2q = 8.2e-3;
+    d.readoutError = 1.1e-2;
+    d.t1Us = 221.0;
+    d.t2Us = 134.0;
+    d.gate1qNs = 60.0;
+    d.gate2qNs = 660.0;
+    d.readoutNs = 1300.0;
+    d.shotOverheadUs = 250.0;
+    return d;
+}
+
+DeviceModel
+DeviceModel::ibmQuebec()
+{
+    DeviceModel d;
+    d.name = "ibm_quebec";
+    d.coupling = CouplingMap::heavyHex(7, 15);
+    d.error1q = 2.2e-4;
+    d.error2q = 7.7e-3;
+    d.readoutError = 1.0e-2;
+    d.t1Us = 280.0;
+    d.t2Us = 180.0;
+    d.gate1qNs = 60.0;
+    d.gate2qNs = 533.0;
+    d.readoutNs = 1216.0;
+    d.shotOverheadUs = 250.0;
+    return d;
+}
+
+DeviceModel
+DeviceModel::noiseless(int n)
+{
+    DeviceModel d;
+    d.name = "noiseless";
+    d.coupling = CouplingMap::full(n);
+    d.gate1qNs = 60.0;
+    d.gate2qNs = 533.0;
+    d.readoutNs = 1200.0;
+    d.shotOverheadUs = 250.0;
+    return d;
+}
+
+} // namespace rasengan::device

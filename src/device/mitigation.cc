@@ -1,0 +1,179 @@
+#include "device/mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasengan::device {
+
+ReadoutCalibration
+ReadoutCalibration::uniform(int n, double p)
+{
+    fatal_if(n < 1, "calibration needs at least one qubit");
+    fatal_if(p < 0.0 || p >= 0.5, "readout error {} outside [0, 0.5)", p);
+    ReadoutCalibration cal;
+    cal.p01.assign(n, p);
+    cal.p10.assign(n, p);
+    return cal;
+}
+
+ReadoutCalibration
+ReadoutCalibration::measure(int n, const qsim::NoiseModel &noise, Rng &rng,
+                            uint64_t shots)
+{
+    fatal_if(n < 1, "calibration needs at least one qubit");
+    fatal_if(shots == 0, "calibration needs shots");
+
+    // Prepare |0...0> and |1...1>, push them through the readout channel,
+    // and count per-qubit flips.
+    qsim::Counts zeros;
+    zeros.add(BitVec{}, shots);
+    qsim::Counts ones_in;
+    BitVec all_ones;
+    for (int q = 0; q < n; ++q)
+        all_ones.set(q);
+    ones_in.add(all_ones, shots);
+
+    qsim::Counts zeros_read =
+        qsim::applyReadoutError(zeros, n, noise.readoutError, rng);
+    qsim::Counts ones_read =
+        qsim::applyReadoutError(ones_in, n, noise.readoutError, rng);
+
+    ReadoutCalibration cal;
+    cal.p01.assign(n, 0.0);
+    cal.p10.assign(n, 0.0);
+    for (const auto &[outcome, cnt] : zeros_read.map())
+        for (int q = 0; q < n; ++q)
+            if (outcome.get(q))
+                cal.p01[q] += static_cast<double>(cnt);
+    for (const auto &[outcome, cnt] : ones_read.map())
+        for (int q = 0; q < n; ++q)
+            if (!outcome.get(q))
+                cal.p10[q] += static_cast<double>(cnt);
+    for (int q = 0; q < n; ++q) {
+        cal.p01[q] /= static_cast<double>(shots);
+        cal.p10[q] /= static_cast<double>(shots);
+        // Guard against pathological estimates (>= 0.5 makes the 2x2
+        // confusion matrix non-invertible in the useful regime).
+        cal.p01[q] = std::min(cal.p01[q], 0.49);
+        cal.p10[q] = std::min(cal.p10[q], 0.49);
+    }
+    return cal;
+}
+
+ReadoutMitigator::ReadoutMitigator(ReadoutCalibration calibration)
+    : calibration_(std::move(calibration))
+{
+    fatal_if(calibration_.p01.size() != calibration_.p10.size(),
+             "inconsistent calibration sizes");
+}
+
+double
+ReadoutMitigator::transition(const BitVec &from_true, const BitVec &to_read,
+                             int num_bits) const
+{
+    double prob = 1.0;
+    for (int q = 0; q < num_bits; ++q) {
+        bool truth = from_true.get(q);
+        bool read = to_read.get(q);
+        double p01 = calibration_.p01[q];
+        double p10 = calibration_.p10[q];
+        if (!truth)
+            prob *= read ? p01 : (1.0 - p01);
+        else
+            prob *= read ? (1.0 - p10) : p10;
+    }
+    return prob;
+}
+
+std::vector<std::pair<BitVec, double>>
+ReadoutMitigator::mitigate(const qsim::Counts &counts, int num_bits) const
+{
+    fatal_if(num_bits < 1 ||
+                 num_bits > calibration_.numQubits(),
+             "mitigating {} bits with a {}-qubit calibration", num_bits,
+             calibration_.numQubits());
+    fatal_if(counts.total() == 0, "mitigating empty counts");
+
+    // Observed subspace.
+    std::vector<BitVec> states;
+    std::vector<double> observed;
+    states.reserve(counts.map().size());
+    for (const auto &[outcome, cnt] : counts.map()) {
+        states.push_back(outcome);
+        observed.push_back(static_cast<double>(cnt) /
+                           static_cast<double>(counts.total()));
+    }
+    const size_t m = states.size();
+
+    // Confusion matrix restricted to observed states: A[y][x] =
+    // P(read states[y] | true states[x]).  Solve A p = observed.
+    std::vector<std::vector<double>> a(m, std::vector<double>(m));
+    for (size_t y = 0; y < m; ++y)
+        for (size_t x = 0; x < m; ++x)
+            a[y][x] = transition(states[x], states[y], num_bits);
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<double> rhs = observed;
+    for (size_t col = 0; col < m; ++col) {
+        size_t pivot = col;
+        for (size_t row = col + 1; row < m; ++row)
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        if (std::abs(a[pivot][col]) < 1e-12) {
+            // Singular subspace (extreme calibration): fall back to the
+            // raw distribution.
+            std::vector<std::pair<BitVec, double>> raw;
+            for (size_t i = 0; i < m; ++i)
+                raw.emplace_back(states[i], observed[i]);
+            return raw;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(rhs[col], rhs[pivot]);
+        for (size_t row = col + 1; row < m; ++row) {
+            double factor = a[row][col] / a[col][col];
+            for (size_t k = col; k < m; ++k)
+                a[row][k] -= factor * a[col][k];
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    std::vector<double> quasi(m, 0.0);
+    for (size_t col = m; col-- > 0;) {
+        double acc = rhs[col];
+        for (size_t k = col + 1; k < m; ++k)
+            acc -= a[col][k] * quasi[k];
+        quasi[col] = acc / a[col][col];
+    }
+
+    // Clip negatives and renormalize.
+    double total = 0.0;
+    for (double &p : quasi) {
+        p = std::max(p, 0.0);
+        total += p;
+    }
+    std::vector<std::pair<BitVec, double>> out;
+    out.reserve(m);
+    if (total <= 0.0) {
+        for (size_t i = 0; i < m; ++i)
+            out.emplace_back(states[i], observed[i]);
+        return out;
+    }
+    for (size_t i = 0; i < m; ++i)
+        if (quasi[i] > 0.0)
+            out.emplace_back(states[i], quasi[i] / total);
+    return out;
+}
+
+double
+ReadoutMitigator::mitigatedExpectation(
+    const qsim::Counts &counts, int num_bits,
+    const std::function<double(const BitVec &)> &value) const
+{
+    double acc = 0.0;
+    for (const auto &[state, p] : mitigate(counts, num_bits))
+        acc += p * value(state);
+    return acc;
+}
+
+} // namespace rasengan::device

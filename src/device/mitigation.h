@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Readout-error mitigation.
+ *
+ * Purification (core/rasengan) is Rasengan's own error-mitigation layer;
+ * this module provides the orthogonal, industry-standard technique for
+ * measurement errors so baselines can be mitigated too: a tensored
+ * per-qubit confusion model A_i = [[1-p01, p10], [p01, 1-p10]], inverted
+ * on the observed-outcome subspace (the M3 approach: build the confusion
+ * matrix restricted to observed bitstrings, solve, clip negatives,
+ * renormalize) rather than over all 2^n strings.
+ */
+
+#ifndef RASENGAN_DEVICE_MITIGATION_H
+#define RASENGAN_DEVICE_MITIGATION_H
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "qsim/counts.h"
+#include "qsim/noise.h"
+
+namespace rasengan::device {
+
+/** Per-qubit readout confusion rates. */
+struct ReadoutCalibration
+{
+    std::vector<double> p01; ///< P(read 1 | prepared 0) per qubit
+    std::vector<double> p10; ///< P(read 0 | prepared 1) per qubit
+
+    int numQubits() const { return static_cast<int>(p01.size()); }
+
+    /** Symmetric error @p p on @p n qubits. */
+    static ReadoutCalibration uniform(int n, double p);
+
+    /**
+     * Empirical calibration: sample the all-zeros and all-ones
+     * preparations through @p noise's readout channel and estimate the
+     * per-qubit flip rates (the standard two-circuit calibration).
+     */
+    static ReadoutCalibration measure(int n, const qsim::NoiseModel &noise,
+                                      Rng &rng, uint64_t shots = 4096);
+};
+
+class ReadoutMitigator
+{
+  public:
+    explicit ReadoutMitigator(ReadoutCalibration calibration);
+
+    const ReadoutCalibration &calibration() const { return calibration_; }
+
+    /**
+     * Mitigated probability distribution over the observed outcomes of
+     * @p counts (low @p num_bits wires).  Solves the confusion system on
+     * the observed subspace, clips negative quasi-probabilities, and
+     * renormalizes.
+     */
+    std::vector<std::pair<BitVec, double>>
+    mitigate(const qsim::Counts &counts, int num_bits) const;
+
+    /** Expectation of @p value under the mitigated distribution. */
+    double
+    mitigatedExpectation(const qsim::Counts &counts, int num_bits,
+                         const std::function<double(const BitVec &)> &value)
+        const;
+
+  private:
+    /** P(read y | true x) under the tensored model. */
+    double transition(const BitVec &from_true, const BitVec &to_read,
+                      int num_bits) const;
+
+    ReadoutCalibration calibration_;
+};
+
+} // namespace rasengan::device
+
+#endif // RASENGAN_DEVICE_MITIGATION_H

@@ -1,0 +1,304 @@
+#include "device/routing.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace rasengan::device {
+
+namespace {
+
+void
+emitSwap(circuit::Circuit &out, int a, int b, bool lower)
+{
+    if (lower) {
+        out.cx(a, b);
+        out.cx(b, a);
+        out.cx(a, b);
+    } else {
+        out.swap(a, b);
+    }
+}
+
+} // namespace
+
+RoutingResult
+route(const circuit::Circuit &circ, const CouplingMap &coupling,
+      bool lower_swaps)
+{
+    fatal_if(circ.numQubits() > coupling.numQubits(),
+             "circuit needs {} qubits, device has {}", circ.numQubits(),
+             coupling.numQubits());
+    fatal_if(!coupling.isConnected(), "coupling map is disconnected");
+
+    RoutingResult res;
+    res.routed = circuit::Circuit(coupling.numQubits());
+
+    // logical -> physical and its inverse.
+    std::vector<int> l2p(circ.numQubits());
+    std::iota(l2p.begin(), l2p.end(), 0);
+    std::vector<int> p2l(coupling.numQubits(), -1);
+    for (int l = 0; l < circ.numQubits(); ++l)
+        p2l[l2p[l]] = l;
+    res.initialLayout = l2p;
+
+    auto swap_physical = [&](int pa, int pb) {
+        emitSwap(res.routed, pa, pb, lower_swaps);
+        ++res.swapsInserted;
+        int la = p2l[pa], lb = p2l[pb];
+        if (la >= 0)
+            l2p[la] = pb;
+        if (lb >= 0)
+            l2p[lb] = pa;
+        std::swap(p2l[pa], p2l[pb]);
+    };
+
+    for (const circuit::Gate &g : circ.gates()) {
+        if (g.kind == circuit::GateKind::Barrier) {
+            res.routed.barrier();
+            continue;
+        }
+        std::vector<int> qs = g.qubits();
+        fatal_if(qs.size() > 2,
+                 "router requires a transpiled circuit; found {}-qubit {}",
+                 qs.size(), circuit::gateName(g.kind));
+        if (qs.size() == 2) {
+            int pa = l2p[qs[0]];
+            int pb = l2p[qs[1]];
+            if (!coupling.connected(pa, pb)) {
+                // Walk operand A along the shortest path until adjacent.
+                std::vector<int> path = coupling.shortestPath(pa, pb);
+                panic_if(path.size() < 3, "BFS path inconsistent");
+                for (size_t i = 0; i + 2 < path.size(); ++i)
+                    swap_physical(path[i], path[i + 1]);
+                pa = l2p[qs[0]];
+                pb = l2p[qs[1]];
+                panic_if(!coupling.connected(pa, pb),
+                         "routing failed to adjacency");
+            }
+        }
+        circuit::Gate mapped = g;
+        for (int &q : mapped.controls)
+            q = l2p[q];
+        for (int &q : mapped.targets)
+            q = l2p[q];
+        res.routed.append(std::move(mapped));
+    }
+
+    res.finalLayout = l2p;
+    return res;
+}
+
+namespace {
+
+/** All-pairs hop distances via per-node BFS. */
+std::vector<std::vector<int>>
+distanceMatrix(const CouplingMap &coupling)
+{
+    const int n = coupling.numQubits();
+    std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+    for (int s = 0; s < n; ++s) {
+        std::queue<int> frontier;
+        frontier.push(s);
+        dist[s][s] = 0;
+        while (!frontier.empty()) {
+            int cur = frontier.front();
+            frontier.pop();
+            for (int nxt : coupling.neighbors(cur)) {
+                if (dist[s][nxt] < 0) {
+                    dist[s][nxt] = dist[s][cur] + 1;
+                    frontier.push(nxt);
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+RoutingResult
+routeLookahead(const circuit::Circuit &circ, const CouplingMap &coupling,
+               bool lower_swaps)
+{
+    fatal_if(circ.numQubits() > coupling.numQubits(),
+             "circuit needs {} qubits, device has {}", circ.numQubits(),
+             coupling.numQubits());
+    fatal_if(!coupling.isConnected(), "coupling map is disconnected");
+
+    const auto dist = distanceMatrix(coupling);
+    const auto &gates = circ.gates();
+
+    // Dependency DAG: per gate, the number of unfinished predecessors and
+    // the successors to release.  Wires order gates totally per qubit.
+    const size_t num_gates = gates.size();
+    std::vector<int> pending(num_gates, 0);
+    std::vector<std::vector<size_t>> successors(num_gates);
+    {
+        std::vector<int> last_on(circ.numQubits(), -1);
+        for (size_t i = 0; i < num_gates; ++i) {
+            fatal_if(gates[i].qubits().size() > 2,
+                     "router requires a transpiled circuit; found "
+                     "{}-qubit {}",
+                     gates[i].qubits().size(),
+                     circuit::gateName(gates[i].kind));
+            for (int q : gates[i].qubits()) {
+                if (last_on[q] >= 0) {
+                    successors[last_on[q]].push_back(i);
+                    ++pending[i];
+                }
+                last_on[q] = static_cast<int>(i);
+            }
+        }
+    }
+
+    RoutingResult res;
+    res.routed = circuit::Circuit(coupling.numQubits());
+    std::vector<int> l2p(circ.numQubits());
+    std::iota(l2p.begin(), l2p.end(), 0);
+    std::vector<int> p2l(coupling.numQubits(), -1);
+    for (int l = 0; l < circ.numQubits(); ++l)
+        p2l[l2p[l]] = l;
+    res.initialLayout = l2p;
+
+    std::vector<size_t> front;
+    for (size_t i = 0; i < num_gates; ++i)
+        if (pending[i] == 0)
+            front.push_back(i);
+
+    auto emit = [&](size_t idx) {
+        circuit::Gate mapped = gates[idx];
+        for (int &q : mapped.controls)
+            q = l2p[q];
+        for (int &q : mapped.targets)
+            q = l2p[q];
+        res.routed.append(std::move(mapped));
+        for (size_t s : successors[idx])
+            if (--pending[s] == 0)
+                front.push_back(s);
+    };
+
+    auto swap_physical = [&](int pa, int pb) {
+        emitSwap(res.routed, pa, pb, lower_swaps);
+        ++res.swapsInserted;
+        int la = p2l[pa], lb = p2l[pb];
+        if (la >= 0)
+            l2p[la] = pb;
+        if (lb >= 0)
+            l2p[lb] = pa;
+        std::swap(p2l[pa], p2l[pb]);
+    };
+
+    auto gate_distance = [&](size_t idx) {
+        auto qs = gates[idx].qubits();
+        return dist[l2p[qs[0]]][l2p[qs[1]]];
+    };
+
+    const double lookahead_weight = 0.5;
+    const int lookahead_window = 20;
+    int stall = 0;
+    const int stall_limit = 2 * coupling.numQubits();
+
+    while (!front.empty()) {
+        // Execute everything currently executable.
+        bool executed = false;
+        for (size_t i = 0; i < front.size();) {
+            size_t idx = front[i];
+            auto qs = gates[idx].qubits();
+            bool ok = qs.size() < 2 ||
+                      coupling.connected(l2p[qs[0]], l2p[qs[1]]);
+            if (ok) {
+                front.erase(front.begin() + i);
+                emit(idx);
+                executed = true;
+                i = 0; // releases may enable earlier entries
+            } else {
+                ++i;
+            }
+        }
+        if (front.empty())
+            break;
+        if (executed) {
+            stall = 0;
+            continue;
+        }
+
+        if (++stall > stall_limit) {
+            // Heuristic stalled: walk the first blocked gate directly.
+            auto qs = gates[front[0]].qubits();
+            std::vector<int> path =
+                coupling.shortestPath(l2p[qs[0]], l2p[qs[1]]);
+            panic_if(path.size() < 3, "stall fallback on adjacent gate");
+            for (size_t i = 0; i + 2 < path.size(); ++i)
+                swap_physical(path[i], path[i + 1]);
+            stall = 0;
+            continue;
+        }
+
+        // Lookahead window: the next blocked 2q gates in program order.
+        std::vector<size_t> window;
+        for (size_t idx = front[0];
+             idx < num_gates &&
+             static_cast<int>(window.size()) < lookahead_window;
+             ++idx) {
+            if (gates[idx].qubits().size() == 2)
+                window.push_back(idx);
+        }
+
+        // Candidate SWAPs: edges touching a physical qubit of a blocked
+        // front gate.
+        std::vector<std::pair<int, int>> candidates;
+        for (size_t idx : front) {
+            for (int lq : gates[idx].qubits()) {
+                int pq = l2p[lq];
+                for (int nbr : coupling.neighbors(pq))
+                    candidates.emplace_back(std::min(pq, nbr),
+                                            std::max(pq, nbr));
+            }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        panic_if(candidates.empty(), "no candidate swaps for blocked gate");
+
+        auto score = [&](const std::pair<int, int> &swap_edge) {
+            // Hypothetically apply, score, undo (cheap via l2p tweaks).
+            auto [pa, pb] = swap_edge;
+            int la = p2l[pa], lb = p2l[pb];
+            if (la >= 0)
+                l2p[la] = pb;
+            if (lb >= 0)
+                l2p[lb] = pa;
+            double total = 0.0;
+            for (size_t idx : front)
+                total += gate_distance(idx);
+            double ahead = 0.0;
+            for (size_t idx : window)
+                ahead += gate_distance(idx);
+            if (la >= 0)
+                l2p[la] = pa;
+            if (lb >= 0)
+                l2p[lb] = pb;
+            return total + lookahead_weight * ahead /
+                               std::max<size_t>(window.size(), 1);
+        };
+
+        std::pair<int, int> best = candidates[0];
+        double best_score = score(candidates[0]);
+        for (size_t i = 1; i < candidates.size(); ++i) {
+            double s = score(candidates[i]);
+            if (s < best_score) {
+                best = candidates[i];
+                best_score = s;
+            }
+        }
+        swap_physical(best.first, best.second);
+    }
+
+    res.finalLayout = l2p;
+    return res;
+}
+
+} // namespace rasengan::device

@@ -1,0 +1,171 @@
+#include "device/topology.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/logging.h"
+
+namespace rasengan::device {
+
+CouplingMap::CouplingMap(int num_qubits,
+                         std::vector<std::pair<int, int>> edges)
+    : numQubits_(num_qubits)
+{
+    fatal_if(num_qubits < 0, "negative qubit count");
+    adj_.resize(num_qubits);
+    std::set<std::pair<int, int>> seen;
+    for (auto [a, b] : edges) {
+        fatal_if(a < 0 || a >= num_qubits || b < 0 || b >= num_qubits,
+                 "edge ({}, {}) out of range", a, b);
+        fatal_if(a == b, "self-loop on qubit {}", a);
+        auto key = std::minmax(a, b);
+        if (!seen.insert(key).second)
+            continue;
+        edges_.push_back(key);
+        adj_[a].push_back(b);
+        adj_[b].push_back(a);
+    }
+    for (auto &nbrs : adj_)
+        std::sort(nbrs.begin(), nbrs.end());
+}
+
+const std::vector<int> &
+CouplingMap::neighbors(int q) const
+{
+    panic_if(q < 0 || q >= numQubits_, "qubit {} out of range", q);
+    return adj_[q];
+}
+
+bool
+CouplingMap::connected(int a, int b) const
+{
+    const auto &nbrs = neighbors(a);
+    return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+std::vector<int>
+CouplingMap::shortestPath(int a, int b) const
+{
+    panic_if(a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_,
+             "path endpoints ({}, {}) out of range", a, b);
+    if (a == b)
+        return {a};
+    std::vector<int> parent(numQubits_, -1);
+    std::queue<int> frontier;
+    frontier.push(a);
+    parent[a] = a;
+    while (!frontier.empty()) {
+        int cur = frontier.front();
+        frontier.pop();
+        for (int nxt : adj_[cur]) {
+            if (parent[nxt] >= 0)
+                continue;
+            parent[nxt] = cur;
+            if (nxt == b) {
+                std::vector<int> path{b};
+                for (int p = cur; p != a; p = parent[p])
+                    path.push_back(p);
+                path.push_back(a);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(nxt);
+        }
+    }
+    return {};
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    auto path = shortestPath(a, b);
+    return path.empty() ? -1 : static_cast<int>(path.size()) - 1;
+}
+
+bool
+CouplingMap::isConnected() const
+{
+    if (numQubits_ <= 1)
+        return true;
+    std::vector<bool> seen(numQubits_, false);
+    std::queue<int> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    int visited = 1;
+    while (!frontier.empty()) {
+        int cur = frontier.front();
+        frontier.pop();
+        for (int nxt : adj_[cur]) {
+            if (!seen[nxt]) {
+                seen[nxt] = true;
+                ++visited;
+                frontier.push(nxt);
+            }
+        }
+    }
+    return visited == numQubits_;
+}
+
+CouplingMap
+CouplingMap::linear(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap
+CouplingMap::grid(int rows, int cols)
+{
+    fatal_if(rows < 1 || cols < 1, "grid dimensions must be positive");
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return CouplingMap(rows * cols, std::move(edges));
+}
+
+CouplingMap
+CouplingMap::full(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            edges.emplace_back(a, b);
+    return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap
+CouplingMap::heavyHex(int rows, int row_len)
+{
+    fatal_if(rows < 1 || row_len < 1, "heavy-hex dimensions must be positive");
+    // Qubits 0 .. rows*row_len-1 form the horizontal rows; bridge qubits
+    // are appended after them.  Bridges connect row r column c to row r+1
+    // column c, placed every 4 columns with an offset alternating by row
+    // parity (the Eagle pattern).
+    int next = rows * row_len;
+    std::vector<std::pair<int, int>> edges;
+    auto id = [row_len](int r, int c) { return r * row_len + c; };
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c + 1 < row_len; ++c)
+            edges.emplace_back(id(r, c), id(r, c + 1));
+    for (int r = 0; r + 1 < rows; ++r) {
+        int offset = (r % 2 == 0) ? 0 : 2;
+        for (int c = offset; c < row_len; c += 4) {
+            int bridge = next++;
+            edges.emplace_back(id(r, c), bridge);
+            edges.emplace_back(bridge, id(r + 1, c));
+        }
+    }
+    return CouplingMap(next, std::move(edges));
+}
+
+} // namespace rasengan::device

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Qubit-coupling topologies.
+ *
+ * A CouplingMap is an undirected connectivity graph between physical
+ * qubits.  Generators cover the topologies relevant to the paper's
+ * platforms: the heavy-hex lattice of IBM Eagle-class devices (Kyiv,
+ * Brisbane, Quebec) plus the linear/grid/full maps used in tests.
+ */
+
+#ifndef RASENGAN_DEVICE_TOPOLOGY_H
+#define RASENGAN_DEVICE_TOPOLOGY_H
+
+#include <utility>
+#include <vector>
+
+namespace rasengan::device {
+
+class CouplingMap
+{
+  public:
+    CouplingMap() = default;
+
+    /** @param num_qubits physical qubit count
+     *  @param edges undirected couplings (validated, deduplicated) */
+    CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+    const std::vector<int> &neighbors(int q) const;
+
+    bool connected(int a, int b) const;
+
+    /**
+     * Breadth-first shortest path from @p a to @p b (inclusive of both
+     * endpoints).  Empty when unreachable.
+     */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /** Hop distance between @p a and @p b; -1 when unreachable. */
+    int distance(int a, int b) const;
+
+    /** True when the graph is a single connected component. */
+    bool isConnected() const;
+
+    /// @name Generators
+    /// @{
+    /** Chain 0-1-2-...-(n-1). */
+    static CouplingMap linear(int n);
+    /** Rectangular grid with row-major indexing. */
+    static CouplingMap grid(int rows, int cols);
+    /** All-to-all coupling. */
+    static CouplingMap full(int n);
+    /**
+     * Heavy-hex lattice in the IBM Eagle style: @p rows qubit rows of
+     * @p row_len qubits, with sparse bridge qubits between consecutive
+     * rows (one bridge every four columns, offset alternating by row
+     * parity).  rows=7, row_len=15 approximates the 127-qubit Eagle.
+     */
+    static CouplingMap heavyHex(int rows, int row_len);
+    /// @}
+
+  private:
+    int numQubits_ = 0;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+};
+
+} // namespace rasengan::device
+
+#endif // RASENGAN_DEVICE_TOPOLOGY_H

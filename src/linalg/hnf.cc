@@ -1,0 +1,174 @@
+#include "linalg/hnf.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace rasengan::linalg {
+
+namespace {
+
+int64_t
+checked(__int128 v)
+{
+    panic_if(v > INT64_MAX || v < INT64_MIN, "HNF entry overflows int64");
+    return static_cast<int64_t>(v);
+}
+
+/** col_j -= q * col_c, applied to both H and U. */
+void
+subtractColumn(IntMat &h, IntMat &u, int j, int64_t q, int c)
+{
+    if (q == 0)
+        return;
+    for (int r = 0; r < h.rows(); ++r)
+        h.at(r, j) = checked(static_cast<__int128>(h.at(r, j)) -
+                             static_cast<__int128>(q) * h.at(r, c));
+    for (int r = 0; r < u.rows(); ++r)
+        u.at(r, j) = checked(static_cast<__int128>(u.at(r, j)) -
+                             static_cast<__int128>(q) * u.at(r, c));
+}
+
+void
+swapColumns(IntMat &h, IntMat &u, int a, int b)
+{
+    if (a == b)
+        return;
+    for (int r = 0; r < h.rows(); ++r)
+        std::swap(h.at(r, a), h.at(r, b));
+    for (int r = 0; r < u.rows(); ++r)
+        std::swap(u.at(r, a), u.at(r, b));
+}
+
+void
+negateColumn(IntMat &h, IntMat &u, int c)
+{
+    for (int r = 0; r < h.rows(); ++r)
+        h.at(r, c) = -h.at(r, c);
+    for (int r = 0; r < u.rows(); ++r)
+        u.at(r, c) = -u.at(r, c);
+}
+
+/** Floor division (C++ '/' truncates toward zero). */
+int64_t
+floorDiv(int64_t a, int64_t b)
+{
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+} // namespace
+
+HnfResult
+hermiteNormalForm(const IntMat &a)
+{
+    const int rows = a.rows();
+    const int cols = a.cols();
+    HnfResult res;
+    res.h = a;
+    res.u = IntMat(cols, cols);
+    for (int i = 0; i < cols; ++i)
+        res.u.at(i, i) = 1;
+
+    int pivot_col = 0;
+    for (int r = 0; r < rows && pivot_col < cols; ++r) {
+        // Reduce the entries H[r][pivot_col..] to a single gcd pivot.
+        while (true) {
+            int best = -1;
+            int64_t best_abs = 0;
+            int nonzero = 0;
+            for (int j = pivot_col; j < cols; ++j) {
+                int64_t v = std::abs(res.h.at(r, j));
+                if (v == 0)
+                    continue;
+                ++nonzero;
+                if (best < 0 || v < best_abs) {
+                    best = j;
+                    best_abs = v;
+                }
+            }
+            if (nonzero == 0) {
+                best = -1;
+                break;
+            }
+            swapColumns(res.h, res.u, pivot_col, best);
+            if (nonzero == 1)
+                break;
+            for (int j = pivot_col + 1; j < cols; ++j) {
+                if (res.h.at(r, j) == 0)
+                    continue;
+                int64_t q = res.h.at(r, j) / res.h.at(r, pivot_col);
+                subtractColumn(res.h, res.u, j, q, pivot_col);
+            }
+        }
+        if (res.h.at(r, pivot_col) == 0)
+            continue; // no pivot in this row
+        if (res.h.at(r, pivot_col) < 0)
+            negateColumn(res.h, res.u, pivot_col);
+        // Reduce earlier pivot columns' entries in this row into
+        // [0, pivot).
+        int64_t pivot = res.h.at(r, pivot_col);
+        for (int j = 0; j < pivot_col; ++j) {
+            int64_t q = floorDiv(res.h.at(r, j), pivot);
+            subtractColumn(res.h, res.u, j, q, pivot_col);
+        }
+        ++pivot_col;
+    }
+    res.rank = pivot_col;
+    return res;
+}
+
+std::vector<IntVec>
+hnfKernelBasis(const IntMat &a)
+{
+    HnfResult res = hermiteNormalForm(a);
+    std::vector<IntVec> basis;
+    for (int c = res.rank; c < a.cols(); ++c) {
+        IntVec v(a.cols());
+        for (int r = 0; r < a.cols(); ++r)
+            v[r] = res.u.at(r, c);
+        basis.push_back(std::move(v));
+    }
+    return basis;
+}
+
+std::optional<IntVec>
+solveIntegral(const IntMat &a, const IntVec &b)
+{
+    fatal_if(static_cast<int>(b.size()) != a.rows(),
+             "solveIntegral: b size {} != rows {}", b.size(), a.rows());
+    HnfResult res = hermiteNormalForm(a);
+
+    // Forward substitution through H y = b; pivots advance with rows.
+    IntVec y(a.cols(), 0);
+    int pivot_col = 0;
+    for (int r = 0; r < a.rows(); ++r) {
+        __int128 residual = b[r];
+        for (int j = 0; j < pivot_col; ++j)
+            residual -= static_cast<__int128>(res.h.at(r, j)) * y[j];
+        if (pivot_col < res.rank && res.h.at(r, pivot_col) != 0) {
+            int64_t pivot = res.h.at(r, pivot_col);
+            if (residual % pivot != 0)
+                return std::nullopt; // not solvable over Z
+            y[pivot_col] = checked(residual / pivot);
+            ++pivot_col;
+        } else if (residual != 0) {
+            return std::nullopt; // inconsistent row
+        }
+    }
+
+    // x = U y.
+    IntVec x(a.cols(), 0);
+    for (int r = 0; r < a.cols(); ++r) {
+        __int128 acc = 0;
+        for (int c = 0; c < a.cols(); ++c)
+            acc += static_cast<__int128>(res.u.at(r, c)) * y[c];
+        x[r] = checked(acc);
+    }
+    return x;
+}
+
+} // namespace rasengan::linalg

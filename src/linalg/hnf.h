@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Hermite normal form (HNF) over the integers.
+ *
+ * For an integer matrix A, computes the column-style HNF H = A U with U
+ * unimodular.  Two consumers in this repository:
+ *  - an alternative integer kernel basis (the columns of U matching the
+ *    zero columns of H), which is often sparser than the RREF-derived
+ *    basis and is compared against it in the basis-choice ablation bench;
+ *  - integer particular solutions of A x = b (solvability over Z).
+ *
+ * All arithmetic is performed in checked 128-bit intermediates and
+ * verified to fit back into 64 bits.
+ */
+
+#ifndef RASENGAN_LINALG_HNF_H
+#define RASENGAN_LINALG_HNF_H
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rasengan::linalg {
+
+struct HnfResult
+{
+    IntMat h;          ///< column HNF of the input (same shape)
+    IntMat u;          ///< unimodular transform with A * U = H
+    int rank = 0;      ///< number of nonzero columns of H
+};
+
+/**
+ * Column-style Hermite normal form: H = A U, H's nonzero columns are in
+ * echelon form with positive pivots and entries to the left of each pivot
+ * reduced modulo it.
+ */
+HnfResult hermiteNormalForm(const IntMat &a);
+
+/**
+ * Integer kernel basis of @p a derived from the HNF transform: the
+ * columns of U corresponding to zero columns of H.
+ */
+std::vector<IntVec> hnfKernelBasis(const IntMat &a);
+
+/**
+ * An integer solution of A x = b, or nullopt when none exists over Z
+ * (back-substitution through the HNF).
+ */
+std::optional<IntVec> solveIntegral(const IntMat &a, const IntVec &b);
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_HNF_H

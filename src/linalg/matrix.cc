@@ -1,0 +1,30 @@
+#include "linalg/matrix.h"
+
+namespace rasengan::linalg {
+
+RatMat
+toRational(const IntMat &m)
+{
+    RatMat out(m.rows(), m.cols());
+    for (int r = 0; r < m.rows(); ++r)
+        for (int c = 0; c < m.cols(); ++c)
+            out.at(r, c) = Rational(m.at(r, c));
+    return out;
+}
+
+IntVec
+applyInt(const IntMat &m, const IntVec &x)
+{
+    fatal_if(static_cast<int>(x.size()) != m.cols(),
+             "applyInt: vector size {} != cols {}", x.size(), m.cols());
+    IntVec out(m.rows(), 0);
+    for (int r = 0; r < m.rows(); ++r) {
+        int64_t acc = 0;
+        for (int c = 0; c < m.cols(); ++c)
+            acc += m.at(r, c) * x[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+} // namespace rasengan::linalg

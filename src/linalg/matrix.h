@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dense row-major matrix template used by the exact linear-algebra kernels.
+ */
+
+#ifndef RASENGAN_LINALG_MATRIX_H
+#define RASENGAN_LINALG_MATRIX_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "linalg/rational.h"
+
+namespace rasengan::linalg {
+
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    Matrix(int rows, int cols, T fill = T{})
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows) * cols, fill)
+    {
+        fatal_if(rows < 0 || cols < 0, "negative matrix dimension");
+    }
+
+    /** Construct from nested initializer lists; rows must be equal length. */
+    Matrix(std::initializer_list<std::initializer_list<T>> init)
+    {
+        rows_ = static_cast<int>(init.size());
+        cols_ = rows_ ? static_cast<int>(init.begin()->size()) : 0;
+        data_.reserve(static_cast<size_t>(rows_) * cols_);
+        for (const auto &row : init) {
+            fatal_if(static_cast<int>(row.size()) != cols_,
+                     "ragged initializer: expected {} columns", cols_);
+            for (const auto &v : row)
+                data_.push_back(v);
+        }
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    T &
+    at(int r, int c)
+    {
+        checkIndex(r, c);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    const T &
+    at(int r, int c) const
+    {
+        checkIndex(r, c);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    /** Row @p r as a vector copy. */
+    std::vector<T>
+    row(int r) const
+    {
+        std::vector<T> out(cols_);
+        for (int c = 0; c < cols_; ++c)
+            out[c] = at(r, c);
+        return out;
+    }
+
+    /** Matrix-vector product. */
+    std::vector<T>
+    apply(const std::vector<T> &x) const
+    {
+        fatal_if(static_cast<int>(x.size()) != cols_,
+                 "apply: vector size {} != cols {}", x.size(), cols_);
+        std::vector<T> out(rows_, T{});
+        for (int r = 0; r < rows_; ++r) {
+            T acc{};
+            for (int c = 0; c < cols_; ++c)
+                acc += at(r, c) * x[c];
+            out[r] = acc;
+        }
+        return out;
+    }
+
+    /** Swap rows @p a and @p b. */
+    void
+    swapRows(int a, int b)
+    {
+        for (int c = 0; c < cols_; ++c)
+            std::swap(at(a, c), at(b, c));
+    }
+
+    friend bool
+    operator==(const Matrix &a, const Matrix &b)
+    {
+        return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+    }
+
+    std::string
+    toString() const
+    {
+        std::ostringstream os;
+        for (int r = 0; r < rows_; ++r) {
+            os << (r ? "\n[" : "[");
+            for (int c = 0; c < cols_; ++c)
+                os << (c ? " " : "") << at(r, c);
+            os << "]";
+        }
+        return os.str();
+    }
+
+  private:
+    void
+    checkIndex(int r, int c) const
+    {
+        panic_if(r < 0 || r >= rows_ || c < 0 || c >= cols_,
+                 "matrix index ({}, {}) out of {}x{}", r, c, rows_, cols_);
+    }
+
+    int rows_;
+    int cols_;
+    std::vector<T> data_;
+};
+
+using IntMat = Matrix<int64_t>;
+using RatMat = Matrix<Rational>;
+using IntVec = std::vector<int64_t>;
+
+/** Convert an integer matrix to rationals. */
+RatMat toRational(const IntMat &m);
+
+/** Integer matrix-vector product. */
+IntVec applyInt(const IntMat &m, const IntVec &x);
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_MATRIX_H

@@ -1,0 +1,69 @@
+#include "linalg/nullspace.h"
+
+#include <numeric>
+
+#include "linalg/rref.h"
+
+namespace rasengan::linalg {
+
+std::vector<IntVec>
+nullspaceBasis(const IntMat &c)
+{
+    RrefResult rr = rref(toRational(c));
+    const RatMat &a = rr.mat;
+    int n = c.cols();
+
+    std::vector<bool> is_pivot(n, false);
+    for (int col : rr.pivotCols)
+        is_pivot[col] = true;
+
+    std::vector<IntVec> basis;
+    for (int free_col = 0; free_col < n; ++free_col) {
+        if (is_pivot[free_col])
+            continue;
+        // Rational nullspace vector: free variable = 1, pivot variables
+        // read off the RREF, remaining free variables = 0.
+        std::vector<Rational> v(n, Rational(0));
+        v[free_col] = Rational(1);
+        for (size_t p = 0; p < rr.pivotCols.size(); ++p)
+            v[rr.pivotCols[p]] = -a.at(static_cast<int>(p), free_col);
+
+        // Scale to integers: multiply by lcm of denominators, then divide
+        // by the gcd of the entries so the vector is primitive.
+        int64_t scale = 1;
+        for (const Rational &x : v)
+            scale = std::lcm(scale, x.den());
+        IntVec iv(n, 0);
+        int64_t g = 0;
+        for (int i = 0; i < n; ++i) {
+            iv[i] = (v[i] * Rational(scale)).toInt();
+            g = std::gcd(g, std::abs(iv[i]));
+        }
+        if (g > 1)
+            for (int64_t &x : iv)
+                x /= g;
+        basis.push_back(std::move(iv));
+    }
+    return basis;
+}
+
+bool
+isSigned01(const IntVec &u)
+{
+    for (int64_t x : u)
+        if (x < -1 || x > 1)
+            return false;
+    return true;
+}
+
+int
+nonZeroCount(const IntVec &u)
+{
+    int count = 0;
+    for (int64_t x : u)
+        if (x != 0)
+            ++count;
+    return count;
+}
+
+} // namespace rasengan::linalg

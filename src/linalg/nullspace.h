@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Integer nullspace (homogeneous) basis extraction.
+ *
+ * Given an integer constraint matrix C, computes an integer basis of
+ * ker(C) over Q: one basis vector per free column of the RREF, scaled by
+ * the lcm of denominators and reduced by the gcd of entries.  For the
+ * (near-)totally-unimodular matrices produced by the problem encodings in
+ * this repository the resulting entries lie in {-1, 0, 1}, which is the
+ * form Definition 1 of the paper requires for transition Hamiltonians.
+ */
+
+#ifndef RASENGAN_LINALG_NULLSPACE_H
+#define RASENGAN_LINALG_NULLSPACE_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rasengan::linalg {
+
+/**
+ * Integer basis of the rational nullspace of @p c.
+ * @return one vector (length = c.cols()) per nullspace dimension;
+ *         empty when C has full column rank.
+ */
+std::vector<IntVec> nullspaceBasis(const IntMat &c);
+
+/** True iff every entry of @p u lies in {-1, 0, 1}. */
+bool isSigned01(const IntVec &u);
+
+/** Number of nonzero entries of @p u. */
+int nonZeroCount(const IntVec &u);
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_NULLSPACE_H

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Exact rational arithmetic on checked 64-bit integers.
+ *
+ * Rational is the scalar type for the exact linear-algebra kernels (RREF,
+ * nullspace extraction, particular solutions).  All operations normalize to
+ * lowest terms with a positive denominator and abort on 64-bit overflow --
+ * for the constraint matrices that arise from constrained binary
+ * optimization (entries in {-1,0,1} and small bounds) intermediate values
+ * stay tiny, so an overflow indicates a bug rather than a capacity limit.
+ */
+
+#ifndef RASENGAN_LINALG_RATIONAL_H
+#define RASENGAN_LINALG_RATIONAL_H
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace rasengan::linalg {
+
+class Rational
+{
+  public:
+    constexpr Rational() : num_(0), den_(1) {}
+
+    /** Implicit from integer: n/1. */
+    constexpr Rational(int64_t n) : num_(n), den_(1) {} // NOLINT(google-explicit-constructor)
+
+    /** n/d, normalized; d must be nonzero. */
+    Rational(int64_t n, int64_t d) : num_(n), den_(d)
+    {
+        fatal_if(d == 0, "Rational with zero denominator");
+        normalize();
+    }
+
+    int64_t num() const { return num_; }
+    int64_t den() const { return den_; }
+
+    bool isZero() const { return num_ == 0; }
+    bool isInteger() const { return den_ == 1; }
+
+    /** Integer value; aborts unless isInteger(). */
+    int64_t
+    toInt() const
+    {
+        panic_if(den_ != 1, "Rational {}/{} is not an integer", num_, den_);
+        return num_;
+    }
+
+    double toDouble() const
+    {
+        return static_cast<double>(num_) / static_cast<double>(den_);
+    }
+
+    Rational
+    operator-() const
+    {
+        Rational r;
+        r.num_ = checkedNeg(num_);
+        r.den_ = den_;
+        return r;
+    }
+
+    Rational
+    operator+(const Rational &o) const
+    {
+        // a/b + c/d with the gcd trick to delay overflow.
+        int64_t g = std::gcd(den_, o.den_);
+        int64_t lhs = checkedMul(num_, o.den_ / g);
+        int64_t rhs = checkedMul(o.num_, den_ / g);
+        return Rational(checkedAdd(lhs, rhs), checkedMul(den_, o.den_ / g));
+    }
+
+    Rational operator-(const Rational &o) const { return *this + (-o); }
+
+    Rational
+    operator*(const Rational &o) const
+    {
+        int64_t g1 = std::gcd(std::abs(num_), o.den_);
+        int64_t g2 = std::gcd(std::abs(o.num_), den_);
+        return Rational(checkedMul(num_ / g1, o.num_ / g2),
+                        checkedMul(den_ / g2, o.den_ / g1));
+    }
+
+    Rational
+    operator/(const Rational &o) const
+    {
+        fatal_if(o.num_ == 0, "Rational division by zero");
+        return *this * Rational(o.den_, o.num_);
+    }
+
+    Rational &operator+=(const Rational &o) { return *this = *this + o; }
+    Rational &operator-=(const Rational &o) { return *this = *this - o; }
+    Rational &operator*=(const Rational &o) { return *this = *this * o; }
+    Rational &operator/=(const Rational &o) { return *this = *this / o; }
+
+    friend bool
+    operator==(const Rational &a, const Rational &b)
+    {
+        return a.num_ == b.num_ && a.den_ == b.den_;
+    }
+
+    friend bool
+    operator<(const Rational &a, const Rational &b)
+    {
+        // Compare via 128-bit cross multiplication (denominators positive).
+        return static_cast<__int128>(a.num_) * b.den_ <
+               static_cast<__int128>(b.num_) * a.den_;
+    }
+
+    friend bool operator!=(const Rational &a, const Rational &b) { return !(a == b); }
+    friend bool operator>(const Rational &a, const Rational &b) { return b < a; }
+    friend bool operator<=(const Rational &a, const Rational &b) { return !(b < a); }
+    friend bool operator>=(const Rational &a, const Rational &b) { return !(a < b); }
+
+    Rational
+    abs() const
+    {
+        return num_ < 0 ? -*this : *this;
+    }
+
+    std::string
+    toString() const
+    {
+        if (den_ == 1)
+            return std::to_string(num_);
+        return std::to_string(num_) + "/" + std::to_string(den_);
+    }
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const Rational &r)
+    {
+        return os << r.toString();
+    }
+
+  private:
+    static int64_t
+    checkedAdd(int64_t a, int64_t b)
+    {
+        int64_t out;
+        panic_if(__builtin_add_overflow(a, b, &out),
+                 "Rational overflow in {} + {}", a, b);
+        return out;
+    }
+
+    static int64_t
+    checkedMul(int64_t a, int64_t b)
+    {
+        int64_t out;
+        panic_if(__builtin_mul_overflow(a, b, &out),
+                 "Rational overflow in {} * {}", a, b);
+        return out;
+    }
+
+    static int64_t
+    checkedNeg(int64_t a)
+    {
+        panic_if(a == INT64_MIN, "Rational overflow negating INT64_MIN");
+        return -a;
+    }
+
+    void
+    normalize()
+    {
+        if (den_ < 0) {
+            num_ = checkedNeg(num_);
+            den_ = checkedNeg(den_);
+        }
+        int64_t g = std::gcd(std::abs(num_), den_);
+        if (g > 1) {
+            num_ /= g;
+            den_ /= g;
+        }
+        if (num_ == 0)
+            den_ = 1;
+    }
+
+    int64_t num_;
+    int64_t den_;
+};
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_RATIONAL_H

@@ -1,0 +1,54 @@
+#include "linalg/rref.h"
+
+namespace rasengan::linalg {
+
+RrefResult
+rref(const RatMat &m)
+{
+    RrefResult res;
+    res.mat = m;
+    RatMat &a = res.mat;
+    int pivot_row = 0;
+
+    for (int col = 0; col < a.cols() && pivot_row < a.rows(); ++col) {
+        // Partial "pivoting": any nonzero entry works with exact arithmetic;
+        // pick the largest magnitude to keep intermediate values small.
+        int best = -1;
+        Rational best_abs = 0;
+        for (int r = pivot_row; r < a.rows(); ++r) {
+            Rational v = a.at(r, col).abs();
+            if (!v.isZero() && (best < 0 || best_abs < v)) {
+                best = r;
+                best_abs = v;
+            }
+        }
+        if (best < 0)
+            continue;
+        a.swapRows(pivot_row, best);
+
+        Rational inv = Rational(1) / a.at(pivot_row, col);
+        for (int c = col; c < a.cols(); ++c)
+            a.at(pivot_row, c) *= inv;
+
+        for (int r = 0; r < a.rows(); ++r) {
+            if (r == pivot_row || a.at(r, col).isZero())
+                continue;
+            Rational factor = a.at(r, col);
+            for (int c = col; c < a.cols(); ++c)
+                a.at(r, c) -= factor * a.at(pivot_row, c);
+        }
+
+        res.pivotCols.push_back(col);
+        ++pivot_row;
+    }
+    res.rank = pivot_row;
+    return res;
+}
+
+int
+rank(const IntMat &m)
+{
+    return rref(toRational(m)).rank;
+}
+
+} // namespace rasengan::linalg

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reduced row echelon form and rank over exact rationals.
+ */
+
+#ifndef RASENGAN_LINALG_RREF_H
+#define RASENGAN_LINALG_RREF_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rasengan::linalg {
+
+/** Result of Gauss-Jordan elimination. */
+struct RrefResult
+{
+    RatMat mat;                 ///< the matrix in reduced row echelon form
+    std::vector<int> pivotCols; ///< pivot column per pivot row, in order
+    int rank = 0;               ///< number of pivots
+};
+
+/** Compute the RREF of @p m with exact rational arithmetic. */
+RrefResult rref(const RatMat &m);
+
+/** Rank of an integer matrix (via exact RREF). */
+int rank(const IntMat &m);
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_RREF_H

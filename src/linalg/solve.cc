@@ -1,0 +1,172 @@
+#include "linalg/solve.h"
+
+#include <algorithm>
+
+#include "linalg/rref.h"
+
+namespace rasengan::linalg {
+
+std::optional<std::vector<Rational>>
+solveParticular(const IntMat &c, const IntVec &b)
+{
+    fatal_if(static_cast<int>(b.size()) != c.rows(),
+             "solveParticular: b size {} != rows {}", b.size(), c.rows());
+    // Eliminate on the augmented matrix [C | b].
+    RatMat aug(c.rows(), c.cols() + 1);
+    for (int r = 0; r < c.rows(); ++r) {
+        for (int col = 0; col < c.cols(); ++col)
+            aug.at(r, col) = Rational(c.at(r, col));
+        aug.at(r, c.cols()) = Rational(b[r]);
+    }
+    RrefResult rr = rref(aug);
+
+    // Inconsistent iff some pivot lands in the augmented column.
+    for (int col : rr.pivotCols)
+        if (col == c.cols())
+            return std::nullopt;
+
+    std::vector<Rational> x(c.cols(), Rational(0));
+    for (size_t p = 0; p < rr.pivotCols.size(); ++p)
+        x[rr.pivotCols[p]] = rr.mat.at(static_cast<int>(p), c.cols());
+    return x;
+}
+
+namespace {
+
+/**
+ * Shared pruned DFS over binary assignments.  Variables are assigned in
+ * index order; rowLo/rowHi track, per row, the bounds of C x over all
+ * completions of the current partial assignment.
+ */
+class BinaryDfs
+{
+  public:
+    BinaryDfs(const IntMat &c, const IntVec &b, size_t limit)
+        : c_(c), b_(b), limit_(limit), n_(c.cols()),
+          x_(static_cast<size_t>(c.cols()), 0),
+          lo_(c.rows(), 0), hi_(c.rows(), 0)
+    {
+        // Initially every variable is free: bounds accumulate the
+        // negative/positive parts of each row.
+        for (int r = 0; r < c_.rows(); ++r) {
+            for (int col = 0; col < n_; ++col) {
+                int64_t a = c_.at(r, col);
+                if (a < 0)
+                    lo_[r] += a;
+                else
+                    hi_[r] += a;
+            }
+        }
+    }
+
+    std::vector<IntVec>
+    run(bool first_only)
+    {
+        firstOnly_ = first_only;
+        recurse(0);
+        return std::move(found_);
+    }
+
+  private:
+    bool
+    feasibleSoFar() const
+    {
+        for (int r = 0; r < c_.rows(); ++r) {
+            // acc_[r] + [lo_, hi_] must contain b_[r].
+            if (acc_[r] + lo_[r] > b_[r] || acc_[r] + hi_[r] < b_[r])
+                return false;
+        }
+        return true;
+    }
+
+    void
+    recurse(int var)
+    {
+        if (done_)
+            return;
+        if (var == 0) {
+            acc_.assign(c_.rows(), 0);
+            if (!feasibleSoFar())
+                return;
+        }
+        if (var == n_) {
+            found_.push_back(x_);
+            if (firstOnly_ || (limit_ && found_.size() >= limit_))
+                done_ = true;
+            return;
+        }
+        for (int64_t value : {0, 1}) {
+            x_[var] = value;
+            // Commit variable `var`: move its contribution from the free
+            // bounds into the accumulated sum.
+            for (int r = 0; r < c_.rows(); ++r) {
+                int64_t a = c_.at(r, var);
+                if (a < 0)
+                    lo_[r] -= a;
+                else
+                    hi_[r] -= a;
+                acc_[r] += a * value;
+            }
+            if (feasibleSoFar())
+                recurse(var + 1);
+            for (int r = 0; r < c_.rows(); ++r) {
+                int64_t a = c_.at(r, var);
+                acc_[r] -= a * value;
+                if (a < 0)
+                    lo_[r] += a;
+                else
+                    hi_[r] += a;
+            }
+            if (done_)
+                return;
+        }
+        x_[var] = 0;
+    }
+
+    const IntMat &c_;
+    const IntVec &b_;
+    size_t limit_;
+    int n_;
+    IntVec x_;
+    IntVec lo_, hi_;
+    IntVec acc_;
+    std::vector<IntVec> found_;
+    bool firstOnly_ = false;
+    bool done_ = false;
+};
+
+} // namespace
+
+std::optional<IntVec>
+solveBinary(const IntMat &c, const IntVec &b)
+{
+    fatal_if(static_cast<int>(b.size()) != c.rows(),
+             "solveBinary: b size {} != rows {}", b.size(), c.rows());
+    BinaryDfs dfs(c, b, 1);
+    auto sols = dfs.run(true);
+    if (sols.empty())
+        return std::nullopt;
+    return sols.front();
+}
+
+std::vector<IntVec>
+enumerateBinary(const IntMat &c, const IntVec &b, size_t limit)
+{
+    fatal_if(static_cast<int>(b.size()) != c.rows(),
+             "enumerateBinary: b size {} != rows {}", b.size(), c.rows());
+    BinaryDfs dfs(c, b, limit);
+    return dfs.run(false);
+}
+
+bool
+satisfies(const IntMat &c, const IntVec &b, const IntVec &x)
+{
+    if (static_cast<int>(x.size()) != c.cols() ||
+        static_cast<int>(b.size()) != c.rows()) {
+        return false;
+    }
+    IntVec cx = applyInt(c, x);
+    return cx == b;
+}
+
+} // namespace rasengan::linalg

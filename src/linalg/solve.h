@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Linear-system solving: rational particular solutions and binary
+ * (0/1) feasibility search for C x = b.
+ */
+
+#ifndef RASENGAN_LINALG_SOLVE_H
+#define RASENGAN_LINALG_SOLVE_H
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rasengan::linalg {
+
+/**
+ * A rational particular solution of C x = b, or nullopt when the system is
+ * inconsistent.  Free variables are set to zero.
+ */
+std::optional<std::vector<Rational>> solveParticular(const IntMat &c,
+                                                     const IntVec &b);
+
+/**
+ * Find one binary solution x in {0,1}^n of C x = b by depth-first search
+ * with per-row interval pruning (at each partial assignment, a row is
+ * pruned when even the most favourable completion cannot reach b).
+ *
+ * Complete: returns nullopt only when no binary solution exists.  Intended
+ * as the generic fallback when a problem family has no O(n) constructor.
+ */
+std::optional<IntVec> solveBinary(const IntMat &c, const IntVec &b);
+
+/**
+ * Enumerate all binary solutions of C x = b, up to @p limit (0 = no limit).
+ * Uses the same pruned DFS as solveBinary.
+ */
+std::vector<IntVec> enumerateBinary(const IntMat &c, const IntVec &b,
+                                    size_t limit = 0);
+
+/** True iff C x = b for the binary/integer vector @p x. */
+bool satisfies(const IntMat &c, const IntVec &b, const IntVec &x);
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_SOLVE_H

@@ -1,0 +1,111 @@
+#include "linalg/unimodular.h"
+
+#include <algorithm>
+
+namespace rasengan::linalg {
+
+int64_t
+determinant(const IntMat &m)
+{
+    fatal_if(m.rows() != m.cols(), "determinant of non-square {}x{}",
+             m.rows(), m.cols());
+    int n = m.rows();
+    if (n == 0)
+        return 1;
+
+    // Bareiss fraction-free elimination: all divisions are exact.
+    Matrix<__int128> a(n, n);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            a.at(r, c) = m.at(r, c);
+
+    __int128 prev = 1;
+    int sign = 1;
+    for (int k = 0; k < n - 1; ++k) {
+        if (a.at(k, k) == 0) {
+            int swap = -1;
+            for (int r = k + 1; r < n; ++r) {
+                if (a.at(r, k) != 0) {
+                    swap = r;
+                    break;
+                }
+            }
+            if (swap < 0)
+                return 0;
+            a.swapRows(k, swap);
+            sign = -sign;
+        }
+        for (int r = k + 1; r < n; ++r) {
+            for (int c = k + 1; c < n; ++c) {
+                a.at(r, c) = (a.at(r, c) * a.at(k, k) -
+                              a.at(r, k) * a.at(k, c)) / prev;
+            }
+            a.at(r, k) = 0;
+        }
+        prev = a.at(k, k);
+    }
+    __int128 det = sign * a.at(n - 1, n - 1);
+    panic_if(det > INT64_MAX || det < INT64_MIN,
+             "determinant overflows int64");
+    return static_cast<int64_t>(det);
+}
+
+namespace {
+
+/** Recurse over column subsets of a fixed row subset. */
+bool
+checkColumnSubsets(const IntMat &m, const std::vector<int> &rows,
+                   std::vector<int> &cols, int next_col)
+{
+    if (cols.size() == rows.size()) {
+        IntMat sub(static_cast<int>(rows.size()),
+                   static_cast<int>(cols.size()));
+        for (size_t r = 0; r < rows.size(); ++r)
+            for (size_t c = 0; c < cols.size(); ++c)
+                sub.at(static_cast<int>(r), static_cast<int>(c)) =
+                    m.at(rows[r], cols[c]);
+        int64_t det = determinant(sub);
+        return det >= -1 && det <= 1;
+    }
+    for (int c = next_col; c < m.cols(); ++c) {
+        cols.push_back(c);
+        if (!checkColumnSubsets(m, rows, cols, c + 1))
+            return false;
+        cols.pop_back();
+    }
+    return true;
+}
+
+/** Recurse over row subsets. */
+bool
+checkRowSubsets(const IntMat &m, std::vector<int> &rows, int next_row,
+                int target_size)
+{
+    if (static_cast<int>(rows.size()) == target_size) {
+        std::vector<int> cols;
+        return checkColumnSubsets(m, rows, cols, 0);
+    }
+    for (int r = next_row; r < m.rows(); ++r) {
+        rows.push_back(r);
+        if (!checkRowSubsets(m, rows, r + 1, target_size))
+            return false;
+        rows.pop_back();
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+isTotallyUnimodular(const IntMat &m)
+{
+    int max_size = std::min(m.rows(), m.cols());
+    for (int size = 1; size <= max_size; ++size) {
+        std::vector<int> rows;
+        if (!checkRowSubsets(m, rows, 0, size))
+            return false;
+    }
+    return true;
+}
+
+} // namespace rasengan::linalg

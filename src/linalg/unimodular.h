@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Total unimodularity testing (exhaustive, for small matrices).
+ *
+ * Theorem 1 in the paper distinguishes totally unimodular (TU) constraint
+ * matrices (m rounds of m transitions cover the feasible space) from
+ * general matrices (m^3 upper bound).  This checker validates the TU
+ * property for the benchmark encodings in the test suite.
+ */
+
+#ifndef RASENGAN_LINALG_UNIMODULAR_H
+#define RASENGAN_LINALG_UNIMODULAR_H
+
+#include "linalg/matrix.h"
+
+namespace rasengan::linalg {
+
+/**
+ * Determinant of an integer matrix via fraction-free (Bareiss) elimination.
+ * @p m must be square.
+ */
+int64_t determinant(const IntMat &m);
+
+/**
+ * True iff every square submatrix of @p m has determinant in {-1, 0, 1}.
+ * Exhaustive over all square submatrices: exponential, intended only for
+ * matrices with at most ~20 rows+columns (tests and sanity checks).
+ */
+bool isTotallyUnimodular(const IntMat &m);
+
+} // namespace rasengan::linalg
+
+#endif // RASENGAN_LINALG_UNIMODULAR_H

@@ -1,0 +1,89 @@
+#include "opt/adamspsa.h"
+
+#include <cmath>
+
+namespace rasengan::opt {
+
+OptResult
+AdamSpsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
+{
+    OptResult res;
+    const int n = static_cast<int>(x0.size());
+    const int max_evals = std::max(options_.maxIterations, 3);
+
+    auto eval = [&](const std::vector<double> &x) {
+        ++res.evaluations;
+        return objective(x);
+    };
+
+    if (n == 0) {
+        res.x = std::move(x0);
+        res.value = eval(res.x);
+        res.converged = true;
+        return res;
+    }
+
+    Rng rng(options_.seed);
+    std::vector<double> x = std::move(x0);
+    std::vector<double> m(n, 0.0), v(n, 0.0), delta(n), grad(n);
+
+    std::vector<double> best_x = x;
+    double best_f = eval(x);
+
+    int k = 0;
+    while (res.evaluations + 2 <= max_evals) {
+        ++k;
+        ++res.iterations;
+        const double ck = hyper_.perturbation;
+        for (int i = 0; i < n; ++i)
+            delta[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        std::vector<double> plus = x, minus = x;
+        for (int i = 0; i < n; ++i) {
+            plus[i] += ck * delta[i];
+            minus[i] -= ck * delta[i];
+        }
+        double f_plus = eval(plus);
+        double f_minus = eval(minus);
+        double diff = (f_plus - f_minus) / (2.0 * ck);
+        for (int i = 0; i < n; ++i)
+            grad[i] = diff / delta[i];
+
+        // Adam moment updates with bias correction.
+        double step_norm = 0.0;
+        double bias1 = 1.0 - std::pow(hyper_.beta1, k);
+        double bias2 = 1.0 - std::pow(hyper_.beta2, k);
+        for (int i = 0; i < n; ++i) {
+            m[i] = hyper_.beta1 * m[i] + (1.0 - hyper_.beta1) * grad[i];
+            v[i] = hyper_.beta2 * v[i] +
+                   (1.0 - hyper_.beta2) * grad[i] * grad[i];
+            double m_hat = m[i] / bias1;
+            double v_hat = v[i] / bias2;
+            double step = options_.initialStep * m_hat /
+                          (std::sqrt(v_hat) + hyper_.epsilon);
+            x[i] -= step;
+            step_norm += step * step;
+        }
+        double f_lower = std::min(f_plus, f_minus);
+        if (f_lower < best_f) {
+            best_f = f_lower;
+            best_x = f_plus < f_minus ? plus : minus;
+        }
+        if (std::sqrt(step_norm) < options_.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    if (res.evaluations < max_evals) {
+        double f = eval(x);
+        if (f < best_f) {
+            best_f = f;
+            best_x = x;
+        }
+    }
+    res.x = std::move(best_x);
+    res.value = best_f;
+    return res;
+}
+
+} // namespace rasengan::opt

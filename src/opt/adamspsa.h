@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Adam optimizer driven by SPSA gradient estimates.
+ *
+ * For shot-noise-limited VQA objectives, the simultaneous-perturbation
+ * gradient estimator (two evaluations per step, any dimension) combined
+ * with Adam's per-coordinate moment scaling is a common practical
+ * choice; kept here alongside COBYLA / Nelder-Mead / SPSA so the solvers
+ * can be trained with any of the four.
+ */
+
+#ifndef RASENGAN_OPT_ADAMSPSA_H
+#define RASENGAN_OPT_ADAMSPSA_H
+
+#include "opt/optimizer.h"
+
+namespace rasengan::opt {
+
+struct AdamSpsaHyper
+{
+    double beta1 = 0.9;   ///< first-moment decay
+    double beta2 = 0.999; ///< second-moment decay
+    double epsilon = 1e-8;
+    double perturbation = 0.05; ///< SPSA probe radius
+};
+
+class AdamSpsa : public Optimizer
+{
+  public:
+    using Hyper = AdamSpsaHyper;
+
+    explicit AdamSpsa(OptOptions options = {}, Hyper hyper = {})
+        : Optimizer(options), hyper_(hyper)
+    {}
+
+    OptResult minimize(const ObjectiveFn &objective,
+                       std::vector<double> x0) override;
+
+  private:
+    Hyper hyper_;
+};
+
+} // namespace rasengan::opt
+
+#endif // RASENGAN_OPT_ADAMSPSA_H

@@ -1,0 +1,182 @@
+#include "opt/cobyla.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasengan::opt {
+
+namespace {
+
+/**
+ * Solve the n x n system A g = r by Gaussian elimination with partial
+ * pivoting.  Returns false when A is numerically singular.
+ */
+bool
+solveDense(std::vector<std::vector<double>> a, std::vector<double> r,
+           std::vector<double> &out)
+{
+    const size_t n = r.size();
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        for (size_t row = col + 1; row < n; ++row)
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        if (std::abs(a[pivot][col]) < 1e-14)
+            return false;
+        std::swap(a[col], a[pivot]);
+        std::swap(r[col], r[pivot]);
+        for (size_t row = col + 1; row < n; ++row) {
+            double factor = a[row][col] / a[col][col];
+            for (size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            r[row] -= factor * r[col];
+        }
+    }
+    out.assign(n, 0.0);
+    for (size_t col = n; col-- > 0;) {
+        double acc = r[col];
+        for (size_t k = col + 1; k < n; ++k)
+            acc -= a[col][k] * out[k];
+        out[col] = acc / a[col][col];
+    }
+    return true;
+}
+
+} // namespace
+
+OptResult
+Cobyla::minimize(const ObjectiveFn &objective, std::vector<double> x0)
+{
+    OptResult res;
+    const int n = static_cast<int>(x0.size());
+    const int max_evals = std::max(options_.maxIterations, n + 2);
+
+    auto eval = [&](const std::vector<double> &x) {
+        ++res.evaluations;
+        return objective(x);
+    };
+
+    if (n == 0) {
+        res.x = std::move(x0);
+        res.value = eval(res.x);
+        res.converged = true;
+        return res;
+    }
+
+    std::vector<std::vector<double>> points;
+    std::vector<double> values;
+
+    double rho = options_.initialStep;
+    const double rho_end = std::max(options_.tolerance, 1e-12);
+
+    auto rebuild_simplex = [&](const std::vector<double> &center,
+                               double radius) {
+        points.assign(1, center);
+        values.assign(1, values.empty() ? eval(center) : values[0]);
+        for (int i = 0; i < n && res.evaluations < max_evals; ++i) {
+            std::vector<double> p = center;
+            p[i] += radius;
+            points.push_back(p);
+            values.push_back(eval(p));
+        }
+    };
+
+    // Initial simplex about x0.
+    points.push_back(x0);
+    values.push_back(eval(x0));
+    for (int i = 0; i < n && res.evaluations < max_evals; ++i) {
+        std::vector<double> p = x0;
+        p[i] += rho;
+        points.push_back(p);
+        values.push_back(eval(p));
+    }
+
+    auto best_index = [&]() {
+        return static_cast<size_t>(
+            std::min_element(values.begin(), values.end()) - values.begin());
+    };
+    auto worst_index = [&]() {
+        return static_cast<size_t>(
+            std::max_element(values.begin(), values.end()) - values.begin());
+    };
+
+    while (res.evaluations < max_evals && rho > rho_end) {
+        ++res.iterations;
+        if (points.size() != static_cast<size_t>(n) + 1) {
+            // Budget ran out while building the simplex.
+            break;
+        }
+        size_t best = best_index();
+
+        // Affine model through the simplex: g solves
+        // (p_i - p_best) . g = f_i - f_best for all i != best.
+        std::vector<std::vector<double>> a;
+        std::vector<double> r;
+        for (size_t i = 0; i < points.size(); ++i) {
+            if (i == best)
+                continue;
+            std::vector<double> row(n);
+            for (int k = 0; k < n; ++k)
+                row[k] = points[i][k] - points[best][k];
+            a.push_back(std::move(row));
+            r.push_back(values[i] - values[best]);
+        }
+        std::vector<double> g;
+        if (!solveDense(std::move(a), std::move(r), g)) {
+            // Degenerate simplex: rebuild around the incumbent.
+            std::vector<double> center = points[best];
+            double fbest = values[best];
+            values.assign(1, fbest);
+            rebuild_simplex(center, rho);
+            continue;
+        }
+
+        double gnorm = 0.0;
+        for (double v : g)
+            gnorm += v * v;
+        gnorm = std::sqrt(gnorm);
+        if (gnorm < 1e-14) {
+            // Flat model: the region is resolved at this radius.
+            rho *= 0.5;
+            std::vector<double> center = points[best];
+            double fbest = values[best];
+            values.assign(1, fbest);
+            rebuild_simplex(center, rho);
+            continue;
+        }
+
+        std::vector<double> trial = points[best];
+        for (int k = 0; k < n; ++k)
+            trial[k] -= rho * g[k] / gnorm;
+        double ftrial = eval(trial);
+
+        size_t worst = worst_index();
+        if (ftrial < values[worst]) {
+            points[worst] = std::move(trial);
+            values[worst] = ftrial;
+            if (ftrial < values[best] - 0.5 * rho * gnorm) {
+                // The linear model predicted well: widen the region.
+                rho = std::min(rho * 1.5, 4.0 * options_.initialStep);
+            } else if (ftrial >= values[best] - 0.1 * rho * gnorm) {
+                // Under-delivered against the model: tighten the region.
+                rho *= 0.5;
+            }
+        } else {
+            rho *= 0.5;
+            std::vector<double> center = points[best];
+            double fbest = values[best];
+            values.assign(1, fbest);
+            rebuild_simplex(center, rho);
+        }
+    }
+
+    size_t best = best_index();
+    res.x = points[best];
+    res.value = values[best];
+    res.converged = rho <= rho_end;
+    return res;
+}
+
+} // namespace rasengan::opt

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * COBYLA-style linear-approximation trust-region optimizer.
+ *
+ * Reimplementation (from scratch) of the method family of Powell's
+ * "constrained optimization by linear approximation" [33]: maintain a
+ * simplex of n+1 interpolation points, fit the unique affine model of the
+ * objective through them, step against the model gradient within an
+ * l2 trust region, and shrink the region when the model stops predicting
+ * descent.  The VQA training objectives here are unconstrained in the
+ * parameters, so the constraint machinery of full COBYLA is not needed.
+ */
+
+#ifndef RASENGAN_OPT_COBYLA_H
+#define RASENGAN_OPT_COBYLA_H
+
+#include "opt/optimizer.h"
+
+namespace rasengan::opt {
+
+class Cobyla : public Optimizer
+{
+  public:
+    explicit Cobyla(OptOptions options = {}) : Optimizer(options) {}
+
+    OptResult minimize(const ObjectiveFn &objective,
+                       std::vector<double> x0) override;
+};
+
+} // namespace rasengan::opt
+
+#endif // RASENGAN_OPT_COBYLA_H

@@ -1,0 +1,39 @@
+#include "opt/factory.h"
+
+#include "common/logging.h"
+#include "opt/adamspsa.h"
+#include "opt/cobyla.h"
+#include "opt/neldermead.h"
+#include "opt/spsa.h"
+
+namespace rasengan::opt {
+
+std::unique_ptr<Optimizer>
+makeOptimizer(Method method, const OptOptions &options)
+{
+    switch (method) {
+      case Method::Cobyla:
+        return std::make_unique<Cobyla>(options);
+      case Method::NelderMead:
+        return std::make_unique<NelderMead>(options);
+      case Method::Spsa:
+        return std::make_unique<Spsa>(options);
+      case Method::AdamSpsa:
+        return std::make_unique<AdamSpsa>(options);
+    }
+    panic("unknown optimizer method {}", static_cast<int>(method));
+}
+
+std::string
+methodName(Method method)
+{
+    switch (method) {
+      case Method::Cobyla: return "cobyla";
+      case Method::NelderMead: return "nelder-mead";
+      case Method::Spsa: return "spsa";
+      case Method::AdamSpsa: return "adam-spsa";
+    }
+    return "?";
+}
+
+} // namespace rasengan::opt

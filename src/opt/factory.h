@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Optimizer selection: a method enum plus factory so solvers can be
+ * configured with any of the derivative-free trainers.
+ */
+
+#ifndef RASENGAN_OPT_FACTORY_H
+#define RASENGAN_OPT_FACTORY_H
+
+#include <memory>
+#include <string>
+
+#include "opt/optimizer.h"
+
+namespace rasengan::opt {
+
+enum class Method {
+    Cobyla,     ///< linear-approximation trust region (paper default)
+    NelderMead, ///< downhill simplex
+    Spsa,       ///< simultaneous perturbation
+    AdamSpsa,   ///< Adam with SPSA gradient estimates
+};
+
+/** Instantiate the optimizer for @p method. */
+std::unique_ptr<Optimizer> makeOptimizer(Method method,
+                                         const OptOptions &options);
+
+/** Human-readable method name. */
+std::string methodName(Method method);
+
+} // namespace rasengan::opt
+
+#endif // RASENGAN_OPT_FACTORY_H

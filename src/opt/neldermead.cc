@@ -1,0 +1,123 @@
+#include "opt/neldermead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rasengan::opt {
+
+OptResult
+NelderMead::minimize(const ObjectiveFn &objective, std::vector<double> x0)
+{
+    OptResult res;
+    const int n = static_cast<int>(x0.size());
+    const int max_evals = std::max(options_.maxIterations, n + 2);
+
+    auto eval = [&](const std::vector<double> &x) {
+        ++res.evaluations;
+        return objective(x);
+    };
+
+    if (n == 0) {
+        res.x = std::move(x0);
+        res.value = eval(res.x);
+        res.converged = true;
+        return res;
+    }
+
+    // Adaptive coefficients (Gao & Han) improve behaviour for larger n.
+    const double alpha = 1.0;
+    const double beta = 1.0 + 2.0 / n;
+    const double gamma = 0.75 - 1.0 / (2.0 * n);
+    const double delta = 1.0 - 1.0 / n;
+
+    std::vector<std::vector<double>> pts(n + 1, x0);
+    std::vector<double> vals(n + 1);
+    for (int i = 0; i < n; ++i)
+        pts[i + 1][i] += options_.initialStep;
+    for (int i = 0; i <= n; ++i)
+        vals[i] = eval(pts[i]);
+
+    std::vector<size_t> order(n + 1);
+
+    while (res.evaluations < max_evals) {
+        ++res.iterations;
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) { return vals[a] < vals[b]; });
+        size_t best = order[0];
+        size_t worst = order[n];
+        size_t second_worst = order[n - 1];
+
+        // Convergence: simplex value spread below tolerance.
+        if (std::abs(vals[worst] - vals[best]) <
+            options_.tolerance * (std::abs(vals[best]) + options_.tolerance)) {
+            res.converged = true;
+            break;
+        }
+
+        // Centroid excluding the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (size_t i = 0; i <= static_cast<size_t>(n); ++i) {
+            if (i == worst)
+                continue;
+            for (int k = 0; k < n; ++k)
+                centroid[k] += pts[i][k];
+        }
+        for (int k = 0; k < n; ++k)
+            centroid[k] /= n;
+
+        auto blend = [&](double coeff) {
+            std::vector<double> p(n);
+            for (int k = 0; k < n; ++k)
+                p[k] = centroid[k] + coeff * (centroid[k] - pts[worst][k]);
+            return p;
+        };
+
+        std::vector<double> reflected = blend(alpha);
+        double f_reflected = eval(reflected);
+
+        if (f_reflected < vals[best]) {
+            std::vector<double> expanded = blend(beta);
+            double f_expanded = eval(expanded);
+            if (f_expanded < f_reflected) {
+                pts[worst] = std::move(expanded);
+                vals[worst] = f_expanded;
+            } else {
+                pts[worst] = std::move(reflected);
+                vals[worst] = f_reflected;
+            }
+        } else if (f_reflected < vals[second_worst]) {
+            pts[worst] = std::move(reflected);
+            vals[worst] = f_reflected;
+        } else {
+            bool outside = f_reflected < vals[worst];
+            std::vector<double> contracted = blend(outside ? gamma : -gamma);
+            double f_contracted = eval(contracted);
+            if (f_contracted < std::min(f_reflected, vals[worst])) {
+                pts[worst] = std::move(contracted);
+                vals[worst] = f_contracted;
+            } else {
+                // Shrink the whole simplex toward the best vertex.
+                for (size_t i = 0; i <= static_cast<size_t>(n); ++i) {
+                    if (i == best)
+                        continue;
+                    for (int k = 0; k < n; ++k)
+                        pts[i][k] = pts[best][k] +
+                                    delta * (pts[i][k] - pts[best][k]);
+                    if (res.evaluations >= max_evals)
+                        break;
+                    vals[i] = eval(pts[i]);
+                }
+            }
+        }
+    }
+
+    size_t best = static_cast<size_t>(
+        std::min_element(vals.begin(), vals.end()) - vals.begin());
+    res.x = pts[best];
+    res.value = vals[best];
+    return res;
+}
+
+} // namespace rasengan::opt

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Nelder-Mead downhill simplex minimizer with adaptive coefficients.
+ */
+
+#ifndef RASENGAN_OPT_NELDERMEAD_H
+#define RASENGAN_OPT_NELDERMEAD_H
+
+#include "opt/optimizer.h"
+
+namespace rasengan::opt {
+
+class NelderMead : public Optimizer
+{
+  public:
+    explicit NelderMead(OptOptions options = {}) : Optimizer(options) {}
+
+    OptResult minimize(const ObjectiveFn &objective,
+                       std::vector<double> x0) override;
+};
+
+} // namespace rasengan::opt
+
+#endif // RASENGAN_OPT_NELDERMEAD_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Derivative-free optimizer interface shared by every VQA in this
+ * repository (the paper trains all methods with the same optimizer family
+ * so that the comparison isolates the ansatz).
+ */
+
+#ifndef RASENGAN_OPT_OPTIMIZER_H
+#define RASENGAN_OPT_OPTIMIZER_H
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rasengan::opt {
+
+/** Objective to minimize over a real parameter vector. */
+using ObjectiveFn = std::function<double(const std::vector<double> &)>;
+
+struct OptOptions
+{
+    int maxIterations = 300;  ///< outer iterations (paper Section 5.2)
+    double initialStep = 0.5; ///< initial trust-region radius / simplex size
+    double tolerance = 1e-6;  ///< convergence threshold on step/spread
+    uint64_t seed = 1;        ///< for stochastic methods (SPSA)
+};
+
+struct OptResult
+{
+    std::vector<double> x;   ///< best parameters found
+    double value = 0.0;      ///< objective at x
+    int iterations = 0;      ///< outer iterations executed
+    int evaluations = 0;     ///< objective evaluations spent
+    bool converged = false;  ///< tolerance reached before the budget
+};
+
+/** Abstract minimizer. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(OptOptions options) : options_(options) {}
+    virtual ~Optimizer() = default;
+
+    /** Minimize @p objective starting from @p x0. */
+    virtual OptResult minimize(const ObjectiveFn &objective,
+                               std::vector<double> x0) = 0;
+
+    const OptOptions &options() const { return options_; }
+
+  protected:
+    OptOptions options_;
+};
+
+} // namespace rasengan::opt
+
+#endif // RASENGAN_OPT_OPTIMIZER_H

@@ -1,0 +1,89 @@
+#include "opt/spsa.h"
+
+#include <cmath>
+
+namespace rasengan::opt {
+
+OptResult
+Spsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
+{
+    OptResult res;
+    const int n = static_cast<int>(x0.size());
+    const int max_evals = std::max(options_.maxIterations, 3);
+
+    auto eval = [&](const std::vector<double> &x) {
+        ++res.evaluations;
+        return objective(x);
+    };
+
+    if (n == 0) {
+        res.x = std::move(x0);
+        res.value = eval(res.x);
+        res.converged = true;
+        return res;
+    }
+
+    Rng rng(options_.seed);
+
+    // Standard gain schedules (Spall's recommended exponents).
+    const double a = options_.initialStep;
+    const double c = std::max(0.1 * options_.initialStep, 1e-3);
+    const double big_a = 0.1 * max_evals / 2.0;
+    const double alpha = 0.602;
+    const double gamma_exp = 0.101;
+
+    std::vector<double> x = std::move(x0);
+    std::vector<double> best_x = x;
+    double best_f = eval(x);
+
+    std::vector<double> delta(n);
+    int k = 0;
+    while (res.evaluations + 2 <= max_evals) {
+        ++k;
+        ++res.iterations;
+        double ak = a / std::pow(k + big_a, alpha);
+        double ck = c / std::pow(k, gamma_exp);
+
+        for (int i = 0; i < n; ++i)
+            delta[i] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+
+        std::vector<double> plus = x, minus = x;
+        for (int i = 0; i < n; ++i) {
+            plus[i] += ck * delta[i];
+            minus[i] -= ck * delta[i];
+        }
+        double f_plus = eval(plus);
+        double f_minus = eval(minus);
+        double diff = (f_plus - f_minus) / (2.0 * ck);
+
+        double step_norm = 0.0;
+        for (int i = 0; i < n; ++i) {
+            double step = ak * diff / delta[i];
+            x[i] -= step;
+            step_norm += step * step;
+        }
+        double f_lower = std::min(f_plus, f_minus);
+        if (f_lower < best_f) {
+            best_f = f_lower;
+            best_x = f_plus < f_minus ? plus : minus;
+        }
+        if (std::sqrt(step_norm) < options_.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    // One final evaluation at the current iterate, if budget allows.
+    if (res.evaluations < max_evals) {
+        double f = eval(x);
+        if (f < best_f) {
+            best_f = f;
+            best_x = x;
+        }
+    }
+    res.x = std::move(best_x);
+    res.value = best_f;
+    return res;
+}
+
+} // namespace rasengan::opt

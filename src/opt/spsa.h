@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Simultaneous Perturbation Stochastic Approximation (SPSA).
+ *
+ * Two objective evaluations per iteration regardless of dimension, which
+ * makes it the standard choice for shot-noise-limited VQA training; kept
+ * here as an alternative to the COBYLA-style default.
+ */
+
+#ifndef RASENGAN_OPT_SPSA_H
+#define RASENGAN_OPT_SPSA_H
+
+#include "opt/optimizer.h"
+
+namespace rasengan::opt {
+
+class Spsa : public Optimizer
+{
+  public:
+    explicit Spsa(OptOptions options = {}) : Optimizer(options) {}
+
+    OptResult minimize(const ObjectiveFn &objective,
+                       std::vector<double> x0) override;
+};
+
+} // namespace rasengan::opt
+
+#endif // RASENGAN_OPT_SPSA_H

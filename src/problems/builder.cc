@@ -1,0 +1,156 @@
+#include "problems/builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+ProblemBuilder::ProblemBuilder(std::string id, std::string family,
+                               int num_vars)
+    : id_(std::move(id)), family_(std::move(family)), numVars_(num_vars),
+      totalVars_(num_vars)
+{
+    fatal_if(num_vars < 1, "builder needs at least one variable");
+}
+
+void
+ProblemBuilder::checkVar(int var) const
+{
+    fatal_if(var < 0 || var >= numVars_,
+             "{}: variable {} outside the original range [0, {})", id_, var,
+             numVars_);
+}
+
+void
+ProblemBuilder::objectiveConstant(double c)
+{
+    objConstant_ += c;
+}
+
+void
+ProblemBuilder::objectiveLinear(int var, double coeff)
+{
+    checkVar(var);
+    objLinear_.emplace_back(var, coeff);
+}
+
+void
+ProblemBuilder::objectiveQuadratic(int a, int b, double coeff)
+{
+    checkVar(a);
+    checkVar(b);
+    objQuadratic_.emplace_back(a, b, coeff);
+}
+
+void
+ProblemBuilder::addEquality(const std::vector<Term> &terms, int64_t bound)
+{
+    fatal_if(terms.empty(), "{}: empty constraint", id_);
+    for (const auto &[var, coeff] : terms) {
+        checkVar(var);
+        (void)coeff;
+    }
+    rows_.push_back({terms, bound, -1, {}});
+}
+
+void
+ProblemBuilder::addLessEqual(const std::vector<Term> &terms, int64_t bound)
+{
+    fatal_if(terms.empty(), "{}: empty constraint", id_);
+    int64_t lo = 0;
+    for (const auto &[var, coeff] : terms) {
+        checkVar(var);
+        lo += std::min<int64_t>(0, coeff);
+    }
+    fatal_if(lo > bound, "{}: <= constraint is infeasible (min lhs {} > {})",
+             id_, lo, bound);
+
+    // Maximum slack the equality form must represent.
+    int64_t smax = bound - lo;
+    Row row{terms, bound, totalVars_, {}};
+    if (smax > 0) {
+        // Weights 1, 2, 4, ..., then a trimmed final weight so every value
+        // in [0, smax] is representable and none above it.
+        int64_t covered = 0;
+        while (covered < smax) {
+            int64_t next = std::min<int64_t>(covered + 1, smax - covered);
+            row.slackWeights.push_back(next);
+            covered += next;
+        }
+        totalVars_ += static_cast<int>(row.slackWeights.size());
+        fatal_if(totalVars_ > kMaxBits,
+                 "{}: slack expansion exceeds {} variables", id_, kMaxBits);
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+ProblemBuilder::addGreaterEqual(const std::vector<Term> &terms,
+                                int64_t bound)
+{
+    std::vector<Term> negated;
+    negated.reserve(terms.size());
+    for (const auto &[var, coeff] : terms)
+        negated.emplace_back(var, -coeff);
+    addLessEqual(negated, -bound);
+}
+
+Problem
+ProblemBuilder::build(const BitVec &feasible_original) const
+{
+    const int n = totalVars_;
+    linalg::IntMat c(static_cast<int>(rows_.size()), n);
+    linalg::IntVec b(rows_.size());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        const Row &row = rows_[r];
+        for (const auto &[var, coeff] : row.terms)
+            c.at(static_cast<int>(r), var) += coeff;
+        for (size_t k = 0; k < row.slackWeights.size(); ++k)
+            c.at(static_cast<int>(r), row.slackBase + static_cast<int>(k)) =
+                row.slackWeights[k];
+        b[r] = row.bound;
+    }
+
+    QuadraticObjective f(n);
+    f.addConstant(objConstant_);
+    for (const auto &[var, coeff] : objLinear_)
+        f.addLinear(var, coeff);
+    for (const auto &[a2, b2, coeff] : objQuadratic_)
+        f.addQuadratic(a2, b2, coeff);
+    f.normalize();
+
+    // Complete the feasible point with the implied slack values.
+    BitVec feasible = feasible_original;
+    for (const Row &row : rows_) {
+        int64_t lhs = 0;
+        for (const auto &[var, coeff] : row.terms)
+            if (feasible_original.get(var))
+                lhs += coeff;
+        if (row.slackBase < 0) {
+            fatal_if(lhs != row.bound,
+                     "{}: provided point violates an equality row", id_);
+            continue;
+        }
+        int64_t slack = row.bound - lhs;
+        fatal_if(slack < 0,
+                 "{}: provided point violates a <= row", id_);
+        // Greedy fill from the largest weight (weights are a complete
+        // coverage system for [0, smax]).
+        int64_t remaining = slack;
+        for (size_t k = row.slackWeights.size(); k-- > 0;) {
+            if (row.slackWeights[k] <= remaining) {
+                feasible.set(row.slackBase + static_cast<int>(k));
+                remaining -= row.slackWeights[k];
+            }
+        }
+        fatal_if(remaining != 0,
+                 "{}: slack {} not representable (internal bug)", id_,
+                 slack);
+    }
+
+    return Problem(id_, family_, std::move(c), std::move(b), std::move(f),
+                   feasible);
+}
+
+} // namespace rasengan::problems

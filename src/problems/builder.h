@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ProblemBuilder: assemble constrained binary optimization instances from
+ * equality AND inequality constraints.
+ *
+ * The paper's formulation (Equation 1) takes linear *equalities*; as
+ * Section 2.1 notes, inequalities are folded in with auxiliary binary
+ * variables.  This builder implements that compilation: each
+ * `sum_i c_i x_i <= bound` becomes
+ * `sum_i c_i x_i + sum_k w_k s_k = bound` with fresh slack bits s_k whose
+ * weights w_k = 1, 2, 4, ..., r cover exactly the reachable slack range
+ * [0, bound - min(lhs)] (the last weight is trimmed so no slack value
+ * overshoots).  Transition compatibility is preserved because the
+ * homogeneous-basis machinery falls back to feasible-difference vectors,
+ * which are signed-0/1 regardless of the constraint coefficients.
+ */
+
+#ifndef RASENGAN_PROBLEMS_BUILDER_H
+#define RASENGAN_PROBLEMS_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+class ProblemBuilder
+{
+  public:
+    /** One linear term: coefficient * x_variable. */
+    using Term = std::pair<int, int64_t>;
+
+    /**
+     * @param num_vars the ORIGINAL decision variables; slack variables
+     *                 are appended automatically by inequality rows
+     */
+    ProblemBuilder(std::string id, std::string family, int num_vars);
+
+    int numOriginalVars() const { return numVars_; }
+    /** Total variables so far, including slack bits. */
+    int numTotalVars() const { return totalVars_; }
+
+    /// @name Objective (over the original variables)
+    /// @{
+    void objectiveConstant(double c);
+    void objectiveLinear(int var, double coeff);
+    void objectiveQuadratic(int a, int b, double coeff);
+    /// @}
+
+    /// @name Constraints
+    /// @{
+    /** sum terms = bound. */
+    void addEquality(const std::vector<Term> &terms, int64_t bound);
+    /** sum terms <= bound (compiled with binary slack expansion). */
+    void addLessEqual(const std::vector<Term> &terms, int64_t bound);
+    /** sum terms >= bound (negated into addLessEqual). */
+    void addGreaterEqual(const std::vector<Term> &terms, int64_t bound);
+    /// @}
+
+    /**
+     * Assemble the Problem.  @p feasible_original assigns the original
+     * variables; it must satisfy every constraint, and the builder
+     * completes it with the implied slack values.
+     */
+    Problem build(const BitVec &feasible_original) const;
+
+  private:
+    struct Row
+    {
+        std::vector<Term> terms; ///< original-variable terms
+        int64_t bound;
+        int slackBase = -1;              ///< first slack var, -1 if none
+        std::vector<int64_t> slackWeights;
+    };
+
+    void checkVar(int var) const;
+
+    std::string id_;
+    std::string family_;
+    int numVars_;
+    int totalVars_;
+    std::vector<Row> rows_;
+    double objConstant_ = 0.0;
+    std::vector<std::pair<int, double>> objLinear_;
+    std::vector<std::tuple<int, int, double>> objQuadratic_;
+};
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_BUILDER_H

@@ -1,0 +1,117 @@
+#include "problems/flp.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+int
+flpNumVars(const FlpConfig &config)
+{
+    return config.facilities + 2 * config.demands * config.facilities;
+}
+
+int
+flpFacilityVar(const FlpConfig &config, int j)
+{
+    panic_if(j < 0 || j >= config.facilities, "facility {} out of range", j);
+    return j;
+}
+
+int
+flpAssignVar(const FlpConfig &config, int i, int j)
+{
+    panic_if(i < 0 || i >= config.demands || j < 0 || j >= config.facilities,
+             "assignment ({}, {}) out of range", i, j);
+    return config.facilities + i * config.facilities + j;
+}
+
+int
+flpSlackVar(const FlpConfig &config, int i, int j)
+{
+    panic_if(i < 0 || i >= config.demands || j < 0 || j >= config.facilities,
+             "slack ({}, {}) out of range", i, j);
+    return config.facilities + config.demands * config.facilities +
+           i * config.facilities + j;
+}
+
+Problem
+makeFlp(const std::string &id, const FlpConfig &config, Rng &rng)
+{
+    const int m = config.facilities;
+    const int d = config.demands;
+    fatal_if(m < 1 || d < 1, "FLP needs at least one facility and demand");
+    const int n = flpNumVars(config);
+    fatal_if(n > kMaxBits, "FLP instance with {} vars exceeds {}", n,
+             kMaxBits);
+
+    std::vector<int64_t> open_cost(m);
+    for (int j = 0; j < m; ++j)
+        open_cost[j] = rng.uniformInt(config.minOpenCost, config.maxOpenCost);
+    std::vector<std::vector<int64_t>> serve_cost(d, std::vector<int64_t>(m));
+    for (int i = 0; i < d; ++i)
+        for (int j = 0; j < m; ++j)
+            serve_cost[i][j] =
+                rng.uniformInt(config.minServeCost, config.maxServeCost);
+
+    // Constraints: d assignment rows + d*m linking rows.
+    linalg::IntMat c(d + d * m, n);
+    linalg::IntVec b(d + d * m, 0);
+    for (int i = 0; i < d; ++i) {
+        for (int j = 0; j < m; ++j)
+            c.at(i, flpAssignVar(config, i, j)) = 1;
+        b[i] = 1;
+    }
+    int row = d;
+    for (int i = 0; i < d; ++i) {
+        for (int j = 0; j < m; ++j, ++row) {
+            c.at(row, flpAssignVar(config, i, j)) = 1;
+            c.at(row, flpSlackVar(config, i, j)) = 1;
+            c.at(row, flpFacilityVar(config, j)) = -1;
+        }
+    }
+
+    QuadraticObjective f(n);
+    for (int j = 0; j < m; ++j)
+        f.addLinear(flpFacilityVar(config, j),
+                    static_cast<double>(open_cost[j]));
+    for (int i = 0; i < d; ++i)
+        for (int j = 0; j < m; ++j)
+            f.addLinear(flpAssignVar(config, i, j),
+                        static_cast<double>(serve_cost[i][j]));
+
+    // Trivial feasible (O(d)): open facility 0, everything assigned to it.
+    BitVec trivial;
+    trivial.set(flpFacilityVar(config, 0));
+    for (int i = 0; i < d; ++i)
+        trivial.set(flpAssignVar(config, i, 0));
+    // Linking rows for j != 0 hold with x = s = y = 0; for j = 0 the slack
+    // stays 0 because x_i0 = y_0 = 1.
+
+    Problem problem(id, "FLP", std::move(c), std::move(b), std::move(f),
+                    trivial);
+
+    // Closed-form optimum: enumerate nonempty open-facility subsets, each
+    // demand served by its cheapest open facility.
+    fatal_if(m > 20, "FLP closed-form optimum limited to 20 facilities");
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+        double total = 0.0;
+        for (int j = 0; j < m; ++j)
+            if (mask & (1u << j))
+                total += static_cast<double>(open_cost[j]);
+        for (int i = 0; i < d; ++i) {
+            int64_t cheapest = std::numeric_limits<int64_t>::max();
+            for (int j = 0; j < m; ++j)
+                if (mask & (1u << j))
+                    cheapest = std::min(cheapest, serve_cost[i][j]);
+            total += static_cast<double>(cheapest);
+        }
+        best = std::min(best, total);
+    }
+    problem.setExactOptimal(best);
+    return problem;
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Facility location problem (FLP) generator [14].
+ *
+ * Uncapacitated facility location with m facilities and d demands:
+ *   minimize  sum_j f_j y_j + sum_{i,j} c_ij x_ij
+ *   s.t.      sum_j x_ij = 1            for every demand i
+ *             x_ij + s_ij - y_j = 0     for every (i, j)   (linking slack)
+ *
+ * Variable layout: y_0..y_{m-1}, then x_ij (demand-major), then s_ij.
+ * n = m + 2 d m variables, d + d m constraints.  (m, d) = (5, 10) yields
+ * the paper's 105-variable scalability ceiling (Figure 10).
+ *
+ * The linear-time feasible solution opens facility 0 and assigns every
+ * demand to it (Section 5.1: O(d)).  The exact optimum is computed in
+ * closed form by enumerating open-facility subsets, so scalability
+ * instances do not require feasible-set enumeration.
+ */
+
+#ifndef RASENGAN_PROBLEMS_FLP_H
+#define RASENGAN_PROBLEMS_FLP_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct FlpConfig
+{
+    int facilities = 2;
+    int demands = 1;
+    int minOpenCost = 2, maxOpenCost = 10;  ///< f_j range (inclusive)
+    int minServeCost = 1, maxServeCost = 8; ///< c_ij range (inclusive)
+};
+
+/** Number of binary variables of an FLP instance. */
+int flpNumVars(const FlpConfig &config);
+
+/** Generate an FLP instance with costs drawn from @p rng. */
+Problem makeFlp(const std::string &id, const FlpConfig &config, Rng &rng);
+
+/// @name Variable indexing (exposed for tests and examples)
+/// @{
+int flpFacilityVar(const FlpConfig &config, int j);
+int flpAssignVar(const FlpConfig &config, int i, int j);
+int flpSlackVar(const FlpConfig &config, int i, int j);
+/// @}
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_FLP_H

@@ -1,0 +1,106 @@
+#include "problems/gcp.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+int
+gcpNumVars(const GcpConfig &config)
+{
+    return config.vertices * config.colors +
+           config.edges * config.colors;
+}
+
+int
+gcpVar(const GcpConfig &config, int v, int c)
+{
+    panic_if(v < 0 || v >= config.vertices || c < 0 || c >= config.colors,
+             "gcp variable ({}, {}) out of range", v, c);
+    return v * config.colors + c;
+}
+
+namespace {
+
+int
+gcpSlackVar(const GcpConfig &config, int edge, int c)
+{
+    return config.vertices * config.colors + edge * config.colors + c;
+}
+
+} // namespace
+
+Problem
+makeGcp(const std::string &id, const GcpConfig &config, Rng &rng)
+{
+    const int g = config.vertices;
+    const int k = config.colors;
+    const int e = config.edges;
+    fatal_if(g < 2 || k < 2, "GCP needs >= 2 vertices and colors");
+    const int n = gcpNumVars(config);
+    fatal_if(n > kMaxBits, "GCP instance with {} vars exceeds {}", n,
+             kMaxBits);
+
+    // Planted coloring: vertex v belongs to class v mod k.
+    std::vector<int> planted(g);
+    for (int v = 0; v < g; ++v)
+        planted[v] = v % k;
+
+    // Sample e distinct cross-class edges (graph stays k-colorable).
+    std::vector<std::pair<int, int>> candidates;
+    for (int u = 0; u < g; ++u)
+        for (int v = u + 1; v < g; ++v)
+            if (planted[u] != planted[v])
+                candidates.emplace_back(u, v);
+    fatal_if(static_cast<int>(candidates.size()) < e,
+             "GCP: cannot place {} cross-class edges (max {})", e,
+             candidates.size());
+    rng.shuffle(candidates);
+    candidates.resize(e);
+
+    linalg::IntMat c(g + e * k, n);
+    linalg::IntVec b(g + e * k, 1);
+    for (int v = 0; v < g; ++v)
+        for (int col = 0; col < k; ++col)
+            c.at(v, gcpVar(config, v, col)) = 1;
+    int row = g;
+    for (int edge = 0; edge < e; ++edge) {
+        auto [u, v] = candidates[edge];
+        for (int col = 0; col < k; ++col, ++row) {
+            c.at(row, gcpVar(config, u, col)) = 1;
+            c.at(row, gcpVar(config, v, col)) = 1;
+            c.at(row, gcpSlackVar(config, edge, col)) = 1;
+        }
+    }
+
+    // Weighted color usage: higher color indices tend to cost more, with
+    // per-case noise so different cases have different optima.
+    QuadraticObjective f(n);
+    for (int v = 0; v < g; ++v)
+        for (int col = 0; col < k; ++col)
+            f.addLinear(gcpVar(config, v, col),
+                        static_cast<double>(col + 1 +
+                                            rng.uniformInt(0, 3)));
+
+    // Trivial feasible (O(g)): the planted coloring with implied slacks.
+    BitVec trivial;
+    for (int v = 0; v < g; ++v)
+        trivial.set(gcpVar(config, v, planted[v]));
+    for (int edge = 0; edge < e; ++edge) {
+        auto [u, v] = candidates[edge];
+        for (int col = 0; col < k; ++col) {
+            int used = (planted[u] == col ? 1 : 0) +
+                       (planted[v] == col ? 1 : 0);
+            panic_if(used > 1, "planted coloring is improper");
+            if (used == 0)
+                trivial.set(gcpSlackVar(config, edge, col));
+        }
+    }
+
+    return Problem(id, "GCP", std::move(c), std::move(b), std::move(f),
+                   trivial);
+}
+
+} // namespace rasengan::problems

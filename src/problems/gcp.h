@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Graph coloring problem (GCP) generator [23].
+ *
+ * Color g vertices with k colors so adjacent vertices differ, minimizing a
+ * weighted color usage (low color indices are cheaper, so the optimum uses
+ * as few/cheap colors as possible):
+ *   minimize  sum_{v,c} w_c x_vc,      w_c = c + 1
+ *   s.t.      sum_c x_vc = 1                     for every vertex v
+ *             x_uc + x_vc + s_{uv,c} = 1         for every edge, color
+ *
+ * Variable layout: x_vc vertex-major, then the per-(edge, color) slacks.
+ * n = g k + |E| k variables, g + |E| k constraints.  The generated graph
+ * is k-partite by construction (edges only across planted color classes),
+ * so the planted coloring is the linear-time feasible solution
+ * (Section 5.1: O(g)).
+ */
+
+#ifndef RASENGAN_PROBLEMS_GCP_H
+#define RASENGAN_PROBLEMS_GCP_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct GcpConfig
+{
+    int vertices = 3;
+    int colors = 2;
+    int edges = 2; ///< sampled without replacement across color classes
+};
+
+int gcpNumVars(const GcpConfig &config);
+
+/** Variable index of "vertex v has color c". */
+int gcpVar(const GcpConfig &config, int v, int c);
+
+Problem makeGcp(const std::string &id, const GcpConfig &config, Rng &rng);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_GCP_H

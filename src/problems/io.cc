@@ -1,0 +1,220 @@
+#include "problems/io.h"
+
+#include <sstream>
+
+namespace rasengan::problems {
+
+std::string
+writeProblem(const Problem &problem)
+{
+    std::ostringstream os;
+    os.precision(17); // lossless double round trip
+    os << "problem " << problem.id() << " " << problem.family() << "\n";
+    os << "vars " << problem.numVars() << "\n";
+
+    const QuadraticObjective &f = problem.objectiveFn();
+    if (f.constant() != 0.0)
+        os << "objective constant " << f.constant() << "\n";
+    for (int i = 0; i < f.numVars(); ++i)
+        if (f.linear()[i] != 0.0)
+            os << "objective linear " << i << " " << f.linear()[i] << "\n";
+    for (const auto &[i, j, q] : f.quadratic())
+        if (q != 0.0)
+            os << "objective quadratic " << i << " " << j << " " << q
+               << "\n";
+
+    const auto &c = problem.constraints();
+    for (int r = 0; r < c.rows(); ++r) {
+        os << "constraint " << problem.bounds()[r];
+        for (int col = 0; col < c.cols(); ++col)
+            if (c.at(r, col) != 0)
+                os << " " << col << ":" << c.at(r, col);
+        os << "\n";
+    }
+    os << "feasible "
+       << problem.trivialFeasible().toString(problem.numVars()) << "\n";
+    return os.str();
+}
+
+namespace {
+
+struct Parser
+{
+    ProblemParseResult result;
+
+    std::string id, family;
+    int num_vars = -1;
+    double obj_constant = 0.0;
+    std::vector<std::pair<int, double>> obj_linear;
+    std::vector<std::tuple<int, int, double>> obj_quadratic;
+    std::vector<std::pair<linalg::IntVec, int64_t>> rows;
+    std::optional<BitVec> feasible;
+
+    bool
+    fail(int line, const std::string &message)
+    {
+        result.error = message;
+        result.errorLine = line;
+        return false;
+    }
+
+    bool
+    checkVar(int line, int var)
+    {
+        if (num_vars < 0)
+            return fail(line, "statement before 'vars'");
+        if (var < 0 || var >= num_vars)
+            return fail(line, "variable index out of range");
+        return true;
+    }
+
+    bool
+    parseLine(int line_no, const std::string &line)
+    {
+        std::istringstream ss(line);
+        std::string keyword;
+        if (!(ss >> keyword) || keyword[0] == '#')
+            return true;
+
+        if (keyword == "problem") {
+            if (!(ss >> id >> family))
+                return fail(line_no, "malformed problem header");
+            return true;
+        }
+        if (keyword == "vars") {
+            if (!(ss >> num_vars) || num_vars < 1 || num_vars > kMaxBits)
+                return fail(line_no, "malformed vars count");
+            return true;
+        }
+        if (keyword == "objective") {
+            std::string kind;
+            if (!(ss >> kind))
+                return fail(line_no, "malformed objective line");
+            if (kind == "constant") {
+                double v;
+                if (!(ss >> v))
+                    return fail(line_no, "malformed objective constant");
+                obj_constant += v;
+                return true;
+            }
+            if (kind == "linear") {
+                int var;
+                double v;
+                if (!(ss >> var >> v) || !checkVar(line_no, var))
+                    return fail(line_no, "malformed linear term");
+                obj_linear.emplace_back(var, v);
+                return true;
+            }
+            if (kind == "quadratic") {
+                int a, b;
+                double v;
+                if (!(ss >> a >> b >> v) || !checkVar(line_no, a) ||
+                    !checkVar(line_no, b)) {
+                    return fail(line_no, "malformed quadratic term");
+                }
+                obj_quadratic.emplace_back(a, b, v);
+                return true;
+            }
+            return fail(line_no, "unknown objective kind '" + kind + "'");
+        }
+        if (keyword == "constraint") {
+            if (num_vars < 0)
+                return fail(line_no, "constraint before 'vars'");
+            int64_t bound;
+            if (!(ss >> bound))
+                return fail(line_no, "malformed constraint bound");
+            linalg::IntVec row(num_vars, 0);
+            std::string entry;
+            bool any = false;
+            while (ss >> entry) {
+                size_t colon = entry.find(':');
+                if (colon == std::string::npos)
+                    return fail(line_no, "expected var:coeff entry");
+                int var = std::atoi(entry.substr(0, colon).c_str());
+                int64_t coeff =
+                    std::atoll(entry.substr(colon + 1).c_str());
+                if (!checkVar(line_no, var))
+                    return false;
+                row[var] += coeff;
+                any = true;
+            }
+            if (!any)
+                return fail(line_no, "constraint with no terms");
+            rows.emplace_back(std::move(row), bound);
+            return true;
+        }
+        if (keyword == "feasible") {
+            std::string bits;
+            if (!(ss >> bits) || num_vars < 0 ||
+                static_cast<int>(bits.size()) != num_vars) {
+                return fail(line_no, "malformed feasible bitstring");
+            }
+            for (char ch : bits)
+                if (ch != '0' && ch != '1')
+                    return fail(line_no, "feasible string must be binary");
+            feasible = BitVec::fromString(bits);
+            return true;
+        }
+        return fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+
+    bool
+    finish()
+    {
+        if (id.empty())
+            return fail(1, "missing 'problem' header");
+        if (num_vars < 0)
+            return fail(1, "missing 'vars'");
+        if (rows.empty())
+            return fail(1, "missing constraints");
+        if (!feasible)
+            return fail(1, "missing 'feasible' line");
+
+        linalg::IntMat c(static_cast<int>(rows.size()), num_vars);
+        linalg::IntVec b(rows.size());
+        for (size_t r = 0; r < rows.size(); ++r) {
+            for (int col = 0; col < num_vars; ++col)
+                c.at(static_cast<int>(r), col) = rows[r].first[col];
+            b[r] = rows[r].second;
+        }
+        QuadraticObjective f(num_vars);
+        f.addConstant(obj_constant);
+        for (const auto &[var, v] : obj_linear)
+            f.addLinear(var, v);
+        for (const auto &[a, b2, v] : obj_quadratic)
+            f.addQuadratic(a, b2, v);
+        f.normalize();
+
+        // Validate feasibility here (Problem's constructor aborts).
+        linalg::IntVec x(num_vars, 0);
+        for (int i = 0; i < num_vars; ++i)
+            x[i] = feasible->get(i) ? 1 : 0;
+        if (applyInt(c, x) != b)
+            return fail(1, "'feasible' point violates the constraints");
+
+        result.problem.emplace(id, family, std::move(c), std::move(b),
+                               std::move(f), *feasible);
+        return true;
+    }
+};
+
+} // namespace
+
+ProblemParseResult
+parseProblem(const std::string &text)
+{
+    Parser parser;
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    bool ok = true;
+    while (ok && std::getline(stream, line)) {
+        ++line_no;
+        ok = parser.parseLine(line_no, line);
+    }
+    if (ok)
+        parser.finish();
+    return std::move(parser.result);
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text serialization of Problem instances.
+ *
+ * Line-oriented format (order-insensitive apart from the header):
+ *
+ *   problem <id> <family>
+ *   vars <n>
+ *   objective constant <value>
+ *   objective linear <var> <value>
+ *   objective quadratic <var> <var> <value>
+ *   constraint <bound> <var>:<coeff> [<var>:<coeff> ...]
+ *   feasible <bitstring>
+ *
+ * '#' starts a comment.  Used by the CLI tool and for sharing instances
+ * between runs; round-trips exactly through write/parse.
+ */
+
+#ifndef RASENGAN_PROBLEMS_IO_H
+#define RASENGAN_PROBLEMS_IO_H
+
+#include <optional>
+#include <string>
+
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+/** Serialize @p problem into the text format above. */
+std::string writeProblem(const Problem &problem);
+
+struct ProblemParseResult
+{
+    std::optional<Problem> problem;
+    std::string error;
+    int errorLine = 0;
+};
+
+/** Parse the text format; validates the embedded feasible point. */
+ProblemParseResult parseProblem(const std::string &text);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_IO_H

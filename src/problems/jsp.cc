@@ -1,0 +1,67 @@
+#include "problems/jsp.h"
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+int
+jspNumVars(const JspConfig &config)
+{
+    return config.jobs * config.machines;
+}
+
+int
+jspVar(const JspConfig &config, int job, int machine)
+{
+    panic_if(job < 0 || job >= config.jobs || machine < 0 ||
+                 machine >= config.machines,
+             "jsp variable ({}, {}) out of range", job, machine);
+    return job * config.machines + machine;
+}
+
+Problem
+makeJsp(const std::string &id, const JspConfig &config, Rng &rng)
+{
+    const int j = config.jobs;
+    const int m = config.machines;
+    fatal_if(j < 1 || m < 1, "invalid JSP sizes jobs={} machines={}", j, m);
+    const int n = jspNumVars(config);
+    fatal_if(n > kMaxBits, "JSP instance with {} vars exceeds {}", n,
+             kMaxBits);
+
+    std::vector<int64_t> p(j);
+    for (int job = 0; job < j; ++job)
+        p[job] = rng.uniformInt(config.minTime, config.maxTime);
+
+    linalg::IntMat c(j, n);
+    linalg::IntVec b(j, 1);
+    for (int job = 0; job < j; ++job)
+        for (int mach = 0; mach < m; ++mach)
+            c.at(job, jspVar(config, job, mach)) = 1;
+
+    // sum_m (sum_j p_j x_jm)^2 expanded over binaries: x^2 = x gives the
+    // p_j^2 linear terms, cross products give the quadratic terms.
+    QuadraticObjective f(n);
+    for (int mach = 0; mach < m; ++mach) {
+        for (int a = 0; a < j; ++a) {
+            f.addLinear(jspVar(config, a, mach),
+                        static_cast<double>(p[a] * p[a]));
+            for (int bjob = a + 1; bjob < j; ++bjob) {
+                f.addQuadratic(jspVar(config, a, mach),
+                               jspVar(config, bjob, mach),
+                               2.0 * static_cast<double>(p[a] * p[bjob]));
+            }
+        }
+    }
+    f.normalize();
+
+    // Trivial feasible (O(j)): every job on machine 0.
+    BitVec trivial;
+    for (int job = 0; job < j; ++job)
+        trivial.set(jspVar(config, job, 0));
+
+    return Problem(id, "JSP", std::move(c), std::move(b), std::move(f),
+                   trivial);
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Job scheduling problem (JSP) generator: identical-machines scheduling
+ * [42].
+ *
+ * Assign j jobs with processing times p to m identical machines,
+ * minimizing the sum of squared machine loads (the standard smooth proxy
+ * for makespan balance):
+ *   minimize  sum_m (sum_j p_j x_jm)^2
+ *   s.t.      sum_m x_jm = 1   for every job j
+ *
+ * Variable layout: x_jm, job-major.  n = j m variables, j constraints.
+ * Trivial feasible solution: every job on machine 0 (Section 5.1: O(j)).
+ */
+
+#ifndef RASENGAN_PROBLEMS_JSP_H
+#define RASENGAN_PROBLEMS_JSP_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct JspConfig
+{
+    int jobs = 3;
+    int machines = 2;
+    int minTime = 1, maxTime = 6;
+};
+
+int jspNumVars(const JspConfig &config);
+
+/** Variable index of "job j on machine m". */
+int jspVar(const JspConfig &config, int job, int machine);
+
+Problem makeJsp(const std::string &id, const JspConfig &config, Rng &rng);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_JSP_H

@@ -1,0 +1,93 @@
+#include "problems/kpp.h"
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+int
+kppNumVars(const KppConfig &config)
+{
+    return config.elements * config.parts;
+}
+
+int
+kppVar(const KppConfig &config, int v, int c)
+{
+    panic_if(v < 0 || v >= config.elements || c < 0 || c >= config.parts,
+             "kpp variable ({}, {}) out of range", v, c);
+    return v * config.parts + c;
+}
+
+Problem
+makeKpp(const std::string &id, const KppConfig &config, Rng &rng)
+{
+    const int e = config.elements;
+    const int k = config.parts;
+    fatal_if(e < 1 || k < 1 || k > e, "invalid KPP sizes e={} k={}", e, k);
+    const int n = kppNumVars(config);
+    fatal_if(n > kMaxBits, "KPP instance with {} vars exceeds {}", n,
+             kMaxBits);
+
+    // Part sizes: as balanced as possible, summing to e.
+    std::vector<int64_t> sizes(k, e / k);
+    for (int c = 0; c < e % k; ++c)
+        ++sizes[c];
+
+    // Random weighted graph.
+    std::vector<std::tuple<int, int, int64_t>> edges;
+    for (int u = 0; u < e; ++u) {
+        for (int v = u + 1; v < e; ++v) {
+            if (rng.uniformReal() < config.edgeProbability) {
+                edges.emplace_back(
+                    u, v, rng.uniformInt(config.minWeight, config.maxWeight));
+            }
+        }
+    }
+
+    linalg::IntMat c(e + k, n);
+    linalg::IntVec b(e + k, 0);
+    for (int v = 0; v < e; ++v) {
+        for (int part = 0; part < k; ++part)
+            c.at(v, kppVar(config, v, part)) = 1;
+        b[v] = 1;
+    }
+    for (int part = 0; part < k; ++part) {
+        for (int v = 0; v < e; ++v)
+            c.at(e + part, kppVar(config, v, part)) = 1;
+        b[e + part] = sizes[part];
+    }
+
+    // Objective: total cut weight.  Constant = sum of weights; each edge
+    // inside one part gets its weight back via -w x_uc x_vc.  The +1
+    // offset keeps the optimum nonzero so ARG (Equation 9) stays defined
+    // even when a zero-cut partition exists.
+    QuadraticObjective f(n);
+    f.addConstant(1.0);
+    for (const auto &[u, v, w] : edges) {
+        f.addConstant(static_cast<double>(w));
+        for (int part = 0; part < k; ++part)
+            f.addQuadratic(kppVar(config, u, part), kppVar(config, v, part),
+                           -static_cast<double>(w));
+    }
+    f.normalize();
+
+    // Trivial feasible (O(e)): fill parts in order up to their sizes.
+    BitVec trivial;
+    {
+        int part = 0;
+        int64_t used = 0;
+        for (int v = 0; v < e; ++v) {
+            while (used >= sizes[part]) {
+                ++part;
+                used = 0;
+            }
+            trivial.set(kppVar(config, v, part));
+            ++used;
+        }
+    }
+
+    return Problem(id, "KPP", std::move(c), std::move(b), std::move(f),
+                   trivial);
+}
+
+} // namespace rasengan::problems

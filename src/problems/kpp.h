@@ -1,0 +1,41 @@
+/**
+ * @file
+ * K-partition problem (KPP) generator [6].
+ *
+ * Partition e weighted-graph vertices into k parts with prescribed part
+ * sizes, minimizing the total weight of edges cut between parts:
+ *   minimize  sum_{(u,v) in E} w_uv (1 - sum_c x_uc x_vc)
+ *   s.t.      sum_c x_vc = 1       for every vertex v   (one-hot)
+ *             sum_v x_vc = size_c  for every part c     (balance)
+ *
+ * Variable layout: x_vc, vertex-major.  n = e k, e + k constraints.
+ * Trivial feasible solution: round-robin greedy assignment honoring the
+ * part sizes (Section 5.1: O(e)).
+ */
+
+#ifndef RASENGAN_PROBLEMS_KPP_H
+#define RASENGAN_PROBLEMS_KPP_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct KppConfig
+{
+    int elements = 4;
+    int parts = 2;
+    double edgeProbability = 0.6;
+    int minWeight = 1, maxWeight = 5;
+};
+
+int kppNumVars(const KppConfig &config);
+
+/** Variable index of "vertex v in part c". */
+int kppVar(const KppConfig &config, int v, int c);
+
+Problem makeKpp(const std::string &id, const KppConfig &config, Rng &rng);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_KPP_H

@@ -1,0 +1,67 @@
+#include "problems/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rasengan::problems {
+
+double
+defaultPenaltyLambda(const Problem &problem)
+{
+    const QuadraticObjective &f = problem.objectiveFn();
+    double total = 1.0;
+    for (double l : f.linear())
+        total += std::abs(l);
+    for (const auto &[i, j, c] : f.quadratic())
+        total += std::abs(c);
+    return total;
+}
+
+double
+expectedObjective(const Problem &problem, const qsim::Counts &counts,
+                  double penalty_lambda)
+{
+    return counts.expectation([&](const BitVec &x) {
+        return problem.penalizedObjective(x, penalty_lambda);
+    });
+}
+
+double
+argFromCounts(const Problem &problem, const qsim::Counts &counts,
+              double penalty_lambda)
+{
+    return problem.arg(expectedObjective(problem, counts, penalty_lambda));
+}
+
+double
+argOfSolution(const Problem &problem, const BitVec &x, double penalty_lambda)
+{
+    return problem.arg(problem.penalizedObjective(x, penalty_lambda));
+}
+
+double
+inConstraintsRate(const Problem &problem, const qsim::Counts &counts)
+{
+    return counts.fraction(
+        [&](const BitVec &x) { return problem.isFeasible(x); });
+}
+
+double
+bestFeasibleObjective(const Problem &problem, const qsim::Counts &counts)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &[outcome, n] : counts.map()) {
+        (void)n;
+        if (problem.isFeasible(outcome))
+            best = std::min(best, problem.objective(outcome));
+    }
+    return best;
+}
+
+double
+meanFeasibleArg(const Problem &problem)
+{
+    return problem.arg(problem.meanFeasibleValue());
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Evaluation metrics from Section 5.1: approximation ratio gap (ARG) and
+ * in-constraints rate, computed from measurement histograms.
+ */
+
+#ifndef RASENGAN_PROBLEMS_METRICS_H
+#define RASENGAN_PROBLEMS_METRICS_H
+
+#include "problems/problem.h"
+#include "qsim/counts.h"
+
+namespace rasengan::problems {
+
+/**
+ * Penalty coefficient large enough to dominate the objective range:
+ * 1 + sum of absolute objective coefficients, so any constraint violation
+ * costs more than the best possible objective gain.  Computable without
+ * enumerating the feasible set.
+ */
+double defaultPenaltyLambda(const Problem &problem);
+
+/**
+ * Expected objective of the output distribution; infeasible outcomes are
+ * scored with the lambda-penalized objective (this is what makes penalty
+ * methods' ARG blow up into the hundreds, as in Table 1/2).
+ */
+double expectedObjective(const Problem &problem, const qsim::Counts &counts,
+                         double penalty_lambda);
+
+/** ARG (Equation 9) of the output distribution. */
+double argFromCounts(const Problem &problem, const qsim::Counts &counts,
+                     double penalty_lambda);
+
+/** ARG of a single output solution. */
+double argOfSolution(const Problem &problem, const BitVec &x,
+                     double penalty_lambda);
+
+/** Fraction of shots that satisfy the constraints. */
+double inConstraintsRate(const Problem &problem, const qsim::Counts &counts);
+
+/**
+ * Best feasible objective value among outcomes; +infinity when no outcome
+ * is feasible.
+ */
+double bestFeasibleObjective(const Problem &problem,
+                             const qsim::Counts &counts);
+
+/** ARG of the mean feasible solution (the paper's hardware baseline). */
+double meanFeasibleArg(const Problem &problem);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_METRICS_H

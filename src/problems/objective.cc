@@ -1,0 +1,70 @@
+#include "problems/objective.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+void
+QuadraticObjective::addLinear(int i, double coeff)
+{
+    panic_if(i < 0 || i >= numVars_, "linear index {} out of range", i);
+    linear_[i] += coeff;
+}
+
+void
+QuadraticObjective::addQuadratic(int i, int j, double coeff)
+{
+    panic_if(i < 0 || i >= numVars_ || j < 0 || j >= numVars_,
+             "quadratic index ({}, {}) out of range", i, j);
+    if (i == j) {
+        linear_[i] += coeff;
+        return;
+    }
+    if (i > j)
+        std::swap(i, j);
+    quad_.emplace_back(i, j, coeff);
+}
+
+double
+QuadraticObjective::eval(const BitVec &x) const
+{
+    double acc = constant_;
+    for (int i = 0; i < numVars_; ++i)
+        if (x.get(i))
+            acc += linear_[i];
+    for (const auto &[i, j, c] : quad_)
+        if (x.get(i) && x.get(j))
+            acc += c;
+    return acc;
+}
+
+void
+QuadraticObjective::normalize()
+{
+    std::map<std::pair<int, int>, double> merged;
+    for (const auto &[i, j, c] : quad_)
+        merged[{i, j}] += c;
+    quad_.clear();
+    for (const auto &[key, c] : merged)
+        if (c != 0.0)
+            quad_.emplace_back(key.first, key.second, c);
+}
+
+void
+QuadraticObjective::accumulate(const QuadraticObjective &other, double scale)
+{
+    panic_if(other.numVars_ != numVars_,
+             "accumulating objective over {} vars into {}", other.numVars_,
+             numVars_);
+    constant_ += scale * other.constant_;
+    for (int i = 0; i < numVars_; ++i)
+        linear_[i] += scale * other.linear_[i];
+    for (const auto &[i, j, c] : other.quad_)
+        quad_.emplace_back(i, j, scale * c);
+    normalize();
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quadratic pseudo-boolean objective functions.
+ *
+ * Every benchmark family's objective is at most quadratic in the binary
+ * variables: f(x) = c + sum_i l_i x_i + sum_{i<j} q_ij x_i x_j.  This is
+ * also the form penalty-term methods square constraints into, so the same
+ * type backs the penalized objectives of P-QAOA and HEA.
+ */
+
+#ifndef RASENGAN_PROBLEMS_OBJECTIVE_H
+#define RASENGAN_PROBLEMS_OBJECTIVE_H
+
+#include <tuple>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace rasengan::problems {
+
+class QuadraticObjective
+{
+  public:
+    QuadraticObjective() = default;
+    explicit QuadraticObjective(int num_vars)
+        : numVars_(num_vars), linear_(num_vars, 0.0)
+    {}
+
+    int numVars() const { return numVars_; }
+
+    double constant() const { return constant_; }
+    void addConstant(double c) { constant_ += c; }
+
+    const std::vector<double> &linear() const { return linear_; }
+    void addLinear(int i, double coeff);
+
+    /** Quadratic terms as (i, j, coeff) with i < j. */
+    const std::vector<std::tuple<int, int, double>> &quadratic() const
+    {
+        return quad_;
+    }
+
+    /**
+     * Add coeff * x_i * x_j.  i == j folds into the linear term
+     * (x^2 = x for binaries).
+     */
+    void addQuadratic(int i, int j, double coeff);
+
+    /** Evaluate at the assignment @p x. */
+    double eval(const BitVec &x) const;
+
+    /** True when every quadratic coefficient is zero. */
+    bool isLinear() const { return quad_.empty(); }
+
+    /** Merge duplicate quadratic index pairs (normalization). */
+    void normalize();
+
+    /** this += scale * other (dimensions must match). */
+    void accumulate(const QuadraticObjective &other, double scale = 1.0);
+
+  private:
+    int numVars_ = 0;
+    double constant_ = 0.0;
+    std::vector<double> linear_;
+    std::vector<std::tuple<int, int, double>> quad_;
+};
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_OBJECTIVE_H

@@ -1,0 +1,71 @@
+#include "problems/portfolio.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "problems/builder.h"
+
+namespace rasengan::problems {
+
+Problem
+makePortfolio(const std::string &id, const PortfolioConfig &config,
+              Rng &rng)
+{
+    const int n = config.assets;
+    const int k = config.pick;
+    fatal_if(n < 2 || k < 1 || k > n, "invalid portfolio sizes n={} k={}",
+             n, k);
+
+    std::vector<int64_t> ret(n), cost(n);
+    for (int i = 0; i < n; ++i) {
+        ret[i] = rng.uniformInt(config.minReturn, config.maxReturn);
+        cost[i] = rng.uniformInt(config.minCost, config.maxCost);
+    }
+    // Symmetric covariance-style couplings (risk between asset pairs).
+    std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            sigma[i][j] = rng.uniformReal(-1.0, 2.0);
+
+    // Budget: the k cheapest assets always fit (greedy trivial point).
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return cost[a] < cost[b]; });
+    int64_t cheapest = 0;
+    for (int i = 0; i < k; ++i)
+        cheapest += cost[order[i]];
+    int64_t budget = cheapest + config.budgetSlack;
+
+    ProblemBuilder builder(id, "PORT", n);
+
+    // Objective: maximize return - risk => minimize the negation, with a
+    // positive shift so ARG (Equation 9) stays well defined.
+    double shift = 1.0;
+    for (int i = 0; i < n; ++i)
+        shift += static_cast<double>(ret[i]);
+    builder.objectiveConstant(shift);
+    for (int i = 0; i < n; ++i)
+        builder.objectiveLinear(i, -static_cast<double>(ret[i]));
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            builder.objectiveQuadratic(i, j,
+                                       config.riskAversion * sigma[i][j]);
+
+    // Cardinality (equality) and budget (inequality -> slack bits).
+    std::vector<ProblemBuilder::Term> ones, costs;
+    for (int i = 0; i < n; ++i) {
+        ones.emplace_back(i, 1);
+        costs.emplace_back(i, cost[i]);
+    }
+    builder.addEquality(ones, k);
+    builder.addLessEqual(costs, budget);
+
+    BitVec greedy;
+    for (int i = 0; i < k; ++i)
+        greedy.set(order[i]);
+    return builder.build(greedy);
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Portfolio optimization generator -- the "financial investment"
+ * application the paper's introduction motivates (cf. [5], QAOA
+ * portfolio benchmarking).
+ *
+ * Markowitz-style binary selection of k assets under a budget:
+ *   minimize  -sum_i r_i x_i + q * sum_{i<j} sigma_ij x_i x_j  (+ shift)
+ *   s.t.      sum_i x_i = k                  (cardinality, equality)
+ *             sum_i cost_i x_i <= budget     (inequality -> slack bits)
+ *
+ * Built through ProblemBuilder, so this family exercises the
+ * inequality-to-equality compilation path end to end.  The constant
+ * shift keeps every objective value positive so ARG stays defined.
+ */
+
+#ifndef RASENGAN_PROBLEMS_PORTFOLIO_H
+#define RASENGAN_PROBLEMS_PORTFOLIO_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct PortfolioConfig
+{
+    int assets = 6;
+    int pick = 3;            ///< cardinality k
+    double riskAversion = 0.5;
+    int minReturn = 1, maxReturn = 9;
+    int minCost = 1, maxCost = 5;
+    /** Budget headroom over the k cheapest assets (guarantees
+     *  feasibility of the greedy pick). */
+    int budgetSlack = 2;
+};
+
+Problem makePortfolio(const std::string &id, const PortfolioConfig &config,
+                      Rng &rng);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_PORTFOLIO_H

@@ -1,0 +1,81 @@
+#include "problems/scp.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+Problem
+makeScp(const std::string &id, const ScpConfig &config, Rng &rng)
+{
+    const int e = config.elements;
+    const int s = config.totalSets();
+    fatal_if(e < 2, "SCP needs at least two elements");
+    fatal_if(s > kMaxBits, "SCP instance with {} vars exceeds {}", s,
+             kMaxBits);
+
+    // membership[set] = bitmask of covered elements.
+    std::vector<uint64_t> membership(s, 0);
+
+    // One singleton per element: guarantees feasibility and gives the
+    // O(s) trivial solution ("select every singleton").
+    for (int elem = 0; elem < e; ++elem)
+        membership[elem] = uint64_t{1} << elem;
+
+    // Random pair sets (distinct pairs while possible).
+    std::set<uint64_t> seen;
+    for (int k = 0; k < config.pairSets; ++k) {
+        uint64_t mask = 0;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            int a = static_cast<int>(rng.uniformInt(0, e - 1));
+            int b = static_cast<int>(rng.uniformInt(0, e - 1));
+            if (a == b)
+                continue;
+            mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+            if (seen.insert(mask).second || attempt > 48)
+                break;
+        }
+        membership[e + k] = mask;
+    }
+
+    // Random larger blocks.
+    for (int k = 0; k < config.blockSets; ++k) {
+        int size = static_cast<int>(
+            rng.uniformInt(3, std::max(3, std::min(e, 4))));
+        uint64_t mask = 0;
+        while (__builtin_popcountll(mask) < size)
+            mask |= uint64_t{1} << rng.uniformInt(0, e - 1);
+        membership[e + config.pairSets + k] = mask;
+    }
+
+    linalg::IntMat c(e, s);
+    linalg::IntVec b(e, 1);
+    for (int elem = 0; elem < e; ++elem)
+        for (int set = 0; set < s; ++set)
+            if (membership[set] & (uint64_t{1} << elem))
+                c.at(elem, set) = 1;
+
+    // Per-element cost decreases with set size (bulk discount), so
+    // larger disjoint sets are worth selecting and the optimum is not
+    // simply "all singletons".
+    QuadraticObjective f(s);
+    for (int set = 0; set < s; ++set) {
+        int size = __builtin_popcountll(membership[set]);
+        double cost = size + 1.0 +
+                      static_cast<double>(
+                          rng.uniformInt(config.minCost, config.maxCost)) /
+                          size;
+        f.addLinear(set, cost);
+    }
+
+    // Trivial feasible (O(s)): all singletons.
+    BitVec trivial;
+    for (int elem = 0; elem < e; ++elem)
+        trivial.set(elem);
+
+    return Problem(id, "SCP", std::move(c), std::move(b), std::move(f),
+                   trivial);
+}
+
+} // namespace rasengan::problems

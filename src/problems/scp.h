@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Set covering problem (SCP) generator [8], in the exact-cover equality
+ * form the paper's constraint system C x = b requires:
+ *   minimize  sum_s cost_s x_s
+ *   s.t.      sum_{s : e in s} x_s = 1   for every element e
+ *
+ * Instance structure: one singleton set per element (so "select every
+ * singleton" is the O(s) feasible solution of Section 5.1), plus random
+ * pair sets and larger block sets.  Exact covers are formed by choosing
+ * disjoint pairs/blocks and filling the rest with singletons, which makes
+ * the feasible space combinatorially rich (the paper's 12-qubit SCP case
+ * has 72 feasible selections out of 4096).
+ * Variable layout: one variable per set.  n = #sets, rows = #elements.
+ */
+
+#ifndef RASENGAN_PROBLEMS_SCP_H
+#define RASENGAN_PROBLEMS_SCP_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct ScpConfig
+{
+    int elements = 4;
+    int pairSets = 4;   ///< random 2-element sets
+    int blockSets = 0;  ///< random sets of size in [3, elements]
+    int minCost = 1, maxCost = 4;
+
+    int totalSets() const { return elements + pairSets + blockSets; }
+};
+
+Problem makeScp(const std::string &id, const ScpConfig &config, Rng &rng);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_SCP_H

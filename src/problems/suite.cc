@@ -1,0 +1,145 @@
+#include "problems/suite.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "problems/flp.h"
+#include "problems/gcp.h"
+#include "problems/jsp.h"
+#include "problems/kpp.h"
+#include "problems/scp.h"
+
+namespace rasengan::problems {
+
+namespace {
+
+/** Deterministic seed from benchmark id and case index. */
+uint64_t
+caseSeed(const std::string &id, uint64_t case_index)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (char ch : id) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001B3ull;
+    }
+    h ^= case_index + 0x9E3779B97F4A7C15ull;
+    h *= 0x100000001B3ull;
+    return h;
+}
+
+} // namespace
+
+std::vector<std::string>
+benchmarkIds()
+{
+    return {"F1", "F2", "F3", "F4", "K1", "K2", "K3", "K4",
+            "J1", "J2", "J3", "J4", "S1", "S2", "S3", "S4",
+            "G1", "G2", "G3", "G4"};
+}
+
+bool
+isBenchmarkId(const std::string &id)
+{
+    for (const std::string &known : benchmarkIds())
+        if (known == id)
+            return true;
+    return false;
+}
+
+Problem
+makeBenchmark(const std::string &id, uint64_t case_index)
+{
+    Rng rng(caseSeed(id, case_index));
+
+    static const std::map<std::string, FlpConfig> flp = {
+        {"F1", {.facilities = 2, .demands = 1}},
+        {"F2", {.facilities = 2, .demands = 2}},
+        {"F3", {.facilities = 2, .demands = 3}},
+        {"F4", {.facilities = 3, .demands = 2}},
+    };
+    static const std::map<std::string, KppConfig> kpp = {
+        {"K1", {.elements = 4, .parts = 2}},
+        {"K2", {.elements = 5, .parts = 2}},
+        {"K3", {.elements = 6, .parts = 2}},
+        {"K4", {.elements = 4, .parts = 3}},
+    };
+    static const std::map<std::string, JspConfig> jsp = {
+        {"J1", {.jobs = 3, .machines = 2}},
+        {"J2", {.jobs = 4, .machines = 2}},
+        {"J3", {.jobs = 5, .machines = 2}},
+        {"J4", {.jobs = 4, .machines = 3}},
+    };
+    static const std::map<std::string, ScpConfig> scp = {
+        {"S1", {.elements = 3, .pairSets = 3, .blockSets = 0}},
+        {"S2", {.elements = 4, .pairSets = 4, .blockSets = 0}},
+        {"S3", {.elements = 5, .pairSets = 4, .blockSets = 1}},
+        {"S4", {.elements = 6, .pairSets = 4, .blockSets = 2}},
+    };
+    static const std::map<std::string, GcpConfig> gcp = {
+        {"G1", {.vertices = 3, .colors = 2, .edges = 1}},
+        {"G2", {.vertices = 4, .colors = 2, .edges = 2}},
+        {"G3", {.vertices = 3, .colors = 3, .edges = 2}},
+        {"G4", {.vertices = 4, .colors = 3, .edges = 2}},
+    };
+
+    if (auto it = flp.find(id); it != flp.end())
+        return makeFlp(id, it->second, rng);
+    if (auto it = kpp.find(id); it != kpp.end())
+        return makeKpp(id, it->second, rng);
+    if (auto it = jsp.find(id); it != jsp.end())
+        return makeJsp(id, it->second, rng);
+    if (auto it = scp.find(id); it != scp.end())
+        return makeScp(id, it->second, rng);
+    if (auto it = gcp.find(id); it != gcp.end())
+        return makeGcp(id, it->second, rng);
+    fatal("unknown benchmark id '{}'", id);
+}
+
+namespace {
+
+/** (facilities, demands) pairs for the Figure 10 series. */
+const std::vector<std::pair<int, int>> kScalabilityShapes = {
+    {2, 1},  // 6 vars
+    {2, 2},  // 10
+    {2, 3},  // 14
+    {3, 3},  // 21
+    {3, 4},  // 27
+    {3, 5},  // 33
+    {4, 5},  // 44
+    {4, 6},  // 52
+    {4, 7},  // 60
+    {5, 7},  // 75
+    {5, 9},  // 95
+    {5, 10}, // 105
+};
+
+} // namespace
+
+std::vector<int>
+scalabilityFlpSizes()
+{
+    std::vector<int> sizes;
+    for (auto [m, d] : kScalabilityShapes)
+        sizes.push_back(flpNumVars({.facilities = m, .demands = d}));
+    return sizes;
+}
+
+Problem
+makeScalabilityFlp(int num_vars, uint64_t case_index)
+{
+    for (auto [m, d] : kScalabilityShapes) {
+        FlpConfig config{.facilities = m, .demands = d};
+        if (flpNumVars(config) != num_vars)
+            continue;
+        std::string id = "FLP" + std::to_string(num_vars);
+        Rng rng(caseSeed(id, case_index));
+        Problem p = makeFlp(id, config, rng);
+        if (num_vars > 24)
+            p.disableEnumeration();
+        return p;
+    }
+    fatal("no scalability FLP shape with {} variables", num_vars);
+}
+
+} // namespace rasengan::problems

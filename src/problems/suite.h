@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The 20-benchmark suite of Table 2 (F1..F4, K1..K4, J1..J4, S1..S4,
+ * G1..G4) and the large-scale FLP series of Figure 10.
+ *
+ * Benchmark sizes are scaled so the dense-simulated baselines remain
+ * tractable on a CPU (6..18 qubits), mirroring the scaling-down the
+ * paper's own artifact applies for reproduction.  Instances are generated
+ * deterministically from (benchmark id, case index): the paper's "400
+ * cases from relevant literature" per family become seeded random
+ * instances with the family's structure.
+ */
+
+#ifndef RASENGAN_PROBLEMS_SUITE_H
+#define RASENGAN_PROBLEMS_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+/** The 20 benchmark ids in Table 2 order: F1..F4, K1..K4, ..., G1..G4. */
+std::vector<std::string> benchmarkIds();
+
+/** True when @p id names a suite benchmark. */
+bool isBenchmarkId(const std::string &id);
+
+/**
+ * Instantiate suite benchmark @p id; @p case_index selects one of the
+ * family's random cases (deterministic: same (id, case) -> same
+ * instance).
+ */
+Problem makeBenchmark(const std::string &id, uint64_t case_index = 0);
+
+/**
+ * Variable counts of the FLP scalability series (Figure 10): instances
+ * from 6 to 105 variables.
+ */
+std::vector<int> scalabilityFlpSizes();
+
+/**
+ * The scalability FLP instance with @p num_vars variables (must be one of
+ * scalabilityFlpSizes()).  Enumeration is disabled beyond 24 variables;
+ * the closed-form FLP optimum keeps ARG computable.
+ */
+Problem makeScalabilityFlp(int num_vars, uint64_t case_index = 0);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_SUITE_H

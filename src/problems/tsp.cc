@@ -1,0 +1,80 @@
+#include "problems/tsp.h"
+
+#include "common/logging.h"
+
+namespace rasengan::problems {
+
+int
+tspNumVars(const TspConfig &config)
+{
+    return config.cities * config.cities;
+}
+
+int
+tspVar(const TspConfig &config, int city, int position)
+{
+    panic_if(city < 0 || city >= config.cities || position < 0 ||
+                 position >= config.cities,
+             "tsp variable ({}, {}) out of range", city, position);
+    return city * config.cities + position;
+}
+
+Problem
+makeTsp(const std::string &id, const TspConfig &config, Rng &rng)
+{
+    const int v = config.cities;
+    fatal_if(v < 3, "TSP needs at least 3 cities");
+    const int n = tspNumVars(config);
+    fatal_if(n > kMaxBits, "TSP instance with {} vars exceeds {}", n,
+             kMaxBits);
+
+    std::vector<std::vector<int64_t>> dist(v, std::vector<int64_t>(v, 0));
+    for (int a = 0; a < v; ++a) {
+        for (int b = 0; b < v; ++b) {
+            if (a == b)
+                continue;
+            if (config.symmetric && b < a)
+                dist[a][b] = dist[b][a];
+            else
+                dist[a][b] =
+                    rng.uniformInt(config.minDistance, config.maxDistance);
+        }
+    }
+
+    // Assignment-polytope constraints: city rows then position rows.
+    linalg::IntMat c(2 * v, n);
+    linalg::IntVec b(2 * v, 1);
+    for (int city = 0; city < v; ++city)
+        for (int pos = 0; pos < v; ++pos)
+            c.at(city, tspVar(config, city, pos)) = 1;
+    for (int pos = 0; pos < v; ++pos)
+        for (int city = 0; city < v; ++city)
+            c.at(v + pos, tspVar(config, city, pos)) = 1;
+
+    // Closed-tour cost: consecutive positions (wrapping) of every city
+    // pair.
+    QuadraticObjective f(n);
+    for (int pos = 0; pos < v; ++pos) {
+        int next = (pos + 1) % v;
+        for (int a = 0; a < v; ++a) {
+            for (int bcity = 0; bcity < v; ++bcity) {
+                if (a == bcity)
+                    continue;
+                f.addQuadratic(tspVar(config, a, pos),
+                               tspVar(config, bcity, next),
+                               static_cast<double>(dist[a][bcity]));
+            }
+        }
+    }
+    f.normalize();
+
+    // Trivial feasible (O(v)): the identity tour 0 -> 1 -> ... -> v-1.
+    BitVec trivial;
+    for (int city = 0; city < v; ++city)
+        trivial.set(tspVar(config, city, city));
+
+    return Problem(id, "TSP", std::move(c), std::move(b), std::move(f),
+                   trivial);
+}
+
+} // namespace rasengan::problems

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Traveling salesman (route optimization) generator -- the "route
+ * optimization" application from the paper's introduction [16].
+ *
+ * Position-based one-hot encoding: x_{v,p} = 1 iff city v is visited at
+ * position p of the tour.
+ *   minimize  sum_{p} sum_{u != v} d(u, v) x_{u,p} x_{v,p+1}
+ *             (positions wrap around: a closed tour)
+ *   s.t.      sum_p x_{v,p} = 1   for every city  (each city once)
+ *             sum_v x_{v,p} = 1   for every position (one city per stop)
+ *
+ * The constraint matrix is the assignment polytope (totally unimodular),
+ * so Theorem 1's m-round bound applies directly; the quadratic tour cost
+ * needs no objective-Hamiltonian encoding in Rasengan (the generality
+ * argument of Section 3.2).  n = cities^2 variables.
+ */
+
+#ifndef RASENGAN_PROBLEMS_TSP_H
+#define RASENGAN_PROBLEMS_TSP_H
+
+#include "common/rng.h"
+#include "problems/problem.h"
+
+namespace rasengan::problems {
+
+struct TspConfig
+{
+    int cities = 3;
+    int minDistance = 1, maxDistance = 9;
+    bool symmetric = true; ///< d(u,v) == d(v,u)
+};
+
+int tspNumVars(const TspConfig &config);
+
+/** Variable index of "city v at tour position p". */
+int tspVar(const TspConfig &config, int city, int position);
+
+Problem makeTsp(const std::string &id, const TspConfig &config, Rng &rng);
+
+} // namespace rasengan::problems
+
+#endif // RASENGAN_PROBLEMS_TSP_H

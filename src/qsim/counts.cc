@@ -1,0 +1,22 @@
+#include "qsim/counts.h"
+
+#include "common/logging.h"
+
+namespace rasengan::qsim {
+
+BitVec
+Counts::mostFrequent() const
+{
+    fatal_if(empty(), "mostFrequent of empty counts");
+    const BitVec *best = nullptr;
+    uint64_t best_n = 0;
+    for (const auto &[outcome, n] : counts_) {
+        if (!best || n > best_n || (n == best_n && outcome < *best)) {
+            best = &outcome;
+            best_n = n;
+        }
+    }
+    return *best;
+}
+
+} // namespace rasengan::qsim

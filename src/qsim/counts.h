@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Measurement-outcome histograms shared by all simulators.
+ */
+
+#ifndef RASENGAN_QSIM_COUNTS_H
+#define RASENGAN_QSIM_COUNTS_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace rasengan::qsim {
+
+/** Histogram of measured basis states. */
+class Counts
+{
+  public:
+    using Map = std::unordered_map<BitVec, uint64_t, BitVecHash>;
+
+    Counts() = default;
+
+    void
+    add(const BitVec &outcome, uint64_t n = 1)
+    {
+        counts_[outcome] += n;
+        total_ += n;
+    }
+
+    const Map &map() const { return counts_; }
+    uint64_t total() const { return total_; }
+    bool empty() const { return total_ == 0; }
+    size_t distinct() const { return counts_.size(); }
+
+    /** Empirical probability of @p outcome. */
+    double
+    probability(const BitVec &outcome) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        auto it = counts_.find(outcome);
+        return it == counts_.end()
+                   ? 0.0
+                   : static_cast<double>(it->second) /
+                         static_cast<double>(total_);
+    }
+
+    /** Expectation of a per-outcome scalar under the empirical law. */
+    double
+    expectation(const std::function<double(const BitVec &)> &value) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double acc = 0.0;
+        for (const auto &[outcome, n] : counts_)
+            acc += value(outcome) * static_cast<double>(n);
+        return acc / static_cast<double>(total_);
+    }
+
+    /** Fraction of shots whose outcome satisfies @p pred. */
+    double
+    fraction(const std::function<bool(const BitVec &)> &pred) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        uint64_t hits = 0;
+        for (const auto &[outcome, n] : counts_)
+            if (pred(outcome))
+                hits += n;
+        return static_cast<double>(hits) / static_cast<double>(total_);
+    }
+
+    /** Keep only outcomes satisfying @p pred (purification primitive). */
+    Counts
+    filtered(const std::function<bool(const BitVec &)> &pred) const
+    {
+        Counts out;
+        for (const auto &[outcome, n] : counts_)
+            if (pred(outcome))
+                out.add(outcome, n);
+        return out;
+    }
+
+    /** Outcome with the highest count; aborts when empty. */
+    BitVec mostFrequent() const;
+
+  private:
+    Map counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace rasengan::qsim
+
+#endif // RASENGAN_QSIM_COUNTS_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small exact density-matrix simulator.
+ *
+ * Uses the vectorization trick: an n-qubit density matrix rho is stored as
+ * a 2n-qubit statevector vec(rho), on which a unitary U acts as U (x) U*
+ * (row wires 0..n-1, column wires n..2n-1) and a Kraus channel acts as
+ * sum_i K_i (x) K_i*.  Practical to ~7 qubits; used to validate the
+ * trajectory-noise machinery and for exact small-case noise studies.
+ */
+
+#ifndef RASENGAN_QSIM_DENSITY_H
+#define RASENGAN_QSIM_DENSITY_H
+
+#include <vector>
+
+#include "qsim/noise.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::qsim {
+
+class DensityMatrix
+{
+  public:
+    /** Initialize to |basis><basis| on @p num_qubits wires. */
+    DensityMatrix(int num_qubits, const BitVec &basis);
+
+    int numQubits() const { return numQubits_; }
+
+    /** rho_{xx}: probability of basis state @p x. */
+    double probability(const BitVec &x) const;
+
+    /** All diagonal entries, indexed by basis index. */
+    std::vector<double> diagonal() const;
+
+    /** Trace (1 up to float error for trace-preserving evolution). */
+    double trace() const;
+
+    /** Purity tr(rho^2): 1 for pure states, < 1 for mixed states. */
+    double purity() const;
+
+    /** Apply a unitary gate: rho -> U rho U^dagger. */
+    void applyGate(const circuit::Gate &gate);
+    void applyCircuit(const circuit::Circuit &circ);
+
+    /** Exact 1q Kraus channel: rho -> sum_i K_i rho K_i^dagger. */
+    void applyKraus1q(int target, const std::vector<Mat2> &kraus);
+
+    /** Exact depolarizing channel with probability @p p on @p target. */
+    void applyDepolarizing(int target, double p);
+
+    /** Exact amplitude damping with rate @p gamma on @p target. */
+    void applyAmplitudeDamping(int target, double gamma);
+
+    /** Exact phase damping with rate @p lambda on @p target. */
+    void applyPhaseDamping(int target, double lambda);
+
+    /**
+     * Apply @p circ with the post-gate channels of @p noise inserted
+     * exactly (no sampling).  Readout error is not applied here; use
+     * sample() + applyReadoutError.
+     */
+    void applyNoisyCircuit(const circuit::Circuit &circ,
+                           const NoiseModel &noise);
+
+    /** Sample measurement outcomes from the diagonal. */
+    Counts sample(Rng &rng, uint64_t shots, int num_bits = -1) const;
+
+  private:
+    int numQubits_;
+    Statevector vec_; ///< vec(rho) on 2n wires
+};
+
+} // namespace rasengan::qsim
+
+#endif // RASENGAN_QSIM_DENSITY_H

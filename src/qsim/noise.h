@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quantum noise channels and Monte-Carlo trajectory execution.
+ *
+ * Supported channels (the ones the paper's sensitivity study, Section 5.5,
+ * sweeps): depolarizing (Pauli) noise with separate 1q/2q rates, amplitude
+ * damping, phase damping, and symmetric readout bit-flip error.  Channels
+ * fire after every gate on every qubit the gate touches.
+ *
+ * Noisy execution uses quantum trajectories: each trajectory samples one
+ * Kraus branch per channel application and keeps a pure state, which is
+ * exact in distribution; the density-matrix simulator (density.h) provides
+ * the closed-form channel application the tests validate trajectories
+ * against.
+ */
+
+#ifndef RASENGAN_QSIM_NOISE_H
+#define RASENGAN_QSIM_NOISE_H
+
+#include "circuit/circuit.h"
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "qsim/counts.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::qsim {
+
+struct NoiseModel
+{
+    double depol1q = 0.0;          ///< depolarizing prob. per 1q gate
+    double depol2q = 0.0;          ///< depolarizing prob. per qubit of a 2q+ gate
+    double amplitudeDamping = 0.0; ///< gamma per gate-qubit
+    double phaseDamping = 0.0;     ///< lambda per gate-qubit
+    double readoutError = 0.0;     ///< per-bit flip prob. at measurement
+
+    bool
+    enabled() const
+    {
+        return depol1q > 0.0 || depol2q > 0.0 || amplitudeDamping > 0.0 ||
+               phaseDamping > 0.0 || readoutError > 0.0;
+    }
+};
+
+/** Apply one sampled Pauli (X, Y or Z, uniformly) to @p q. */
+void applyRandomPauli(Statevector &sv, int q, Rng &rng);
+
+/** One sampled branch of the amplitude-damping channel on @p q. */
+void applyAmplitudeDampingTrajectory(Statevector &sv, int q, double gamma,
+                                     Rng &rng);
+
+/** One sampled branch of the phase-damping channel on @p q. */
+void applyPhaseDampingTrajectory(Statevector &sv, int q, double lambda,
+                                 Rng &rng);
+
+/** Post-gate noise insertion for one trajectory. */
+void applyGateNoise(Statevector &sv, const circuit::Gate &gate,
+                    const NoiseModel &noise, Rng &rng);
+
+/**
+ * Run a single noisy trajectory of @p circ from basis state @p init on
+ * @p num_qubits wires (>= circ.numQubits(); extra wires are ancillas).
+ */
+Statevector runTrajectory(const circuit::Circuit &circ, int num_qubits,
+                          const BitVec &init, const NoiseModel &noise,
+                          Rng &rng);
+
+/**
+ * Sample @p shots noisy measurement outcomes of @p circ, running
+ * @p trajectories independent trajectories and drawing shots from each
+ * (shots are distributed as evenly as possible).  Readout error is applied
+ * per sampled bitstring over the low @p num_bits wires.
+ *
+ * @param num_bits how many wires are measured (problem qubits, excluding
+ *                 ancillas); -1 measures everything.
+ */
+Counts sampleNoisy(const circuit::Circuit &circ, int num_qubits,
+                   const BitVec &init, const NoiseModel &noise, Rng &rng,
+                   uint64_t shots, int trajectories = 16, int num_bits = -1);
+
+/** Flip each of the low @p num_bits bits of every outcome w.p. @p p. */
+Counts applyReadoutError(const Counts &counts, int num_bits, double p,
+                         Rng &rng);
+
+} // namespace rasengan::qsim
+
+#endif // RASENGAN_QSIM_NOISE_H

@@ -1,0 +1,216 @@
+#include "qsim/pauli.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasengan::qsim {
+
+namespace {
+
+constexpr Complex kI{0.0, 1.0};
+
+} // namespace
+
+PauliString::PauliString(int num_qubits)
+    : ops_(static_cast<size_t>(num_qubits), PauliOp::I)
+{
+    fatal_if(num_qubits < 1, "Pauli string needs at least one qubit");
+}
+
+PauliString
+PauliString::fromLabel(const std::string &label)
+{
+    PauliString p(static_cast<int>(label.size()));
+    for (size_t i = 0; i < label.size(); ++i) {
+        switch (label[i]) {
+          case 'I': p.ops_[i] = PauliOp::I; break;
+          case 'X': p.ops_[i] = PauliOp::X; break;
+          case 'Y': p.ops_[i] = PauliOp::Y; break;
+          case 'Z': p.ops_[i] = PauliOp::Z; break;
+          default: fatal("invalid Pauli label character '{}'", label[i]);
+        }
+    }
+    return p;
+}
+
+PauliOp
+PauliString::op(int q) const
+{
+    panic_if(q < 0 || q >= numQubits(), "qubit {} out of range", q);
+    return ops_[q];
+}
+
+void
+PauliString::setOp(int q, PauliOp op)
+{
+    panic_if(q < 0 || q >= numQubits(), "qubit {} out of range", q);
+    ops_[q] = op;
+}
+
+int
+PauliString::weight() const
+{
+    int w = 0;
+    for (PauliOp op : ops_)
+        if (op != PauliOp::I)
+            ++w;
+    return w;
+}
+
+bool
+PauliString::isDiagonal() const
+{
+    for (PauliOp op : ops_)
+        if (op == PauliOp::X || op == PauliOp::Y)
+            return false;
+    return true;
+}
+
+std::string
+PauliString::label() const
+{
+    std::string s;
+    s.reserve(ops_.size());
+    for (PauliOp op : ops_)
+        s.push_back(static_cast<char>(op));
+    return s;
+}
+
+void
+PauliString::applyTo(Statevector &sv) const
+{
+    fatal_if(sv.numQubits() < numQubits(),
+             "state has {} qubits, Pauli string needs {}", sv.numQubits(),
+             numQubits());
+    for (int q = 0; q < numQubits(); ++q) {
+        switch (ops_[q]) {
+          case PauliOp::I:
+            break;
+          case PauliOp::X:
+            sv.apply1q(q, {0, 1, 1, 0});
+            break;
+          case PauliOp::Y:
+            sv.apply1q(q, {0, -kI, kI, 0});
+            break;
+          case PauliOp::Z:
+            sv.apply1q(q, {1, 0, 0, -1});
+            break;
+        }
+    }
+}
+
+double
+PauliString::expectation(const Statevector &sv) const
+{
+    Statevector applied = sv;
+    applyTo(applied);
+    return sv.inner(applied).real();
+}
+
+int
+PauliString::diagonalEigenvalue(const BitVec &x) const
+{
+    panic_if(!isDiagonal(), "eigenvalue of a non-diagonal Pauli string");
+    int sign = 1;
+    for (int q = 0; q < numQubits(); ++q)
+        if (ops_[q] == PauliOp::Z && x.get(q))
+            sign = -sign;
+    return sign;
+}
+
+void
+appendPauliEvolution(circuit::Circuit &circ, const PauliString &p,
+                     double theta)
+{
+    constexpr double kHalfPi = 1.57079632679489661923;
+    circ.ensureQubits(p.numQubits());
+    std::vector<int> support;
+    for (int q = 0; q < p.numQubits(); ++q)
+        if (p.op(q) != PauliOp::I)
+            support.push_back(q);
+    if (support.empty())
+        return; // identity: global phase only
+
+    // Basis change V with V P V^dagger = Z...Z: H for X factors,
+    // S-dagger then H for Y factors.
+    for (int q : support) {
+        if (p.op(q) == PauliOp::X) {
+            circ.h(q);
+        } else if (p.op(q) == PauliOp::Y) {
+            circ.p(q, -kHalfPi);
+            circ.h(q);
+        }
+    }
+    int last = support.back();
+    for (size_t i = 0; i + 1 < support.size(); ++i)
+        circ.cx(support[i], last);
+    circ.rz(last, 2.0 * theta);
+    for (size_t i = support.size() - 1; i-- > 0;)
+        circ.cx(support[i], last);
+    for (auto it = support.rbegin(); it != support.rend(); ++it) {
+        if (p.op(*it) == PauliOp::X) {
+            circ.h(*it);
+        } else if (p.op(*it) == PauliOp::Y) {
+            circ.h(*it);
+            circ.p(*it, kHalfPi);
+        }
+    }
+}
+
+void
+PauliHamiltonian::addTerm(double coeff, PauliString p)
+{
+    fatal_if(p.numQubits() != numQubits_,
+             "term over {} qubits added to {}-qubit Hamiltonian",
+             p.numQubits(), numQubits_);
+    for (auto &[c, existing] : terms_) {
+        if (existing == p) {
+            c += coeff;
+            return;
+        }
+    }
+    if (coeff != 0.0)
+        terms_.emplace_back(coeff, std::move(p));
+}
+
+bool
+PauliHamiltonian::isDiagonal() const
+{
+    for (const auto &[c, p] : terms_) {
+        (void)c;
+        if (!p.isDiagonal())
+            return false;
+    }
+    return true;
+}
+
+double
+PauliHamiltonian::expectation(const Statevector &sv) const
+{
+    double acc = 0.0;
+    for (const auto &[c, p] : terms_)
+        acc += c * p.expectation(sv);
+    return acc;
+}
+
+double
+PauliHamiltonian::diagonalValue(const BitVec &x) const
+{
+    double acc = 0.0;
+    for (const auto &[c, p] : terms_)
+        acc += c * p.diagonalEigenvalue(x);
+    return acc;
+}
+
+void
+PauliHamiltonian::applyDiagonalEvolution(Statevector &sv, double t) const
+{
+    fatal_if(!isDiagonal(),
+             "exact evolution requires a diagonal Hamiltonian (Trotterize "
+             "non-diagonal sums)");
+    sv.applyDiagonalPhase(
+        [&](const BitVec &x) { return -t * diagonalValue(x); });
+}
+
+} // namespace rasengan::qsim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pauli strings and Pauli-sum Hamiltonians.
+ *
+ * The standard operator algebra underneath VQAs: a PauliString is a
+ * tensor product of I/X/Y/Z factors; a PauliHamiltonian is a real linear
+ * combination of strings.  Used to express objective Hamiltonians in
+ * Ising form (see baselines/qubo.h for the QUBO -> Ising conversion),
+ * to compute expectation values on statevectors, and to apply exact
+ * diagonal evolution for all-Z sums.
+ */
+
+#ifndef RASENGAN_QSIM_PAULI_H
+#define RASENGAN_QSIM_PAULI_H
+
+#include <string>
+#include <vector>
+
+#include "qsim/statevector.h"
+
+namespace rasengan::qsim {
+
+enum class PauliOp : char {
+    I = 'I',
+    X = 'X',
+    Y = 'Y',
+    Z = 'Z',
+};
+
+class PauliString
+{
+  public:
+    /** Identity on @p num_qubits wires. */
+    explicit PauliString(int num_qubits);
+
+    /** Parse a label like "XZIY" (character i acts on qubit i). */
+    static PauliString fromLabel(const std::string &label);
+
+    int numQubits() const { return static_cast<int>(ops_.size()); }
+    PauliOp op(int q) const;
+    void setOp(int q, PauliOp op);
+
+    /** Number of non-identity factors. */
+    int weight() const;
+
+    /** True when every factor is I or Z (diagonal operator). */
+    bool isDiagonal() const;
+
+    std::string label() const;
+
+    /** |psi> -> P |psi> (in place). */
+    void applyTo(Statevector &sv) const;
+
+    /** <psi| P |psi> (real for Hermitian P up to float error). */
+    double expectation(const Statevector &sv) const;
+
+    /**
+     * Diagonal eigenvalue on basis state @p x; only valid for diagonal
+     * strings (+/-1 depending on the parity of set bits under Z factors).
+     */
+    int diagonalEigenvalue(const BitVec &x) const;
+
+    friend bool
+    operator==(const PauliString &a, const PauliString &b)
+    {
+        return a.ops_ == b.ops_;
+    }
+
+  private:
+    std::vector<PauliOp> ops_;
+};
+
+/**
+ * Append the exact evolution e^{-i theta P} of a single Pauli string to
+ * @p circ: per-qubit basis changes (H for X, S-dagger H for Y), a CX
+ * parity chain onto the last support qubit, RZ(2 theta), and the
+ * conjugation undone.  Identity strings contribute only a global phase
+ * and append nothing.
+ */
+void appendPauliEvolution(circuit::Circuit &circ, const PauliString &p,
+                          double theta);
+
+class PauliHamiltonian
+{
+  public:
+    explicit PauliHamiltonian(int num_qubits) : numQubits_(num_qubits) {}
+
+    int numQubits() const { return numQubits_; }
+    size_t termCount() const { return terms_.size(); }
+    const std::vector<std::pair<double, PauliString>> &terms() const
+    {
+        return terms_;
+    }
+
+    /** Add coeff * P; merges with an existing identical string. */
+    void addTerm(double coeff, PauliString p);
+
+    /** True when every term is diagonal (I/Z only). */
+    bool isDiagonal() const;
+
+    /** <psi| H |psi>. */
+    double expectation(const Statevector &sv) const;
+
+    /** Eigenvalue of a diagonal Hamiltonian on basis state @p x. */
+    double diagonalValue(const BitVec &x) const;
+
+    /**
+     * Exact evolution e^{-i t H} for a DIAGONAL Hamiltonian (aborts
+     * otherwise; non-diagonal sums need Trotterization).
+     */
+    void applyDiagonalEvolution(Statevector &sv, double t) const;
+
+  private:
+    int numQubits_;
+    std::vector<std::pair<double, PauliString>> terms_;
+};
+
+} // namespace rasengan::qsim
+
+#endif // RASENGAN_QSIM_PAULI_H

@@ -1,0 +1,161 @@
+#include "qsim/sparsestate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace rasengan::qsim {
+
+namespace {
+
+constexpr SparseState::Complex kI{0.0, 1.0};
+
+} // namespace
+
+SparseState::SparseState(int num_qubits, const BitVec &basis)
+    : numQubits_(num_qubits)
+{
+    fatal_if(num_qubits < 0 || num_qubits > kMaxBits,
+             "sparse state supports up to {} qubits, got {}", kMaxBits,
+             num_qubits);
+    amps_.emplace(basis, Complex{1.0, 0.0});
+}
+
+SparseState::Complex
+SparseState::amplitude(const BitVec &basis) const
+{
+    auto it = amps_.find(basis);
+    return it == amps_.end() ? Complex{0.0, 0.0} : it->second;
+}
+
+double
+SparseState::probability(const BitVec &basis) const
+{
+    return std::norm(amplitude(basis));
+}
+
+double
+SparseState::normSquared() const
+{
+    double acc = 0.0;
+    for (const auto &[_, a] : amps_)
+        acc += std::norm(a);
+    return acc;
+}
+
+void
+SparseState::renormalize()
+{
+    double n2 = normSquared();
+    panic_if(n2 < 1e-300, "renormalizing a zero sparse state");
+    double inv = 1.0 / std::sqrt(n2);
+    for (auto &[_, a] : amps_)
+        a *= inv;
+}
+
+void
+SparseState::prune(double threshold)
+{
+    for (auto it = amps_.begin(); it != amps_.end();) {
+        if (std::norm(it->second) < threshold)
+            it = amps_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+SparseState::applyPairRotation(const BitVec &mask, const BitVec &pattern_plus,
+                               double t)
+{
+    panic_if(mask == BitVec{}, "pair rotation with empty support");
+    const BitVec pattern_minus = pattern_plus ^ mask;
+    const double c = std::cos(t);
+    const Complex ms = -kI * std::sin(t);
+
+    // Snapshot the keys: the rotation creates partners not yet in the map.
+    std::vector<BitVec> keys;
+    keys.reserve(amps_.size());
+    std::unordered_set<BitVec, BitVecHash> populated;
+    populated.reserve(amps_.size());
+    for (const auto &[x, _] : amps_) {
+        keys.push_back(x);
+        populated.insert(x);
+    }
+
+    for (const BitVec &x : keys) {
+        BitVec restricted = x & mask;
+        if (restricted != pattern_plus && restricted != pattern_minus)
+            continue; // dark state: H^tau annihilates it.
+        BitVec y = x ^ mask;
+        // Process each unordered pair exactly once: from its pattern_plus
+        // member, or from the minus member when the plus member was not
+        // populated (the rotation still creates it).
+        if (restricted == pattern_minus && populated.count(y))
+            continue;
+        Complex ax = amplitude(x);
+        Complex ay = amplitude(y);
+        amps_[x] = c * ax + ms * ay;
+        amps_[y] = c * ay + ms * ax;
+    }
+    prune();
+}
+
+void
+SparseState::applyX(int q)
+{
+    panic_if(q < 0 || q >= numQubits_, "qubit {} out of range", q);
+    Map next;
+    next.reserve(amps_.size());
+    for (const auto &[x, a] : amps_) {
+        BitVec y = x;
+        y.flip(q);
+        next.emplace(y, a);
+    }
+    amps_ = std::move(next);
+}
+
+void
+SparseState::applyPhase(const std::function<double(const BitVec &)> &phase)
+{
+    for (auto &[x, a] : amps_)
+        a *= std::exp(kI * phase(x));
+}
+
+Counts
+SparseState::sample(Rng &rng, uint64_t shots) const
+{
+    fatal_if(amps_.empty(), "sampling from an empty sparse state");
+    std::vector<BitVec> keys;
+    std::vector<double> weights;
+    keys.reserve(amps_.size());
+    weights.reserve(amps_.size());
+    for (const auto &[x, a] : amps_) {
+        keys.push_back(x);
+        weights.push_back(std::norm(a));
+    }
+    Counts counts;
+    for (uint64_t s = 0; s < shots; ++s)
+        counts.add(keys[rng.weightedIndex(weights)]);
+    return counts;
+}
+
+BitVec
+SparseState::mostLikely() const
+{
+    fatal_if(amps_.empty(), "mostLikely of empty sparse state");
+    const BitVec *best = nullptr;
+    double best_p = -1.0;
+    for (const auto &[x, a] : amps_) {
+        double p = std::norm(a);
+        if (p > best_p || (p == best_p && (!best || x < *best))) {
+            best = &x;
+            best_p = p;
+        }
+    }
+    return *best;
+}
+
+} // namespace rasengan::qsim

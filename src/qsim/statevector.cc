@@ -1,0 +1,282 @@
+#include "qsim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+
+namespace rasengan::qsim {
+
+namespace {
+
+constexpr Complex kI{0.0, 1.0};
+constexpr double kSqrtHalf = 0.70710678118654752440;
+
+} // namespace
+
+Mat2
+gateMatrix(circuit::GateKind kind, double theta)
+{
+    using circuit::GateKind;
+    double half = theta / 2.0;
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::CX:
+      case GateKind::MCX:
+        return {0, 1, 1, 0};
+      case GateKind::H:
+        return {kSqrtHalf, kSqrtHalf, kSqrtHalf, -kSqrtHalf};
+      case GateKind::RX:
+        return {std::cos(half), -kI * std::sin(half),
+                -kI * std::sin(half), std::cos(half)};
+      case GateKind::RY:
+        return {std::cos(half), -std::sin(half),
+                std::sin(half), std::cos(half)};
+      case GateKind::RZ:
+        return {std::exp(-kI * half), 0, 0, std::exp(kI * half)};
+      case GateKind::P:
+      case GateKind::CP:
+      case GateKind::MCP:
+        return {1, 0, 0, std::exp(kI * theta)};
+      default:
+        panic("gate {} has no 2x2 matrix", circuit::gateName(kind));
+    }
+}
+
+Statevector::Statevector(int num_qubits) : numQubits_(num_qubits)
+{
+    fatal_if(num_qubits < 0 || num_qubits > 30,
+             "dense statevector limited to 30 qubits, got {}", num_qubits);
+    amps_.assign(size_t{1} << num_qubits, Complex{0.0, 0.0});
+    amps_[0] = 1.0;
+}
+
+Statevector::Statevector(int num_qubits, const BitVec &basis)
+    : Statevector(num_qubits)
+{
+    uint64_t idx = basis.toIndex();
+    panic_if(idx >= amps_.size(), "basis state outside register");
+    amps_[0] = 0.0;
+    amps_[idx] = 1.0;
+}
+
+void
+Statevector::checkQubit(int q) const
+{
+    panic_if(q < 0 || q >= numQubits_, "qubit {} out of range [0, {})", q,
+             numQubits_);
+}
+
+double
+Statevector::normSquared() const
+{
+    double acc = 0.0;
+    for (const Complex &a : amps_)
+        acc += std::norm(a);
+    return acc;
+}
+
+void
+Statevector::renormalize()
+{
+    double n2 = normSquared();
+    panic_if(n2 < 1e-300, "renormalizing a zero state");
+    double inv = 1.0 / std::sqrt(n2);
+    for (Complex &a : amps_)
+        a *= inv;
+}
+
+Complex
+Statevector::inner(const Statevector &other) const
+{
+    panic_if(numQubits_ != other.numQubits_,
+             "inner product across register sizes {} vs {}", numQubits_,
+             other.numQubits_);
+    Complex acc{0.0, 0.0};
+    for (size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+void
+Statevector::apply1q(int target, const Mat2 &u)
+{
+    checkQubit(target);
+    const uint64_t bit = uint64_t{1} << target;
+    const uint64_t dim = amps_.size();
+    for (uint64_t base = 0; base < dim; ++base) {
+        if (base & bit)
+            continue;
+        Complex a0 = amps_[base];
+        Complex a1 = amps_[base | bit];
+        amps_[base] = u.m00 * a0 + u.m01 * a1;
+        amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
+    }
+}
+
+void
+Statevector::applyControlled1q(const std::vector<int> &controls, int target,
+                               const Mat2 &u)
+{
+    if (controls.empty()) {
+        apply1q(target, u);
+        return;
+    }
+    checkQubit(target);
+    uint64_t cmask = 0;
+    for (int c : controls) {
+        checkQubit(c);
+        panic_if(c == target, "control equals target {}", c);
+        cmask |= uint64_t{1} << c;
+    }
+    const uint64_t bit = uint64_t{1} << target;
+    const uint64_t dim = amps_.size();
+    for (uint64_t base = 0; base < dim; ++base) {
+        if ((base & bit) || (base & cmask) != cmask)
+            continue;
+        Complex a0 = amps_[base];
+        Complex a1 = amps_[base | bit];
+        amps_[base] = u.m00 * a0 + u.m01 * a1;
+        amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
+    }
+}
+
+void
+Statevector::applySwap(int a, int b)
+{
+    checkQubit(a);
+    checkQubit(b);
+    if (a == b)
+        return;
+    const uint64_t bit_a = uint64_t{1} << a;
+    const uint64_t bit_b = uint64_t{1} << b;
+    const uint64_t dim = amps_.size();
+    for (uint64_t i = 0; i < dim; ++i) {
+        bool va = i & bit_a;
+        bool vb = i & bit_b;
+        if (va && !vb)
+            std::swap(amps_[i], amps_[(i ^ bit_a) | bit_b]);
+    }
+}
+
+void
+Statevector::applyGate(const circuit::Gate &gate)
+{
+    using circuit::GateKind;
+    switch (gate.kind) {
+      case GateKind::Barrier:
+        return;
+      case GateKind::Measure:
+      case GateKind::Reset:
+        panic("mid-circuit {} needs an rng: use runTrajectory or "
+              "measureQubit/resetQubit",
+              circuit::gateName(gate.kind));
+        return;
+      case GateKind::Swap:
+        applySwap(gate.targets[0], gate.targets[1]);
+        return;
+      default:
+        applyControlled1q(gate.controls, gate.targets[0],
+                          gateMatrix(gate.kind, gate.param));
+        return;
+    }
+}
+
+void
+Statevector::applyCircuit(const circuit::Circuit &circ)
+{
+    fatal_if(circ.numQubits() > numQubits_,
+             "circuit needs {} qubits, register has {}", circ.numQubits(),
+             numQubits_);
+    for (const circuit::Gate &g : circ.gates())
+        applyGate(g);
+}
+
+void
+Statevector::applyDiagonalPhase(
+    const std::function<double(const BitVec &)> &phase)
+{
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        if (std::norm(amps_[i]) == 0.0)
+            continue;
+        amps_[i] *= std::exp(kI * phase(BitVec::fromIndex(i)));
+    }
+}
+
+void
+Statevector::applyDiagonalEvolution(const std::vector<double> &values,
+                                    double scale)
+{
+    fatal_if(values.size() != amps_.size(),
+             "diagonal has {} entries, state has {}", values.size(),
+             amps_.size());
+    for (size_t i = 0; i < amps_.size(); ++i)
+        amps_[i] *= std::exp(kI * (-scale * values[i]));
+}
+
+Counts
+Statevector::sample(Rng &rng, uint64_t shots, int num_bits) const
+{
+    if (num_bits < 0)
+        num_bits = numQubits_;
+    // Build the cumulative distribution once, then binary-search per shot.
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        cdf[i] = acc;
+    }
+    fatal_if(acc < 1e-12, "sampling from a zero state");
+
+    const uint64_t mask = num_bits >= 64
+                              ? ~uint64_t{0}
+                              : ((uint64_t{1} << num_bits) - 1);
+    Counts counts;
+    for (uint64_t s = 0; s < shots; ++s) {
+        double r = rng.uniformReal(0.0, acc);
+        auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+        uint64_t idx = static_cast<uint64_t>(it - cdf.begin());
+        if (idx >= amps_.size())
+            idx = amps_.size() - 1;
+        counts.add(BitVec::fromIndex(idx & mask));
+    }
+    return counts;
+}
+
+double
+Statevector::probabilityOfOne(int q) const
+{
+    checkQubit(q);
+    const uint64_t bit = uint64_t{1} << q;
+    double p = 0.0;
+    for (uint64_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    return p;
+}
+
+bool
+Statevector::measureQubit(int q, Rng &rng)
+{
+    checkQubit(q);
+    double p1 = probabilityOfOne(q);
+    bool outcome = rng.bernoulli(p1);
+    const uint64_t bit = uint64_t{1} << q;
+    for (uint64_t i = 0; i < amps_.size(); ++i) {
+        bool is_one = i & bit;
+        if (is_one != outcome)
+            amps_[i] = 0.0;
+    }
+    renormalize();
+    return outcome;
+}
+
+void
+Statevector::resetQubit(int q, Rng &rng)
+{
+    if (measureQubit(q, rng))
+        apply1q(q, gateMatrix(circuit::GateKind::X, 0.0));
+}
+
+} // namespace rasengan::qsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Stores all 2^n complex amplitudes; practical to ~24 qubits.  Supports
+ * every gate the circuit IR defines (multi-controlled gates natively, so
+ * circuits can be simulated either before or after transpilation) and
+ * measurement sampling.  Used for the baseline VQAs and for the exactness
+ * tests of the sparse simulator and the transpiler.
+ */
+
+#ifndef RASENGAN_QSIM_STATEVECTOR_H
+#define RASENGAN_QSIM_STATEVECTOR_H
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "qsim/counts.h"
+
+namespace rasengan::qsim {
+
+using Complex = std::complex<double>;
+
+/** 2x2 unitary in row-major order. */
+struct Mat2
+{
+    Complex m00, m01, m10, m11;
+};
+
+/** The 2x2 matrix of a single-qubit gate kind with parameter @p theta. */
+Mat2 gateMatrix(circuit::GateKind kind, double theta);
+
+class Statevector
+{
+  public:
+    /** Initialize to |0...0> on @p num_qubits wires. */
+    explicit Statevector(int num_qubits);
+
+    /** Initialize to the computational basis state @p basis. */
+    Statevector(int num_qubits, const BitVec &basis);
+
+    int numQubits() const { return numQubits_; }
+    size_t dimension() const { return amps_.size(); }
+
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+
+    /** Mutable amplitude access (density-matrix accumulation, tests). */
+    std::vector<Complex> &mutableAmplitudes() { return amps_; }
+
+    Complex
+    amplitude(const BitVec &basis) const
+    {
+        return amps_[basis.toIndex()];
+    }
+
+    /** Probability of measuring @p basis. */
+    double
+    probability(const BitVec &basis) const
+    {
+        return std::norm(amps_[basis.toIndex()]);
+    }
+
+    /** Squared norm (1 up to float error for unitary evolution). */
+    double normSquared() const;
+
+    /** Rescale to unit norm; aborts on a numerically zero state. */
+    void renormalize();
+
+    /** <this|other>. */
+    Complex inner(const Statevector &other) const;
+
+    /// @name Gate application
+    /// @{
+    void apply1q(int target, const Mat2 &u);
+    /** Apply @p u on @p target where all @p controls are |1>. */
+    void applyControlled1q(const std::vector<int> &controls, int target,
+                           const Mat2 &u);
+    void applySwap(int a, int b);
+    void applyGate(const circuit::Gate &gate);
+    void applyCircuit(const circuit::Circuit &circ);
+    /// @}
+
+    /** Multiply amplitude of each basis state x by e^{i phase(x)}. */
+    void applyDiagonalPhase(const std::function<double(const BitVec &)> &phase);
+
+    /**
+     * Fast diagonal evolution: amplitude of basis index i is multiplied by
+     * e^{-i scale * values[i]} (values.size() must equal dimension()).
+     */
+    void applyDiagonalEvolution(const std::vector<double> &values,
+                                double scale);
+
+    /** Sample @p shots measurement outcomes over the low @p num_bits wires
+     *  (default: all wires). */
+    Counts sample(Rng &rng, uint64_t shots, int num_bits = -1) const;
+
+    /** Marginal probability that qubit @p q reads 1. */
+    double probabilityOfOne(int q) const;
+
+    /**
+     * Projective Z-basis measurement of @p q: samples an outcome from the
+     * Born rule, collapses and renormalizes the state, returns the
+     * outcome.
+     */
+    bool measureQubit(int q, Rng &rng);
+
+    /** Active reset: measure @p q and flip to |0> if it read 1. */
+    void resetQubit(int q, Rng &rng);
+
+  private:
+    void checkQubit(int q) const;
+
+    int numQubits_;
+    std::vector<Complex> amps_;
+};
+
+} // namespace rasengan::qsim
+
+#endif // RASENGAN_QSIM_STATEVECTOR_H

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the baseline VQAs: penalty-QUBO construction, P-QAOA (with
+ * FrozenQubits and Red-QAOA knobs), HEA, and Choco-Q.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/chocoq.h"
+#include "baselines/hea.h"
+#include "baselines/pqaoa.h"
+#include "baselines/qubo.h"
+#include "circuit/transpile.h"
+#include "core/basis.h"
+#include "problems/metrics.h"
+#include "problems/suite.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::baselines {
+namespace {
+
+TEST(Qubo, PenaltyMatchesSquaredViolation)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    double lambda = 3.5;
+    problems::QuadraticObjective qubo = penaltyQubo(p, lambda);
+    Rng rng(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitVec x;
+        for (int q = 0; q < p.numVars(); ++q)
+            if (rng.bernoulli(0.5))
+                x.set(q);
+        // Recompute lambda * ||Cx - b||^2 directly.
+        double violation_sq = 0.0;
+        for (int r = 0; r < p.constraints().rows(); ++r) {
+            double acc = -static_cast<double>(p.bounds()[r]);
+            for (int col = 0; col < p.numVars(); ++col)
+                if (x.get(col))
+                    acc += static_cast<double>(p.constraints().at(r, col));
+            violation_sq += acc * acc;
+        }
+        EXPECT_NEAR(qubo.eval(x),
+                    p.objective(x) + lambda * violation_sq, 1e-9);
+    }
+}
+
+TEST(Qubo, FeasiblePointsKeepOriginalObjective)
+{
+    problems::Problem p = problems::makeBenchmark("S1");
+    problems::QuadraticObjective qubo = penaltyQubo(p, 100.0);
+    for (const BitVec &x : p.feasibleSolutions())
+        EXPECT_NEAR(qubo.eval(x), p.objective(x), 1e-9);
+}
+
+TEST(Qubo, ObjectivePhaseMatchesDiagonal)
+{
+    // The phase circuit must imprint e^{-i gamma f(x)} (up to the global
+    // phase from the constant term) on every basis state.
+    problems::Problem p = problems::makeBenchmark("J1");
+    problems::QuadraticObjective f = penaltyQubo(p, 2.0);
+    double gamma = 0.37;
+    circuit::Circuit circ(p.numVars());
+    appendObjectivePhase(circ, f, gamma);
+
+    const int n = p.numVars();
+    for (uint64_t idx : {0ull, 3ull, 17ull, 42ull}) {
+        if (idx >= (uint64_t{1} << n))
+            continue;
+        BitVec x = BitVec::fromIndex(idx);
+        qsim::Statevector sv(n, x);
+        sv.applyCircuit(circ);
+        double expected = -gamma * (f.eval(x) - f.constant());
+        double got = std::arg(sv.amplitude(x));
+        double diff = std::remainder(got - expected, 2 * M_PI);
+        EXPECT_NEAR(diff, 0.0, 1e-9) << "basis " << idx;
+    }
+}
+
+TEST(Qubo, DiagonalValuesAgreeWithEval)
+{
+    problems::Problem p = problems::makeBenchmark("F1");
+    problems::QuadraticObjective f = penaltyQubo(p, 5.0);
+    std::vector<double> diag = diagonalValues(f, p.numVars());
+    for (uint64_t idx = 0; idx < diag.size(); idx += 7)
+        EXPECT_NEAR(diag[idx], f.eval(BitVec::fromIndex(idx)), 1e-9);
+}
+
+TEST(Pqaoa, CircuitShapeAndParams)
+{
+    PqaoaOptions opts;
+    opts.layers = 3;
+    Pqaoa solver(problems::makeBenchmark("J1"), opts);
+    EXPECT_EQ(solver.numParams(), 6);
+    std::vector<double> params(6, 0.1);
+    circuit::Circuit circ = solver.buildCircuit(params);
+    EXPECT_EQ(circ.numQubits(), solver.numActiveQubits());
+    EXPECT_EQ(circ.countKind(circuit::GateKind::H),
+              solver.numActiveQubits());
+    EXPECT_EQ(circ.countKind(circuit::GateKind::RX),
+              3 * solver.numActiveQubits());
+}
+
+TEST(Pqaoa, FrozenQubitsShrinkTheRegister)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    PqaoaOptions frozen;
+    frozen.frozenQubits = 2;
+    Pqaoa a(p, {}), b(p, frozen);
+    EXPECT_EQ(a.numActiveQubits(), p.numVars());
+    EXPECT_EQ(b.numActiveQubits(), p.numVars() - 2);
+}
+
+TEST(Pqaoa, LiftRestoresFrozenBits)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    PqaoaOptions opts;
+    opts.frozenQubits = 2;
+    Pqaoa solver(p, opts);
+    BitVec all_zero_active;
+    BitVec lifted = solver.lift(all_zero_active);
+    // Frozen bits carry the trivial solution's values; with all active
+    // bits zero the lifted string has exactly the frozen ones set.
+    int frozen_ones = 0;
+    for (int q = 0; q < p.numVars(); ++q)
+        frozen_ones += lifted.get(q) ? 1 : 0;
+    EXPECT_LE(frozen_ones, 2);
+}
+
+TEST(Pqaoa, TrainingImprovesOverInitialPoint)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    PqaoaOptions opts;
+    opts.maxIterations = 150;
+    opts.shots = 2048;
+    Pqaoa solver(p, opts);
+    VqaResult res = solver.run();
+    EXPECT_EQ(res.numParams, 10);
+    EXPECT_GT(res.circuitDepth, 0);
+    EXPECT_GT(res.counts.total(), 0u);
+    // Penalty methods still struggle with constraints (the paper's
+    // point); at minimum the run must produce a valid expectation.
+    EXPECT_GT(res.expectedObjective, 0.0);
+}
+
+TEST(Pqaoa, SmartInitDiffersFromDefault)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    PqaoaOptions plain, smart;
+    plain.maxIterations = 40;
+    smart.maxIterations = 40;
+    smart.smartInit = true;
+    VqaResult a = Pqaoa(p, plain).run();
+    VqaResult b = Pqaoa(p, smart).run();
+    // Different seeds of the search: almost surely different trajectories.
+    EXPECT_NE(a.training.x, b.training.x);
+}
+
+TEST(Hea, ParameterCountMatchesKandalaAnsatz)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    HeaOptions opts;
+    opts.layers = 5;
+    Hea solver(p, opts);
+    EXPECT_EQ(solver.numParams(), 2 * p.numVars() * 6);
+    std::vector<double> params(solver.numParams(), 0.1);
+    circuit::Circuit circ = solver.buildCircuit(params);
+    EXPECT_EQ(circ.countKind(circuit::GateKind::RY), p.numVars() * 6);
+    EXPECT_EQ(circ.countCx(), (p.numVars() - 1) * 5);
+}
+
+TEST(Hea, RunProducesSamples)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    HeaOptions opts;
+    opts.layers = 2;
+    opts.maxIterations = 60;
+    Hea solver(p, opts);
+    VqaResult res = solver.run();
+    EXPECT_EQ(res.counts.total(), opts.shots);
+    EXPECT_GE(res.inConstraintsRate, 0.0);
+    EXPECT_LE(res.inConstraintsRate, 1.0);
+    EXPECT_GT(res.circuitDepth, 0);
+}
+
+TEST(Chocoq, OutputsStayFeasible)
+{
+    problems::Problem p = problems::makeBenchmark("K1");
+    ChocoqOptions opts;
+    opts.maxIterations = 80;
+    Chocoq solver(p, opts);
+    VqaResult res = solver.run();
+    EXPECT_NEAR(res.inConstraintsRate, 1.0, 1e-12);
+    for (const auto &[x, cnt] : res.counts.map())
+        EXPECT_TRUE(p.isFeasible(x));
+}
+
+TEST(Chocoq, MixerUsesFullBasis)
+{
+    problems::Problem p = problems::makeBenchmark("F1");
+    Chocoq solver(p, {});
+    EXPECT_EQ(solver.mixerTerms(),
+              static_cast<int>(core::homogeneousBasis(p).size()));
+    EXPECT_EQ(solver.numParams(), 10);
+}
+
+TEST(Chocoq, DeeperThanRasenganSegments)
+{
+    problems::Problem p = problems::makeBenchmark("F1");
+    Chocoq solver(p, {});
+    std::vector<double> params(solver.numParams(), 0.2);
+    circuit::Circuit lowered = circuit::transpile(
+        solver.buildCircuit(params),
+        {.mode = circuit::TranspileMode::AncillaLadder, .lowerToCx = true});
+    // Five layers of the full mixer: depth far above a Rasengan segment.
+    EXPECT_GT(lowered.depth(), 50);
+}
+
+TEST(Chocoq, TrainingReducesExpectation)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    ChocoqOptions opts;
+    opts.maxIterations = 120;
+    Chocoq solver(p, opts);
+    VqaResult res = solver.run();
+    // Feasible-space method: expectation within the feasible range.
+    EXPECT_GE(res.expectedObjective, p.optimalValue() - 1e-9);
+    EXPECT_LE(res.expectedObjective, p.worstFeasibleValue() + 1e-9);
+    // Training should land below the feasible mean.
+    EXPECT_LT(res.expectedObjective, p.meanFeasibleValue() + 1e-9);
+}
+
+TEST(AllBaselines, ReportLatencySplit)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    PqaoaOptions po;
+    po.maxIterations = 30;
+    VqaResult r = Pqaoa(p, po).run();
+    EXPECT_GT(r.quantumSeconds, 0.0);
+    EXPECT_GE(r.classicalSeconds, 0.0);
+}
+
+} // namespace
+} // namespace rasengan::baselines

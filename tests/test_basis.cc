@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for homogeneous-basis extraction and Algorithm 1 (Hamiltonian
+ * simplification): kernel membership, span preservation, nonzero-count
+ * reduction (the Figure 5 example), and the simplification invariants
+ * across the whole benchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/basis.h"
+#include "linalg/nullspace.h"
+#include "linalg/rref.h"
+#include "problems/suite.h"
+
+namespace rasengan::core {
+namespace {
+
+/** Stack vectors as rows of a matrix. */
+linalg::IntMat
+asMatrix(const std::vector<linalg::IntVec> &vs)
+{
+    if (vs.empty())
+        return linalg::IntMat(0, 0);
+    linalg::IntMat m(static_cast<int>(vs.size()),
+                     static_cast<int>(vs[0].size()));
+    for (size_t r = 0; r < vs.size(); ++r)
+        for (size_t c = 0; c < vs[0].size(); ++c)
+            m.at(static_cast<int>(r), static_cast<int>(c)) = vs[r][c];
+    return m;
+}
+
+TEST(Basis, Figure5Example)
+{
+    // u2 = [-1,0,-1,1,0] plus u3 = [1,0,1,0,1] gives [0,0,0,1,1]:
+    // 3 nonzeros shrink to 2 (the paper's worked simplification).
+    std::vector<linalg::IntVec> basis = {
+        {-1, 1, 0, 0, 0}, {-1, 0, -1, 1, 0}, {1, 0, 1, 0, 1}};
+    int before = totalNonZeros(basis);
+    auto simplified = simplifyBasis(basis, 1);
+    EXPECT_LT(totalNonZeros(simplified), before);
+    // The second vector must now have only two nonzeros.
+    bool has_two = false;
+    for (const auto &u : simplified)
+        has_two |= linalg::nonZeroCount(u) == 2;
+    EXPECT_TRUE(has_two);
+}
+
+TEST(Basis, SimplifyKeepsKernelMembership)
+{
+    linalg::IntMat c{{1, 1, -1, 0, 0}, {0, 0, 1, 1, -1}};
+    auto basis = linalg::nullspaceBasis(c);
+    auto simplified = simplifyBasis(basis);
+    EXPECT_EQ(simplified.size(), basis.size());
+    for (const auto &u : simplified) {
+        for (int64_t v : applyInt(c, u))
+            EXPECT_EQ(v, 0);
+        EXPECT_TRUE(linalg::isSigned01(u));
+        EXPECT_GT(linalg::nonZeroCount(u), 0);
+    }
+}
+
+TEST(Basis, SimplifyPreservesSpan)
+{
+    linalg::IntMat c{{1, 1, -1, 0, 0}, {0, 0, 1, 1, -1}};
+    auto basis = linalg::nullspaceBasis(c);
+    auto simplified = simplifyBasis(basis);
+    // Same count + full rank + kernel membership => same span.
+    EXPECT_EQ(linalg::rank(asMatrix(simplified)),
+              static_cast<int>(simplified.size()));
+}
+
+TEST(Basis, SimplifyNeverIncreasesNonZeros)
+{
+    for (const std::string &id : problems::benchmarkIds()) {
+        problems::Problem p = problems::makeBenchmark(id);
+        auto basis = homogeneousBasis(p);
+        auto simplified = simplifyBasis(basis);
+        EXPECT_LE(totalNonZeros(simplified), totalNonZeros(basis)) << id;
+        EXPECT_EQ(simplified.size(), basis.size()) << id;
+        EXPECT_EQ(linalg::rank(asMatrix(simplified)),
+                  static_cast<int>(simplified.size()))
+            << id;
+    }
+}
+
+TEST(Basis, SimplifiedVectorsStayInKernel)
+{
+    for (const char *id : {"F2", "K2", "S3", "G2"}) {
+        problems::Problem p = problems::makeBenchmark(id);
+        auto simplified = simplifyBasis(homogeneousBasis(p));
+        for (const auto &u : simplified) {
+            for (int64_t v : applyInt(p.constraints(), u))
+                EXPECT_EQ(v, 0) << id;
+        }
+    }
+}
+
+TEST(Basis, DimensionIsBoundedByRankNullity)
+{
+    for (const std::string &id : problems::benchmarkIds()) {
+        problems::Problem p = problems::makeBenchmark(id);
+        auto basis = homogeneousBasis(p);
+        // The RREF/repair path returns exactly the nullity; the
+        // feasible-difference fallback may return fewer vectors (only
+        // directions realized by feasible differences matter).
+        EXPECT_LE(static_cast<int>(basis.size()),
+                  p.numVars() - linalg::rank(p.constraints()))
+            << id;
+        EXPECT_GE(basis.size(), 1u) << id;
+    }
+}
+
+TEST(Basis, TransitionVectorsConnectFeasibleSpace)
+{
+    // The executable vector set (with augmentation) must make the
+    // feasible set connected for every suite benchmark; the vectors stay
+    // kernel members in {-1,0,1}.
+    for (const std::string &id : problems::benchmarkIds()) {
+        problems::Problem p = problems::makeBenchmark(id);
+        auto vectors = transitionVectors(p);
+        for (const auto &u : vectors) {
+            EXPECT_TRUE(linalg::isSigned01(u)) << id;
+            for (int64_t v : applyInt(p.constraints(), u))
+                EXPECT_EQ(v, 0) << id;
+        }
+        EXPECT_GE(vectors.size(), homogeneousBasis(p).size()) << id;
+    }
+}
+
+TEST(Basis, SingleVectorIsUntouched)
+{
+    std::vector<linalg::IntVec> one = {{1, -1, 0}};
+    EXPECT_EQ(simplifyBasis(one), one);
+}
+
+TEST(Basis, FixedPointIsStable)
+{
+    std::vector<linalg::IntVec> basis = {
+        {-1, 1, 0, 0, 0}, {-1, 0, -1, 1, 0}, {1, 0, 1, 0, 1}};
+    auto once = simplifyBasis(basis);
+    auto twice = simplifyBasis(once);
+    EXPECT_EQ(once, twice);
+}
+
+} // namespace
+} // namespace rasengan::core

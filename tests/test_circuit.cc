@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for src/circuit: IR validation, metrics, QASM export,
+ * transpilation correctness (checked against native multi-controlled
+ * gates on the dense simulator, up to global phase), and the peephole
+ * optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "circuit/circuit.h"
+#include "circuit/optimize.h"
+#include "circuit/transpile.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::circuit {
+namespace {
+
+using qsim::Complex;
+using qsim::Statevector;
+
+constexpr double kPi = std::numbers::pi;
+
+/** Check two circuits equal as unitaries (up to global phase) by applying
+ *  them to every basis state of an n-qubit register and comparing columns
+ *  with a consistent phase.  @p input_bits restricts the quantified inputs
+ *  to the low wires (ancilla wires above them must start in |0>, which is
+ *  the transpiler's contract). */
+void
+expectEquivalent(const Circuit &a, const Circuit &b, int n,
+                 int input_bits = -1)
+{
+    ASSERT_LE(a.numQubits(), n);
+    ASSERT_LE(b.numQubits(), n);
+    if (input_bits < 0)
+        input_bits = n;
+    Complex phase{0.0, 0.0};
+    bool phase_set = false;
+    for (uint64_t idx = 0; idx < (uint64_t{1} << input_bits); ++idx) {
+        Statevector sa(n, BitVec::fromIndex(idx));
+        Statevector sb(n, BitVec::fromIndex(idx));
+        sa.applyCircuit(a);
+        sb.applyCircuit(b);
+        // Columns must match up to ONE global phase shared by all.
+        for (uint64_t row = 0; row < sa.dimension(); ++row) {
+            Complex va = sa.amplitudes()[row];
+            Complex vb = sb.amplitudes()[row];
+            if (!phase_set && std::abs(vb) > 1e-9) {
+                phase = va / vb;
+                phase_set = true;
+            }
+            if (phase_set) {
+                EXPECT_NEAR(std::abs(va - phase * vb), 0.0, 1e-9)
+                    << "column " << idx << " row " << row;
+            }
+        }
+    }
+    EXPECT_TRUE(phase_set);
+    EXPECT_NEAR(std::abs(phase), 1.0, 1e-9);
+}
+
+TEST(Circuit, BuilderCountsAndKinds)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(2, 0.5);
+    c.mcp({0, 1}, 2, 0.3);
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.countKind(GateKind::H), 1);
+    EXPECT_EQ(c.countCx(), 1);
+    EXPECT_EQ(c.countKind(GateKind::MCP), 1);
+    EXPECT_EQ(c.countOps(), 4);
+}
+
+TEST(Circuit, McpWithFewControlsLowersToSimplerGates)
+{
+    Circuit c(3);
+    c.mcp({}, 0, 0.4);
+    c.mcp({1}, 0, 0.4);
+    c.mcx({}, 2);
+    c.mcx({1}, 2);
+    EXPECT_EQ(c.countKind(GateKind::P), 1);
+    EXPECT_EQ(c.countKind(GateKind::CP), 1);
+    EXPECT_EQ(c.countKind(GateKind::X), 1);
+    EXPECT_EQ(c.countCx(), 1);
+    EXPECT_EQ(c.countKind(GateKind::MCP), 0);
+    EXPECT_EQ(c.countKind(GateKind::MCX), 0);
+}
+
+TEST(Circuit, DepthLevelScheduling)
+{
+    Circuit c(3);
+    c.h(0);     // level 1 on q0
+    c.h(1);     // level 1 on q1 (parallel)
+    c.cx(0, 1); // level 2
+    c.h(2);     // level 1 on q2
+    EXPECT_EQ(c.depth(), 2);
+    EXPECT_EQ(c.twoQubitDepth(), 1);
+}
+
+TEST(Circuit, BarrierAlignsWires)
+{
+    Circuit c(2);
+    c.h(0);
+    c.barrier();
+    c.h(1); // would be level 1 without the barrier
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, EnsureQubitsGrows)
+{
+    Circuit c(1);
+    c.ensureQubits(4);
+    EXPECT_EQ(c.numQubits(), 4);
+    c.ensureQubits(2); // never shrinks
+    EXPECT_EQ(c.numQubits(), 4);
+}
+
+TEST(Circuit, AppendCircuitMergesGates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Circuit, QasmContainsHeaderAndGates)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, 0.5);
+    std::string qasm = c.toQasm();
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.5) q[1];"), std::string::npos);
+}
+
+TEST(Transpile, ToffoliMatchesNativeCcx)
+{
+    Circuit toffoli(3);
+    appendToffoli(toffoli, 0, 1, 2);
+    Circuit native(3);
+    native.mcx({0, 1}, 2);
+    expectEquivalent(toffoli, native, 3);
+}
+
+TEST(Transpile, CpLoweringMatchesNative)
+{
+    Circuit native(2);
+    native.cp(0, 1, 0.77);
+    Circuit lowered = transpile(native, {.mode = TranspileMode::GrayCode,
+                                         .lowerToCx = true});
+    EXPECT_EQ(lowered.countKind(GateKind::CP), 0);
+    expectEquivalent(lowered, native, 2);
+}
+
+TEST(Transpile, SwapLoweringMatchesNative)
+{
+    Circuit native(2);
+    native.swap(0, 1);
+    Circuit lowered = transpile(native, {.mode = TranspileMode::GrayCode,
+                                         .lowerToCx = true});
+    EXPECT_EQ(lowered.countCx(), 3);
+    expectEquivalent(lowered, native, 2);
+}
+
+class McpLowering : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(McpLowering, GrayCodeMatchesNative)
+{
+    auto [controls, theta] = GetParam();
+    std::vector<int> cs;
+    for (int i = 0; i < controls; ++i)
+        cs.push_back(i);
+    Circuit native(controls + 1);
+    native.mcp(cs, controls, theta);
+    Circuit lowered = transpile(native, {.mode = TranspileMode::GrayCode,
+                                         .lowerToCx = true});
+    EXPECT_EQ(lowered.countKind(GateKind::MCP), 0);
+    expectEquivalent(lowered, native, controls + 1);
+}
+
+TEST_P(McpLowering, AncillaLadderMatchesNative)
+{
+    auto [controls, theta] = GetParam();
+    std::vector<int> cs;
+    for (int i = 0; i < controls; ++i)
+        cs.push_back(i);
+    Circuit native(controls + 1);
+    native.mcp(cs, controls, theta);
+    Circuit lowered = transpile(native, {.mode = TranspileMode::AncillaLadder,
+                                         .lowerToCx = true});
+    EXPECT_EQ(lowered.countKind(GateKind::MCP), 0);
+    // Compare on the padded register: ancillas start in and return to
+    // |0>, so only data-qubit inputs are quantified.
+    int n = lowered.numQubits();
+    Circuit padded(n);
+    padded.mcp(cs, controls, theta);
+    expectEquivalent(lowered, padded, n, controls + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlsAndAngles, McpLowering,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(0.3, 1.1, kPi, -0.7)));
+
+TEST(Transpile, McxLoweringMatchesNative)
+{
+    for (int controls : {2, 3}) {
+        std::vector<int> cs;
+        for (int i = 0; i < controls; ++i)
+            cs.push_back(i);
+        Circuit native(controls + 1);
+        native.mcx(cs, controls);
+        for (TranspileMode mode :
+             {TranspileMode::GrayCode, TranspileMode::AncillaLadder}) {
+            Circuit lowered =
+                transpile(native, {.mode = mode, .lowerToCx = true});
+            int n = lowered.numQubits();
+            Circuit padded(n);
+            padded.mcx(cs, controls);
+            expectEquivalent(lowered, padded, n, controls + 1);
+        }
+    }
+}
+
+TEST(Transpile, AncillaLadderCxCountIsLinear)
+{
+    auto cx_for = [](int controls) {
+        std::vector<int> cs;
+        for (int i = 0; i < controls; ++i)
+            cs.push_back(i);
+        Circuit native(controls + 1);
+        native.mcp(cs, controls, 0.5);
+        return transpile(native, {.mode = TranspileMode::AncillaLadder,
+                                  .lowerToCx = true})
+            .countCx();
+    };
+    int c4 = cx_for(4);
+    int c5 = cx_for(5);
+    int c6 = cx_for(6);
+    // Linear growth: constant increments per extra control.
+    EXPECT_EQ(c5 - c4, c6 - c5);
+}
+
+TEST(Transpile, PaperCostModel)
+{
+    EXPECT_EQ(paperTransitionCxCost(1), 34);
+    EXPECT_EQ(paperTransitionCxCost(5), 170);
+}
+
+TEST(Optimize, CancelsSelfInversePairs)
+{
+    Circuit c(2);
+    c.x(0);
+    c.x(0);
+    c.h(1);
+    c.h(1);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    Circuit out = optimizeCircuit(c);
+    EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Optimize, DoesNotCancelAcrossBlocker)
+{
+    Circuit c(2);
+    c.x(0);
+    c.cx(0, 1); // touches q0: blocks the X-X cancellation
+    c.x(0);
+    Circuit out = optimizeCircuit(c);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Optimize, MergesRotations)
+{
+    Circuit c(1);
+    c.rz(0, 0.3);
+    c.rz(0, 0.4);
+    Circuit out = optimizeCircuit(c);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.gates()[0].param, 0.7, 1e-12);
+}
+
+TEST(Optimize, MergedZeroRotationVanishes)
+{
+    Circuit c(1);
+    c.rx(0, 0.5);
+    c.rx(0, -0.5);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+}
+
+TEST(Optimize, MergesSymmetricCp)
+{
+    Circuit c(2);
+    c.cp(0, 1, 0.2);
+    c.cp(1, 0, 0.3); // CP is diagonal: same unordered pair merges
+    Circuit out = optimizeCircuit(c);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.gates()[0].param, 0.5, 1e-12);
+}
+
+TEST(Optimize, PreservesSemantics)
+{
+    Circuit c(3);
+    c.h(0);
+    c.x(1);
+    c.x(1);
+    c.cx(0, 1);
+    c.rz(1, 0.4);
+    c.rz(1, 0.6);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    Circuit out = optimizeCircuit(c);
+    EXPECT_LT(out.size(), c.size());
+    expectEquivalent(out, c, 3);
+}
+
+TEST(Optimize, DropsExplicitIdentityRotations)
+{
+    Circuit c(1);
+    c.p(0, 0.0);
+    c.rz(0, 0.0);
+    EXPECT_EQ(optimizeCircuit(c).size(), 0u);
+}
+
+} // namespace
+} // namespace rasengan::circuit

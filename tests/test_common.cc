@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit tests for src/common: BitVec, Rng, stats, timers, log formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bitvec.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace rasengan {
+namespace {
+
+TEST(BitVec, DefaultIsZero)
+{
+    BitVec v;
+    for (int i = 0; i < kMaxBits; ++i)
+        EXPECT_FALSE(v.get(i));
+    EXPECT_EQ(v.popcount(), 0);
+}
+
+TEST(BitVec, SetClearFlipAssign)
+{
+    BitVec v;
+    v.set(3);
+    EXPECT_TRUE(v.get(3));
+    v.flip(3);
+    EXPECT_FALSE(v.get(3));
+    v.flip(100);
+    EXPECT_TRUE(v.get(100));
+    v.clear(100);
+    EXPECT_FALSE(v.get(100));
+    v.assign(64, true);
+    EXPECT_TRUE(v.get(64));
+    v.assign(64, false);
+    EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVec, HighWordIndependentOfLowWord)
+{
+    BitVec v;
+    v.set(0);
+    v.set(127);
+    EXPECT_EQ(v.popcount(), 2);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(127));
+    EXPECT_FALSE(v.get(63));
+    EXPECT_FALSE(v.get(64));
+}
+
+TEST(BitVec, IndexRoundTrip)
+{
+    for (uint64_t idx : {0ull, 1ull, 5ull, 0xDEADBEEFull}) {
+        EXPECT_EQ(BitVec::fromIndex(idx).toIndex(), idx);
+    }
+}
+
+TEST(BitVec, StringRoundTrip)
+{
+    BitVec v = BitVec::fromString("01101");
+    EXPECT_FALSE(v.get(0));
+    EXPECT_TRUE(v.get(1));
+    EXPECT_TRUE(v.get(2));
+    EXPECT_FALSE(v.get(3));
+    EXPECT_TRUE(v.get(4));
+    EXPECT_EQ(v.toString(5), "01101");
+    EXPECT_EQ(v.toVector(5), (std::vector<int>{0, 1, 1, 0, 1}));
+}
+
+TEST(BitVec, FromVectorMatchesFromString)
+{
+    EXPECT_EQ(BitVec::fromVector({1, 0, 1}), BitVec::fromString("101"));
+}
+
+TEST(BitVec, XorAndOr)
+{
+    BitVec a = BitVec::fromString("1100");
+    BitVec b = BitVec::fromString("1010");
+    EXPECT_EQ((a ^ b).toString(4), "0110");
+    EXPECT_EQ((a & b).toString(4), "1000");
+    EXPECT_EQ((a | b).toString(4), "1110");
+}
+
+TEST(BitVec, OrderingIsTotal)
+{
+    BitVec a = BitVec::fromIndex(1);
+    BitVec b = BitVec::fromIndex(2);
+    BitVec c;
+    c.set(64); // high word
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, BitVec::fromIndex(1));
+}
+
+TEST(BitVec, HashSpreads)
+{
+    std::set<size_t> hashes;
+    for (uint64_t i = 0; i < 256; ++i)
+        hashes.insert(BitVec::fromIndex(i).hash());
+    // A few collisions would be tolerable; identical hashes are a bug.
+    EXPECT_GT(hashes.size(), 250u);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntWithinBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(7);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(3);
+    std::vector<double> weights{0.0, 10.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.weightedIndex(weights), 1u);
+}
+
+TEST(Rng, WeightedIndexEmpiricalDistribution)
+{
+    Rng rng(5);
+    std::vector<double> weights{1.0, 3.0};
+    int ones = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        ones += rng.weightedIndex(weights) == 1 ? 1 : 0;
+    double frac = static_cast<double>(ones) / trials;
+    EXPECT_NEAR(frac, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(9);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(42);
+    Rng child = a.fork();
+    // The child stream should differ from the parent's continuation.
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniformInt(0, 1 << 30) != child.uniformInt(0, 1 << 30);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, MinMax)
+{
+    std::vector<double> xs{3.0, -1.0, 2.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 3.0);
+}
+
+TEST(Stats, RunningStatMatchesBatch)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStat rs;
+    for (double x : xs)
+        rs.push(x);
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Timer, AccumulatesAcrossStartStop)
+{
+    Stopwatch w;
+    w.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    w.stop();
+    double first = w.seconds();
+    EXPECT_GT(first, 0.0);
+    w.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    w.stop();
+    EXPECT_GT(w.seconds(), first);
+    w.reset();
+    EXPECT_DOUBLE_EQ(w.seconds(), 0.0);
+}
+
+TEST(Timer, ScopedTimerStops)
+{
+    Stopwatch w;
+    {
+        ScopedTimer guard(w);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    double t = w.seconds();
+    EXPECT_GT(t, 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_DOUBLE_EQ(w.seconds(), t);
+}
+
+TEST(Logging, FormatSubstitution)
+{
+    EXPECT_EQ(detail::format("a {} b {}", 1, "x"), "a 1 b x");
+    EXPECT_EQ(detail::format("no placeholders"), "no placeholders");
+    EXPECT_EQ(detail::format("extra {} {}", 7), "extra 7 {}");
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel original = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(original);
+}
+
+} // namespace
+} // namespace rasengan

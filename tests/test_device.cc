@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for src/device: coupling topologies, BFS paths, SWAP
+ * routing (validated by simulating routed vs original circuits), device
+ * presets, and the latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/transpile.h"
+#include "core/rasengan.h"
+#include "device/device.h"
+#include "device/latency.h"
+#include "device/routing.h"
+#include "device/topology.h"
+#include "problems/suite.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::device {
+namespace {
+
+TEST(Topology, LinearChain)
+{
+    CouplingMap map = CouplingMap::linear(4);
+    EXPECT_EQ(map.numQubits(), 4);
+    EXPECT_EQ(map.edges().size(), 3u);
+    EXPECT_TRUE(map.connected(1, 2));
+    EXPECT_FALSE(map.connected(0, 3));
+    EXPECT_EQ(map.distance(0, 3), 3);
+    EXPECT_TRUE(map.isConnected());
+}
+
+TEST(Topology, GridNeighbors)
+{
+    CouplingMap map = CouplingMap::grid(2, 3);
+    EXPECT_EQ(map.numQubits(), 6);
+    EXPECT_TRUE(map.connected(0, 1));
+    EXPECT_TRUE(map.connected(0, 3));
+    EXPECT_FALSE(map.connected(0, 4));
+    EXPECT_EQ(map.distance(0, 5), 3);
+}
+
+TEST(Topology, FullCoupling)
+{
+    CouplingMap map = CouplingMap::full(5);
+    EXPECT_EQ(map.edges().size(), 10u);
+    EXPECT_EQ(map.distance(0, 4), 1);
+}
+
+TEST(Topology, ShortestPathEndpoints)
+{
+    CouplingMap map = CouplingMap::linear(5);
+    auto path = map.shortestPath(1, 4);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path.front(), 1);
+    EXPECT_EQ(path.back(), 4);
+    for (size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(map.connected(path[i], path[i + 1]));
+    EXPECT_EQ(map.shortestPath(2, 2), (std::vector<int>{2}));
+}
+
+TEST(Topology, DisconnectedGraphReportsUnreachable)
+{
+    CouplingMap map(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(map.isConnected());
+    EXPECT_EQ(map.distance(0, 3), -1);
+    EXPECT_TRUE(map.shortestPath(0, 3).empty());
+}
+
+TEST(Topology, DeduplicatesEdges)
+{
+    CouplingMap map(2, {{0, 1}, {1, 0}, {0, 1}});
+    EXPECT_EQ(map.edges().size(), 1u);
+}
+
+TEST(Topology, HeavyHexIsConnected)
+{
+    CouplingMap map = CouplingMap::heavyHex(7, 15);
+    EXPECT_GE(map.numQubits(), 105);
+    EXPECT_TRUE(map.isConnected());
+    // Heavy-hex is sparse: average degree must stay below 3.
+    double avg_degree =
+        2.0 * map.edges().size() / map.numQubits();
+    EXPECT_LT(avg_degree, 3.0);
+}
+
+TEST(Routing, AdjacentGatesUntouched)
+{
+    circuit::Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    RoutingResult r = route(c, CouplingMap::linear(3));
+    EXPECT_EQ(r.swapsInserted, 0);
+    EXPECT_EQ(r.routed.size(), c.size());
+}
+
+TEST(Routing, InsertsSwapsForDistantGates)
+{
+    circuit::Circuit c(4);
+    c.cx(0, 3);
+    RoutingResult r = route(c, CouplingMap::linear(4));
+    EXPECT_GE(r.swapsInserted, 2);
+    // All two-qubit gates in the routed circuit must be coupled.
+    CouplingMap map = CouplingMap::linear(4);
+    for (const auto &g : r.routed.gates()) {
+        auto qs = g.qubits();
+        if (qs.size() == 2) {
+            EXPECT_TRUE(map.connected(qs[0], qs[1]));
+        }
+    }
+}
+
+TEST(Routing, RoutedCircuitPreservesSemantics)
+{
+    // Build a circuit with several distant interactions, route it onto a
+    // chain, then verify by simulation: outcome probabilities of logical
+    // qubits must match after applying the final layout.
+    circuit::Circuit c(4);
+    c.h(0);
+    c.cx(0, 3);
+    c.cx(1, 2);
+    c.rx(3, 0.7);
+    c.cx(0, 2);
+    CouplingMap map = CouplingMap::linear(4);
+    RoutingResult r = route(c, map, /*lower_swaps=*/false);
+
+    qsim::Statevector logical(4);
+    logical.applyCircuit(c);
+    qsim::Statevector physical(4);
+    physical.applyCircuit(r.routed);
+
+    for (uint64_t idx = 0; idx < 16; ++idx) {
+        BitVec logical_state = BitVec::fromIndex(idx);
+        BitVec physical_state;
+        for (int l = 0; l < 4; ++l)
+            if (logical_state.get(l))
+                physical_state.set(r.finalLayout[l]);
+        EXPECT_NEAR(logical.probability(logical_state),
+                    physical.probability(physical_state), 1e-9)
+            << "logical state " << idx;
+    }
+}
+
+TEST(Routing, LowersSwapsToCx)
+{
+    circuit::Circuit c(3);
+    c.cx(0, 2);
+    RoutingResult r = route(c, CouplingMap::linear(3), true);
+    EXPECT_EQ(r.routed.countKind(circuit::GateKind::Swap), 0);
+    EXPECT_GE(r.routed.countCx(), 4); // 3 per swap + the gate itself
+}
+
+TEST(RoutingLookahead, AdjacentGatesUntouched)
+{
+    circuit::Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    RoutingResult r = routeLookahead(c, CouplingMap::linear(3));
+    EXPECT_EQ(r.swapsInserted, 0);
+    EXPECT_EQ(r.routed.size(), c.size());
+}
+
+TEST(RoutingLookahead, ProducesCoupledGates)
+{
+    circuit::Circuit c(5);
+    c.cx(0, 4);
+    c.cx(1, 3);
+    c.cx(0, 2);
+    CouplingMap map = CouplingMap::linear(5);
+    RoutingResult r = routeLookahead(c, map);
+    for (const auto &g : r.routed.gates()) {
+        auto qs = g.qubits();
+        if (qs.size() == 2) {
+            EXPECT_TRUE(map.connected(qs[0], qs[1]));
+        }
+    }
+    EXPECT_GT(r.swapsInserted, 0);
+}
+
+TEST(RoutingLookahead, PreservesSemantics)
+{
+    circuit::Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.cx(0, 3);
+    c.rx(2, 0.4);
+    c.cx(1, 2);
+    c.cp(0, 2, 0.9);
+    c.cx(3, 1);
+    CouplingMap map = CouplingMap::linear(4);
+    RoutingResult r = routeLookahead(c, map, /*lower_swaps=*/false);
+
+    qsim::Statevector logical(4);
+    logical.applyCircuit(c);
+    qsim::Statevector physical(4);
+    physical.applyCircuit(r.routed);
+
+    for (uint64_t idx = 0; idx < 16; ++idx) {
+        BitVec logical_state = BitVec::fromIndex(idx);
+        BitVec physical_state;
+        for (int l = 0; l < 4; ++l)
+            if (logical_state.get(l))
+                physical_state.set(r.finalLayout[l]);
+        EXPECT_NEAR(logical.probability(logical_state),
+                    physical.probability(physical_state), 1e-9)
+            << "logical state " << idx;
+    }
+}
+
+TEST(RoutingLookahead, ReordersIndependentGatesAroundBlockedOnes)
+{
+    // Gate cx(3,4) is executable immediately even though cx(0,4)... the
+    // DAG ties them; use disjoint wires instead: cx(0,3) blocked, the
+    // independent cx(1,2) must not wait for swaps.
+    circuit::Circuit c(4);
+    c.cx(0, 3);
+    c.cx(1, 2);
+    RoutingResult r = routeLookahead(c, CouplingMap::linear(4));
+    ASSERT_FALSE(r.routed.gates().empty());
+    // The first emitted operation is the independent adjacent CX, not a
+    // swap for the blocked pair.
+    const auto &first = r.routed.gates()[0];
+    EXPECT_EQ(first.kind, circuit::GateKind::CX);
+    EXPECT_EQ(first.controls[0], 1);
+    EXPECT_EQ(first.targets[0], 2);
+}
+
+TEST(RoutingLookahead, NoWorseThanGreedyOnInterleavedPairs)
+{
+    // Repeated interactions between the two chain ends: the lookahead
+    // heuristic should not exceed the greedy walker's swap count.
+    circuit::Circuit c(6);
+    for (int rep = 0; rep < 3; ++rep) {
+        c.cx(0, 5);
+        c.cx(1, 4);
+    }
+    CouplingMap map = CouplingMap::linear(6);
+    RoutingResult greedy = route(c, map);
+    RoutingResult lookahead = routeLookahead(c, map);
+    EXPECT_LE(lookahead.swapsInserted, greedy.swapsInserted);
+}
+
+TEST(RoutingLookahead, HandlesHeavyHex)
+{
+    problems::Problem p = problems::makeBenchmark("S2");
+    core::RasenganSolver solver(p, {});
+    std::vector<double> nominal(solver.numParams(), 0.5);
+    circuit::Circuit lowered = circuit::transpile(
+        solver.segmentCircuit(0, p.trivialFeasible(), nominal));
+    CouplingMap map = CouplingMap::heavyHex(7, 15);
+    RoutingResult r = routeLookahead(lowered, map);
+    for (const auto &g : r.routed.gates()) {
+        auto qs = g.qubits();
+        if (qs.size() == 2) {
+            EXPECT_TRUE(map.connected(qs[0], qs[1]));
+        }
+    }
+}
+
+TEST(Device, PresetsAreOrdered)
+{
+    DeviceModel kyiv = DeviceModel::ibmKyiv();
+    DeviceModel brisbane = DeviceModel::ibmBrisbane();
+    // Section 5.4: Kyiv's two-qubit error rate exceeds Brisbane's.
+    EXPECT_GT(kyiv.error2q, brisbane.error2q);
+    EXPECT_NEAR(kyiv.error2q, 0.012, 1e-9);
+    EXPECT_NEAR(brisbane.error2q, 0.0082, 1e-9);
+    EXPECT_GE(kyiv.coupling.numQubits(), 105);
+}
+
+TEST(Device, NoiseModelFromCalibration)
+{
+    qsim::NoiseModel noise = DeviceModel::ibmKyiv().toNoiseModel();
+    EXPECT_NEAR(noise.depol2q, 0.012, 1e-9);
+    EXPECT_GT(noise.amplitudeDamping, 0.0);
+    EXPECT_LT(noise.amplitudeDamping, 0.01);
+    EXPECT_GT(noise.phaseDamping, 0.0);
+    EXPECT_TRUE(noise.enabled());
+}
+
+TEST(Device, NoiselessPresetIsQuiet)
+{
+    qsim::NoiseModel noise = DeviceModel::noiseless(8).toNoiseModel();
+    EXPECT_FALSE(noise.enabled());
+}
+
+TEST(Latency, DeeperCircuitsTakeLonger)
+{
+    LatencyModel latency(DeviceModel::ibmQuebec());
+    circuit::Circuit shallow(2);
+    shallow.h(0);
+    circuit::Circuit deep(2);
+    for (int i = 0; i < 50; ++i)
+        deep.cx(0, 1);
+    EXPECT_GT(latency.circuitTimeUs(deep), latency.circuitTimeUs(shallow));
+}
+
+TEST(Latency, ScalesLinearlyInShots)
+{
+    LatencyModel latency(DeviceModel::ibmQuebec());
+    circuit::Circuit c(2);
+    c.cx(0, 1);
+    double one = latency.executionTimeSeconds(c, 1000);
+    double two = latency.executionTimeSeconds(c, 2000);
+    EXPECT_NEAR(two, 2.0 * one, 1e-12);
+}
+
+TEST(Latency, SegmentedTimeAddsUp)
+{
+    LatencyModel latency(DeviceModel::ibmQuebec());
+    circuit::Circuit c(2);
+    c.cx(0, 1);
+    std::vector<std::pair<circuit::Circuit, uint64_t>> segments{
+        {c, 100}, {c, 200}};
+    EXPECT_NEAR(latency.segmentedTimeSeconds(segments),
+                latency.executionTimeSeconds(c, 100) +
+                    latency.executionTimeSeconds(c, 200),
+                1e-12);
+}
+
+} // namespace
+} // namespace rasengan::device

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the ASCII circuit renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/draw.h"
+
+namespace rasengan::circuit {
+namespace {
+
+TEST(Draw, EmptyCircuitShowsBareWires)
+{
+    Circuit c(2);
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("q0: "), std::string::npos);
+    EXPECT_NE(art.find("q1: "), std::string::npos);
+}
+
+TEST(Draw, SingleQubitGates)
+{
+    Circuit c(2);
+    c.h(0);
+    c.x(1);
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("H"), std::string::npos);
+    EXPECT_NE(art.find("X"), std::string::npos);
+}
+
+TEST(Draw, ControlAndTargetMarkers)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    std::string art = drawCircuit(c);
+    // Control renders '*', target 'X'.
+    EXPECT_NE(art.find("*"), std::string::npos);
+    EXPECT_NE(art.find("X"), std::string::npos);
+}
+
+TEST(Draw, ConnectorThroughMiddleWire)
+{
+    Circuit c(3);
+    c.cx(0, 2); // spans q1
+    std::string art = drawCircuit(c);
+    // The middle wire shows a '|' pass-through.
+    size_t q1_line = art.find("q1: ");
+    ASSERT_NE(q1_line, std::string::npos);
+    size_t newline = art.find('\n', q1_line);
+    EXPECT_NE(art.substr(q1_line, newline - q1_line).find('|'),
+              std::string::npos);
+}
+
+TEST(Draw, RotationsShowAngles)
+{
+    Circuit c(1);
+    c.rz(0, 0.5);
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("rz(0.50)"), std::string::npos);
+}
+
+TEST(Draw, ParallelGatesShareColumn)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(1); // same level: one column
+    c.cx(0, 1);
+    std::string art = drawCircuit(c);
+    // Both wires show H at the same horizontal offset.
+    size_t q0_h = art.find('H');
+    size_t q1_line = art.find("q1: ");
+    size_t q1_h = art.find('H', q1_line);
+    size_t q0_off = q0_h - art.find("q0: ");
+    size_t q1_off = q1_h - q1_line;
+    EXPECT_EQ(q0_off, q1_off);
+}
+
+TEST(Draw, TruncationMarks)
+{
+    Circuit c(1);
+    for (int i = 0; i < 10; ++i)
+        c.h(0);
+    std::string art = drawCircuit(c, 3);
+    EXPECT_NE(art.find("..."), std::string::npos);
+}
+
+TEST(Draw, RowCountMatchesQubits)
+{
+    Circuit c(5);
+    c.h(2);
+    std::string art = drawCircuit(c);
+    int rows = 0;
+    for (char ch : art)
+        rows += ch == '\n' ? 1 : 0;
+    EXPECT_EQ(rows, 5);
+}
+
+} // namespace
+} // namespace rasengan::circuit

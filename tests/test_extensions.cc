@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the beyond-paper extensions: the TSP (route optimization)
+ * family, and readout mitigation integrated into the Rasengan segment
+ * loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rasengan.h"
+#include "linalg/unimodular.h"
+#include "problems/metrics.h"
+#include "problems/suite.h"
+#include "problems/tsp.h"
+
+namespace rasengan {
+namespace {
+
+using problems::makeTsp;
+using problems::TspConfig;
+
+TEST(Tsp, FeasibleSetIsPermutations)
+{
+    Rng rng(3);
+    TspConfig config{.cities = 3};
+    problems::Problem p = makeTsp("tsp3", config, rng);
+    EXPECT_EQ(p.numVars(), 9);
+    EXPECT_EQ(p.feasibleCount(), 6u); // 3! tours
+    for (const BitVec &x : p.feasibleSolutions()) {
+        // One city per position and one position per city.
+        for (int c = 0; c < 3; ++c) {
+            int count = 0;
+            for (int pos = 0; pos < 3; ++pos)
+                count += x.get(problems::tspVar(config, c, pos)) ? 1 : 0;
+            EXPECT_EQ(count, 1);
+        }
+    }
+}
+
+TEST(Tsp, AssignmentMatrixIsTotallyUnimodular)
+{
+    Rng rng(5);
+    problems::Problem p = makeTsp("tsp3-tu", {.cities = 3}, rng);
+    EXPECT_TRUE(linalg::isTotallyUnimodular(p.constraints()));
+}
+
+TEST(Tsp, SymmetricDistancesGiveReversalInvariantCost)
+{
+    Rng rng(9);
+    TspConfig config{.cities = 4, .symmetric = true};
+    problems::Problem p = makeTsp("tsp4", config, rng);
+    // Reversing a closed tour keeps its cost when distances are
+    // symmetric: check on the identity tour and its reversal.
+    BitVec forward, backward;
+    for (int c = 0; c < 4; ++c) {
+        forward.set(problems::tspVar(config, c, c));
+        backward.set(problems::tspVar(config, c, (4 - c) % 4));
+    }
+    ASSERT_TRUE(p.isFeasible(forward));
+    ASSERT_TRUE(p.isFeasible(backward));
+    EXPECT_NEAR(p.objective(forward), p.objective(backward), 1e-9);
+}
+
+TEST(Tsp, ObjectiveIsPositive)
+{
+    Rng rng(2);
+    problems::Problem p = makeTsp("tsp-pos", {.cities = 3}, rng);
+    EXPECT_GT(p.optimalValue(), 0.0);
+}
+
+TEST(Tsp, RasenganFindsGoodTour)
+{
+    Rng rng(7);
+    problems::Problem p = makeTsp("tsp-solve", {.cities = 3}, rng);
+    core::RasenganOptions options;
+    options.maxIterations = 150;
+    core::RasenganSolver solver(p, options);
+    core::RasenganResult res = solver.run();
+    ASSERT_FALSE(res.failed);
+    EXPECT_TRUE(p.isFeasible(res.solution));
+    // The chain covers all 6 tours (assignment matrix is TU).
+    EXPECT_EQ(res.feasibleCovered, p.feasibleCount());
+    EXPECT_LT(p.arg(res.expectedObjective),
+              std::max(problems::meanFeasibleArg(p), 1e-6));
+}
+
+TEST(Tsp, FourCitiesCoverAllTours)
+{
+    Rng rng(11);
+    problems::Problem p = makeTsp("tsp4-cover", {.cities = 4}, rng);
+    EXPECT_EQ(p.feasibleCount(), 24u);
+    core::RasenganSolver solver(p, {});
+    EXPECT_EQ(solver.chain().reachableCount, 24u);
+}
+
+TEST(ReadoutMitigation, ImprovesRawFeasibleFraction)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    auto run_with = [&](bool mitigate) {
+        core::RasenganOptions options;
+        options.execution =
+            core::RasenganOptions::Execution::NoisyGateLevel;
+        options.noise.readoutError = 0.05; // readout-only noise
+        options.mitigateReadout = mitigate;
+        options.shotsPerSegment = 2048;
+        options.trajectories = 1;
+        options.seed = 4;
+        core::RasenganSolver solver(p, options);
+        std::vector<double> times(solver.numParams(), 0.5);
+        Rng rng(5);
+        return solver.execute(times, rng);
+    };
+    auto raw = run_with(false);
+    auto mitigated = run_with(true);
+    ASSERT_FALSE(raw.failed);
+    ASSERT_FALSE(mitigated.failed);
+    EXPECT_GT(mitigated.prePurifyFeasibleFraction,
+              raw.prePurifyFeasibleFraction);
+}
+
+TEST(ReadoutMitigation, NoOpWithoutReadoutError)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    core::RasenganOptions options;
+    options.execution = core::RasenganOptions::Execution::SampledSparse;
+    options.mitigateReadout = true; // no readout error -> ignored
+    core::RasenganSolver solver(p, options);
+    std::vector<double> times(solver.numParams(), 0.5);
+    Rng rng(6);
+    auto dist = solver.execute(times, rng);
+    ASSERT_FALSE(dist.failed);
+    EXPECT_NEAR(dist.prePurifyFeasibleFraction, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace rasengan

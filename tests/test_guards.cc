@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Guard-rail tests: the fatal()/panic() paths that protect API misuse
+ * must actually fire (gtest death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "common/bitvec.h"
+#include "device/latency.h"
+#include "device/routing.h"
+#include "linalg/matrix.h"
+#include "linalg/rational.h"
+#include "problems/suite.h"
+#include "qsim/sparsestate.h"
+#include "qsim/statevector.h"
+
+namespace rasengan {
+namespace {
+
+TEST(Guards, BitVecRejectsOutOfRangeBit)
+{
+    BitVec v;
+    EXPECT_DEATH(v.set(kMaxBits), "");
+    EXPECT_DEATH(v.get(-1), "");
+}
+
+TEST(Guards, BitVecRejectsOversizedInputs)
+{
+    std::vector<int> too_big(kMaxBits + 1, 0);
+    EXPECT_DEATH(BitVec::fromVector(too_big), "");
+    EXPECT_DEATH(BitVec::fromVector({0, 2, 0}), "");
+    EXPECT_DEATH(BitVec::fromString("01x"), "");
+}
+
+TEST(Guards, RationalRejectsZeroDenominator)
+{
+    EXPECT_DEATH(linalg::Rational(1, 0), "");
+}
+
+TEST(Guards, RationalRejectsDivisionByZero)
+{
+    linalg::Rational a(1, 2);
+    EXPECT_DEATH(a / linalg::Rational(0), "");
+}
+
+TEST(Guards, RationalToIntRequiresInteger)
+{
+    EXPECT_DEATH(linalg::Rational(1, 2).toInt(), "");
+}
+
+TEST(Guards, MatrixRejectsBadIndexing)
+{
+    linalg::IntMat m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "");
+    EXPECT_DEATH(m.at(0, -1), "");
+}
+
+TEST(Guards, MatrixRejectsRaggedInitializer)
+{
+    EXPECT_DEATH((linalg::IntMat{{1, 2}, {3}}), "");
+}
+
+TEST(Guards, CircuitRejectsBadWiring)
+{
+    circuit::Circuit c(2);
+    EXPECT_DEATH(c.h(2), "");
+    EXPECT_DEATH(c.cx(0, 0), "");
+    EXPECT_DEATH(c.mcp({0, 0}, 1, 0.5), "");
+}
+
+TEST(Guards, StatevectorRejectsOversizedRegisters)
+{
+    EXPECT_DEATH(qsim::Statevector(31), "");
+}
+
+TEST(Guards, StatevectorRejectsCircuitLargerThanRegister)
+{
+    circuit::Circuit c(3);
+    c.h(2);
+    qsim::Statevector sv(2);
+    EXPECT_DEATH(sv.applyCircuit(c), "");
+}
+
+TEST(Guards, SparseStateRejectsEmptyRotationMask)
+{
+    qsim::SparseState s(2, BitVec{});
+    EXPECT_DEATH(s.applyPairRotation(BitVec{}, BitVec{}, 0.5), "");
+}
+
+TEST(Guards, RoutingRejectsOversizedCircuits)
+{
+    circuit::Circuit c(5);
+    c.cx(0, 4);
+    device::CouplingMap map = device::CouplingMap::linear(3);
+    EXPECT_DEATH(device::route(c, map), "");
+    EXPECT_DEATH(device::routeLookahead(c, map), "");
+}
+
+TEST(Guards, RoutingRejectsUntranspiledGates)
+{
+    circuit::Circuit c(4);
+    c.mcp({0, 1}, 2, 0.3);
+    device::CouplingMap map = device::CouplingMap::full(4);
+    EXPECT_DEATH(device::route(c, map), "");
+}
+
+TEST(Guards, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(problems::makeBenchmark("Z9"), "");
+}
+
+TEST(Guards, DisabledEnumerationIsFatal)
+{
+    problems::Problem p = problems::makeScalabilityFlp(105);
+    EXPECT_DEATH(p.feasibleSolutions(), "");
+}
+
+TEST(Guards, ArgRejectsZeroOptimum)
+{
+    problems::QuadraticObjective f(2);
+    // f == 0 on the feasible point (0,1): optimum is zero.
+    linalg::IntMat c{{1, 1}};
+    problems::Problem p("zero-opt", "demo", c, {1}, f,
+                        BitVec::fromString("01"));
+    EXPECT_DEATH(p.arg(0.5), "");
+}
+
+} // namespace
+} // namespace rasengan

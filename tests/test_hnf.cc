@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the Hermite normal form: shape invariants, unimodularity of
+ * the transform, kernel-basis correctness (cross-checked against the
+ * RREF nullspace), and integral solving -- including parameterized sweeps
+ * over the benchmark suite's constraint matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/hnf.h"
+#include "linalg/nullspace.h"
+#include "linalg/rref.h"
+#include "linalg/solve.h"
+#include "linalg/unimodular.h"
+#include "problems/suite.h"
+
+namespace rasengan::linalg {
+namespace {
+
+/** H = A U must hold entry-wise. */
+void
+expectProductMatches(const IntMat &a, const HnfResult &res)
+{
+    for (int r = 0; r < a.rows(); ++r) {
+        for (int c = 0; c < a.cols(); ++c) {
+            __int128 acc = 0;
+            for (int k = 0; k < a.cols(); ++k)
+                acc += static_cast<__int128>(a.at(r, k)) * res.u.at(k, c);
+            EXPECT_EQ(static_cast<int64_t>(acc), res.h.at(r, c))
+                << "entry (" << r << ", " << c << ")";
+        }
+    }
+}
+
+TEST(Hnf, IdentityIsFixedPoint)
+{
+    IntMat eye{{1, 0}, {0, 1}};
+    HnfResult res = hermiteNormalForm(eye);
+    EXPECT_EQ(res.h, eye);
+    EXPECT_EQ(res.rank, 2);
+    EXPECT_EQ(std::abs(determinant(res.u)), 1);
+}
+
+TEST(Hnf, TransformIsUnimodular)
+{
+    IntMat a{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}};
+    HnfResult res = hermiteNormalForm(a);
+    EXPECT_EQ(std::abs(determinant(res.u)), 1);
+    expectProductMatches(a, res);
+}
+
+TEST(Hnf, PivotsArePositiveAndReduced)
+{
+    IntMat a{{2, 4, 4}, {-6, 6, 12}};
+    HnfResult res = hermiteNormalForm(a);
+    int pivot_col = 0;
+    for (int r = 0; r < a.rows() && pivot_col < res.rank; ++r) {
+        int64_t pivot = res.h.at(r, pivot_col);
+        if (pivot == 0)
+            continue;
+        EXPECT_GT(pivot, 0);
+        // Entries to the left in the pivot row lie in [0, pivot).
+        for (int j = 0; j < pivot_col; ++j) {
+            EXPECT_GE(res.h.at(r, j), 0);
+            EXPECT_LT(res.h.at(r, j), pivot);
+        }
+        // Entries to the right of the pivot are zero.
+        for (int j = pivot_col + 1; j < a.cols(); ++j)
+            EXPECT_EQ(res.h.at(r, j), 0);
+        ++pivot_col;
+    }
+}
+
+TEST(Hnf, RankMatchesRref)
+{
+    IntMat a{{1, 2, 3}, {2, 4, 6}, {1, 0, 1}};
+    EXPECT_EQ(hermiteNormalForm(a).rank, rank(a));
+}
+
+TEST(Hnf, KernelBasisIsInKernel)
+{
+    IntMat a{{1, 1, -1, 0, 0}, {0, 0, 1, 1, -1}};
+    auto basis = hnfKernelBasis(a);
+    EXPECT_EQ(basis.size(), 3u);
+    for (const auto &v : basis) {
+        for (int64_t e : applyInt(a, v))
+            EXPECT_EQ(e, 0);
+    }
+}
+
+TEST(Hnf, KernelDimensionAgreesWithRref)
+{
+    for (const std::string &id : problems::benchmarkIds()) {
+        problems::Problem p = problems::makeBenchmark(id);
+        auto hnf_basis = hnfKernelBasis(p.constraints());
+        auto rref_basis = nullspaceBasis(p.constraints());
+        EXPECT_EQ(hnf_basis.size(), rref_basis.size()) << id;
+        for (const auto &v : hnf_basis)
+            for (int64_t e : applyInt(p.constraints(), v))
+                EXPECT_EQ(e, 0) << id;
+    }
+}
+
+TEST(Hnf, ProductIdentityAcrossSuite)
+{
+    for (const char *id : {"F2", "K2", "J3", "S3", "G2"}) {
+        problems::Problem p = problems::makeBenchmark(id);
+        HnfResult res = hermiteNormalForm(p.constraints());
+        expectProductMatches(p.constraints(), res);
+        EXPECT_EQ(std::abs(determinant(res.u)), 1) << id;
+    }
+}
+
+TEST(Hnf, SolveIntegralOnSolvableSystem)
+{
+    IntMat a{{1, 1, -1, 0, 0}, {0, 0, 1, 1, -1}};
+    IntVec b{0, 1};
+    auto x = solveIntegral(a, b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(applyInt(a, *x), b);
+}
+
+TEST(Hnf, SolveIntegralDetectsNonIntegrality)
+{
+    // 2x = 1 has a rational but no integral solution.
+    IntMat a{{2}};
+    EXPECT_FALSE(solveIntegral(a, {1}).has_value());
+    EXPECT_TRUE(solveIntegral(a, {4}).has_value());
+}
+
+TEST(Hnf, SolveIntegralDetectsInconsistency)
+{
+    IntMat a{{1, 1}, {1, 1}};
+    EXPECT_FALSE(solveIntegral(a, {0, 1}).has_value());
+}
+
+TEST(Hnf, SolveIntegralAcrossSuite)
+{
+    for (const std::string &id : problems::benchmarkIds()) {
+        problems::Problem p = problems::makeBenchmark(id);
+        auto x = solveIntegral(p.constraints(), p.bounds());
+        ASSERT_TRUE(x.has_value()) << id;
+        EXPECT_EQ(applyInt(p.constraints(), *x), p.bounds()) << id;
+    }
+}
+
+TEST(Hnf, ZeroMatrixHasFullKernel)
+{
+    IntMat a(2, 3);
+    HnfResult res = hermiteNormalForm(a);
+    EXPECT_EQ(res.rank, 0);
+    EXPECT_EQ(hnfKernelBasis(a).size(), 3u);
+}
+
+} // namespace
+} // namespace rasengan::linalg

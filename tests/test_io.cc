@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for Problem text serialization: round trips across all suite
+ * benchmarks and parser error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "problems/io.h"
+#include "problems/suite.h"
+
+namespace rasengan::problems {
+namespace {
+
+class IoRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(IoRoundTrip, PreservesInstance)
+{
+    Problem original = makeBenchmark(GetParam());
+    std::string text = writeProblem(original);
+    ProblemParseResult res = parseProblem(text);
+    ASSERT_TRUE(res.problem.has_value()) << res.error;
+    const Problem &parsed = *res.problem;
+
+    EXPECT_EQ(parsed.id(), original.id());
+    EXPECT_EQ(parsed.family(), original.family());
+    EXPECT_EQ(parsed.numVars(), original.numVars());
+    EXPECT_EQ(parsed.constraints(), original.constraints());
+    EXPECT_EQ(parsed.bounds(), original.bounds());
+    EXPECT_EQ(parsed.trivialFeasible(), original.trivialFeasible());
+    // Objective equality via evaluation on the feasible set.
+    for (const BitVec &x : original.feasibleSolutions())
+        EXPECT_NEAR(parsed.objective(x), original.objective(x), 1e-9);
+    EXPECT_EQ(parsed.feasibleCount(), original.feasibleCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, IoRoundTrip,
+                         ::testing::ValuesIn(benchmarkIds()));
+
+TEST(Io, CommentsAndBlankLinesIgnored)
+{
+    std::string text = "# a header comment\n"
+                       "problem demo TEST\n"
+                       "\n"
+                       "vars 2\n"
+                       "objective linear 0 1.5\n"
+                       "constraint 1 0:1 1:1\n"
+                       "feasible 10\n";
+    ProblemParseResult res = parseProblem(text);
+    ASSERT_TRUE(res.problem.has_value()) << res.error;
+    EXPECT_EQ(res.problem->numVars(), 2);
+    EXPECT_EQ(res.problem->feasibleCount(), 2u);
+}
+
+TEST(Io, ReportsMissingHeader)
+{
+    ProblemParseResult res =
+        parseProblem("vars 2\nconstraint 1 0:1\nfeasible 00\n");
+    EXPECT_FALSE(res.problem.has_value());
+    EXPECT_NE(res.error.find("problem"), std::string::npos);
+}
+
+TEST(Io, ReportsInfeasiblePoint)
+{
+    std::string text = "problem demo TEST\nvars 2\n"
+                       "constraint 1 0:1 1:1\nfeasible 11\n";
+    ProblemParseResult res = parseProblem(text);
+    EXPECT_FALSE(res.problem.has_value());
+    EXPECT_NE(res.error.find("violates"), std::string::npos);
+}
+
+TEST(Io, ReportsBadVariableIndex)
+{
+    std::string text = "problem demo TEST\nvars 2\n"
+                       "objective linear 5 1.0\n"
+                       "constraint 1 0:1\nfeasible 10\n";
+    ProblemParseResult res = parseProblem(text);
+    EXPECT_FALSE(res.problem.has_value());
+    EXPECT_EQ(res.errorLine, 3);
+}
+
+TEST(Io, ReportsUnknownKeyword)
+{
+    ProblemParseResult res = parseProblem("problem d T\nvars 1\nwat 3\n");
+    EXPECT_FALSE(res.problem.has_value());
+    EXPECT_NE(res.error.find("wat"), std::string::npos);
+}
+
+} // namespace
+} // namespace rasengan::problems

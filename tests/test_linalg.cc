@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests for src/linalg: exact rationals, RREF, integer nullspace,
+ * binary feasibility search, determinants and total unimodularity.
+ *
+ * Several tests use the worked example of the paper (Figure 1a /
+ * Equation 4): C = [[1,1,-1,0,0],[0,0,1,1,-1]], b = [0,1].
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "linalg/matrix.h"
+#include "linalg/nullspace.h"
+#include "linalg/rational.h"
+#include "linalg/rref.h"
+#include "linalg/solve.h"
+#include "linalg/unimodular.h"
+
+namespace rasengan::linalg {
+namespace {
+
+IntMat
+paperMatrix()
+{
+    return IntMat{{1, 1, -1, 0, 0}, {0, 0, 1, 1, -1}};
+}
+
+IntVec
+paperBounds()
+{
+    return {0, 1};
+}
+
+TEST(Rational, NormalizesToLowestTerms)
+{
+    Rational r(6, -4);
+    EXPECT_EQ(r.num(), -3);
+    EXPECT_EQ(r.den(), 2);
+    EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, Arithmetic)
+{
+    Rational half(1, 2), third(1, 3);
+    EXPECT_EQ(half + third, Rational(5, 6));
+    EXPECT_EQ(half - third, Rational(1, 6));
+    EXPECT_EQ(half * third, Rational(1, 6));
+    EXPECT_EQ(half / third, Rational(3, 2));
+    EXPECT_EQ(-half, Rational(-1, 2));
+    EXPECT_EQ(half.abs(), half);
+    EXPECT_EQ((-half).abs(), half);
+}
+
+TEST(Rational, Comparisons)
+{
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+    EXPECT_LE(Rational(2, 4), Rational(1, 2));
+    EXPECT_GE(Rational(1, 2), Rational(2, 4));
+    EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, IntegerQueries)
+{
+    EXPECT_TRUE(Rational(4, 2).isInteger());
+    EXPECT_EQ(Rational(4, 2).toInt(), 2);
+    EXPECT_FALSE(Rational(1, 2).isInteger());
+    EXPECT_TRUE(Rational(0).isZero());
+    EXPECT_NEAR(Rational(1, 4).toDouble(), 0.25, 1e-15);
+}
+
+TEST(Rational, ToStringForms)
+{
+    EXPECT_EQ(Rational(5).toString(), "5");
+    EXPECT_EQ(Rational(-1, 2).toString(), "-1/2");
+}
+
+TEST(Matrix, InitializerAndAccess)
+{
+    IntMat m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 2);
+    EXPECT_EQ(m.at(2, 1), 6);
+    m.at(0, 0) = 9;
+    EXPECT_EQ(m.row(0), (std::vector<int64_t>{9, 2}));
+}
+
+TEST(Matrix, ApplyInt)
+{
+    IntMat m{{1, -1}, {2, 0}};
+    EXPECT_EQ(applyInt(m, {3, 1}), (IntVec{2, 6}));
+}
+
+TEST(Matrix, SwapRows)
+{
+    IntMat m{{1, 2}, {3, 4}};
+    m.swapRows(0, 1);
+    EXPECT_EQ(m.at(0, 0), 3);
+    EXPECT_EQ(m.at(1, 1), 2);
+}
+
+TEST(Rref, IdentityIsFixedPoint)
+{
+    RatMat eye{{1, 0}, {0, 1}};
+    RrefResult r = rref(eye);
+    EXPECT_EQ(r.rank, 2);
+    EXPECT_EQ(r.mat, eye);
+    EXPECT_EQ(r.pivotCols, (std::vector<int>{0, 1}));
+}
+
+TEST(Rref, RankOfSingularMatrix)
+{
+    IntMat m{{1, 2, 3}, {2, 4, 6}, {1, 0, 1}};
+    EXPECT_EQ(rank(m), 2);
+}
+
+TEST(Rref, PaperMatrixHasRankTwo)
+{
+    EXPECT_EQ(rank(paperMatrix()), 2);
+}
+
+TEST(Nullspace, DimensionMatchesRankNullity)
+{
+    auto basis = nullspaceBasis(paperMatrix());
+    EXPECT_EQ(basis.size(), 3u); // n - rank = 5 - 2
+}
+
+TEST(Nullspace, VectorsAreInKernel)
+{
+    IntMat c = paperMatrix();
+    for (const auto &u : nullspaceBasis(c)) {
+        IntVec cu = applyInt(c, u);
+        for (int64_t v : cu)
+            EXPECT_EQ(v, 0);
+    }
+}
+
+TEST(Nullspace, PaperBasisIsSigned01)
+{
+    for (const auto &u : nullspaceBasis(paperMatrix())) {
+        EXPECT_TRUE(isSigned01(u));
+        EXPECT_GT(nonZeroCount(u), 0);
+    }
+}
+
+TEST(Nullspace, FullColumnRankHasEmptyBasis)
+{
+    IntMat m{{1, 0}, {0, 1}, {1, 1}};
+    EXPECT_TRUE(nullspaceBasis(m).empty());
+}
+
+TEST(Nullspace, ScalesFractionsToPrimitiveIntegers)
+{
+    // RREF of [2, 1] gives pivot value 1/2 on the free column; the
+    // integer basis vector must be scaled to [-1, 2] (primitive).
+    IntMat m{{2, 1}};
+    auto basis = nullspaceBasis(m);
+    ASSERT_EQ(basis.size(), 1u);
+    IntVec u = basis[0];
+    EXPECT_EQ(applyInt(m, u), (IntVec{0}));
+    EXPECT_EQ(std::abs(u[0]) + std::abs(u[1]), 3); // {-1,2} up to sign
+}
+
+TEST(Solve, ParticularSolutionSatisfiesSystem)
+{
+    IntMat c = paperMatrix();
+    IntVec b = paperBounds();
+    auto x = solveParticular(c, b);
+    ASSERT_TRUE(x.has_value());
+    for (int r = 0; r < c.rows(); ++r) {
+        Rational acc(0);
+        for (int col = 0; col < c.cols(); ++col)
+            acc += Rational(c.at(r, col)) * (*x)[col];
+        EXPECT_EQ(acc, Rational(b[r]));
+    }
+}
+
+TEST(Solve, DetectsInconsistency)
+{
+    IntMat c{{1, 1}, {1, 1}};
+    EXPECT_FALSE(solveParticular(c, {0, 1}).has_value());
+    EXPECT_FALSE(solveBinary(c, {0, 1}).has_value());
+}
+
+TEST(Solve, BinarySolutionOfPaperSystem)
+{
+    auto x = solveBinary(paperMatrix(), paperBounds());
+    ASSERT_TRUE(x.has_value());
+    EXPECT_TRUE(satisfies(paperMatrix(), paperBounds(), *x));
+}
+
+TEST(Solve, EnumerateFindsAllFiveFeasibleSolutions)
+{
+    // The paper's example has exactly five feasible solutions
+    // (Figure 6a narrates "all five feasible solutions").
+    auto sols = enumerateBinary(paperMatrix(), paperBounds());
+    EXPECT_EQ(sols.size(), 5u);
+    std::set<IntVec> unique(sols.begin(), sols.end());
+    EXPECT_EQ(unique.size(), sols.size());
+    for (const auto &x : sols)
+        EXPECT_TRUE(satisfies(paperMatrix(), paperBounds(), x));
+    // Spot-check the solutions listed in Section 3.
+    EXPECT_TRUE(unique.count({0, 0, 0, 1, 0}));
+    EXPECT_TRUE(unique.count({1, 0, 1, 0, 0}));
+    EXPECT_TRUE(unique.count({0, 1, 1, 0, 0}));
+    EXPECT_TRUE(unique.count({1, 0, 1, 1, 1}));
+    EXPECT_TRUE(unique.count({0, 1, 1, 1, 1}));
+}
+
+TEST(Solve, EnumerateRespectsLimit)
+{
+    auto sols = enumerateBinary(paperMatrix(), paperBounds(), 2);
+    EXPECT_EQ(sols.size(), 2u);
+}
+
+TEST(Solve, SatisfiesRejectsWrongSizes)
+{
+    EXPECT_FALSE(satisfies(paperMatrix(), paperBounds(), {1, 0}));
+}
+
+TEST(Determinant, KnownValues)
+{
+    EXPECT_EQ(determinant(IntMat{{3}}), 3);
+    EXPECT_EQ(determinant(IntMat{{1, 2}, {3, 4}}), -2);
+    EXPECT_EQ(determinant(IntMat{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}), 24);
+    EXPECT_EQ(determinant(IntMat{{1, 2}, {2, 4}}), 0);
+}
+
+TEST(Determinant, RowSwapFlipsSign)
+{
+    EXPECT_EQ(determinant(IntMat{{0, 1}, {1, 0}}), -1);
+}
+
+TEST(Unimodular, PaperMatrixIsTotallyUnimodular)
+{
+    EXPECT_TRUE(isTotallyUnimodular(paperMatrix()));
+}
+
+TEST(Unimodular, DetectsViolation)
+{
+    // Contains a 2x2 submatrix with determinant 2.
+    IntMat m{{1, 1}, {-1, 1}};
+    EXPECT_FALSE(isTotallyUnimodular(m));
+}
+
+TEST(Unimodular, EntriesOutsideUnitRangeFail)
+{
+    EXPECT_FALSE(isTotallyUnimodular(IntMat{{2}}));
+}
+
+} // namespace
+} // namespace rasengan::linalg

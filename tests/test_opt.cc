@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for src/opt: the COBYLA-style optimizer, Nelder-Mead, and
+ * SPSA on standard test functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/adamspsa.h"
+#include "opt/cobyla.h"
+#include "opt/neldermead.h"
+#include "opt/spsa.h"
+
+namespace rasengan::opt {
+namespace {
+
+double
+sphere(const std::vector<double> &x)
+{
+    double acc = 0.0;
+    for (double v : x)
+        acc += v * v;
+    return acc;
+}
+
+double
+shiftedQuadratic(const std::vector<double> &x)
+{
+    double a = x[0] - 1.5;
+    double b = x[1] + 0.5;
+    return 3.0 * a * a + b * b + 2.0;
+}
+
+double
+rosenbrock(const std::vector<double> &x)
+{
+    double a = 1.0 - x[0];
+    double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+}
+
+TEST(Cobyla, MinimizesSphere)
+{
+    OptOptions oo;
+    oo.maxIterations = 500;
+    Cobyla opt(oo);
+    OptResult res = opt.minimize(sphere, {2.0, -1.0, 0.5});
+    EXPECT_LT(res.value, 1e-3);
+    EXPECT_LE(res.evaluations, 500);
+}
+
+TEST(Cobyla, FindsShiftedMinimum)
+{
+    OptOptions oo;
+    oo.maxIterations = 600;
+    Cobyla opt(oo);
+    OptResult res = opt.minimize(shiftedQuadratic, {0.0, 0.0});
+    EXPECT_NEAR(res.value, 2.0, 1e-2);
+    EXPECT_NEAR(res.x[0], 1.5, 0.1);
+    EXPECT_NEAR(res.x[1], -0.5, 0.1);
+}
+
+TEST(Cobyla, MakesProgressOnRosenbrock)
+{
+    OptOptions oo;
+    oo.maxIterations = 800;
+    Cobyla opt(oo);
+    OptResult res = opt.minimize(rosenbrock, {-1.0, 1.0});
+    EXPECT_LT(res.value, rosenbrock({-1.0, 1.0}) * 0.05);
+}
+
+TEST(Cobyla, RespectsEvaluationBudget)
+{
+    OptOptions oo;
+    oo.maxIterations = 25;
+    Cobyla opt(oo);
+    int calls = 0;
+    auto counted = [&](const std::vector<double> &x) {
+        ++calls;
+        return sphere(x);
+    };
+    OptResult res = opt.minimize(counted, {1.0, 1.0, 1.0, 1.0});
+    EXPECT_LE(calls, 25);
+    EXPECT_EQ(res.evaluations, calls);
+}
+
+TEST(Cobyla, HandlesZeroDimensional)
+{
+    Cobyla opt;
+    OptResult res = opt.minimize(
+        [](const std::vector<double> &) { return 42.0; }, {});
+    EXPECT_DOUBLE_EQ(res.value, 42.0);
+    EXPECT_TRUE(res.converged);
+}
+
+TEST(Cobyla, HandlesFlatObjective)
+{
+    OptOptions oo;
+    oo.maxIterations = 60;
+    Cobyla opt(oo);
+    OptResult res = opt.minimize(
+        [](const std::vector<double> &) { return 1.0; }, {0.3, -0.2});
+    EXPECT_DOUBLE_EQ(res.value, 1.0);
+}
+
+TEST(NelderMead, MinimizesSphere)
+{
+    OptOptions oo;
+    oo.maxIterations = 500;
+    NelderMead opt(oo);
+    OptResult res = opt.minimize(sphere, {2.0, -1.0});
+    EXPECT_LT(res.value, 1e-6);
+}
+
+TEST(NelderMead, FindsShiftedMinimum)
+{
+    OptOptions oo;
+    oo.maxIterations = 800;
+    NelderMead opt(oo);
+    OptResult res = opt.minimize(shiftedQuadratic, {0.0, 0.0});
+    EXPECT_NEAR(res.value, 2.0, 1e-3);
+}
+
+TEST(NelderMead, RosenbrockConvergence)
+{
+    OptOptions oo;
+    oo.maxIterations = 2000;
+    oo.tolerance = 1e-10;
+    NelderMead opt(oo);
+    OptResult res = opt.minimize(rosenbrock, {-1.0, 1.0});
+    EXPECT_LT(res.value, 1e-3);
+}
+
+TEST(Spsa, ReducesSphereObjective)
+{
+    OptOptions oo;
+    oo.maxIterations = 2000;
+    oo.initialStep = 0.2;
+    Spsa opt(oo);
+    OptResult res = opt.minimize(sphere, {2.0, -1.0, 1.0});
+    EXPECT_LT(res.value, 0.5);
+}
+
+TEST(Spsa, DeterministicForFixedSeed)
+{
+    OptOptions oo;
+    oo.maxIterations = 200;
+    oo.seed = 99;
+    Spsa a(oo), b(oo);
+    OptResult ra = a.minimize(sphere, {1.0, 1.0});
+    OptResult rb = b.minimize(sphere, {1.0, 1.0});
+    EXPECT_EQ(ra.value, rb.value);
+    EXPECT_EQ(ra.x, rb.x);
+}
+
+TEST(AdamSpsa, MinimizesSphere)
+{
+    OptOptions oo;
+    oo.maxIterations = 1500;
+    oo.initialStep = 0.05;
+    AdamSpsa opt(oo);
+    OptResult res = opt.minimize(sphere, {2.0, -1.0, 1.0});
+    EXPECT_LT(res.value, 0.1);
+}
+
+TEST(AdamSpsa, FindsShiftedMinimumApproximately)
+{
+    OptOptions oo;
+    oo.maxIterations = 2500;
+    oo.initialStep = 0.05;
+    AdamSpsa opt(oo);
+    OptResult res = opt.minimize(shiftedQuadratic, {0.0, 0.0});
+    EXPECT_LT(res.value, 2.5);
+}
+
+TEST(AdamSpsa, DeterministicForFixedSeed)
+{
+    OptOptions oo;
+    oo.maxIterations = 300;
+    oo.seed = 5;
+    AdamSpsa a(oo), b(oo);
+    OptResult ra = a.minimize(sphere, {1.0, -1.0});
+    OptResult rb = b.minimize(sphere, {1.0, -1.0});
+    EXPECT_EQ(ra.value, rb.value);
+    EXPECT_EQ(ra.x, rb.x);
+}
+
+TEST(AdamSpsa, HandlesZeroDimensional)
+{
+    AdamSpsa opt;
+    OptResult res = opt.minimize(
+        [](const std::vector<double> &) { return 3.0; }, {});
+    EXPECT_DOUBLE_EQ(res.value, 3.0);
+}
+
+TEST(AllOptimizers, ReportEvaluationCounts)
+{
+    OptOptions oo;
+    oo.maxIterations = 100;
+    for (auto *opt : std::initializer_list<Optimizer *>{
+             new Cobyla(oo), new NelderMead(oo), new Spsa(oo),
+             new AdamSpsa(oo)}) {
+        int calls = 0;
+        OptResult res = opt->minimize(
+            [&](const std::vector<double> &x) {
+                ++calls;
+                return sphere(x);
+            },
+            {0.5, 0.5});
+        EXPECT_EQ(res.evaluations, calls);
+        EXPECT_GT(res.evaluations, 0);
+        delete opt;
+    }
+}
+
+} // namespace
+} // namespace rasengan::opt

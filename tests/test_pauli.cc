@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for Pauli strings / Hamiltonians and the QUBO -> Ising mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/qubo.h"
+#include "problems/suite.h"
+#include "qsim/pauli.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::qsim {
+namespace {
+
+TEST(PauliString, LabelRoundTrip)
+{
+    PauliString p = PauliString::fromLabel("XZIY");
+    EXPECT_EQ(p.numQubits(), 4);
+    EXPECT_EQ(p.op(0), PauliOp::X);
+    EXPECT_EQ(p.op(1), PauliOp::Z);
+    EXPECT_EQ(p.op(2), PauliOp::I);
+    EXPECT_EQ(p.op(3), PauliOp::Y);
+    EXPECT_EQ(p.label(), "XZIY");
+    EXPECT_EQ(p.weight(), 3);
+    EXPECT_FALSE(p.isDiagonal());
+    EXPECT_TRUE(PauliString::fromLabel("IZZI").isDiagonal());
+}
+
+TEST(PauliString, XFlipsBasisState)
+{
+    Statevector sv(2, BitVec::fromString("00"));
+    PauliString::fromLabel("XI").applyTo(sv);
+    EXPECT_NEAR(sv.probability(BitVec::fromString("10")), 1.0, 1e-12);
+}
+
+TEST(PauliString, ZEigenvalues)
+{
+    PauliString zz = PauliString::fromLabel("ZZ");
+    EXPECT_EQ(zz.diagonalEigenvalue(BitVec::fromString("00")), 1);
+    EXPECT_EQ(zz.diagonalEigenvalue(BitVec::fromString("10")), -1);
+    EXPECT_EQ(zz.diagonalEigenvalue(BitVec::fromString("11")), 1);
+}
+
+TEST(PauliString, ExpectationOnPlusState)
+{
+    // <+|X|+> = 1, <+|Z|+> = 0.
+    Statevector plus(1);
+    plus.apply1q(0, gateMatrix(circuit::GateKind::H, 0.0));
+    EXPECT_NEAR(PauliString::fromLabel("X").expectation(plus), 1.0, 1e-12);
+    EXPECT_NEAR(PauliString::fromLabel("Z").expectation(plus), 0.0, 1e-12);
+}
+
+TEST(PauliString, YExpectationAfterRx)
+{
+    // RX(theta)|0>: <Y> = -sin(theta).
+    double theta = 0.7;
+    Statevector sv(1);
+    sv.apply1q(0, gateMatrix(circuit::GateKind::RX, theta));
+    EXPECT_NEAR(PauliString::fromLabel("Y").expectation(sv),
+                -std::sin(theta), 1e-12);
+}
+
+TEST(PauliHamiltonian, MergesIdenticalTerms)
+{
+    PauliHamiltonian h(2);
+    h.addTerm(0.5, PauliString::fromLabel("ZI"));
+    h.addTerm(0.25, PauliString::fromLabel("ZI"));
+    EXPECT_EQ(h.termCount(), 1u);
+    EXPECT_NEAR(h.terms()[0].first, 0.75, 1e-12);
+}
+
+TEST(PauliHamiltonian, DiagonalValueAndEvolution)
+{
+    PauliHamiltonian h(2);
+    h.addTerm(1.0, PauliString::fromLabel("ZI"));
+    h.addTerm(2.0, PauliString::fromLabel("ZZ"));
+    EXPECT_TRUE(h.isDiagonal());
+    EXPECT_NEAR(h.diagonalValue(BitVec::fromString("00")), 3.0, 1e-12);
+    EXPECT_NEAR(h.diagonalValue(BitVec::fromString("10")), -3.0, 1e-12);
+
+    // e^{-iHt} on a superposition leaves probabilities alone.
+    Statevector sv(2);
+    sv.apply1q(0, gateMatrix(circuit::GateKind::H, 0.0));
+    double p0 = sv.probability(BitVec::fromString("00"));
+    h.applyDiagonalEvolution(sv, 0.37);
+    EXPECT_NEAR(sv.probability(BitVec::fromString("00")), p0, 1e-12);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-12);
+}
+
+TEST(PauliHamiltonian, RejectsNonDiagonalEvolution)
+{
+    PauliHamiltonian h(1);
+    h.addTerm(1.0, PauliString::fromLabel("X"));
+    Statevector sv(1);
+    EXPECT_DEATH(h.applyDiagonalEvolution(sv, 0.1), "");
+}
+
+TEST(IsingMapping, MatchesQuboOnEveryBasisState)
+{
+    problems::Problem p = problems::makeBenchmark("J1");
+    problems::QuadraticObjective f =
+        baselines::penaltyQubo(p, 3.0);
+    PauliHamiltonian h = baselines::isingHamiltonian(f, p.numVars());
+    EXPECT_TRUE(h.isDiagonal());
+    for (uint64_t idx = 0; idx < (uint64_t{1} << p.numVars()); idx += 3) {
+        BitVec x = BitVec::fromIndex(idx);
+        EXPECT_NEAR(h.diagonalValue(x), f.eval(x), 1e-9)
+            << "basis " << idx;
+    }
+}
+
+TEST(IsingMapping, ExpectationMatchesDiagonalAverage)
+{
+    problems::Problem p = problems::makeBenchmark("S1");
+    problems::QuadraticObjective f = baselines::penaltyQubo(p, 2.0);
+    PauliHamiltonian h = baselines::isingHamiltonian(f, p.numVars());
+
+    Statevector sv(p.numVars());
+    for (int q = 0; q < p.numVars(); ++q)
+        sv.apply1q(q, gateMatrix(circuit::GateKind::H, 0.0));
+    // <+...+| H |+...+> = average of f over all bitstrings.
+    double avg = 0.0;
+    for (uint64_t idx = 0; idx < sv.dimension(); ++idx)
+        avg += f.eval(BitVec::fromIndex(idx));
+    avg /= static_cast<double>(sv.dimension());
+    EXPECT_NEAR(h.expectation(sv), avg, 1e-9);
+}
+
+TEST(IsingMapping, LinearOnlyObjective)
+{
+    problems::QuadraticObjective f(2);
+    f.addConstant(1.0);
+    f.addLinear(0, 2.0);
+    PauliHamiltonian h = baselines::isingHamiltonian(f, 2);
+    EXPECT_NEAR(h.diagonalValue(BitVec::fromString("00")), 1.0, 1e-12);
+    EXPECT_NEAR(h.diagonalValue(BitVec::fromString("10")), 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace rasengan::qsim

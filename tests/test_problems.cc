@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Unit and property tests for src/problems: the five generators, the
+ * Problem invariants, the benchmark suite, and the evaluation metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "linalg/rref.h"
+#include "problems/flp.h"
+#include "problems/gcp.h"
+#include "problems/jsp.h"
+#include "problems/kpp.h"
+#include "problems/metrics.h"
+#include "problems/scp.h"
+#include "problems/suite.h"
+
+namespace rasengan::problems {
+namespace {
+
+TEST(Objective, EvalQuadraticForm)
+{
+    QuadraticObjective f(3);
+    f.addConstant(1.0);
+    f.addLinear(0, 2.0);
+    f.addQuadratic(0, 2, 5.0);
+    EXPECT_DOUBLE_EQ(f.eval(BitVec::fromString("000")), 1.0);
+    EXPECT_DOUBLE_EQ(f.eval(BitVec::fromString("100")), 3.0);
+    EXPECT_DOUBLE_EQ(f.eval(BitVec::fromString("101")), 8.0);
+}
+
+TEST(Objective, SquareFoldsToLinear)
+{
+    QuadraticObjective f(2);
+    f.addQuadratic(1, 1, 4.0);
+    EXPECT_TRUE(f.isLinear());
+    EXPECT_DOUBLE_EQ(f.eval(BitVec::fromString("01")), 4.0);
+}
+
+TEST(Objective, NormalizeMergesDuplicates)
+{
+    QuadraticObjective f(2);
+    f.addQuadratic(0, 1, 1.0);
+    f.addQuadratic(1, 0, 2.0);
+    f.normalize();
+    ASSERT_EQ(f.quadratic().size(), 1u);
+    EXPECT_DOUBLE_EQ(std::get<2>(f.quadratic()[0]), 3.0);
+}
+
+TEST(Objective, AccumulateScales)
+{
+    QuadraticObjective f(2), g(2);
+    f.addLinear(0, 1.0);
+    g.addLinear(0, 2.0);
+    g.addConstant(4.0);
+    f.accumulate(g, 0.5);
+    EXPECT_DOUBLE_EQ(f.eval(BitVec::fromString("10")), 2.0 + 2.0);
+}
+
+class SuiteBenchmarks : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteBenchmarks, TrivialSolutionIsFeasible)
+{
+    Problem p = makeBenchmark(GetParam());
+    EXPECT_TRUE(p.isFeasible(p.trivialFeasible()));
+    EXPECT_EQ(p.violation(p.trivialFeasible()), 0);
+}
+
+TEST_P(SuiteBenchmarks, FeasibleSetIsNonEmptyAndValid)
+{
+    Problem p = makeBenchmark(GetParam());
+    const auto &sols = p.feasibleSolutions();
+    ASSERT_FALSE(sols.empty());
+    for (const BitVec &x : sols)
+        EXPECT_TRUE(p.isFeasible(x));
+    std::set<BitVec> unique(sols.begin(), sols.end());
+    EXPECT_EQ(unique.size(), sols.size());
+}
+
+TEST_P(SuiteBenchmarks, OptimumIsAttainedAndNonZero)
+{
+    Problem p = makeBenchmark(GetParam());
+    BitVec best = p.optimalSolution();
+    EXPECT_TRUE(p.isFeasible(best));
+    // setExactOptimal (FLP) must agree with the enumerated optimum.
+    EXPECT_NEAR(p.objective(best), p.optimalValue(), 1e-9);
+    EXPECT_GT(std::abs(p.optimalValue()), 1e-9);
+    EXPECT_LE(p.optimalValue(), p.meanFeasibleValue());
+    EXPECT_LE(p.meanFeasibleValue(), p.worstFeasibleValue());
+}
+
+TEST_P(SuiteBenchmarks, ObjectiveIsDeterministicPerCase)
+{
+    Problem a = makeBenchmark(GetParam(), 3);
+    Problem b = makeBenchmark(GetParam(), 3);
+    EXPECT_EQ(a.numVars(), b.numVars());
+    EXPECT_EQ(a.constraints(), b.constraints());
+    EXPECT_NEAR(a.optimalValue(), b.optimalValue(), 1e-12);
+}
+
+TEST_P(SuiteBenchmarks, CasesDiffer)
+{
+    Problem a = makeBenchmark(GetParam(), 0);
+    Problem b = makeBenchmark(GetParam(), 1);
+    // Same structure, different costs/graphs: same size always...
+    EXPECT_EQ(a.numVars(), b.numVars());
+    // ...and (almost surely) different costs or constraint structure
+    // (GCP keeps fixed color weights, so its cases differ by graph).
+    bool differs = std::abs(a.optimalValue() - b.optimalValue()) > 1e-12 ||
+                   !(a.constraints() == b.constraints());
+    if (!differs) {
+        for (const BitVec &x : a.feasibleSolutions())
+            differs |= std::abs(a.objective(x) - b.objective(x)) > 1e-12;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST_P(SuiteBenchmarks, ConstraintMatrixHasDeficientColumnRank)
+{
+    // A nontrivial homogeneous basis must exist (otherwise there is
+    // nothing to transition between).
+    Problem p = makeBenchmark(GetParam());
+    EXPECT_LT(linalg::rank(p.constraints()), p.numVars());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteBenchmarks,
+                         ::testing::ValuesIn(benchmarkIds()));
+
+TEST(Suite, TwentyBenchmarks)
+{
+    EXPECT_EQ(benchmarkIds().size(), 20u);
+    EXPECT_TRUE(isBenchmarkId("F1"));
+    EXPECT_TRUE(isBenchmarkId("G4"));
+    EXPECT_FALSE(isBenchmarkId("Z9"));
+}
+
+TEST(Suite, SizesMatchDesign)
+{
+    EXPECT_EQ(makeBenchmark("F1").numVars(), 6);
+    EXPECT_EQ(makeBenchmark("F1").numConstraints(), 3);
+    EXPECT_EQ(makeBenchmark("J1").numVars(), 6);
+    EXPECT_EQ(makeBenchmark("S4").numVars(), 12);
+    EXPECT_EQ(makeBenchmark("G4").numVars(), 18);
+}
+
+TEST(Suite, ScalabilitySizesSpanPaperRange)
+{
+    auto sizes = scalabilityFlpSizes();
+    ASSERT_FALSE(sizes.empty());
+    EXPECT_EQ(sizes.front(), 6);
+    EXPECT_EQ(sizes.back(), 105);
+    for (size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(Suite, ScalabilityInstanceHasClosedFormOptimum)
+{
+    Problem p = makeScalabilityFlp(105);
+    EXPECT_EQ(p.numVars(), 105);
+    EXPECT_TRUE(p.isFeasible(p.trivialFeasible()));
+    EXPECT_GT(p.optimalValue(), 0.0); // closed form, no enumeration
+}
+
+TEST(Flp, ClosedFormOptimumMatchesBruteForce)
+{
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+        Rng rng(seed);
+        Problem p = makeFlp("flp-test", {.facilities = 2, .demands = 2},
+                            rng);
+        double brute = 1e18;
+        for (const BitVec &x : p.feasibleSolutions())
+            brute = std::min(brute, p.objective(x));
+        EXPECT_NEAR(p.optimalValue(), brute, 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(Flp, VariableLayoutIsDisjoint)
+{
+    FlpConfig cfg{.facilities = 3, .demands = 2};
+    std::set<int> seen;
+    for (int j = 0; j < 3; ++j)
+        EXPECT_TRUE(seen.insert(flpFacilityVar(cfg, j)).second);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 3; ++j) {
+            EXPECT_TRUE(seen.insert(flpAssignVar(cfg, i, j)).second);
+            EXPECT_TRUE(seen.insert(flpSlackVar(cfg, i, j)).second);
+        }
+    EXPECT_EQ(static_cast<int>(seen.size()), flpNumVars(cfg));
+}
+
+TEST(Kpp, BalancedPartitionSizes)
+{
+    Rng rng(4);
+    Problem p = makeKpp("kpp-test", {.elements = 5, .parts = 2}, rng);
+    // Every feasible solution respects the planted sizes (3, 2).
+    for (const BitVec &x : p.feasibleSolutions()) {
+        int part0 = 0;
+        for (int v = 0; v < 5; ++v)
+            if (x.get(kppVar({.elements = 5, .parts = 2}, v, 0)))
+                ++part0;
+        EXPECT_EQ(part0, 3);
+    }
+}
+
+TEST(Kpp, CutObjectiveBounds)
+{
+    Rng rng(4);
+    Problem p = makeKpp("kpp-test", {.elements = 4, .parts = 2}, rng);
+    // Objective = 1 + cut weight >= 1 everywhere.
+    for (const BitVec &x : p.feasibleSolutions())
+        EXPECT_GE(p.objective(x), 1.0);
+}
+
+TEST(Jsp, PerfectBalanceIsOptimal)
+{
+    // Two jobs of equal length on two machines: optimum splits them.
+    Rng rng(8);
+    Problem p = makeJsp("jsp-test",
+                        {.jobs = 2, .machines = 2, .minTime = 3,
+                         .maxTime = 3},
+                        rng);
+    // Loads (3,3): objective 18; both on one machine: 36.
+    EXPECT_NEAR(p.optimalValue(), 18.0, 1e-9);
+    EXPECT_NEAR(p.worstFeasibleValue(), 36.0, 1e-9);
+}
+
+TEST(Scp, ExactCoverConstraint)
+{
+    Rng rng(2);
+    ScpConfig cfg{.elements = 4, .pairSets = 4, .blockSets = 0};
+    Problem p = makeScp("scp-test", cfg, rng);
+    EXPECT_EQ(p.numVars(), cfg.totalSets());
+    // Every feasible selection covers each element exactly once.
+    for (const BitVec &x : p.feasibleSolutions()) {
+        for (int e = 0; e < cfg.elements; ++e) {
+            int covered = 0;
+            for (int s = 0; s < cfg.totalSets(); ++s)
+                if (x.get(s) && p.constraints().at(e, s) == 1)
+                    ++covered;
+            EXPECT_EQ(covered, 1);
+        }
+    }
+}
+
+TEST(Scp, SingletonsAndPairsEnrichFeasibleSet)
+{
+    // All-singletons is feasible, and each disjoint pair replacement adds
+    // more covers, so the feasible space is rich.
+    Rng rng(9);
+    ScpConfig cfg{.elements = 5, .pairSets = 4, .blockSets = 1};
+    Problem p = makeScp("scp-rich", cfg, rng);
+    EXPECT_GE(p.feasibleCount(), 4u);
+    EXPECT_TRUE(p.isFeasible(p.trivialFeasible()));
+}
+
+TEST(Gcp, FeasibleColoringsAreProper)
+{
+    Rng rng(6);
+    GcpConfig cfg{.vertices = 4, .colors = 2, .edges = 3};
+    Problem p = makeGcp("gcp-test", cfg, rng);
+    for (const BitVec &x : p.feasibleSolutions()) {
+        // One color per vertex.
+        for (int v = 0; v < cfg.vertices; ++v) {
+            int colors = 0;
+            for (int c = 0; c < cfg.colors; ++c)
+                if (x.get(gcpVar(cfg, v, c)))
+                    ++colors;
+            EXPECT_EQ(colors, 1);
+        }
+    }
+}
+
+TEST(Metrics, ArgOfOptimalSolutionIsZero)
+{
+    Problem p = makeBenchmark("J1");
+    EXPECT_NEAR(p.arg(p.optimalValue()), 0.0, 1e-12);
+    EXPECT_GT(p.arg(p.worstFeasibleValue()), 0.0);
+}
+
+TEST(Metrics, ExpectedObjectivePenalizesInfeasible)
+{
+    Problem p = makeBenchmark("J1");
+    double lambda = defaultPenaltyLambda(p);
+    qsim::Counts counts;
+    counts.add(p.optimalSolution(), 1);
+    BitVec infeasible; // all-zero violates the one-hot rows
+    ASSERT_FALSE(p.isFeasible(infeasible));
+    counts.add(infeasible, 1);
+    double e = expectedObjective(p, counts, lambda);
+    EXPECT_GT(e, p.optimalValue());
+    EXPECT_NEAR(inConstraintsRate(p, counts), 0.5, 1e-12);
+    EXPECT_NEAR(bestFeasibleObjective(p, counts), p.optimalValue(), 1e-12);
+}
+
+TEST(Metrics, ArgFromCountsOfPureOptimal)
+{
+    Problem p = makeBenchmark("S1");
+    qsim::Counts counts;
+    counts.add(p.optimalSolution(), 100);
+    EXPECT_NEAR(argFromCounts(p, counts, defaultPenaltyLambda(p)), 0.0,
+                1e-12);
+}
+
+TEST(Metrics, MeanFeasibleArgPositive)
+{
+    Problem p = makeBenchmark("K1");
+    EXPECT_GE(meanFeasibleArg(p), 0.0);
+}
+
+TEST(Metrics, PenaltyLambdaDominatesObjectiveRange)
+{
+    Problem p = makeBenchmark("F2");
+    double lambda = defaultPenaltyLambda(p);
+    EXPECT_GT(lambda, p.worstFeasibleValue() - p.optimalValue());
+}
+
+} // namespace
+} // namespace rasengan::problems

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Randomized property tests sweeping seeds across module boundaries:
+ * random transition vectors, random circuits through the optimizer and
+ * transpiler, randomly planted constraint systems through the whole
+ * Rasengan pipeline, and random objectives through the QUBO <-> Ising
+ * mapping.  Each property is checked for a sweep of seeds via TEST_P.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "baselines/qubo.h"
+#include "circuit/qasm.h"
+#include "circuit/optimize.h"
+#include "circuit/transpile.h"
+#include "core/basis.h"
+#include "core/chain.h"
+#include "core/rasengan.h"
+#include "device/routing.h"
+#include "linalg/solve.h"
+#include "problems/metrics.h"
+#include "problems/io.h"
+#include "problems/suite.h"
+#include "qsim/statevector.h"
+
+namespace rasengan {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    Rng rng{GetParam() * 7919 + 13};
+};
+
+/** Random transition vector over n variables with support size k. */
+linalg::IntVec
+randomTransition(Rng &rng, int n, int k)
+{
+    linalg::IntVec u(n, 0);
+    std::vector<int> qubits(n);
+    for (int i = 0; i < n; ++i)
+        qubits[i] = i;
+    rng.shuffle(qubits);
+    for (int i = 0; i < k; ++i)
+        u[qubits[i]] = rng.bernoulli(0.5) ? 1 : -1;
+    return u;
+}
+
+TEST_P(PropertySweep, RandomTransitionCircuitMatchesSparse)
+{
+    const int n = 5;
+    const int k = 1 + static_cast<int>(rng.uniformInt(0, 3));
+    linalg::IntVec u = randomTransition(rng, n, k);
+    double t = rng.uniformReal(-1.5, 1.5);
+
+    core::TransitionHamiltonian tau(u);
+    circuit::Circuit circ = tau.toCircuit(n, t);
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+        BitVec x = BitVec::fromIndex(idx);
+        qsim::SparseState sparse(n, x);
+        tau.applyTo(sparse, t);
+        qsim::Statevector dense(n, x);
+        dense.applyCircuit(circ);
+        for (uint64_t row = 0; row < (uint64_t{1} << n); ++row) {
+            BitVec y = BitVec::fromIndex(row);
+            ASSERT_NEAR(std::abs(dense.amplitude(y) - sparse.amplitude(y)),
+                        0.0, 1e-9)
+                << "seed " << GetParam() << " x " << idx;
+        }
+    }
+}
+
+/** A random circuit from the gate set the optimizer understands. */
+circuit::Circuit
+randomCircuit(Rng &rng, int n, int gates)
+{
+    circuit::Circuit c(n);
+    for (int i = 0; i < gates; ++i) {
+        switch (rng.uniformInt(0, 6)) {
+          case 0: c.h(static_cast<int>(rng.uniformInt(0, n - 1))); break;
+          case 1: c.x(static_cast<int>(rng.uniformInt(0, n - 1))); break;
+          case 2:
+            c.rz(static_cast<int>(rng.uniformInt(0, n - 1)),
+                 rng.uniformReal(-1, 1));
+            break;
+          case 3:
+            c.rx(static_cast<int>(rng.uniformInt(0, n - 1)),
+                 rng.uniformReal(-1, 1));
+            break;
+          case 4: {
+            int a = static_cast<int>(rng.uniformInt(0, n - 1));
+            int b = static_cast<int>(rng.uniformInt(0, n - 2));
+            if (b >= a)
+                ++b;
+            c.cx(a, b);
+            break;
+          }
+          case 5: {
+            int a = static_cast<int>(rng.uniformInt(0, n - 1));
+            int b = static_cast<int>(rng.uniformInt(0, n - 2));
+            if (b >= a)
+                ++b;
+            c.cp(a, b, rng.uniformReal(-1, 1));
+            break;
+          }
+          default:
+            c.p(static_cast<int>(rng.uniformInt(0, n - 1)),
+                rng.uniformReal(-1, 1));
+            break;
+        }
+    }
+    return c;
+}
+
+double
+overlapAfter(const circuit::Circuit &a, const circuit::Circuit &b, int n,
+             uint64_t idx)
+{
+    qsim::Statevector sa(n, BitVec::fromIndex(idx));
+    qsim::Statevector sb(n, BitVec::fromIndex(idx));
+    sa.applyCircuit(a);
+    sb.applyCircuit(b);
+    return std::abs(sa.inner(sb));
+}
+
+TEST_P(PropertySweep, OptimizerPreservesRandomCircuits)
+{
+    const int n = 4;
+    circuit::Circuit c = randomCircuit(rng, n, 40);
+    circuit::Circuit optimized = circuit::optimizeCircuit(c);
+    EXPECT_LE(optimized.size(), c.size());
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx)
+        ASSERT_NEAR(overlapAfter(c, optimized, n, idx), 1.0, 1e-9)
+            << "seed " << GetParam() << " basis " << idx;
+}
+
+TEST_P(PropertySweep, RoutedRandomCircuitsPreserveProbabilities)
+{
+    const int n = 4;
+    circuit::Circuit c = randomCircuit(rng, n, 25);
+    device::CouplingMap map = device::CouplingMap::linear(n);
+    for (bool lookahead : {false, true}) {
+        device::RoutingResult r =
+            lookahead ? device::routeLookahead(c, map, false)
+                      : device::route(c, map, false);
+        qsim::Statevector logical(n);
+        logical.applyCircuit(c);
+        qsim::Statevector physical(n);
+        physical.applyCircuit(r.routed);
+        for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+            BitVec l = BitVec::fromIndex(idx);
+            BitVec p;
+            for (int q = 0; q < n; ++q)
+                if (l.get(q))
+                    p.set(r.finalLayout[q]);
+            ASSERT_NEAR(logical.probability(l), physical.probability(p),
+                        1e-9)
+                << "seed " << GetParam() << " lookahead " << lookahead;
+        }
+    }
+}
+
+/** Random planted-feasible constraint system. */
+struct PlantedSystem
+{
+    linalg::IntMat c;
+    linalg::IntVec b;
+    BitVec x0;
+};
+
+PlantedSystem
+plantSystem(Rng &rng, int n, int rows)
+{
+    PlantedSystem sys{linalg::IntMat(rows, n), linalg::IntVec(rows), {}};
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.5))
+            sys.x0.set(i);
+    for (int r = 0; r < rows; ++r) {
+        int64_t acc = 0;
+        for (int i = 0; i < n; ++i) {
+            int64_t coeff = rng.uniformInt(-1, 1);
+            sys.c.at(r, i) = coeff;
+            if (sys.x0.get(i))
+                acc += coeff;
+        }
+        sys.b[r] = acc; // b = C x0: x0 is feasible by construction
+    }
+    return sys;
+}
+
+TEST_P(PropertySweep, PipelineOnPlantedRandomSystems)
+{
+    const int n = 7;
+    PlantedSystem sys = plantSystem(rng, n, 3);
+
+    problems::QuadraticObjective f(n);
+    for (int i = 0; i < n; ++i)
+        f.addLinear(i, static_cast<double>(rng.uniformInt(1, 9)));
+    f.addConstant(1.0);
+    problems::Problem p("planted", "RAND", sys.c, sys.b, f, sys.x0);
+
+    // The walk stays inside the feasible set and the executable vector
+    // set covers it entirely.
+    auto vectors = core::transitionVectors(p);
+    auto transitions = core::makeTransitions(vectors);
+    core::Chain chain = core::buildChain(transitions, p.trivialFeasible());
+    EXPECT_EQ(chain.reachableCount, p.feasibleCount())
+        << "seed " << GetParam();
+
+    // End-to-end solve keeps feasibility and beats the worst solution.
+    core::RasenganOptions options;
+    options.maxIterations = 60;
+    options.seed = GetParam();
+    core::RasenganSolver solver(p, options);
+    core::RasenganResult res = solver.run();
+    ASSERT_FALSE(res.failed) << "seed " << GetParam();
+    EXPECT_TRUE(p.isFeasible(res.solution));
+    EXPECT_LE(res.objectiveValue, p.worstFeasibleValue() + 1e-9);
+}
+
+TEST_P(PropertySweep, IsingMatchesRandomObjectives)
+{
+    const int n = 5;
+    problems::QuadraticObjective f(n);
+    f.addConstant(rng.uniformReal(-2, 2));
+    for (int i = 0; i < n; ++i)
+        f.addLinear(i, rng.uniformReal(-3, 3));
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (rng.bernoulli(0.4))
+                f.addQuadratic(i, j, rng.uniformReal(-2, 2));
+    f.normalize();
+
+    qsim::PauliHamiltonian h = baselines::isingHamiltonian(f, n);
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+        BitVec x = BitVec::fromIndex(idx);
+        ASSERT_NEAR(h.diagonalValue(x), f.eval(x), 1e-9)
+            << "seed " << GetParam() << " basis " << idx;
+    }
+}
+
+TEST_P(PropertySweep, PenaltyQuboNeverRewardsViolations)
+{
+    // On a random planted system, every infeasible assignment must score
+    // strictly worse than the worst feasible one under the default
+    // penalty (the property the ARG metric relies on).
+    const int n = 6;
+    PlantedSystem sys = plantSystem(rng, n, 2);
+    problems::QuadraticObjective f(n);
+    for (int i = 0; i < n; ++i)
+        f.addLinear(i, static_cast<double>(rng.uniformInt(1, 5)));
+    f.addConstant(1.0);
+    problems::Problem p("planted-qubo", "RAND", sys.c, sys.b, f, sys.x0);
+
+    double lambda = problems::defaultPenaltyLambda(p);
+    double worst_feasible = p.worstFeasibleValue();
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+        BitVec x = BitVec::fromIndex(idx);
+        if (p.isFeasible(x))
+            continue;
+        ASSERT_GT(p.penalizedObjective(x, lambda), worst_feasible)
+            << "seed " << GetParam() << " basis " << idx;
+    }
+}
+
+TEST_P(PropertySweep, SegmentedExecutionIsTracePreserving)
+{
+    // Whatever the times, the exact segmented pipeline returns a
+    // normalized distribution over feasible states.
+    problems::Problem p = problems::makeBenchmark(
+        GetParam() % 2 == 0 ? "K2" : "S2");
+    core::RasenganSolver solver(p, {});
+    std::vector<double> times(solver.numParams());
+    for (double &t : times)
+        t = rng.uniformReal(-2.0, 2.0);
+    Rng exec_rng(GetParam());
+    auto dist = solver.execute(times, exec_rng);
+    ASSERT_FALSE(dist.failed);
+    double total = 0.0;
+    for (const auto &[x, prob] : dist.entries) {
+        EXPECT_TRUE(p.isFeasible(x));
+        EXPECT_GE(prob, -1e-12);
+        total += prob;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(PropertySweep, ParsersRejectGarbageGracefully)
+{
+    // Random byte soup must produce an error report, never a crash.
+    std::string soup;
+    int length = static_cast<int>(rng.uniformInt(1, 400));
+    for (int i = 0; i < length; ++i)
+        soup.push_back(static_cast<char>(rng.uniformInt(32, 126)));
+    soup.push_back('\n');
+
+    circuit::QasmParseResult qasm = circuit::parseQasm(soup);
+    EXPECT_FALSE(qasm.circuit.has_value());
+    EXPECT_FALSE(qasm.error.empty());
+
+    problems::ProblemParseResult prob = problems::parseProblem(soup);
+    EXPECT_FALSE(prob.problem.has_value());
+    EXPECT_FALSE(prob.error.empty());
+}
+
+TEST_P(PropertySweep, ParsersSurviveMangledValidInput)
+{
+    // Take a valid serialization and corrupt one random character.
+    problems::Problem p = problems::makeBenchmark("J1");
+    std::string text = problems::writeProblem(p);
+    size_t pos = rng.index(text.size());
+    text[pos] = static_cast<char>(rng.uniformInt(33, 126));
+    problems::ProblemParseResult res = problems::parseProblem(text);
+    // Either it still parses (benign corruption) or it reports an error;
+    // both are fine, crashing is not.
+    if (res.problem) {
+        EXPECT_EQ(res.problem->numVars(), p.numVars());
+    } else {
+        EXPECT_FALSE(res.error.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<uint64_t>(0, 12));
+
+} // namespace
+} // namespace rasengan

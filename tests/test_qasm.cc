@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the QASM dump/parse round trip and the parser's error
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.h"
+#include "core/rasengan.h"
+#include "problems/suite.h"
+
+namespace rasengan::circuit {
+namespace {
+
+void
+expectSameGates(const Circuit &a, const Circuit &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.numQubits(), b.numQubits());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Gate &ga = a.gates()[i];
+        const Gate &gb = b.gates()[i];
+        EXPECT_EQ(ga.kind, gb.kind) << "gate " << i;
+        EXPECT_EQ(ga.controls, gb.controls) << "gate " << i;
+        EXPECT_EQ(ga.targets, gb.targets) << "gate " << i;
+        EXPECT_NEAR(ga.param, gb.param, 1e-9) << "gate " << i;
+    }
+}
+
+TEST(Qasm, RoundTripBasicGates)
+{
+    Circuit c(3);
+    c.h(0);
+    c.x(1);
+    c.rx(2, 0.25);
+    c.ry(0, -1.5);
+    c.rz(1, 3.125);
+    c.p(2, 0.5);
+    c.cx(0, 1);
+    c.cp(1, 2, 0.75);
+    c.swap(0, 2);
+    c.barrier();
+    c.h(2);
+
+    QasmParseResult res = parseQasm(c.toQasm());
+    ASSERT_TRUE(res.circuit.has_value()) << res.error;
+    expectSameGates(c, *res.circuit);
+}
+
+TEST(Qasm, RoundTripMultiControlledPseudoOps)
+{
+    Circuit c(4);
+    c.mcp({0, 1}, 3, 0.875);
+    c.mcx({0, 1, 2}, 3);
+    QasmParseResult res = parseQasm(c.toQasm());
+    ASSERT_TRUE(res.circuit.has_value()) << res.error;
+    expectSameGates(c, *res.circuit);
+}
+
+TEST(Qasm, RoundTripRasenganSegment)
+{
+    problems::Problem p = problems::makeBenchmark("K1");
+    core::RasenganSolver solver(p, {});
+    std::vector<double> times(solver.numParams(), 0.4);
+    Circuit segment = solver.segmentCircuit(0, p.trivialFeasible(), times);
+    QasmParseResult res = parseQasm(segment.toQasm());
+    ASSERT_TRUE(res.circuit.has_value()) << res.error;
+    expectSameGates(segment, *res.circuit);
+}
+
+TEST(Qasm, RoundTripMeasureAndReset)
+{
+    Circuit c(2);
+    c.h(0);
+    c.measure(0);
+    c.reset(1);
+    c.h(1);
+    std::string text = c.toQasm();
+    EXPECT_NE(text.find("creg c[2];"), std::string::npos);
+    EXPECT_NE(text.find("measure q[0] -> c[0];"), std::string::npos);
+    EXPECT_NE(text.find("reset q[1];"), std::string::npos);
+    QasmParseResult res = parseQasm(text);
+    ASSERT_TRUE(res.circuit.has_value()) << res.error;
+    expectSameGates(c, *res.circuit);
+}
+
+TEST(Qasm, IgnoresOrdinaryComments)
+{
+    std::string text = "OPENQASM 2.0;\n"
+                       "// a friendly comment\n"
+                       "include \"qelib1.inc\";\n"
+                       "qreg q[1];\n"
+                       "h q[0];\n";
+    QasmParseResult res = parseQasm(text);
+    ASSERT_TRUE(res.circuit.has_value()) << res.error;
+    EXPECT_EQ(res.circuit->size(), 1u);
+}
+
+TEST(Qasm, ToleratesBlankLinesAndWhitespace)
+{
+    std::string text = "OPENQASM 2.0;\n\n  qreg q[2];\n   cx  q[0] ,"
+                       " q[1] ;\n";
+    QasmParseResult res = parseQasm(text);
+    ASSERT_TRUE(res.circuit.has_value()) << res.error;
+    EXPECT_EQ(res.circuit->countCx(), 1);
+}
+
+TEST(Qasm, ReportsMissingHeader)
+{
+    QasmParseResult res = parseQasm("qreg q[1];\nh q[0];\n");
+    EXPECT_FALSE(res.circuit.has_value());
+    EXPECT_NE(res.error.find("OPENQASM"), std::string::npos);
+}
+
+TEST(Qasm, ReportsUnknownGateWithLine)
+{
+    std::string text = "OPENQASM 2.0;\nqreg q[1];\nfoo q[0];\n";
+    QasmParseResult res = parseQasm(text);
+    EXPECT_FALSE(res.circuit.has_value());
+    EXPECT_EQ(res.errorLine, 3);
+}
+
+TEST(Qasm, ReportsGateBeforeQreg)
+{
+    QasmParseResult res = parseQasm("OPENQASM 2.0;\nh q[0];\n");
+    EXPECT_FALSE(res.circuit.has_value());
+    EXPECT_NE(res.error.find("qreg"), std::string::npos);
+}
+
+TEST(Qasm, ReportsOutOfRangeOperand)
+{
+    QasmParseResult res =
+        parseQasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];\n");
+    EXPECT_FALSE(res.circuit.has_value());
+    EXPECT_EQ(res.errorLine, 3);
+}
+
+TEST(Qasm, ReportsMalformedAngle)
+{
+    QasmParseResult res =
+        parseQasm("OPENQASM 2.0;\nqreg q[1];\nrx(oops) q[0];\n");
+    EXPECT_FALSE(res.circuit.has_value());
+    EXPECT_EQ(res.errorLine, 3);
+}
+
+TEST(Qasm, ReportsDuplicateQreg)
+{
+    QasmParseResult res =
+        parseQasm("OPENQASM 2.0;\nqreg q[1];\nqreg q[2];\n");
+    EXPECT_FALSE(res.circuit.has_value());
+    EXPECT_NE(res.error.find("duplicate"), std::string::npos);
+}
+
+} // namespace
+} // namespace rasengan::circuit

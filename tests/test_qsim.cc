@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Unit tests for src/qsim: dense statevector, sparse statevector, noise
+ * channels (trajectory vs exact density-matrix agreement), counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/circuit.h"
+#include "qsim/counts.h"
+#include "qsim/density.h"
+#include "qsim/noise.h"
+#include "qsim/sparsestate.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::qsim {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Statevector, InitialState)
+{
+    Statevector sv(2);
+    EXPECT_EQ(sv.dimension(), 4u);
+    EXPECT_NEAR(std::abs(sv.amplitude(BitVec::fromIndex(0))), 1.0, 1e-12);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-12);
+
+    Statevector basis(2, BitVec::fromIndex(3));
+    EXPECT_NEAR(basis.probability(BitVec::fromIndex(3)), 1.0, 1e-12);
+}
+
+TEST(Statevector, HadamardCreatesUniform)
+{
+    Statevector sv(1);
+    sv.apply1q(0, gateMatrix(circuit::GateKind::H, 0.0));
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(0)), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(1)), 0.5, 1e-12);
+}
+
+TEST(Statevector, BellState)
+{
+    circuit::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    Statevector sv(2);
+    sv.applyCircuit(c);
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(0b00)), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(0b11)), 0.5, 1e-12);
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(0b01)), 0.0, 1e-12);
+}
+
+TEST(Statevector, RxRotationProbability)
+{
+    double theta = 0.8;
+    Statevector sv(1);
+    sv.apply1q(0, gateMatrix(circuit::GateKind::RX, theta));
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(1)),
+                std::sin(theta / 2) * std::sin(theta / 2), 1e-12);
+}
+
+TEST(Statevector, XViaHzH)
+{
+    // H Z H = X: verify gate matrices compose correctly.
+    Statevector a(1), b(1);
+    a.apply1q(0, gateMatrix(circuit::GateKind::X, 0.0));
+    b.apply1q(0, gateMatrix(circuit::GateKind::H, 0.0));
+    b.apply1q(0, gateMatrix(circuit::GateKind::P, kPi));
+    b.apply1q(0, gateMatrix(circuit::GateKind::H, 0.0));
+    EXPECT_NEAR(std::abs(a.inner(b)), 1.0, 1e-12);
+}
+
+TEST(Statevector, ControlledGateFiresOnlyWhenControlSet)
+{
+    Statevector sv(2, BitVec::fromIndex(0b01)); // q0 = 1
+    sv.applyControlled1q({0}, 1, gateMatrix(circuit::GateKind::X, 0.0));
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(0b11)), 1.0, 1e-12);
+
+    Statevector sv2(2); // q0 = 0: control fails
+    sv2.applyControlled1q({0}, 1, gateMatrix(circuit::GateKind::X, 0.0));
+    EXPECT_NEAR(sv2.probability(BitVec::fromIndex(0b00)), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapExchangesQubits)
+{
+    Statevector sv(2, BitVec::fromIndex(0b01));
+    sv.applySwap(0, 1);
+    EXPECT_NEAR(sv.probability(BitVec::fromIndex(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, McpAppliesPhaseOnAllOnes)
+{
+    circuit::Circuit c(3);
+    c.mcp({0, 1}, 2, 0.9);
+    Statevector all_ones(3, BitVec::fromIndex(0b111));
+    Statevector partial(3, BitVec::fromIndex(0b011));
+    all_ones.applyCircuit(c);
+    partial.applyCircuit(c);
+    Complex amp = all_ones.amplitude(BitVec::fromIndex(0b111));
+    EXPECT_NEAR(std::arg(amp), 0.9, 1e-12);
+    EXPECT_NEAR(
+        std::arg(partial.amplitude(BitVec::fromIndex(0b011))), 0.0, 1e-12);
+}
+
+TEST(Statevector, DiagonalEvolutionMatchesPhaseCallback)
+{
+    std::vector<double> values{0.0, 0.5, 1.0, 1.5};
+    Statevector a(2), b(2);
+    a.apply1q(0, gateMatrix(circuit::GateKind::H, 0.0));
+    a.apply1q(1, gateMatrix(circuit::GateKind::H, 0.0));
+    b = a;
+    a.applyDiagonalEvolution(values, 0.7);
+    b.applyDiagonalPhase([&](const BitVec &x) {
+        return -0.7 * values[x.toIndex()];
+    });
+    EXPECT_NEAR(std::abs(a.inner(b)), 1.0, 1e-12);
+}
+
+TEST(Statevector, SamplingMatchesBornRule)
+{
+    Statevector sv(1);
+    sv.apply1q(0, gateMatrix(circuit::GateKind::RY, 2.0 * kPi / 6));
+    Rng rng(11);
+    Counts counts = sv.sample(rng, 40000);
+    // P(1) = sin^2(pi/6) = 0.25.
+    EXPECT_NEAR(counts.probability(BitVec::fromIndex(1)), 0.25, 0.01);
+}
+
+TEST(Statevector, SampleMasksAncillaBits)
+{
+    Statevector sv(3, BitVec::fromIndex(0b101));
+    Rng rng(1);
+    Counts counts = sv.sample(rng, 10, 2);
+    EXPECT_EQ(counts.map().size(), 1u);
+    EXPECT_EQ(counts.probability(BitVec::fromIndex(0b01)), 1.0);
+}
+
+TEST(Statevector, ProbabilityOfOne)
+{
+    Statevector sv(2);
+    sv.apply1q(1, gateMatrix(circuit::GateKind::H, 0.0));
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(sv.probabilityOfOne(1), 0.5, 1e-12);
+}
+
+TEST(Statevector, MeasureCollapsesState)
+{
+    Rng rng(5);
+    int ones = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        Statevector sv(1);
+        sv.apply1q(0, gateMatrix(circuit::GateKind::RY, 2.0 * kPi / 6));
+        bool outcome = sv.measureQubit(0, rng);
+        ones += outcome ? 1 : 0;
+        // Collapsed: the state is now exactly the measured basis state.
+        EXPECT_NEAR(sv.probability(BitVec::fromIndex(outcome ? 1 : 0)),
+                    1.0, 1e-12);
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / trials, 0.25, 0.03);
+}
+
+TEST(Statevector, MeasureOnBellStateIsCorrelated)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        circuit::Circuit bell(2);
+        bell.h(0);
+        bell.cx(0, 1);
+        Statevector sv(2);
+        sv.applyCircuit(bell);
+        bool first = sv.measureQubit(0, rng);
+        bool second = sv.measureQubit(1, rng);
+        EXPECT_EQ(first, second);
+    }
+}
+
+TEST(Statevector, ResetReturnsQubitToZero)
+{
+    Rng rng(3);
+    Statevector sv(2, BitVec::fromString("11"));
+    sv.resetQubit(0, rng);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(sv.probabilityOfOne(1), 1.0, 1e-12);
+}
+
+TEST(Statevector, MidCircuitMeasureViaTrajectory)
+{
+    // measure + conditional-free re-use: |+> measured then H again gives
+    // a 50/50 distribution either way; the trajectory path must accept
+    // the Measure gate.
+    circuit::Circuit c(1);
+    c.h(0);
+    c.measure(0);
+    c.h(0);
+    Rng rng(7);
+    NoiseModel none;
+    Counts counts;
+    for (int i = 0; i < 2000; ++i) {
+        Statevector sv = runTrajectory(c, 1, BitVec{}, none, rng);
+        Counts one = sv.sample(rng, 1);
+        for (const auto &[outcome, n] : one.map())
+            counts.add(outcome, n);
+    }
+    EXPECT_NEAR(counts.probability(BitVec::fromIndex(0)), 0.5, 0.05);
+}
+
+TEST(Statevector, PlainApplyCircuitRejectsMeasurement)
+{
+    circuit::Circuit c(1);
+    c.measure(0);
+    Statevector sv(1);
+    EXPECT_DEATH(sv.applyCircuit(c), "");
+}
+
+TEST(Counts, BasicAccounting)
+{
+    Counts counts;
+    counts.add(BitVec::fromIndex(0), 3);
+    counts.add(BitVec::fromIndex(1), 1);
+    EXPECT_EQ(counts.total(), 4u);
+    EXPECT_EQ(counts.distinct(), 2u);
+    EXPECT_NEAR(counts.probability(BitVec::fromIndex(0)), 0.75, 1e-12);
+    EXPECT_EQ(counts.mostFrequent(), BitVec::fromIndex(0));
+}
+
+TEST(Counts, ExpectationAndFilter)
+{
+    Counts counts;
+    counts.add(BitVec::fromIndex(0), 1);
+    counts.add(BitVec::fromIndex(1), 3);
+    double e = counts.expectation(
+        [](const BitVec &x) { return x.get(0) ? 10.0 : 2.0; });
+    EXPECT_NEAR(e, 8.0, 1e-12);
+    Counts odd = counts.filtered(
+        [](const BitVec &x) { return x.get(0); });
+    EXPECT_EQ(odd.total(), 3u);
+    EXPECT_NEAR(counts.fraction(
+                    [](const BitVec &x) { return x.get(0); }),
+                0.75, 1e-12);
+}
+
+TEST(SparseState, PairRotationMatchesCosSin)
+{
+    // One-qubit transition: |0> -> cos t |0> - i sin t |1> (Equation 6).
+    BitVec mask = BitVec::fromString("1");
+    BitVec pattern; // x+u valid when bit is 0 (u = +1)
+    SparseState s(1, BitVec{});
+    double t = 0.6;
+    s.applyPairRotation(mask, pattern, t);
+    EXPECT_NEAR(std::abs(s.amplitude(BitVec::fromString("0"))),
+                std::cos(t), 1e-12);
+    EXPECT_NEAR(std::abs(s.amplitude(BitVec::fromString("1"))),
+                std::sin(t), 1e-12);
+    // The created amplitude carries the -i phase.
+    EXPECT_NEAR(std::arg(s.amplitude(BitVec::fromString("1"))), -kPi / 2,
+                1e-12);
+}
+
+TEST(SparseState, FullRotationSwapsStates)
+{
+    BitVec mask = BitVec::fromString("1");
+    SparseState s(1, BitVec{});
+    s.applyPairRotation(mask, BitVec{}, kPi / 2);
+    // cos(pi/2) = 0: the population fully transfers.
+    EXPECT_NEAR(s.probability(BitVec::fromString("1")), 1.0, 1e-12);
+    EXPECT_EQ(s.supportSize(), 1u); // the zero amplitude is pruned
+}
+
+TEST(SparseState, DarkStateUntouched)
+{
+    // Two-qubit transition u = (+1, +1): pattern "00"; the state |01> is
+    // dark (neither x+u nor x-u stays binary).
+    BitVec mask = BitVec::fromString("11");
+    SparseState s(2, BitVec::fromString("10")); // x0=1, x1=0
+    s.applyPairRotation(mask, BitVec{}, 0.9);
+    EXPECT_NEAR(s.probability(BitVec::fromString("10")), 1.0, 1e-12);
+    EXPECT_EQ(s.supportSize(), 1u);
+}
+
+TEST(SparseState, RotationFromMinusPatternSide)
+{
+    // Start from the pattern_minus member: the pair must still rotate.
+    BitVec mask = BitVec::fromString("11");
+    SparseState s(2, BitVec::fromString("11"));
+    s.applyPairRotation(mask, BitVec{}, 0.5);
+    EXPECT_NEAR(s.probability(BitVec::fromString("11")),
+                std::cos(0.5) * std::cos(0.5), 1e-12);
+    EXPECT_NEAR(s.probability(BitVec::fromString("00")),
+                std::sin(0.5) * std::sin(0.5), 1e-12);
+}
+
+TEST(SparseState, UnitarityAcrossManyRotations)
+{
+    SparseState s(4, BitVec::fromString("1010"));
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        BitVec mask;
+        while (mask == BitVec{}) {
+            mask = BitVec{};
+            for (int q = 0; q < 4; ++q)
+                if (rng.bernoulli(0.5))
+                    mask.set(q);
+        }
+        BitVec pattern;
+        for (int q = 0; q < 4; ++q)
+            if (mask.get(q) && rng.bernoulli(0.5))
+                pattern.set(q);
+        s.applyPairRotation(mask, pattern, rng.uniformReal(0.0, 1.5));
+    }
+    EXPECT_NEAR(s.normSquared(), 1.0, 1e-9);
+}
+
+TEST(SparseState, ApplyXMovesSupport)
+{
+    SparseState s(3, BitVec::fromString("001"));
+    s.applyX(1);
+    EXPECT_NEAR(s.probability(BitVec::fromString("011")), 1.0, 1e-12);
+}
+
+TEST(SparseState, PhaseIsDiagonal)
+{
+    SparseState s(1, BitVec{});
+    s.applyPairRotation(BitVec::fromString("1"), BitVec{}, kPi / 4);
+    double p0 = s.probability(BitVec::fromString("0"));
+    s.applyPhase([](const BitVec &) { return 1.234; });
+    EXPECT_NEAR(s.probability(BitVec::fromString("0")), p0, 1e-12);
+    EXPECT_NEAR(s.normSquared(), 1.0, 1e-12);
+}
+
+TEST(SparseState, SampleMatchesProbabilities)
+{
+    SparseState s(1, BitVec{});
+    s.applyPairRotation(BitVec::fromString("1"), BitVec{}, kPi / 6);
+    Rng rng(17);
+    Counts counts = s.sample(rng, 40000);
+    EXPECT_NEAR(counts.probability(BitVec::fromString("1")), 0.25, 0.01);
+}
+
+TEST(SparseState, MostLikely)
+{
+    SparseState s(1, BitVec{});
+    s.applyPairRotation(BitVec::fromString("1"), BitVec{}, 0.3);
+    EXPECT_EQ(s.mostLikely(), BitVec::fromString("0"));
+}
+
+TEST(Density, PureStateHasUnitPurity)
+{
+    DensityMatrix rho(2, BitVec::fromIndex(0));
+    circuit::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    rho.applyCircuit(c);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probability(BitVec::fromIndex(0b00)), 0.5, 1e-12);
+    EXPECT_NEAR(rho.probability(BitVec::fromIndex(0b11)), 0.5, 1e-12);
+}
+
+TEST(Density, DepolarizingMixes)
+{
+    DensityMatrix rho(1, BitVec{});
+    rho.applyDepolarizing(0, 0.75); // fully depolarizing for 1 qubit
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.probability(BitVec::fromIndex(0)), 0.5, 1e-9);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-9);
+}
+
+TEST(Density, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix rho(1, BitVec::fromIndex(1));
+    rho.applyAmplitudeDamping(0, 0.3);
+    EXPECT_NEAR(rho.probability(BitVec::fromIndex(1)), 0.7, 1e-12);
+    EXPECT_NEAR(rho.probability(BitVec::fromIndex(0)), 0.3, 1e-12);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+}
+
+TEST(Density, PhaseDampingKillsCoherence)
+{
+    DensityMatrix rho(1, BitVec{});
+    circuit::Circuit h(1);
+    h.h(0);
+    rho.applyCircuit(h);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+    rho.applyPhaseDamping(0, 1.0); // complete dephasing
+    EXPECT_NEAR(rho.probability(BitVec::fromIndex(0)), 0.5, 1e-12);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-9);
+}
+
+TEST(Density, TrajectoryAgreesWithExactChannel)
+{
+    // One noisy circuit, both engines, compare outcome distributions.
+    circuit::Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rx(1, 0.7);
+    NoiseModel noise;
+    noise.depol1q = 0.02;
+    noise.depol2q = 0.05;
+    noise.amplitudeDamping = 0.03;
+    noise.phaseDamping = 0.02;
+
+    DensityMatrix rho(2, BitVec{});
+    rho.applyNoisyCircuit(c, noise);
+    std::vector<double> exact = rho.diagonal();
+
+    Rng rng(23);
+    const int trials = 6000;
+    std::vector<double> empirical(4, 0.0);
+    for (int i = 0; i < trials; ++i) {
+        Statevector sv = runTrajectory(c, 2, BitVec{}, noise, rng);
+        for (uint64_t idx = 0; idx < 4; ++idx)
+            empirical[idx] += sv.probability(BitVec::fromIndex(idx));
+    }
+    for (uint64_t idx = 0; idx < 4; ++idx) {
+        empirical[idx] /= trials;
+        EXPECT_NEAR(empirical[idx], exact[idx], 0.02) << "state " << idx;
+    }
+}
+
+TEST(Noise, ReadoutErrorFlipsBits)
+{
+    Counts counts;
+    counts.add(BitVec::fromIndex(0), 10000);
+    Rng rng(5);
+    Counts noisy = applyReadoutError(counts, 1, 0.1, rng);
+    EXPECT_NEAR(noisy.probability(BitVec::fromIndex(1)), 0.1, 0.02);
+}
+
+TEST(Noise, DisabledNoiseIsExact)
+{
+    circuit::Circuit c(1);
+    c.h(0);
+    NoiseModel none;
+    EXPECT_FALSE(none.enabled());
+    Rng rng(2);
+    Counts counts = sampleNoisy(c, 1, BitVec{}, none, rng, 20000, 4);
+    EXPECT_NEAR(counts.probability(BitVec::fromIndex(0)), 0.5, 0.02);
+}
+
+TEST(Noise, SampleNoisySplitsShots)
+{
+    circuit::Circuit c(1);
+    c.h(0);
+    NoiseModel noise;
+    noise.depol1q = 0.01;
+    Rng rng(4);
+    Counts counts = sampleNoisy(c, 1, BitVec{}, noise, rng, 1000, 7);
+    EXPECT_EQ(counts.total(), 1000u);
+}
+
+} // namespace
+} // namespace rasengan::qsim

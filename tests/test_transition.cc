@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Tests for the transition Hamiltonian (Definition 1, Equations 5-6):
+ * partner/dark semantics, the exact two-level evolution, and equivalence
+ * of the synthesized circuit (Figure 4) with the sparse evolution --
+ * verified gate-by-gate on the dense simulator, both with native
+ * multi-controlled gates and after transpilation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "circuit/transpile.h"
+#include "core/basis.h"
+#include "core/transition.h"
+#include "problems/suite.h"
+#include "qsim/sparsestate.h"
+#include "qsim/statevector.h"
+
+namespace rasengan::core {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/** The paper's homogeneous basis (Equation 4). */
+std::vector<linalg::IntVec>
+paperBasis()
+{
+    return {{-1, 1, 0, 0, 0}, {-1, 0, -1, 1, 0}, {1, 0, 1, 0, 1}};
+}
+
+TEST(Transition, SupportAndPatterns)
+{
+    TransitionHamiltonian tau({-1, 0, 1});
+    EXPECT_EQ(tau.support(), 2);
+    EXPECT_TRUE(tau.mask().get(0));
+    EXPECT_FALSE(tau.mask().get(1));
+    EXPECT_TRUE(tau.mask().get(2));
+    // x+u needs x_0 = 1 (u_0 = -1) and x_2 = 0 (u_2 = +1).
+    EXPECT_TRUE(tau.patternPlus().get(0));
+    EXPECT_FALSE(tau.patternPlus().get(2));
+}
+
+TEST(Transition, PartnerAddsOrSubtractsU)
+{
+    TransitionHamiltonian tau({-1, 0, 1});
+    // x = (1,0,0): x+u = (0,0,1) valid.
+    auto p1 = tau.partner(BitVec::fromString("100"));
+    ASSERT_TRUE(p1.has_value());
+    EXPECT_EQ(*p1, BitVec::fromString("001"));
+    // x = (0,0,1): x-u = (1,0,0) valid.
+    auto p2 = tau.partner(BitVec::fromString("001"));
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(*p2, BitVec::fromString("100"));
+    // x = (0,0,0): both x+u and x-u leave the binary cube -> dark.
+    EXPECT_FALSE(tau.partner(BitVec::fromString("000")).has_value());
+    EXPECT_FALSE(tau.partner(BitVec::fromString("101")).has_value());
+}
+
+TEST(Transition, PartnerIsInvolutive)
+{
+    // Equation 5: H |x_p> = |x_g> and H |x_g> = |x_p>.
+    for (const auto &u : paperBasis()) {
+        TransitionHamiltonian tau(u);
+        for (uint64_t idx = 0; idx < 32; ++idx) {
+            BitVec x = BitVec::fromIndex(idx);
+            if (auto y = tau.partner(x)) {
+                auto back = tau.partner(*y);
+                ASSERT_TRUE(back.has_value());
+                EXPECT_EQ(*back, x);
+            }
+        }
+    }
+}
+
+TEST(Transition, PartnerMatchesVectorArithmetic)
+{
+    // partner(x) must equal x + u or x - u as integer vectors.
+    for (const auto &u : paperBasis()) {
+        TransitionHamiltonian tau(u);
+        for (uint64_t idx = 0; idx < 32; ++idx) {
+            BitVec x = BitVec::fromIndex(idx);
+            std::vector<int> xv = x.toVector(5);
+            auto binary_ok = [](const std::vector<int64_t> &v) {
+                for (int64_t e : v)
+                    if (e != 0 && e != 1)
+                        return false;
+                return true;
+            };
+            std::vector<int64_t> plus(5), minus(5);
+            for (int i = 0; i < 5; ++i) {
+                plus[i] = xv[i] + u[i];
+                minus[i] = xv[i] - u[i];
+            }
+            auto partner = tau.partner(x);
+            if (binary_ok(plus)) {
+                ASSERT_TRUE(partner.has_value());
+                for (int i = 0; i < 5; ++i)
+                    EXPECT_EQ(partner->get(i) ? 1 : 0, plus[i]);
+            } else if (binary_ok(minus)) {
+                ASSERT_TRUE(partner.has_value());
+                for (int i = 0; i < 5; ++i)
+                    EXPECT_EQ(partner->get(i) ? 1 : 0, minus[i]);
+            } else {
+                EXPECT_FALSE(partner.has_value());
+            }
+        }
+    }
+}
+
+TEST(Transition, EvolutionKeepsBothStates)
+{
+    // Equation 6: e^{-i H t} |x_p> = cos t |x_p> - i sin t |x_g>.
+    TransitionHamiltonian tau({-1, 1, 0, 0, 0});
+    qsim::SparseState s(5, BitVec::fromString("10000"));
+    double t = 0.8;
+    tau.applyTo(s, t);
+    EXPECT_NEAR(s.probability(BitVec::fromString("10000")),
+                std::cos(t) * std::cos(t), 1e-12);
+    EXPECT_NEAR(s.probability(BitVec::fromString("01000")),
+                std::sin(t) * std::sin(t), 1e-12);
+}
+
+TEST(Transition, FullTransferAtHalfPi)
+{
+    TransitionHamiltonian tau({1, 0, 1, 0, 1});
+    qsim::SparseState s(5, BitVec::fromString("00010"));
+    tau.applyTo(s, kPi / 2);
+    EXPECT_NEAR(s.probability(BitVec::fromString("10111")), 1.0, 1e-12);
+}
+
+TEST(Transition, RejectsInvalidVectors)
+{
+    EXPECT_DEATH(TransitionHamiltonian({0, 2, 0}), "");
+    EXPECT_DEATH(TransitionHamiltonian({0, 0, 0}), "");
+    EXPECT_DEATH(TransitionHamiltonian({}), "");
+}
+
+/**
+ * Cross-validation: for a transition vector and time, the synthesized
+ * circuit on the dense simulator must reproduce the sparse evolution on
+ * every basis state.
+ */
+void
+expectCircuitMatchesSparse(const linalg::IntVec &u, double t)
+{
+    const int n = static_cast<int>(u.size());
+    TransitionHamiltonian tau(u);
+    circuit::Circuit native = tau.toCircuit(n, t);
+    circuit::Circuit lowered = circuit::transpile(
+        native,
+        {.mode = circuit::TranspileMode::AncillaLadder, .lowerToCx = true});
+    const int n_low = lowered.numQubits();
+
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+        BitVec x = BitVec::fromIndex(idx);
+        qsim::SparseState sparse(n, x);
+        tau.applyTo(sparse, t);
+
+        qsim::Statevector dense(n, x);
+        dense.applyCircuit(native);
+
+        qsim::Statevector dense_low(n_low, x);
+        dense_low.applyCircuit(lowered);
+
+        for (uint64_t row = 0; row < (uint64_t{1} << n); ++row) {
+            BitVec y = BitVec::fromIndex(row);
+            std::complex<double> expected = sparse.amplitude(y);
+            EXPECT_NEAR(std::abs(dense.amplitude(y) - expected), 0.0, 1e-9)
+                << "native circuit, u mismatch at x=" << idx
+                << " y=" << row;
+            EXPECT_NEAR(std::abs(dense_low.amplitude(y) - expected), 0.0,
+                        1e-9)
+                << "transpiled circuit mismatch at x=" << idx
+                << " y=" << row;
+        }
+    }
+}
+
+TEST(TransitionCircuit, SingleQubitSupport)
+{
+    expectCircuitMatchesSparse({0, 1, 0}, 0.7);
+    expectCircuitMatchesSparse({0, -1, 0}, 1.2);
+}
+
+TEST(TransitionCircuit, TwoQubitSupport)
+{
+    expectCircuitMatchesSparse({-1, 1, 0}, 0.8);
+    expectCircuitMatchesSparse({1, 1, 0}, -0.4);
+}
+
+TEST(TransitionCircuit, PaperBasisVectors)
+{
+    for (const auto &u : paperBasis())
+        expectCircuitMatchesSparse(u, 0.9);
+}
+
+TEST(TransitionCircuit, FourQubitSupport)
+{
+    expectCircuitMatchesSparse({1, -1, 1, -1}, 0.55);
+}
+
+TEST(TransitionCircuit, TimeZeroIsIdentityUpToNothing)
+{
+    TransitionHamiltonian tau({-1, 1, 0});
+    qsim::SparseState s(3, BitVec::fromString("100"));
+    tau.applyTo(s, 0.0);
+    EXPECT_NEAR(s.probability(BitVec::fromString("100")), 1.0, 1e-12);
+    EXPECT_EQ(s.supportSize(), 1u);
+}
+
+TEST(TransitionCircuit, ComposesAcrossSequence)
+{
+    // A short chain of transitions applied as one circuit matches the
+    // sequential sparse evolution (what segments execute).
+    auto basis = paperBasis();
+    std::vector<double> times{0.4, 0.9, 0.3};
+    BitVec start = BitVec::fromString("00010"); // the paper's x_p
+
+    qsim::SparseState sparse(5, start);
+    circuit::Circuit circ(5);
+    for (size_t k = 0; k < basis.size(); ++k) {
+        TransitionHamiltonian tau(basis[k]);
+        tau.applyTo(sparse, times[k]);
+        tau.appendToCircuit(circ, times[k]);
+    }
+    qsim::Statevector dense(5, start);
+    dense.applyCircuit(circ);
+    for (uint64_t row = 0; row < 32; ++row) {
+        BitVec y = BitVec::fromIndex(row);
+        EXPECT_NEAR(std::abs(dense.amplitude(y) - sparse.amplitude(y)), 0.0,
+                    1e-9);
+    }
+}
+
+TEST(TransitionCircuit, FeasibleStatesStayFeasible)
+{
+    // Evolving a feasible state of a suite benchmark never leaves the
+    // feasible space (the core guarantee of Section 3.1).
+    problems::Problem p = problems::makeBenchmark("J1");
+    auto transitions = makeTransitions(homogeneousBasis(p));
+    qsim::SparseState s(p.numVars(), p.trivialFeasible());
+    Rng rng(5);
+    for (int round = 0; round < 3; ++round)
+        for (const auto &tau : transitions)
+            tau.applyTo(s, rng.uniformReal(0.1, 1.4));
+    for (const auto &[x, amp] : s.amplitudes()) {
+        if (std::norm(amp) > 1e-18) {
+            EXPECT_TRUE(p.isFeasible(x)) << x.toString(p.numVars());
+        }
+    }
+}
+
+/** Apply the Pauli-sum expansion of H^tau to |x> on the dense simulator
+ *  and compare with the partner/dark semantics of Definition 1. */
+void
+expectDecompositionMatchesPartner(const linalg::IntVec &u)
+{
+    const int n = static_cast<int>(u.size());
+    TransitionHamiltonian tau(u);
+    auto terms = tau.pauliDecomposition();
+    EXPECT_EQ(terms.size(),
+              size_t{1} << (tau.support() - 1));
+
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+        BitVec x = BitVec::fromIndex(idx);
+        // H |x> as a dense vector: sum of coeff * P |x>.
+        qsim::Statevector acc(n);
+        for (auto &a : acc.mutableAmplitudes())
+            a = 0.0;
+        for (const auto &[coeff, p] : terms) {
+            qsim::Statevector branch(n, x);
+            p.applyTo(branch);
+            auto &out = acc.mutableAmplitudes();
+            const auto &b = branch.amplitudes();
+            for (size_t i = 0; i < out.size(); ++i)
+                out[i] += coeff * b[i];
+        }
+        auto partner = tau.partner(x);
+        for (uint64_t row = 0; row < (uint64_t{1} << n); ++row) {
+            std::complex<double> expected = 0.0;
+            if (partner && BitVec::fromIndex(row) == *partner)
+                expected = 1.0;
+            EXPECT_NEAR(std::abs(acc.amplitudes()[row] - expected), 0.0,
+                        1e-9)
+                << "u-state " << idx << " row " << row;
+        }
+    }
+}
+
+TEST(PauliDecomposition, MatchesDefinitionOne)
+{
+    expectDecompositionMatchesPartner({1, 0});
+    expectDecompositionMatchesPartner({1, 1});
+    expectDecompositionMatchesPartner({-1, 1});
+    expectDecompositionMatchesPartner({1, -1, 1});
+    for (const auto &u : paperBasis())
+        expectDecompositionMatchesPartner(u);
+}
+
+TEST(PauliDecomposition, StringsCommutePairwise)
+{
+    TransitionHamiltonian tau({1, -1, 1, -1});
+    auto terms = tau.pauliDecomposition();
+    // Two Pauli strings commute iff they anticommute on an even number
+    // of qubits; check every pair.
+    for (size_t a = 0; a < terms.size(); ++a) {
+        for (size_t b = a + 1; b < terms.size(); ++b) {
+            int anti = 0;
+            for (int q = 0; q < 4; ++q) {
+                auto pa = terms[a].second.op(q);
+                auto pb = terms[b].second.op(q);
+                if (pa != qsim::PauliOp::I && pb != qsim::PauliOp::I &&
+                    pa != pb) {
+                    ++anti;
+                }
+            }
+            EXPECT_EQ(anti % 2, 0);
+        }
+    }
+}
+
+TEST(PauliDecomposition, EvolutionProductMatchesFigure4Circuit)
+{
+    // Because the strings commute, the product of their exact evolutions
+    // equals e^{-i H^tau t}; compare against the native transition
+    // circuit on every basis state (up to global phase).
+    for (const linalg::IntVec &u :
+         {linalg::IntVec{1, 1, 0}, linalg::IntVec{-1, 1, 1}}) {
+        const int n = static_cast<int>(u.size());
+        TransitionHamiltonian tau(u);
+        double t = 0.85;
+
+        circuit::Circuit pauli_circ(n);
+        for (const auto &[coeff, p] : tau.pauliDecomposition())
+            qsim::appendPauliEvolution(pauli_circ, p, coeff * t);
+
+        for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+            BitVec x = BitVec::fromIndex(idx);
+            qsim::SparseState expected(n, x);
+            tau.applyTo(expected, t);
+            qsim::Statevector got(n, x);
+            got.applyCircuit(pauli_circ);
+            for (uint64_t row = 0; row < (uint64_t{1} << n); ++row) {
+                BitVec y = BitVec::fromIndex(row);
+                EXPECT_NEAR(std::abs(got.amplitude(y) -
+                                     expected.amplitude(y)),
+                            0.0, 1e-9)
+                    << "x " << idx << " row " << row;
+            }
+        }
+    }
+}
+
+TEST(PauliEvolution, SingleStringMatchesCosSin)
+{
+    // e^{-i t P} = cos t I - i sin t P for any Pauli string.
+    for (const char *label : {"X", "Y", "Z", "XY", "ZZ", "XYZ"}) {
+        qsim::PauliString p = qsim::PauliString::fromLabel(label);
+        int n = p.numQubits();
+        double t = 0.6;
+        circuit::Circuit circ(n);
+        qsim::appendPauliEvolution(circ, p, t);
+        for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+            BitVec x = BitVec::fromIndex(idx);
+            qsim::Statevector got(n, x);
+            got.applyCircuit(circ);
+            qsim::Statevector identity(n, x);
+            qsim::Statevector flipped(n, x);
+            p.applyTo(flipped);
+            for (uint64_t row = 0; row < (uint64_t{1} << n); ++row) {
+                std::complex<double> expected =
+                    std::cos(t) * identity.amplitudes()[row] -
+                    std::complex<double>(0, 1) * std::sin(t) *
+                        flipped.amplitudes()[row];
+                EXPECT_NEAR(std::abs(got.amplitudes()[row] - expected),
+                            0.0, 1e-9)
+                    << label << " x " << idx << " row " << row;
+            }
+        }
+    }
+}
+
+TEST(TransitionCircuit, DepthGrowsWithSupport)
+{
+    TransitionHamiltonian small({1, -1, 0, 0, 0});
+    TransitionHamiltonian large({1, -1, 1, -1, 1});
+    auto depth_of = [](const TransitionHamiltonian &tau) {
+        circuit::Circuit c = tau.toCircuit(5, 0.5);
+        return circuit::transpile(c, {.mode =
+                                          circuit::TranspileMode::AncillaLadder,
+                                      .lowerToCx = true})
+            .depth();
+    };
+    EXPECT_LT(depth_of(small), depth_of(large));
+}
+
+} // namespace
+} // namespace rasengan::core
