@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Characterizes the resilient execution engine: retry counts, backoff
+ * latency overhead, and result stability as the injected fault rate
+ * grows, plus the degradation ladder's behavior when the retry budget
+ * is too small to ride out the fault storm.
+ *
+ * Key invariant surfaced by the first table: because every retry
+ * attempt reseeds from the per-segment job seed, the solve at any
+ * survivable fault rate is bit-identical to the fault-free solve --
+ * the "identical" column must read yes wherever no demotion happened.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/rasengan.h"
+#include "problems/suite.h"
+
+using namespace rasengan;
+using namespace rasengan::bench;
+
+namespace {
+
+core::RasenganOptions
+baseOptions(int iters)
+{
+    core::RasenganOptions opts;
+    opts.maxIterations = iters;
+    opts.shotsPerSegment = 512;
+    opts.execution =
+        core::RasenganOptions::Execution::SampledSparse;
+    return opts;
+}
+
+struct RunSummary
+{
+    core::RasenganResult result;
+    double arg = 0.0;
+};
+
+RunSummary
+solveAt(const problems::Problem &p, int iters, double fault_rate,
+        int max_attempts)
+{
+    core::RasenganOptions opts = baseOptions(iters);
+    opts.resilience.faults.rate = fault_rate;
+    opts.resilience.retry.maxAttempts = max_attempts;
+    opts.resilience.breaker.failureThreshold = max_attempts;
+    core::RasenganSolver solver(p, opts);
+    RunSummary s;
+    s.result = solver.run();
+    s.arg = s.result.failed ? -1.0 : p.arg(s.result.expectedObjective);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int iters = budget(50);
+    const char *benchmarks[] = {"F1", "K1", "S1"};
+
+    banner("Resilience: overhead and determinism vs fault rate");
+    std::printf("per-attempt fault probability swept with a retry budget "
+                "large enough to avoid demotions (16 attempts)\n");
+    {
+        Table table({"problem", "rate", "retries", "backoff-s",
+                     "quantum-s", "overhead", "ARG", "identical"});
+        table.printHeader();
+        for (const char *id : benchmarks) {
+            problems::Problem p = problems::makeBenchmark(id);
+            RunSummary clean = solveAt(p, iters, 0.0, 16);
+            for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+                RunSummary s = solveAt(p, iters, rate, 16);
+                const auto &st = s.result.execStats;
+                table.cell(std::string(id));
+                table.cell(rate, "%.2f");
+                table.cell(static_cast<int>(st.retries));
+                table.cell(st.backoffSeconds, "%.3f");
+                table.cell(s.result.quantumSeconds, "%.3f");
+                table.cell(clean.result.quantumSeconds > 0.0
+                               ? s.result.quantumSeconds /
+                                     clean.result.quantumSeconds
+                               : 0.0,
+                           "%.2fx");
+                table.cell(s.arg, "%.4f");
+                bool identical =
+                    !s.result.failed && !clean.result.failed &&
+                    s.result.solution == clean.result.solution &&
+                    s.result.expectedObjective ==
+                        clean.result.expectedObjective;
+                table.cell(std::string(identical ? "yes" : "NO"));
+                table.endRow();
+            }
+        }
+        std::printf("expected shape: retries and latency overhead grow "
+                    "with the rate; ARG column is constant per problem "
+                    "and 'identical' reads yes everywhere.\n");
+    }
+
+    banner("Resilience: degradation ladder under a starved retry budget");
+    std::printf("fault rate 0.9 with only 2 attempts per execution: the "
+                "ladder must demote down to the clean fallback instead "
+                "of failing the solve\n");
+    {
+        Table table({"problem", "attempts", "failures", "demotions",
+                     "fallbacks", "level", "ARG"},
+                    15);
+        table.printHeader();
+        for (const char *id : benchmarks) {
+            problems::Problem p = problems::makeBenchmark(id);
+            RunSummary s = solveAt(p, iters, 0.9, 2);
+            const auto &st = s.result.execStats;
+            table.cell(std::string(id));
+            table.cell(static_cast<int>(st.attempts));
+            table.cell(static_cast<int>(st.failures));
+            table.cell(st.demotions);
+            table.cell(static_cast<int>(st.fallbacks));
+            table.cell(std::string(
+                exec::degradationLevelName(s.result.degradation)));
+            table.cell(s.arg, "%.4f");
+            table.endRow();
+        }
+        std::printf("expected shape: every row ends at clean-fallback "
+                    "with a finite ARG (no failed solves).\n");
+    }
+
+    return 0;
+}

@@ -53,6 +53,7 @@ class Chocoq
 
     problems::Problem problem_;
     ChocoqOptions options_;
+    VqaExecHarness harness_; ///< resilient execution engine
     double lambda_;
     std::vector<core::TransitionHamiltonian> transitions_;
 };

@@ -14,7 +14,8 @@
 namespace rasengan::baselines {
 
 Hea::Hea(problems::Problem problem, HeaOptions options)
-    : problem_(std::move(problem)), options_(std::move(options))
+    : problem_(std::move(problem)), options_(std::move(options)),
+      harness_(options_.resilience)
 {
     const int n = problem_.numVars();
     fatal_if(n > 24, "HEA dense simulation limited to 24 qubits, got {}", n);
@@ -86,13 +87,25 @@ Hea::run()
     Stopwatch sim_time;
 
     Rng rng(options_.seed);
+    double attempt_s = 0.0; // per-execution latency, set once x0 is known
     auto objective = [&](const std::vector<double> &params) {
         ScopedTimer guard(sim_time);
         if (options_.noise.enabled()) {
-            qsim::Counts counts = sampleFinal(params, rng, options_.shots);
-            return problems::expectedObjective(problem_, counts, lambda_);
+            const uint64_t job_seed = rng.engine()();
+            auto sampled = harness_.sample(
+                "hea-train", options_.shots, problem_.numVars(), job_seed,
+                attempt_s, [&](Rng &job_rng, uint64_t shots) {
+                    return sampleFinal(params, job_rng, shots);
+                });
+            if (!sampled.ok())
+                return VqaExecHarness::kFailureScore;
+            return problems::expectedObjective(problem_, sampled.value(),
+                                               lambda_);
         }
-        return exactExpectation(params);
+        auto value = harness_.expectation("hea-train", attempt_s, [&] {
+            return exactExpectation(params);
+        });
+        return value.ok() ? value.value() : VqaExecHarness::kFailureScore;
     };
 
     // Small random initialization breaks the barren symmetry at zero.
@@ -108,6 +121,12 @@ Hea::run()
                  numParams());
     }
 
+    // Gate counts (hence latency) are angle-independent, so x0 stands in
+    // for the trained parameters here.
+    device::LatencyModel latency(options_.latencyDevice);
+    attempt_s =
+        latency.executionTimeSeconds(buildCircuit(x0), options_.shots);
+
     opt::OptOptions oo;
     oo.maxIterations = options_.maxIterations;
     oo.initialStep = 0.3;
@@ -121,15 +140,32 @@ Hea::run()
     res.circuitDepth = circ.depth();
     res.circuitCx = circ.countCx();
 
-    Rng sample_rng(options_.seed + 1);
-    res.counts = sampleFinal(res.training.x, sample_rng, options_.shots);
+    auto sampled = harness_.sample(
+        "hea-final", options_.shots, problem_.numVars(),
+        options_.seed + 1, attempt_s, [&](Rng &job_rng, uint64_t shots) {
+            return sampleFinal(res.training.x, job_rng, shots);
+        });
+    if (sampled.ok()) {
+        res.counts = std::move(sampled.value());
+    } else {
+        warn("HEA final sampling failed ({}); using the clean simulator",
+             sampled.error().toString());
+        Rng sample_rng(options_.seed + 1);
+        res.counts = sampleFinal(res.training.x, sample_rng, options_.shots);
+    }
     finalizeMetrics(problem_, lambda_, res);
+    harness_.finalize(res);
 
     res.classicalSeconds = std::max(0.0, wall.seconds() - sim_time.seconds());
-    device::LatencyModel latency(options_.latencyDevice);
-    res.quantumSeconds =
-        latency.executionTimeSeconds(circ, options_.shots) *
-        res.training.evaluations;
+    if (options_.noise.enabled()) {
+        // The executor clock accounts every attempt (including retried
+        // ones), injected timeouts, and backoff sleeps.
+        res.quantumSeconds = harness_.executor().elapsedSeconds();
+    } else {
+        res.quantumSeconds =
+            latency.executionTimeSeconds(circ, options_.shots) *
+            res.training.evaluations;
+    }
     return res;
 }
 

@@ -50,6 +50,7 @@ class Hea
 
     problems::Problem problem_;
     HeaOptions options_;
+    VqaExecHarness harness_; ///< resilient execution engine
     double lambda_;
     std::vector<double> diagonal_; ///< penalty QUBO over all variables
 };

@@ -17,7 +17,8 @@
 namespace rasengan::baselines {
 
 Pqaoa::Pqaoa(problems::Problem problem, PqaoaOptions options)
-    : problem_(std::move(problem)), options_(std::move(options))
+    : problem_(std::move(problem)), options_(std::move(options)),
+      harness_(options_.resilience)
 {
     lambda_ = options_.penaltyLambda >= 0.0
                   ? options_.penaltyLambda
@@ -208,14 +209,26 @@ Pqaoa::run()
     Stopwatch sim_time;
 
     Rng rng(options_.seed);
+    double attempt_s = 0.0; // per-execution latency, set once x0 is known
     auto objective = [&](const std::vector<double> &params) {
         ScopedTimer guard(sim_time);
         if (options_.noise.enabled()) {
             // Hardware-style training: estimate from noisy samples.
-            qsim::Counts counts = sampleFinal(params, rng, options_.shots);
-            return problems::expectedObjective(problem_, counts, lambda_);
+            const uint64_t job_seed = rng.engine()();
+            auto sampled = harness_.sample(
+                "pqaoa-train", options_.shots, problem_.numVars(),
+                job_seed, attempt_s, [&](Rng &job_rng, uint64_t shots) {
+                    return sampleFinal(params, job_rng, shots);
+                });
+            if (!sampled.ok())
+                return VqaExecHarness::kFailureScore;
+            return problems::expectedObjective(problem_, sampled.value(),
+                                               lambda_);
         }
-        return exactExpectation(params);
+        auto value = harness_.expectation("pqaoa-train", attempt_s, [&] {
+            return exactExpectation(params);
+        });
+        return value.ok() ? value.value() : VqaExecHarness::kFailureScore;
     };
 
     opt::OptOptions oo;
@@ -231,6 +244,15 @@ Pqaoa::run()
                  "warm start has {} parameters, ansatz needs {}", x0.size(),
                  numParams());
     }
+    // Gate counts (hence latency) are angle-independent, so x0 stands in
+    // for the trained parameters here.
+    device::LatencyModel latency(options_.latencyDevice);
+    attempt_s = latency.executionTimeSeconds(
+        circuit::optimizeCircuit(circuit::transpile(
+            buildCircuit(x0),
+            {.mode = circuit::TranspileMode::GrayCode, .lowerToCx = true})),
+        options_.shots);
+
     auto optimizer = opt::makeOptimizer(options_.optimizer, oo);
     res.training = optimizer->minimize(objective, x0);
     wall.stop();
@@ -242,15 +264,33 @@ Pqaoa::run()
     res.circuitDepth = optimized.depth();
     res.circuitCx = optimized.countCx();
 
-    Rng sample_rng(options_.seed + 1);
-    res.counts = sampleFinal(res.training.x, sample_rng, options_.shots);
+    auto sampled = harness_.sample(
+        "pqaoa-final", options_.shots, problem_.numVars(),
+        options_.seed + 1, attempt_s, [&](Rng &job_rng, uint64_t shots) {
+            return sampleFinal(res.training.x, job_rng, shots);
+        });
+    if (sampled.ok()) {
+        res.counts = std::move(sampled.value());
+    } else {
+        warn("P-QAOA final sampling failed ({}); using the clean "
+             "simulator",
+             sampled.error().toString());
+        Rng sample_rng(options_.seed + 1);
+        res.counts = sampleFinal(res.training.x, sample_rng, options_.shots);
+    }
     finalizeMetrics(problem_, lambda_, res);
+    harness_.finalize(res);
 
     res.classicalSeconds = std::max(0.0, wall.seconds() - sim_time.seconds());
-    device::LatencyModel latency(options_.latencyDevice);
-    res.quantumSeconds =
-        latency.executionTimeSeconds(optimized, options_.shots) *
-        res.training.evaluations;
+    if (options_.noise.enabled()) {
+        // The executor clock accounts every attempt (including retried
+        // ones), injected timeouts, and backoff sleeps.
+        res.quantumSeconds = harness_.executor().elapsedSeconds();
+    } else {
+        res.quantumSeconds =
+            latency.executionTimeSeconds(optimized, options_.shots) *
+            res.training.evaluations;
+    }
     return res;
 }
 

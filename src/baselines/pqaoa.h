@@ -59,6 +59,7 @@ class Pqaoa
 
     problems::Problem problem_;
     PqaoaOptions options_;
+    VqaExecHarness harness_; ///< resilient execution engine
     double lambda_;
     problems::QuadraticObjective qubo_;        ///< full-variable QUBO
     std::vector<int> active_;                  ///< active var per qubit

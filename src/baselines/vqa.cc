@@ -1,5 +1,7 @@
 #include "baselines/vqa.h"
 
+#include <algorithm>
+
 #include "problems/metrics.h"
 
 namespace rasengan::baselines {
@@ -12,6 +14,55 @@ finalizeMetrics(const problems::Problem &problem, double lambda,
         problems::expectedObjective(problem, result.counts, lambda);
     result.inConstraintsRate =
         problems::inConstraintsRate(problem, result.counts);
+}
+
+exec::Expected<qsim::Counts>
+VqaExecHarness::sample(const std::string &tag, uint64_t nominalShots,
+                       int numBits, uint64_t rngSeed, double attemptSeconds,
+                       const std::function<qsim::Counts(Rng &, uint64_t)> &fn)
+{
+    for (;;) {
+        const uint64_t shots =
+            std::max<uint64_t>(1, executor_.degradedShots(nominalShots));
+        exec::ShotJob job;
+        job.tag = tag;
+        job.shots = shots;
+        job.numBits = numBits;
+        job.rngSeed = rngSeed;
+        job.attemptSeconds = attemptSeconds;
+        job.sample = [&fn, shots](Rng &rng) { return fn(rng, shots); };
+        auto attempt = executor_.run(job);
+        if (attempt.ok())
+            return attempt;
+        if (!executor_.canDemote())
+            return attempt;
+        executor_.demote(attempt.error().toString());
+    }
+}
+
+exec::Expected<double>
+VqaExecHarness::expectation(const std::string &tag, double attemptSeconds,
+                            const std::function<double()> &fn)
+{
+    for (;;) {
+        exec::ValueJob job;
+        job.tag = tag;
+        job.evaluate = fn;
+        job.attemptSeconds = attemptSeconds;
+        auto attempt = executor_.expectation(job);
+        if (attempt.ok())
+            return attempt;
+        if (!executor_.canDemote())
+            return attempt;
+        executor_.demote(attempt.error().toString());
+    }
+}
+
+void
+VqaExecHarness::finalize(VqaResult &result)
+{
+    result.execStats = executor_.stats();
+    result.degradation = executor_.level();
 }
 
 } // namespace rasengan::baselines

@@ -9,7 +9,11 @@
 #ifndef RASENGAN_BASELINES_VQA_H
 #define RASENGAN_BASELINES_VQA_H
 
+#include <functional>
+#include <string>
+
 #include "device/device.h"
+#include "exec/executor.h"
 #include "opt/factory.h"
 #include "opt/optimizer.h"
 #include "problems/problem.h"
@@ -40,6 +44,13 @@ struct VqaOptions
      * match the algorithm's parameter count when set.
      */
     std::vector<double> initialParams;
+
+    /**
+     * Retry/backoff, fault-injection, and degradation configuration; all
+     * baseline executions route through the same resilient engine as
+     * RasenganSolver (src/exec).
+     */
+    exec::ResilienceOptions resilience;
 };
 
 struct VqaResult
@@ -53,11 +64,54 @@ struct VqaResult
     opt::OptResult training;
     double classicalSeconds = 0.0;
     double quantumSeconds = 0.0;
+
+    exec::ExecStats execStats;    ///< retries/failures/backoff summary
+    exec::DegradationLevel degradation = exec::DegradationLevel::Full;
 };
 
 /** Fill the counts-derived metric fields of @p result. */
 void finalizeMetrics(const problems::Problem &problem, double lambda,
                      VqaResult &result);
+
+/**
+ * Shared resilient-execution harness for the baseline VQAs: owns a
+ * ResilientExecutor and wraps the demote-and-retry loop around one
+ * sampling or expectation call.  Shots are re-derived from the ladder
+ * on every attempt so a ReducedShots demotion takes effect immediately.
+ */
+class VqaExecHarness
+{
+  public:
+    /** Objective value reported when an execution fails permanently. */
+    static constexpr double kFailureScore = 1e18;
+
+    explicit VqaExecHarness(const exec::ResilienceOptions &options)
+        : executor_(options)
+    {
+    }
+
+    /**
+     * Sample with retries and degradation.  @p fn is called with a fresh
+     * Rng(@p rngSeed) and the ladder-adjusted shot count per attempt.
+     */
+    exec::Expected<qsim::Counts>
+    sample(const std::string &tag, uint64_t nominalShots, int numBits,
+           uint64_t rngSeed, double attemptSeconds,
+           const std::function<qsim::Counts(Rng &, uint64_t)> &fn);
+
+    /** Evaluate an expectation value with retries and degradation. */
+    exec::Expected<double>
+    expectation(const std::string &tag, double attemptSeconds,
+                const std::function<double()> &fn);
+
+    exec::ResilientExecutor &executor() { return executor_; }
+
+    /** Copy stats/level into @p result at the end of a run. */
+    void finalize(VqaResult &result);
+
+  private:
+    exec::ResilientExecutor executor_;
+};
 
 } // namespace rasengan::baselines
 

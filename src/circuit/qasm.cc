@@ -9,6 +9,13 @@ namespace rasengan::circuit {
 
 namespace {
 
+/**
+ * Upper bound on register width accepted from untrusted QASM: any index
+ * beyond this is a parse error, never an allocation (a corrupted or
+ * hostile file otherwise turns `qreg q[2000000000]` into an OOM).
+ */
+constexpr int kMaxParsedQubits = 4096;
+
 /** Cursor over one statement line. */
 class LineScanner
 {
@@ -156,9 +163,16 @@ struct Parser
         auto target = sc.integer();
         if (!target)
             return fail(line_no, "expected target index");
+        if (*target < 0 || *target >= kMaxParsedQubits)
+            return fail(line_no, "pseudo-op target index out of range");
         int max_q = *target;
-        for (int c : controls)
+        for (int c : controls) {
+            if (c < 0 || c >= kMaxParsedQubits)
+                return fail(line_no, "pseudo-op control index out of range");
+            if (c == *target)
+                return fail(line_no, "pseudo-op control equals target");
             max_q = std::max(max_q, c);
+        }
         circ->ensureQubits(max_q + 1);
         if (is_mcp)
             circ->mcp(controls, *target, theta);
@@ -273,6 +287,8 @@ struct Parser
                 auto n = rest.qubitRef();
                 if (!n)
                     return fail(line_no, "malformed qreg");
+                if (*n < 1 || *n > kMaxParsedQubits)
+                    return fail(line_no, "qreg size out of range");
                 circ.emplace(*n);
                 continue;
             }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <unordered_map>
 
 #include "circuit/optimize.h"
@@ -26,7 +27,9 @@ constexpr double kFailureScore = 1e18;
 
 RasenganSolver::RasenganSolver(problems::Problem problem,
                                RasenganOptions options)
-    : problem_(std::move(problem)), options_(std::move(options))
+    : problem_(std::move(problem)), options_(std::move(options)),
+      executor_(std::make_unique<exec::ResilientExecutor>(
+          options_.resilience))
 {
     transitions_ = makeTransitions(
         transitionVectors(problem_, options_.simplify,
@@ -87,13 +90,86 @@ RasenganSolver::maxSegmentCost() const
     return {max_depth, max_cx};
 }
 
+qsim::Counts
+RasenganSolver::sampleSegment(
+    int seg_index, const std::vector<double> &times,
+    const std::vector<std::pair<BitVec, uint64_t>> &alloc, Rng &rng) const
+{
+    const Segment &seg = segments_[seg_index];
+    const int n = problem_.numVars();
+    qsim::Counts raw;
+    for (const auto &[state, state_shots] : alloc) {
+        if (state_shots == 0)
+            continue;
+        if (options_.execution ==
+            RasenganOptions::Execution::NoisyGateLevel) {
+            circuit::Circuit circ = segmentCircuit(seg_index, state, times);
+            circuit::Circuit lowered = circuit::transpile(
+                circ, {.mode = options_.transpileMode, .lowerToCx = true});
+            // The segment circuit itself prepares `state` with its
+            // leading X column, so the register starts at |0...0>.
+            qsim::Counts part = qsim::sampleNoisy(
+                lowered, lowered.numQubits(), BitVec{}, options_.noise,
+                rng, state_shots, options_.trajectories, n);
+            for (const auto &[y, cnt] : part.map())
+                raw.add(y, cnt);
+        } else {
+            qsim::SparseState sim(n, state);
+            for (int pos = seg.firstStep;
+                 pos < seg.firstStep + seg.stepCount; ++pos) {
+                transitions_[chain_.steps[pos]].applyTo(sim, times[pos]);
+            }
+            qsim::Counts part = sim.sample(rng, state_shots);
+            if (options_.execution ==
+                RasenganOptions::Execution::NoisyInjected) {
+                // Error injection: each shot is corrupted with the
+                // probability that at least one CX in the segment
+                // failed; a corrupted shot takes random bit flips.
+                circuit::Circuit circ =
+                    segmentCircuit(seg_index, state, times);
+                circuit::Circuit lowered = circuit::transpile(
+                    circ,
+                    {.mode = options_.transpileMode, .lowerToCx = true});
+                double p_err = 1.0 - std::pow(1.0 - options_.noise.depol2q,
+                                              lowered.countCx());
+                qsim::Counts corrupted;
+                for (const auto &[y, cnt] : part.map()) {
+                    for (uint64_t i = 0; i < cnt; ++i) {
+                        BitVec out = y;
+                        if (rng.bernoulli(p_err)) {
+                            int flips =
+                                1 + static_cast<int>(rng.uniformInt(0, 2));
+                            for (int f = 0; f < flips; ++f)
+                                out.flip(static_cast<int>(
+                                    rng.uniformInt(0, n - 1)));
+                        }
+                        corrupted.add(out);
+                    }
+                }
+                part = std::move(corrupted);
+            }
+            for (const auto &[y, cnt] : part.map())
+                raw.add(y, cnt);
+        }
+    }
+    return raw;
+}
+
 RasenganDistribution
 RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
+{
+    return execute(times, rng, ExecHooks{});
+}
+
+RasenganDistribution
+RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
+                        const ExecHooks &hooks) const
 {
     panic_if(times.size() != chain_.steps.size(),
              "expected {} evolution times, got {}", chain_.steps.size(),
              times.size());
     const int n = problem_.numVars();
+    const int num_segments = static_cast<int>(segments_.size());
     RasenganDistribution result;
 
     if (segments_.empty()) {
@@ -104,10 +180,38 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
 
     const bool exact =
         options_.execution == RasenganOptions::Execution::ExactSparse;
+    exec::ResilientExecutor &ex = *executor_;
+
+    auto baseSnapshot = [&](int next_segment) {
+        exec::SegmentCheckpoint cp;
+        cp.problemId = problem_.id();
+        cp.shotBased = !exact;
+        cp.nextSegment = next_segment;
+        cp.numBits = n;
+        cp.times = times;
+        cp.prePurifyFeasibleFraction = result.prePurifyFeasibleFraction;
+        return cp;
+    };
+    auto wantsStop = [&](int s) {
+        return hooks.stopAfterSegment >= 0 && s >= hooks.stopAfterSegment &&
+               s + 1 < num_segments;
+    };
 
     if (exact) {
         ProbMap dist{{problem_.trivialFeasible(), 1.0}};
-        for (const Segment &seg : segments_) {
+        int first_seg = 0;
+        if (hooks.resumeFrom != nullptr) {
+            const exec::SegmentCheckpoint &cp = *hooks.resumeFrom;
+            panic_if(cp.shotBased,
+                     "exact execution cannot resume a shot checkpoint");
+            dist.clear();
+            for (const auto &[y, p] : cp.probEntries)
+                dist[y] = p;
+            first_seg = std::min(cp.nextSegment, num_segments);
+            result.prePurifyFeasibleFraction = cp.prePurifyFeasibleFraction;
+        }
+        for (int s = first_seg; s < num_segments; ++s) {
+            const Segment &seg = segments_[s];
             ProbMap out;
             for (const auto &[state, p] : dist) {
                 qsim::SparseState sim(n, state);
@@ -142,70 +246,91 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
                     p /= total_mass;
                 dist = std::move(out);
             }
+            if (hooks.onSegmentDone) {
+                exec::SegmentCheckpoint cp = baseSnapshot(s + 1);
+                cp.probEntries.assign(dist.begin(), dist.end());
+                std::sort(cp.probEntries.begin(), cp.probEntries.end());
+                hooks.onSegmentDone(cp);
+            }
+            if (wantsStop(s)) {
+                result.aborted = true;
+                return result;
+            }
         }
         result.entries.assign(dist.begin(), dist.end());
         return result;
     }
 
-    // Shot-based backends.
+    // Shot-based backends, routed through the resilient executor.
     ShotMap dist{{problem_.trivialFeasible(), options_.shotsPerSegment}};
+    int first_seg = 0;
+    if (hooks.resumeFrom != nullptr) {
+        const exec::SegmentCheckpoint &cp = *hooks.resumeFrom;
+        panic_if(!cp.shotBased,
+                 "shot execution cannot resume an exact checkpoint");
+        dist.clear();
+        for (const auto &[y, cnt] : cp.shotEntries)
+            dist[y] = cnt;
+        first_seg = std::min(cp.nextSegment, num_segments);
+        result.prePurifyFeasibleFraction = cp.prePurifyFeasibleFraction;
+        if (!cp.rngState.empty()) {
+            std::istringstream is(cp.rngState);
+            is >> rng.engine();
+        }
+    }
 
-    for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
-        const Segment &seg = segments_[s];
+    const std::vector<double> &seg_seconds = segmentSeconds();
+
+    for (int s = first_seg; s < num_segments; ++s) {
+        // One job seed per segment, drawn from the caller's stream before
+        // anything can fail: every retry attempt re-seeds from it, so a
+        // faulty-but-recovered run consumes the caller's rng exactly like
+        // the fault-free run and yields the identical histogram.
+        const uint64_t job_seed = rng.engine()();
+
         qsim::Counts raw;
-        for (const auto &[state, state_shots] : dist) {
-            if (state_shots == 0)
-                continue;
-            if (options_.execution ==
-                RasenganOptions::Execution::NoisyGateLevel) {
-                circuit::Circuit circ = segmentCircuit(s, state, times);
-                circuit::Circuit lowered = circuit::transpile(
-                    circ,
-                    {.mode = options_.transpileMode, .lowerToCx = true});
-                // The segment circuit itself prepares `state` with its
-                // leading X column, so the register starts at |0...0>.
-                qsim::Counts part = qsim::sampleNoisy(
-                    lowered, lowered.numQubits(), BitVec{}, options_.noise,
-                    rng, state_shots, options_.trajectories, n);
-                for (const auto &[y, cnt] : part.map())
-                    raw.add(y, cnt);
-            } else {
-                qsim::SparseState sim(n, state);
-                for (int pos = seg.firstStep;
-                     pos < seg.firstStep + seg.stepCount; ++pos) {
-                    transitions_[chain_.steps[pos]].applyTo(sim, times[pos]);
+        for (;;) {
+            // Canonical state order: sampling consumes the job rng in a
+            // fixed sequence regardless of hash-map iteration order, so a
+            // checkpoint-resumed run replays the identical histogram.
+            std::vector<std::pair<BitVec, uint64_t>> alloc;
+            alloc.reserve(dist.size());
+            uint64_t total_shots = 0;
+            for (const auto &[y, cnt] : dist) {
+                uint64_t a = ex.degradedShots(cnt);
+                if (a > 0) {
+                    alloc.emplace_back(y, a);
+                    total_shots += a;
                 }
-                qsim::Counts part = sim.sample(rng, state_shots);
-                if (options_.execution ==
-                    RasenganOptions::Execution::NoisyInjected) {
-                    // Error injection: each shot is corrupted with the
-                    // probability that at least one CX in the segment
-                    // failed; a corrupted shot takes random bit flips.
-                    circuit::Circuit circ = segmentCircuit(s, state, times);
-                    circuit::Circuit lowered = circuit::transpile(
-                        circ,
-                        {.mode = options_.transpileMode, .lowerToCx = true});
-                    double p_err = 1.0 - std::pow(1.0 - options_.noise.depol2q,
-                                                  lowered.countCx());
-                    qsim::Counts corrupted;
-                    for (const auto &[y, cnt] : part.map()) {
-                        for (uint64_t i = 0; i < cnt; ++i) {
-                            BitVec out = y;
-                            if (rng.bernoulli(p_err)) {
-                                int flips =
-                                    1 + static_cast<int>(rng.uniformInt(0, 2));
-                                for (int f = 0; f < flips; ++f)
-                                    out.flip(static_cast<int>(
-                                        rng.uniformInt(0, n - 1)));
-                            }
-                            corrupted.add(out);
-                        }
-                    }
-                    part = std::move(corrupted);
-                }
-                for (const auto &[y, cnt] : part.map())
-                    raw.add(y, cnt);
             }
+            std::sort(alloc.begin(), alloc.end());
+            if (alloc.empty()) {
+                result.failed = true;
+                return result;
+            }
+
+            exec::ShotJob job;
+            job.tag = "segment " + std::to_string(s);
+            job.shots = total_shots;
+            job.numBits = n;
+            job.rngSeed = job_seed;
+            job.attemptSeconds = seg_seconds[s];
+            job.sample = [this, s, &times, &alloc](Rng &job_rng) {
+                return sampleSegment(s, times, alloc, job_rng);
+            };
+
+            auto attempt = ex.run(job);
+            if (attempt.ok()) {
+                raw = std::move(attempt.value());
+                break;
+            }
+            if (!ex.canDemote()) {
+                warn("segment {} failed permanently: {}", s,
+                     attempt.error().toString());
+                result.failed = true;
+                return result;
+            }
+            ex.demote(attempt.error().toString());
         }
 
         // Optional readout mitigation: undo measurement bit flips before
@@ -230,7 +355,9 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
 
         // Purification + probability-preserving shot reallocation
         // (Figures 7-8): each surviving state gets the next segment's
-        // shots proportionally to its purified frequency.
+        // shots proportionally to its purified frequency.  The ladder
+        // can disable purification (NoPurification and below).
+        const bool purify = options_.purify && !ex.purificationDisabled();
         uint64_t feasible_shots = 0;
         for (const auto &[y, cnt] : raw.map())
             if (problem_.isFeasible(y))
@@ -245,7 +372,7 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
             static_cast<double>(options_.shotsPerSegment) *
             std::pow(std::max(options_.shotGrowth, 1e-6), s + 1));
         ShotMap next;
-        if (options_.purify) {
+        if (purify) {
             if (feasible_shots == 0) {
                 result.failed = true;
                 return result;
@@ -272,6 +399,20 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng) const
             return result;
         }
         dist = std::move(next);
+
+        if (hooks.onSegmentDone) {
+            exec::SegmentCheckpoint cp = baseSnapshot(s + 1);
+            std::ostringstream os;
+            os << rng.engine();
+            cp.rngState = os.str();
+            cp.shotEntries.assign(dist.begin(), dist.end());
+            std::sort(cp.shotEntries.begin(), cp.shotEntries.end());
+            hooks.onSegmentDone(cp);
+        }
+        if (wantsStop(s)) {
+            result.aborted = true;
+            return result;
+        }
     }
 
     uint64_t total = 0;
@@ -295,12 +436,14 @@ RasenganSolver::scoreDistribution(const RasenganDistribution &dist) const
     return acc;
 }
 
-double
-RasenganSolver::perExecutionQuantumSeconds() const
+const std::vector<double> &
+RasenganSolver::segmentSeconds() const
 {
+    if (segmentSeconds_.size() == segments_.size())
+        return segmentSeconds_;
     device::LatencyModel latency(options_.latencyDevice);
     std::vector<double> nominal(chain_.steps.size(), options_.initialTime);
-    double total = 0.0;
+    segmentSeconds_.assign(segments_.size(), 0.0);
     for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
         circuit::Circuit circ =
             segmentCircuit(s, problem_.trivialFeasible(), nominal);
@@ -309,15 +452,25 @@ RasenganSolver::perExecutionQuantumSeconds() const
         uint64_t shots = static_cast<uint64_t>(
             static_cast<double>(options_.shotsPerSegment) *
             std::pow(std::max(options_.shotGrowth, 1e-6), s));
-        total += latency.executionTimeSeconds(lowered, shots);
+        segmentSeconds_[s] = latency.executionTimeSeconds(lowered, shots);
     }
+    return segmentSeconds_;
+}
+
+double
+RasenganSolver::perExecutionQuantumSeconds() const
+{
+    double total = 0.0;
+    for (double t : segmentSeconds())
+        total += t;
     return total;
 }
 
 RasenganResult
 RasenganSolver::summarize(const std::vector<double> &times,
                           opt::OptResult training, double classical_s,
-                          double quantum_s) const
+                          double quantum_s,
+                          const exec::SegmentCheckpoint *resume) const
 {
     RasenganResult res;
     res.training = std::move(training);
@@ -328,14 +481,33 @@ RasenganSolver::summarize(const std::vector<double> &times,
     res.feasibleCovered = chain_.reachableCount;
     res.classicalSeconds = classical_s;
     res.quantumSeconds = quantum_s;
+    res.resumed = resume != nullptr;
 
     auto [depth, cx] = maxSegmentCost();
     res.maxSegmentDepth = depth;
     res.maxSegmentCx = cx;
 
     Rng rng(options_.seed + 1);
-    res.finalDistribution = execute(times, rng);
+    ExecHooks hooks;
+    hooks.resumeFrom = resume;
+    if (!options_.checkpointPath.empty()) {
+        const std::string path = options_.checkpointPath;
+        hooks.onSegmentDone = [path](const exec::SegmentCheckpoint &cp) {
+            auto saved = exec::saveCheckpoint(cp, path);
+            if (!saved.ok())
+                warn("checkpoint save failed: {}",
+                     saved.error().toString());
+        };
+    }
+    res.finalDistribution = execute(times, rng, hooks);
     res.failed = res.finalDistribution.failed;
+    res.execStats = executor_->stats();
+    res.degradation = executor_->level();
+    if (options_.execution != RasenganOptions::Execution::ExactSparse) {
+        // The executor's clock already accounts every attempt (including
+        // retried ones), injected timeouts, and backoff sleeps.
+        res.quantumSeconds = executor_->elapsedSeconds();
+    }
 
     double lambda = problems::defaultPenaltyLambda(problem_);
     const BitVec *best = nullptr;
@@ -376,12 +548,61 @@ RasenganSolver::run()
     Stopwatch wall;
     wall.start();
 
+    const bool exact =
+        options_.execution == RasenganOptions::Execution::ExactSparse;
+
+    // Resume a previous solve if a compatible checkpoint exists (the
+    // common cold start -- no file yet -- falls through silently).
+    exec::SegmentCheckpoint resume_cp;
+    bool resume = false;
+    if (!options_.checkpointPath.empty()) {
+        auto loaded = exec::loadCheckpoint(options_.checkpointPath);
+        if (loaded.ok()) {
+            resume_cp = std::move(loaded.value());
+            if (resume_cp.problemId != problem_.id()) {
+                warn("checkpoint '{}' is for problem '{}', not '{}'; "
+                     "ignoring it",
+                     options_.checkpointPath, resume_cp.problemId,
+                     problem_.id());
+            } else if (resume_cp.shotBased == exact) {
+                warn("checkpoint '{}' was written by a different execution "
+                     "backend kind; ignoring it",
+                     options_.checkpointPath);
+            } else if (resume_cp.times.size() != chain_.steps.size()) {
+                warn("checkpoint '{}' has {} evolution times but the chain "
+                     "needs {}; ignoring it",
+                     options_.checkpointPath, resume_cp.times.size(),
+                     chain_.steps.size());
+            } else {
+                resume = true;
+            }
+        } else if (loaded.error().message.find("cannot open") ==
+                   std::string::npos) {
+            // An absent file is the normal first run; a file that
+            // exists but fails to parse deserves a warning.
+            warn("checkpoint '{}' is corrupt ({}); ignoring it",
+                 options_.checkpointPath, loaded.error().message);
+        }
+    }
+    if (resume) {
+        inform("resuming '{}' from checkpoint '{}' at segment {}",
+               problem_.id(), options_.checkpointPath,
+               resume_cp.nextSegment);
+        opt::OptResult training;
+        training.x = resume_cp.times;
+        training.converged = true;
+        wall.stop();
+        return summarize(resume_cp.times, std::move(training),
+                         wall.seconds(), 0.0, &resume_cp);
+    }
+
     const int params = numParams();
     if (params == 0) {
         opt::OptResult trivial_training;
         trivial_training.converged = true;
         wall.stop();
-        return summarize({}, trivial_training, wall.seconds(), 0.0);
+        return summarize({}, trivial_training, wall.seconds(), 0.0,
+                         nullptr);
     }
 
     Rng train_rng(options_.seed);
@@ -402,13 +623,38 @@ RasenganSolver::run()
     opt::OptResult training = optimizer->minimize(objective, x0);
     wall.stop();
 
+    // Persist the trained evolution times before the final execution so
+    // a kill between training and completion resumes without retraining:
+    // the snapshot is positioned "before segment 0" of the final run.
+    if (!options_.checkpointPath.empty()) {
+        exec::SegmentCheckpoint cp;
+        cp.problemId = problem_.id();
+        cp.shotBased = !exact;
+        cp.nextSegment = 0;
+        cp.numBits = problem_.numVars();
+        cp.times = training.x;
+        if (exact) {
+            cp.probEntries.emplace_back(problem_.trivialFeasible(), 1.0);
+        } else {
+            Rng final_rng(options_.seed + 1);
+            std::ostringstream os;
+            os << final_rng.engine();
+            cp.rngState = os.str();
+            cp.shotEntries.emplace_back(problem_.trivialFeasible(),
+                                        options_.shotsPerSegment);
+        }
+        auto saved = exec::saveCheckpoint(cp, options_.checkpointPath);
+        if (!saved.ok())
+            warn("checkpoint save failed: {}", saved.error().toString());
+    }
+
     // The simulated circuit executions stand in for quantum time; what
     // remains of the wall clock is the classical optimizer + purification
     // share (Figure 12's breakdown).
     double classical_s = std::max(0.0, wall.seconds() - sim_time.seconds());
     double quantum_s =
         perExecutionQuantumSeconds() * training.evaluations;
-    return summarize(training.x, training, classical_s, quantum_s);
+    return summarize(training.x, training, classical_s, quantum_s, nullptr);
 }
 
 } // namespace rasengan::core

@@ -25,7 +25,10 @@
 #ifndef RASENGAN_CORE_RASENGAN_H
 #define RASENGAN_CORE_RASENGAN_H
 
+#include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "circuit/transpile.h"
@@ -33,6 +36,8 @@
 #include "core/segment.h"
 #include "device/device.h"
 #include "device/latency.h"
+#include "exec/checkpoint.h"
+#include "exec/executor.h"
 #include "opt/factory.h"
 #include "opt/optimizer.h"
 #include "problems/problem.h"
@@ -94,6 +99,38 @@ struct RasenganOptions
 
     /** Device whose durations drive the quantum-latency estimate. */
     device::DeviceModel latencyDevice = device::DeviceModel::ibmQuebec();
+
+    /// @name Resilience (src/exec)
+    /// @{
+    /**
+     * Retry/backoff, circuit-breaker, fault-injection, and degradation
+     * configuration for the shot-based backends.  The fault injector is
+     * enabled by `resilience.faults.rate > 0`; retries are always on.
+     */
+    exec::ResilienceOptions resilience;
+    /**
+     * When non-empty, run() checkpoints the solve to this file: the
+     * trained evolution times after training, then the forwarded
+     * distribution + RNG state after every segment of the final
+     * execution.  A later run() with the same path resumes bit-exactly
+     * from the last completed step instead of re-training.
+     */
+    std::string checkpointPath;
+    /// @}
+};
+
+/**
+ * Hooks into one segmented execution: checkpoint sink, resume source,
+ * and a deterministic kill switch used by the resume tests.
+ */
+struct ExecHooks
+{
+    /** Called after each segment with the state needed to resume. */
+    std::function<void(const exec::SegmentCheckpoint &)> onSegmentDone;
+    /** Abort (as if killed) after this segment index; -1 = never. */
+    int stopAfterSegment = -1;
+    /** Resume from this snapshot instead of starting at segment 0. */
+    const exec::SegmentCheckpoint *resumeFrom = nullptr;
 };
 
 /** Final output distribution of one pipeline execution. */
@@ -101,6 +138,7 @@ struct RasenganDistribution
 {
     std::vector<std::pair<BitVec, double>> entries; ///< state, probability
     bool failed = false; ///< purification emptied a segment's output
+    bool aborted = false; ///< stopped early by ExecHooks::stopAfterSegment
     double prePurifyFeasibleFraction = 1.0; ///< feasible mass before purify
 };
 
@@ -124,6 +162,10 @@ struct RasenganResult
     double classicalSeconds = 0.0; ///< measured wall time (classical part)
     double quantumSeconds = 0.0;   ///< latency-model estimate
     opt::OptResult training;
+
+    bool resumed = false; ///< produced from a checkpoint, training skipped
+    exec::ExecStats execStats;     ///< retries/failures/backoff summary
+    exec::DegradationLevel degradation = exec::DegradationLevel::Full;
 };
 
 class RasenganSolver
@@ -163,21 +205,40 @@ class RasenganSolver
     RasenganDistribution execute(const std::vector<double> &times,
                                  Rng &rng) const;
 
+    /** Execute with checkpoint/resume/kill hooks. */
+    RasenganDistribution execute(const std::vector<double> &times,
+                                 Rng &rng, const ExecHooks &hooks) const;
+
     /** Train the evolution times and return the full result. */
     RasenganResult run();
+
+    /**
+     * The resilient executor all shot-based executions route through
+     * (per-solver state: retry stats, breaker, degradation ladder).
+     */
+    exec::ResilientExecutor &executor() const { return *executor_; }
 
   private:
     double scoreDistribution(const RasenganDistribution &dist) const;
     RasenganResult summarize(const std::vector<double> &times,
                              opt::OptResult training, double classical_s,
-                             double quantum_s) const;
+                             double quantum_s,
+                             const exec::SegmentCheckpoint *resume) const;
     double perExecutionQuantumSeconds() const;
+    const std::vector<double> &segmentSeconds() const;
+    qsim::Counts sampleSegment(int seg_index,
+                               const std::vector<double> &times,
+                               const std::vector<std::pair<BitVec,
+                                   uint64_t>> &alloc,
+                               Rng &rng) const;
 
     problems::Problem problem_;
     RasenganOptions options_;
     std::vector<TransitionHamiltonian> transitions_;
     Chain chain_;
     std::vector<Segment> segments_;
+    std::unique_ptr<exec::ResilientExecutor> executor_;
+    mutable std::vector<double> segmentSeconds_; ///< latency cache
 };
 
 } // namespace rasengan::core

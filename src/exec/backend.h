@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Execution backend interface wrapping the simulators.
+ *
+ * A `ShotJob` describes one logical circuit execution: a sampling
+ * closure over the dense/sparse/noisy simulators, the number of shots,
+ * and a deterministic RNG seed.  Every retry *attempt* of the same job
+ * constructs a fresh `Rng(rngSeed)`, so a clean attempt reproduces the
+ * identical histogram no matter how many faulty attempts preceded it --
+ * this is what makes a faulty-but-retried solve bit-identical to the
+ * fault-free solve.  A `ValueJob` is the expectation-value analogue
+ * used by the exact training paths of the baseline VQAs.
+ *
+ * Backends return `Expected<...>` instead of aborting; decorators
+ * (exec/faults.h) and the resilient executor (exec/executor.h) compose
+ * around this interface.
+ */
+
+#ifndef RASENGAN_EXEC_BACKEND_H
+#define RASENGAN_EXEC_BACKEND_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "exec/expected.h"
+#include "qsim/counts.h"
+
+namespace rasengan::exec {
+
+/** One logical shot-sampled circuit execution. */
+struct ShotJob
+{
+    std::string tag;    ///< label for logs/stats (e.g. "segment 2")
+    uint64_t shots = 0; ///< requested histogram size
+    int numBits = 0;    ///< measured register width
+    uint64_t rngSeed = 0; ///< per-attempt sampling seed
+    /**
+     * Runs the simulation and returns the raw histogram.  Called with a
+     * fresh Rng(rngSeed) on every attempt.
+     */
+    std::function<qsim::Counts(Rng &)> sample;
+    /**
+     * Modeled duration of one attempt in seconds (from LatencyModel);
+     * the executor charges it to the virtual clock per attempt so retry
+     * latency shows up in the quantum-time estimate.
+     */
+    double attemptSeconds = 0.0;
+};
+
+/** One expectation-value evaluation (exact training paths). */
+struct ValueJob
+{
+    std::string tag;
+    std::function<double()> evaluate;
+    double attemptSeconds = 0.0;
+};
+
+class ExecBackend
+{
+  public:
+    virtual ~ExecBackend() = default;
+
+    virtual Expected<qsim::Counts> run(const ShotJob &job) = 0;
+    virtual Expected<double> expectation(const ValueJob &job) = 0;
+};
+
+/**
+ * Terminal backend: invokes the job's simulator closure directly and
+ * validates the result (full shot count, finite value), converting what
+ * used to be silent corruption or an abort into structured errors.
+ */
+class SimulatorBackend : public ExecBackend
+{
+  public:
+    Expected<qsim::Counts> run(const ShotJob &job) override;
+    Expected<double> expectation(const ValueJob &job) override;
+};
+
+/**
+ * Shared result validation, also applied by the executor after
+ * decorators ran (defense in depth against silent data corruption).
+ */
+Expected<qsim::Counts> validateCounts(const ShotJob &job,
+                                      qsim::Counts counts);
+Expected<double> validateValue(const ValueJob &job, double value);
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_BACKEND_H

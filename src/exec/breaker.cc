@@ -1,0 +1,54 @@
+#include "exec/breaker.h"
+
+namespace rasengan::exec {
+
+CircuitBreaker::State
+CircuitBreaker::state(double now)
+{
+    if (state_ == State::Open &&
+        now - openedAt_ >= options_.cooldownSeconds) {
+        state_ = State::HalfOpen;
+    }
+    return state_;
+}
+
+bool
+CircuitBreaker::allow(double now)
+{
+    return state(now) != State::Open;
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    consecutiveFailures_ = 0;
+    state_ = State::Closed;
+}
+
+void
+CircuitBreaker::recordFailure(double now)
+{
+    ++consecutiveFailures_;
+    if (state_ == State::HalfOpen) {
+        // A failed probe re-opens immediately.
+        state_ = State::Open;
+        openedAt_ = now;
+        ++trips_;
+        return;
+    }
+    if (state_ == State::Closed &&
+        consecutiveFailures_ >= options_.failureThreshold) {
+        state_ = State::Open;
+        openedAt_ = now;
+        ++trips_;
+    }
+}
+
+void
+CircuitBreaker::reset()
+{
+    state_ = State::Closed;
+    consecutiveFailures_ = 0;
+}
+
+} // namespace rasengan::exec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Circuit breaker over a flaky execution backend.
+ *
+ * Standard three-state breaker (closed -> open -> half-open): after
+ * `failureThreshold` consecutive failures the breaker opens and rejects
+ * calls for `cooldownSeconds` of Clock time, then admits a probe; a
+ * successful probe closes the breaker, a failed one re-opens it.  In
+ * the single-threaded solvers the breaker's job is to fail *fast* out
+ * of a retry loop that is clearly not converging, handing control to
+ * the degradation ladder instead of burning the whole retry budget on
+ * every segment execution.
+ */
+
+#ifndef RASENGAN_EXEC_BREAKER_H
+#define RASENGAN_EXEC_BREAKER_H
+
+#include <cstdint>
+
+#include "exec/clock.h"
+
+namespace rasengan::exec {
+
+class CircuitBreaker
+{
+  public:
+    struct Options
+    {
+        int failureThreshold = 8;     ///< consecutive failures to open
+        double cooldownSeconds = 1.0; ///< open -> half-open delay
+    };
+
+    enum class State { Closed, Open, HalfOpen };
+
+    CircuitBreaker() : CircuitBreaker(Options()) {}
+    explicit CircuitBreaker(Options options) : options_(options) {}
+
+    /** May a call proceed at Clock time @p now? */
+    bool allow(double now);
+
+    void recordSuccess();
+    void recordFailure(double now);
+
+    /** Force the breaker back to Closed (used after a demotion). */
+    void reset();
+
+    State state(double now);
+    int consecutiveFailures() const { return consecutiveFailures_; }
+    uint64_t trips() const { return trips_; }
+
+  private:
+    Options options_;
+    State state_ = State::Closed;
+    int consecutiveFailures_ = 0;
+    double openedAt_ = 0.0;
+    uint64_t trips_ = 0;
+};
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_BREAKER_H

@@ -1,0 +1,37 @@
+#include "exec/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rasengan::exec {
+
+namespace {
+
+double
+steadySeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+WallClock::WallClock() : origin_(steadySeconds()) {}
+
+double
+WallClock::now() const
+{
+    return steadySeconds() - origin_;
+}
+
+void
+WallClock::sleep(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    slept_ += seconds;
+}
+
+} // namespace rasengan::exec

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Clock abstraction for retry backoff and circuit-breaker cooldowns.
+ *
+ * Resilience logic never calls std::chrono directly: it asks a Clock
+ * for the current time and for sleeps.  The default `VirtualClock`
+ * advances a counter instead of blocking, which makes retry tests
+ * instantaneous and deterministic, and lets the accumulated "slept"
+ * time feed the quantum-latency estimate (a retried segment costs
+ * wall-clock time on a real cloud backend even though our simulator
+ * replays it instantly).  `WallClock` is the production implementation.
+ */
+
+#ifndef RASENGAN_EXEC_CLOCK_H
+#define RASENGAN_EXEC_CLOCK_H
+
+namespace rasengan::exec {
+
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic current time in seconds. */
+    virtual double now() const = 0;
+
+    /** Block (or pretend to) for @p seconds. */
+    virtual void sleep(double seconds) = 0;
+
+    /** Total time spent in sleep() since construction, in seconds. */
+    virtual double sleptSeconds() const = 0;
+};
+
+/** Deterministic non-blocking clock: sleep() just advances now(). */
+class VirtualClock : public Clock
+{
+  public:
+    double now() const override { return now_; }
+
+    void
+    sleep(double seconds) override
+    {
+        if (seconds > 0.0) {
+            now_ += seconds;
+            slept_ += seconds;
+        }
+    }
+
+    /** Advance time without counting it as sleep (e.g. work duration). */
+    void
+    advance(double seconds)
+    {
+        if (seconds > 0.0)
+            now_ += seconds;
+    }
+
+    double sleptSeconds() const override { return slept_; }
+
+  private:
+    double now_ = 0.0;
+    double slept_ = 0.0;
+};
+
+/** Real steady-clock implementation; sleep() actually blocks. */
+class WallClock : public Clock
+{
+  public:
+    WallClock();
+    double now() const override;
+    void sleep(double seconds) override;
+    double sleptSeconds() const override { return slept_; }
+
+  private:
+    double origin_ = 0.0;
+    double slept_ = 0.0;
+};
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_CLOCK_H

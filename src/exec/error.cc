@@ -1,0 +1,33 @@
+#include "exec/error.h"
+
+namespace rasengan::exec {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::BackendUnavailable: return "backend-unavailable";
+      case ErrorCode::ShotLoss: return "shot-loss";
+      case ErrorCode::CorruptedCounts: return "corrupted-counts";
+      case ErrorCode::NonFiniteValue: return "non-finite-value";
+      case ErrorCode::BreakerOpen: return "breaker-open";
+      case ErrorCode::RetriesExhausted: return "retries-exhausted";
+      case ErrorCode::InvalidJob: return "invalid-job";
+      case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
+    }
+    return "unknown";
+}
+
+std::string
+ExecError::toString() const
+{
+    std::string out = errorCodeName(code);
+    if (!message.empty()) {
+        out += ": ";
+        out += message;
+    }
+    return out;
+}
+
+} // namespace rasengan::exec

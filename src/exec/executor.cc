@@ -1,0 +1,159 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasengan::exec {
+
+const char *
+degradationLevelName(DegradationLevel level)
+{
+    switch (level) {
+      case DegradationLevel::Full: return "full";
+      case DegradationLevel::ReducedShots: return "reduced-shots";
+      case DegradationLevel::NoPurification: return "no-purification";
+      case DegradationLevel::CleanFallback: return "clean-fallback";
+    }
+    return "unknown";
+}
+
+ResilientExecutor::ResilientExecutor(ResilienceOptions options)
+    : options_(options), breaker_(options.breaker),
+      jitterRng_(options.jitterSeed)
+{
+    if (options_.wallClock)
+        clock_ = std::make_unique<WallClock>();
+    else
+        clock_ = std::make_unique<VirtualClock>();
+    backend_ = &simulator_;
+    if (options_.faults.enabled()) {
+        injector_ = std::make_unique<FaultInjector>(
+            simulator_, options_.faults, clock_.get());
+        backend_ = injector_.get();
+    }
+}
+
+template <typename Result, typename Job, typename Call>
+Expected<Result>
+ResilientExecutor::attemptLoop(const Job &job, const Call &call)
+{
+    ++stats_.executions;
+    const int max_attempts = std::max(options_.retry.maxAttempts, 1);
+    ExecError last{ErrorCode::RetriesExhausted, job.tag};
+
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (!breaker_.allow(clock_->now())) {
+            ++stats_.failures;
+            return ExecError{ErrorCode::BreakerOpen,
+                             job.tag + ": circuit breaker open",
+                             attempt - 1};
+        }
+        ++stats_.attempts;
+        if (attempt > 1)
+            ++stats_.retries;
+        if (job.attemptSeconds > 0.0) {
+            if (auto *vc = dynamic_cast<VirtualClock *>(clock_.get()))
+                vc->advance(job.attemptSeconds);
+        }
+        Expected<Result> result = call(job);
+        if (result.ok()) {
+            breaker_.recordSuccess();
+            return result;
+        }
+        last = result.error();
+        last.attempts = attempt;
+        breaker_.recordFailure(clock_->now());
+        stats_.breakerTrips = breaker_.trips();
+        debugLog("exec: {} attempt {}/{} failed ({})", job.tag.c_str(),
+                 attempt, max_attempts, last.toString().c_str());
+        if (!last.retryable())
+            break;
+        if (attempt < max_attempts) {
+            double delay =
+                options_.retry.delaySeconds(attempt, jitterRng_);
+            stats_.backoffSeconds += delay;
+            clock_->sleep(delay);
+        }
+    }
+
+    ++stats_.failures;
+    stats_.breakerTrips = breaker_.trips();
+    return ExecError{ErrorCode::RetriesExhausted,
+                     job.tag + ": " + last.toString(), last.attempts};
+}
+
+Expected<qsim::Counts>
+ResilientExecutor::run(const ShotJob &job)
+{
+    if (level_ == DegradationLevel::CleanFallback) {
+        // Bypass the flaky chain entirely: the clean simulator is the
+        // local, trusted stand-in a hybrid stack falls back to.
+        ++stats_.executions;
+        ++stats_.attempts;
+        ++stats_.fallbacks;
+        return simulator_.run(job);
+    }
+    return attemptLoop<qsim::Counts>(
+        job, [&](const ShotJob &j) { return backend_->run(j); });
+}
+
+Expected<double>
+ResilientExecutor::expectation(const ValueJob &job)
+{
+    if (level_ == DegradationLevel::CleanFallback) {
+        ++stats_.executions;
+        ++stats_.attempts;
+        ++stats_.fallbacks;
+        return simulator_.expectation(job);
+    }
+    return attemptLoop<double>(
+        job, [&](const ValueJob &j) { return backend_->expectation(j); });
+}
+
+bool
+ResilientExecutor::canDemote() const
+{
+    return options_.degradation &&
+           level_ != DegradationLevel::CleanFallback;
+}
+
+DegradationLevel
+ResilientExecutor::demote(const std::string &reason)
+{
+    panic_if(!canDemote(), "demote() beyond the ladder");
+    level_ = static_cast<DegradationLevel>(static_cast<int>(level_) + 1);
+    ++stats_.demotions;
+    stats_.breakerTrips = breaker_.trips();
+    breaker_.reset();
+    warn("exec: degrading to {} ({})", degradationLevelName(level_),
+         reason.c_str());
+    return level_;
+}
+
+uint64_t
+ResilientExecutor::degradedShots(uint64_t nominal) const
+{
+    if (level_ == DegradationLevel::Full ||
+        level_ == DegradationLevel::CleanFallback) {
+        return nominal;
+    }
+    double scaled = static_cast<double>(nominal) *
+                    std::clamp(options_.shotsDemotionFactor, 0.01, 1.0);
+    return std::max<uint64_t>(1, static_cast<uint64_t>(scaled));
+}
+
+bool
+ResilientExecutor::purificationDisabled() const
+{
+    return level_ == DegradationLevel::NoPurification;
+}
+
+const FaultStats *
+ResilientExecutor::faultStats() const
+{
+    return injector_ ? &injector_->stats() : nullptr;
+}
+
+} // namespace rasengan::exec

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal expected/result type for recoverable execution failures.
+ *
+ * `Expected<T, E>` holds either a value of type T or an error of type E
+ * (defaulting to ExecError).  It is the return type of every backend
+ * call in `src/exec/`: instead of `fatal()`ing on a failed execution,
+ * backends hand the caller a structured error that the retry policy,
+ * circuit breaker, and degradation ladder can act on.  Accessing the
+ * wrong alternative is a programming error and panics.
+ */
+
+#ifndef RASENGAN_EXEC_EXPECTED_H
+#define RASENGAN_EXEC_EXPECTED_H
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "exec/error.h"
+
+namespace rasengan::exec {
+
+template <typename T, typename E = ExecError>
+class Expected
+{
+  public:
+    Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+    Expected(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+    bool ok() const { return v_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        panic_if(!ok(), "Expected::value() on an error result");
+        return std::get<0>(v_);
+    }
+
+    const T &
+    value() const
+    {
+        panic_if(!ok(), "Expected::value() on an error result");
+        return std::get<0>(v_);
+    }
+
+    E &
+    error()
+    {
+        panic_if(ok(), "Expected::error() on a success result");
+        return std::get<1>(v_);
+    }
+
+    const E &
+    error() const
+    {
+        panic_if(ok(), "Expected::error() on a success result");
+        return std::get<1>(v_);
+    }
+
+    /** The value, or @p fallback when this holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<0>(v_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, E> v_;
+};
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_EXPECTED_H

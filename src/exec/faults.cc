@@ -1,0 +1,135 @@
+#include "exec/faults.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rasengan::exec {
+
+FaultInjector::FaultInjector(ExecBackend &inner, FaultProfile profile,
+                             Clock *clock)
+    : inner_(inner), profile_(profile), clock_(clock), rng_(profile.seed)
+{
+}
+
+FaultInjector::Kind
+FaultInjector::draw(bool expectation_job)
+{
+    if (!profile_.enabled() || !rng_.bernoulli(profile_.rate))
+        return Kind::None;
+    std::vector<double> weights = {profile_.timeoutWeight,
+                                   profile_.outageWeight,
+                                   profile_.shotLossWeight,
+                                   profile_.corruptionWeight};
+    std::vector<Kind> kinds = {Kind::Timeout, Kind::Outage, Kind::ShotLoss,
+                               Kind::Corruption};
+    if (expectation_job) {
+        // Shot-level faults do not apply to an analytic expectation.
+        weights = {profile_.timeoutWeight, profile_.outageWeight,
+                   profile_.nanWeight};
+        kinds = {Kind::Timeout, Kind::Outage, Kind::Nan};
+    }
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return Kind::None;
+    return kinds[rng_.weightedIndex(weights)];
+}
+
+Expected<qsim::Counts>
+FaultInjector::run(const ShotJob &job)
+{
+    ++stats_.calls;
+    Kind kind = draw(false);
+
+    if (kind == Kind::Timeout) {
+        ++stats_.timeouts;
+        if (clock_)
+            clock_->sleep(profile_.timeoutSeconds);
+        return ExecError{ErrorCode::Timeout,
+                         job.tag + ": execution deadline exceeded"};
+    }
+    if (kind == Kind::Outage) {
+        ++stats_.outages;
+        return ExecError{ErrorCode::BackendUnavailable,
+                         job.tag + ": backend rejected the job"};
+    }
+
+    Expected<qsim::Counts> inner = inner_.run(job);
+    if (!inner || kind == Kind::None)
+        return inner;
+
+    qsim::Counts raw = std::move(inner.value());
+    if (kind == Kind::ShotLoss) {
+        ++stats_.shotLosses;
+        // Drop a fraction of every outcome's shots (rounding down, so at
+        // least one shot disappears whenever the fraction is positive).
+        qsim::Counts lost;
+        uint64_t keep_num = static_cast<uint64_t>(
+            1000.0 * std::clamp(1.0 - profile_.shotLossFraction, 0.0, 1.0));
+        for (const auto &[outcome, n] : raw.map()) {
+            uint64_t kept = n * keep_num / 1000;
+            if (kept > 0)
+                lost.add(outcome, kept);
+        }
+        if (lost.total() >= raw.total() && lost.total() > 0) {
+            // Fraction rounded to nothing: force a visible loss.
+            lost = qsim::Counts();
+        }
+        return validateCounts(job, std::move(lost));
+    }
+
+    // Corruption: random readout bitflips on a few sampled outcomes.
+    ++stats_.corruptions;
+    qsim::Counts corrupted;
+    const int bits = std::max(job.numBits, 1);
+    for (const auto &[outcome, n] : raw.map()) {
+        BitVec flipped = outcome;
+        // Half of the flips land beyond the register (detectable by
+        // validation); the rest corrupt data bits in place, modeling
+        // readout crosstalk flagged by the backend's own calibration.
+        for (int f = 0; f < std::max(profile_.corruptionFlips, 1); ++f) {
+            int hi = std::min(2 * bits, kMaxBits) - 1;
+            flipped.flip(static_cast<int>(rng_.uniformInt(0, hi)));
+        }
+        corrupted.add(flipped, n);
+    }
+    Expected<qsim::Counts> checked = validateCounts(job, corrupted);
+    if (checked.ok()) {
+        // Every flip landed inside the register; the backend's checksum
+        // still notices the histogram mismatch and flags the job.
+        return ExecError{ErrorCode::CorruptedCounts,
+                         job.tag + ": readout validation failed"};
+    }
+    return checked;
+}
+
+Expected<double>
+FaultInjector::expectation(const ValueJob &job)
+{
+    ++stats_.calls;
+    Kind kind = draw(true);
+    if (kind == Kind::Timeout) {
+        ++stats_.timeouts;
+        if (clock_)
+            clock_->sleep(profile_.timeoutSeconds);
+        return ExecError{ErrorCode::Timeout,
+                         job.tag + ": execution deadline exceeded"};
+    }
+    if (kind == Kind::Outage) {
+        ++stats_.outages;
+        return ExecError{ErrorCode::BackendUnavailable,
+                         job.tag + ": backend rejected the job"};
+    }
+    Expected<double> inner = inner_.expectation(job);
+    if (!inner || kind == Kind::None)
+        return inner;
+    ++stats_.nans;
+    return validateValue(job,
+                         std::numeric_limits<double>::quiet_NaN());
+}
+
+} // namespace rasengan::exec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic fault-injecting backend decorator.
+ *
+ * Models cloud-QPU flakiness: with probability `rate` per attempt the
+ * injector produces one of four transient faults -- a timeout (charged
+ * to the clock, no result), a backend outage, partial shot loss, or a
+ * corrupted histogram (random readout bitflips).  Shot loss and
+ * corruption actually mutate the inner backend's histogram before the
+ * validation layer catches them, exercising the same detection path a
+ * real client relies on.  Expectation jobs can additionally yield NaN.
+ *
+ * All randomness comes from a dedicated seeded Rng that is independent
+ * of the sampling streams, so a run at fault rate r and the fault-free
+ * run consume identical sampling randomness -- the basis of the
+ * "faulty solve retries to a bit-identical result" guarantee.
+ */
+
+#ifndef RASENGAN_EXEC_FAULTS_H
+#define RASENGAN_EXEC_FAULTS_H
+
+#include <cstdint>
+
+#include "exec/backend.h"
+#include "exec/clock.h"
+
+namespace rasengan::exec {
+
+struct FaultProfile
+{
+    double rate = 0.0;      ///< per-attempt fault probability; 0 = off
+    uint64_t seed = 0xFA17; ///< fault stream seed
+
+    /// @name Relative weights of the fault kinds
+    /// @{
+    double timeoutWeight = 1.0;
+    double outageWeight = 1.0;
+    double shotLossWeight = 1.0;
+    double corruptionWeight = 1.0;
+    double nanWeight = 1.0; ///< expectation jobs only
+    /// @}
+
+    double timeoutSeconds = 0.5;   ///< clock time burned by a timeout
+    double shotLossFraction = 0.4; ///< fraction of shots dropped
+    int corruptionFlips = 2;       ///< bitflips per corrupted outcome
+
+    bool enabled() const { return rate > 0.0; }
+};
+
+/** Counters the injector maintains (reported by bench_resilience). */
+struct FaultStats
+{
+    uint64_t calls = 0;
+    uint64_t timeouts = 0;
+    uint64_t outages = 0;
+    uint64_t shotLosses = 0;
+    uint64_t corruptions = 0;
+    uint64_t nans = 0;
+
+    uint64_t
+    total() const
+    {
+        return timeouts + outages + shotLosses + corruptions + nans;
+    }
+};
+
+class FaultInjector : public ExecBackend
+{
+  public:
+    /** Decorates @p inner; @p clock is charged for timeouts (may be null). */
+    FaultInjector(ExecBackend &inner, FaultProfile profile,
+                  Clock *clock = nullptr);
+
+    Expected<qsim::Counts> run(const ShotJob &job) override;
+    Expected<double> expectation(const ValueJob &job) override;
+
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    enum class Kind { None, Timeout, Outage, ShotLoss, Corruption, Nan };
+
+    Kind draw(bool expectation_job);
+
+    ExecBackend &inner_;
+    FaultProfile profile_;
+    Clock *clock_;
+    Rng rng_;
+    FaultStats stats_;
+};
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_FAULTS_H

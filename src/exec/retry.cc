@@ -1,0 +1,21 @@
+#include "exec/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rasengan::exec {
+
+double
+RetryPolicy::delaySeconds(int retry, Rng &rng) const
+{
+    if (retry < 1 || initialDelaySeconds <= 0.0)
+        return 0.0;
+    double base = initialDelaySeconds *
+                  std::pow(std::max(multiplier, 1.0), retry - 1);
+    base = std::min(base, maxDelaySeconds);
+    if (jitter > 0.0)
+        base *= rng.uniformReal(1.0 - jitter / 2.0, 1.0 + jitter / 2.0);
+    return base;
+}
+
+} // namespace rasengan::exec

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff and deterministic jitter.
+ *
+ * The schedule is the standard cloud-client recipe: delay(k) =
+ * min(initial * multiplier^k, max), multiplied by a jitter factor drawn
+ * from a seeded Rng so that concurrent clients decorrelate while every
+ * run remains reproducible.  Delays are spent on a Clock, so tests (and
+ * the latency model) use virtual time.
+ */
+
+#ifndef RASENGAN_EXEC_RETRY_H
+#define RASENGAN_EXEC_RETRY_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace rasengan::exec {
+
+struct RetryPolicy
+{
+    int maxAttempts = 5;              ///< total tries, including the first
+    double initialDelaySeconds = 0.01;
+    double multiplier = 2.0;          ///< exponential growth factor
+    double maxDelaySeconds = 2.0;     ///< backoff ceiling
+    /**
+     * Relative jitter width: the delay is scaled by a factor uniform in
+     * [1 - jitter/2, 1 + jitter/2].  0 disables jitter.
+     */
+    double jitter = 0.5;
+
+    /**
+     * Backoff delay before retry number @p retry (1-based: the delay
+     * slept after the retry-th failed attempt).  Draws one uniform
+     * sample from @p rng when jitter is enabled.
+     */
+    double delaySeconds(int retry, Rng &rng) const;
+};
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_RETRY_H

@@ -11,15 +11,17 @@ AdamSpsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     const int n = static_cast<int>(x0.size());
     const int max_evals = std::max(options_.maxIterations, 3);
 
+    GuardedObjective guarded(objective, options_);
     auto eval = [&](const std::vector<double> &x) {
         ++res.evaluations;
-        return objective(x);
+        return guarded(x);
     };
 
     if (n == 0) {
         res.x = std::move(x0);
         res.value = eval(res.x);
         res.converged = true;
+        guarded.finalize(res);
         return res;
     }
 
@@ -31,7 +33,7 @@ AdamSpsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     double best_f = eval(x);
 
     int k = 0;
-    while (res.evaluations + 2 <= max_evals) {
+    while (res.evaluations + 2 <= max_evals && !guarded.diverged()) {
         ++k;
         ++res.iterations;
         const double ck = hyper_.perturbation;
@@ -74,7 +76,7 @@ AdamSpsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
         }
     }
 
-    if (res.evaluations < max_evals) {
+    if (res.evaluations < max_evals && !guarded.diverged()) {
         double f = eval(x);
         if (f < best_f) {
             best_f = f;
@@ -83,6 +85,7 @@ AdamSpsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     }
     res.x = std::move(best_x);
     res.value = best_f;
+    guarded.finalize(res);
     return res;
 }
 

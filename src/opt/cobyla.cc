@@ -53,15 +53,17 @@ Cobyla::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     const int n = static_cast<int>(x0.size());
     const int max_evals = std::max(options_.maxIterations, n + 2);
 
+    GuardedObjective guarded(objective, options_);
     auto eval = [&](const std::vector<double> &x) {
         ++res.evaluations;
-        return objective(x);
+        return guarded(x);
     };
 
     if (n == 0) {
         res.x = std::move(x0);
         res.value = eval(res.x);
         res.converged = true;
+        guarded.finalize(res);
         return res;
     }
 
@@ -102,7 +104,8 @@ Cobyla::minimize(const ObjectiveFn &objective, std::vector<double> x0)
             std::max_element(values.begin(), values.end()) - values.begin());
     };
 
-    while (res.evaluations < max_evals && rho > rho_end) {
+    while (res.evaluations < max_evals && rho > rho_end &&
+           !guarded.diverged()) {
         ++res.iterations;
         if (points.size() != static_cast<size_t>(n) + 1) {
             // Budget ran out while building the simplex.
@@ -176,6 +179,7 @@ Cobyla::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     res.x = points[best];
     res.value = values[best];
     res.converged = rho <= rho_end;
+    guarded.finalize(res);
     return res;
 }
 

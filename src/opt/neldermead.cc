@@ -13,15 +13,17 @@ NelderMead::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     const int n = static_cast<int>(x0.size());
     const int max_evals = std::max(options_.maxIterations, n + 2);
 
+    GuardedObjective guarded(objective, options_);
     auto eval = [&](const std::vector<double> &x) {
         ++res.evaluations;
-        return objective(x);
+        return guarded(x);
     };
 
     if (n == 0) {
         res.x = std::move(x0);
         res.value = eval(res.x);
         res.converged = true;
+        guarded.finalize(res);
         return res;
     }
 
@@ -40,7 +42,7 @@ NelderMead::minimize(const ObjectiveFn &objective, std::vector<double> x0)
 
     std::vector<size_t> order(n + 1);
 
-    while (res.evaluations < max_evals) {
+    while (res.evaluations < max_evals && !guarded.diverged()) {
         ++res.iterations;
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(),
@@ -117,6 +119,7 @@ NelderMead::minimize(const ObjectiveFn &objective, std::vector<double> x0)
         std::min_element(vals.begin(), vals.end()) - vals.begin());
     res.x = pts[best];
     res.value = vals[best];
+    guarded.finalize(res);
     return res;
 }
 

@@ -8,6 +8,7 @@
 #ifndef RASENGAN_OPT_OPTIMIZER_H
 #define RASENGAN_OPT_OPTIMIZER_H
 
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -24,6 +25,20 @@ struct OptOptions
     double initialStep = 0.5; ///< initial trust-region radius / simplex size
     double tolerance = 1e-6;  ///< convergence threshold on step/spread
     uint64_t seed = 1;        ///< for stochastic methods (SPSA)
+
+    /** Worst-case score substituted for a non-finite evaluation. */
+    double nonFiniteScore = 1e18;
+    /**
+     * Consecutive non-finite evaluations before the trainer declares
+     * divergence and stops (0 disables the check).
+     */
+    int maxConsecutiveNonFinite = 8;
+};
+
+/** How a training run ended. */
+enum class OptStatus {
+    Ok,       ///< normal termination (budget or tolerance)
+    Diverged, ///< stopped early: objective returned only NaN/Inf
 };
 
 struct OptResult
@@ -33,6 +48,57 @@ struct OptResult
     int iterations = 0;      ///< outer iterations executed
     int evaluations = 0;     ///< objective evaluations spent
     bool converged = false;  ///< tolerance reached before the budget
+    OptStatus status = OptStatus::Ok;
+    int nonFiniteEvals = 0;  ///< evaluations sanitized to nonFiniteScore
+};
+
+/**
+ * NaN/Inf hardening shared by every trainer: a non-finite evaluation is
+ * replaced by the worst-case `nonFiniteScore` (so minimizers move away
+ * from it instead of propagating NaN through simplex/gradient algebra)
+ * and counted; after `maxConsecutiveNonFinite` bad evaluations in a row
+ * the wrapper reports divergence so the trainer can stop early.
+ */
+class GuardedObjective
+{
+  public:
+    GuardedObjective(const ObjectiveFn &fn, const OptOptions &options)
+        : fn_(fn), options_(options)
+    {
+    }
+
+    double operator()(const std::vector<double> &x)
+    {
+        double value = fn_(x);
+        if (!std::isfinite(value)) {
+            ++nonFinite_;
+            ++consecutive_;
+            return options_.nonFiniteScore;
+        }
+        consecutive_ = 0;
+        return value;
+    }
+
+    bool diverged() const
+    {
+        return options_.maxConsecutiveNonFinite > 0 &&
+               consecutive_ >= options_.maxConsecutiveNonFinite;
+    }
+    int nonFiniteEvals() const { return nonFinite_; }
+
+    /** Record the sanitization outcome into @p res. */
+    void finalize(OptResult &res) const
+    {
+        res.nonFiniteEvals = nonFinite_;
+        if (diverged())
+            res.status = OptStatus::Diverged;
+    }
+
+  private:
+    const ObjectiveFn &fn_;
+    const OptOptions &options_;
+    int nonFinite_ = 0;
+    int consecutive_ = 0;
 };
 
 /** Abstract minimizer. */

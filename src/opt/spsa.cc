@@ -11,15 +11,17 @@ Spsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     const int n = static_cast<int>(x0.size());
     const int max_evals = std::max(options_.maxIterations, 3);
 
+    GuardedObjective guarded(objective, options_);
     auto eval = [&](const std::vector<double> &x) {
         ++res.evaluations;
-        return objective(x);
+        return guarded(x);
     };
 
     if (n == 0) {
         res.x = std::move(x0);
         res.value = eval(res.x);
         res.converged = true;
+        guarded.finalize(res);
         return res;
     }
 
@@ -38,7 +40,7 @@ Spsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
 
     std::vector<double> delta(n);
     int k = 0;
-    while (res.evaluations + 2 <= max_evals) {
+    while (res.evaluations + 2 <= max_evals && !guarded.diverged()) {
         ++k;
         ++res.iterations;
         double ak = a / std::pow(k + big_a, alpha);
@@ -74,7 +76,7 @@ Spsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     }
 
     // One final evaluation at the current iterate, if budget allows.
-    if (res.evaluations < max_evals) {
+    if (res.evaluations < max_evals && !guarded.diverged()) {
         double f = eval(x);
         if (f < best_f) {
             best_f = f;
@@ -83,6 +85,7 @@ Spsa::minimize(const ObjectiveFn &objective, std::vector<double> x0)
     }
     res.x = std::move(best_x);
     res.value = best_f;
+    guarded.finalize(res);
     return res;
 }
 

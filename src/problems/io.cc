@@ -1,5 +1,8 @@
 #include "problems/io.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 namespace rasengan::problems {
@@ -37,6 +40,25 @@ writeProblem(const Problem &problem)
 }
 
 namespace {
+
+/**
+ * Strict integer token parse: the whole token must be a decimal integer
+ * within range (atoi/atoll silently return 0 on garbage and have UB-ish
+ * saturation on overflow, which let corrupted files through unnoticed).
+ */
+bool
+parseIntToken(const std::string &token, long long &out)
+{
+    if (token.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || errno == ERANGE)
+        return false;
+    out = value;
+    return true;
+}
 
 struct Parser
 {
@@ -92,7 +114,7 @@ struct Parser
                 return fail(line_no, "malformed objective line");
             if (kind == "constant") {
                 double v;
-                if (!(ss >> v))
+                if (!(ss >> v) || !std::isfinite(v))
                     return fail(line_no, "malformed objective constant");
                 obj_constant += v;
                 return true;
@@ -100,7 +122,8 @@ struct Parser
             if (kind == "linear") {
                 int var;
                 double v;
-                if (!(ss >> var >> v) || !checkVar(line_no, var))
+                if (!(ss >> var >> v) || !std::isfinite(v) ||
+                    !checkVar(line_no, var))
                     return fail(line_no, "malformed linear term");
                 obj_linear.emplace_back(var, v);
                 return true;
@@ -108,8 +131,8 @@ struct Parser
             if (kind == "quadratic") {
                 int a, b;
                 double v;
-                if (!(ss >> a >> b >> v) || !checkVar(line_no, a) ||
-                    !checkVar(line_no, b)) {
+                if (!(ss >> a >> b >> v) || !std::isfinite(v) ||
+                    !checkVar(line_no, a) || !checkVar(line_no, b)) {
                     return fail(line_no, "malformed quadratic term");
                 }
                 obj_quadratic.emplace_back(a, b, v);
@@ -130,12 +153,18 @@ struct Parser
                 size_t colon = entry.find(':');
                 if (colon == std::string::npos)
                     return fail(line_no, "expected var:coeff entry");
-                int var = std::atoi(entry.substr(0, colon).c_str());
-                int64_t coeff =
-                    std::atoll(entry.substr(colon + 1).c_str());
-                if (!checkVar(line_no, var))
+                long long var = 0;
+                long long coeff = 0;
+                if (!parseIntToken(entry.substr(0, colon), var) ||
+                    !parseIntToken(entry.substr(colon + 1), coeff))
+                    return fail(line_no, "malformed var:coeff entry");
+                // Range-check on the wide type: a 2^32-ish index must not
+                // wrap into a valid int before checkVar sees it.
+                if (var < 0 || var >= num_vars)
+                    return fail(line_no, "variable index out of range");
+                if (!checkVar(line_no, static_cast<int>(var)))
                     return false;
-                row[var] += coeff;
+                row[static_cast<int>(var)] += coeff;
                 any = true;
             }
             if (!any)

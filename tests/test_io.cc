@@ -88,5 +88,49 @@ TEST(Io, ReportsUnknownKeyword)
     EXPECT_NE(res.error.find("wat"), std::string::npos);
 }
 
+TEST(Io, RejectsNonFiniteObjectiveTerms)
+{
+    // nan/inf coefficients would silently poison every training run.
+    for (const char *line : {"objective constant nan",
+                             "objective linear 0 inf",
+                             "objective quadratic 0 1 -nan"}) {
+        std::string text = std::string("problem d T\nvars 2\n") + line +
+                           "\nconstraint 1 0:1\nfeasible 10\n";
+        ProblemParseResult res = parseProblem(text);
+        EXPECT_FALSE(res.problem.has_value()) << line;
+        EXPECT_EQ(res.errorLine, 3) << line;
+    }
+}
+
+TEST(Io, RejectsMalformedConstraintEntries)
+{
+    for (const char *entry :
+         {"0:abc", "x:1", "1e1:1", "0:", ":1", "0:1junk"}) {
+        std::string text = std::string("problem d T\nvars 2\n"
+                                       "constraint 1 ") +
+                           entry + "\nfeasible 10\n";
+        ProblemParseResult res = parseProblem(text);
+        EXPECT_FALSE(res.problem.has_value()) << entry;
+        EXPECT_EQ(res.errorLine, 3) << entry;
+    }
+}
+
+TEST(Io, RejectsWrappingVariableIndices)
+{
+    // 2^32 must not wrap into a small valid int past validation.
+    std::string text = "problem d T\nvars 2\n"
+                       "constraint 1 4294967296:1\nfeasible 10\n";
+    ProblemParseResult res = parseProblem(text);
+    EXPECT_FALSE(res.problem.has_value());
+    EXPECT_NE(res.error.find("out of range"), std::string::npos);
+
+    // And an overflowing token is malformed, not saturated-and-accepted.
+    std::string huge = "problem d T\nvars 2\n"
+                       "constraint 1 99999999999999999999999999:1\n"
+                       "feasible 10\n";
+    ProblemParseResult res2 = parseProblem(huge);
+    EXPECT_FALSE(res2.problem.has_value());
+}
+
 } // namespace
 } // namespace rasengan::problems

@@ -152,5 +152,39 @@ TEST(Qasm, ReportsDuplicateQreg)
     EXPECT_NE(res.error.find("duplicate"), std::string::npos);
 }
 
+TEST(Qasm, RejectsHostileQregSizes)
+{
+    // An absurd register width must be a parse error, never an
+    // allocation attempt (OOM guard on untrusted input).
+    for (const char *decl : {"qreg q[2000000000];", "qreg q[0];",
+                             "qreg q[-3];", "qreg q[5000];"}) {
+        QasmParseResult res =
+            parseQasm(std::string("OPENQASM 2.0;\n") + decl + "\n");
+        EXPECT_FALSE(res.circuit.has_value()) << decl;
+        EXPECT_EQ(res.errorLine, 2) << decl;
+    }
+}
+
+TEST(Qasm, RejectsHostilePseudoOpIndices)
+{
+    auto parse_pseudo = [](const std::string &pseudo) {
+        return parseQasm("OPENQASM 2.0;\nqreg q[3];\n// " + pseudo +
+                         "\n");
+    };
+    QasmParseResult huge =
+        parse_pseudo("mcx() controls=[0,1] target=2000000000");
+    EXPECT_FALSE(huge.circuit.has_value());
+    EXPECT_NE(huge.error.find("target index"), std::string::npos);
+
+    QasmParseResult neg = parse_pseudo("mcx() controls=[-1] target=2");
+    EXPECT_FALSE(neg.circuit.has_value());
+    EXPECT_NE(neg.error.find("control index"), std::string::npos);
+
+    QasmParseResult self = parse_pseudo("mcp(0.5) controls=[2] target=2");
+    EXPECT_FALSE(self.circuit.has_value());
+    EXPECT_NE(self.error.find("control equals target"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace rasengan::circuit

@@ -15,9 +15,13 @@
  *   --optimizer cobyla|nelder-mead|spsa|adam-spsa
  *   --draw                                  ASCII-draw the first segment
  *   --qasm                                  dump the first segment QASM
+ *   --faults RATE    inject transient faults at RATE (0..1) per execution
+ *   --retries N      retry budget per execution (default 5)
+ *   --checkpoint P   checkpoint/resume the solve through file P
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -49,6 +53,9 @@ struct Args
     uint64_t seed = 7;
     bool draw = false;
     bool qasm = false;
+    double faults = 0.0;
+    int retries = 5;
+    std::string checkpoint;
 };
 
 void
@@ -61,7 +68,8 @@ usage()
                  "[--iterations N] [--seed S]\n"
                  "  [--noise none|kyiv|brisbane] "
                  "[--optimizer cobyla|nelder-mead|spsa|adam-spsa]\n"
-                 "  [--draw] [--qasm]\n");
+                 "  [--draw] [--qasm]\n"
+                 "  [--faults RATE] [--retries N] [--checkpoint PATH]\n");
 }
 
 bool
@@ -112,6 +120,31 @@ parseArgs(int argc, char **argv, Args &args)
             if (!v)
                 return false;
             args.seed = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--faults") {
+            const char *v = next();
+            if (!v)
+                return false;
+            char *end = nullptr;
+            args.faults = std::strtod(v, &end);
+            if (end == v || *end != '\0' || args.faults < 0.0 ||
+                args.faults > 1.0) {
+                std::fprintf(stderr, "--faults needs a rate in [0, 1]\n");
+                return false;
+            }
+        } else if (flag == "--retries") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.retries = std::atoi(v);
+            if (args.retries < 1) {
+                std::fprintf(stderr, "--retries needs a count >= 1\n");
+                return false;
+            }
+        } else if (flag == "--checkpoint") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.checkpoint = v;
         } else if (flag == "--draw") {
             args.draw = true;
         } else if (flag == "--qasm") {
@@ -136,6 +169,16 @@ parseOptimizer(const std::string &name)
     if (name == "adam-spsa")
         return opt::Method::AdamSpsa;
     return std::nullopt;
+}
+
+exec::ResilienceOptions
+makeResilience(const Args &args)
+{
+    exec::ResilienceOptions r;
+    r.faults.rate = args.faults;
+    r.faults.seed = args.seed ^ 0xFA17;
+    r.retry.maxAttempts = args.retries;
+    return r;
 }
 
 std::optional<qsim::NoiseModel>
@@ -164,6 +207,14 @@ runRasengan(const problems::Problem &problem, const Args &args,
         options.noise = noise;
         options.shotsPerSegment = 256;
         options.trajectories = 4;
+    }
+    options.resilience = makeResilience(args);
+    options.checkpointPath = args.checkpoint;
+    if (args.faults > 0.0 &&
+        options.execution == core::RasenganOptions::Execution::ExactSparse) {
+        // Faults act on shot-based executions; the exact path never
+        // leaves the process.
+        options.execution = core::RasenganOptions::Execution::SampledSparse;
     }
     core::RasenganSolver solver(problem, options);
 
@@ -202,6 +253,19 @@ runRasengan(const problems::Problem &problem, const Args &args,
                 res.numParams);
     std::printf("latency: %.3fs classical + %.3fs quantum (model)\n",
                 res.classicalSeconds, res.quantumSeconds);
+    if (res.resumed)
+        std::printf("resumed from checkpoint '%s'\n",
+                    args.checkpoint.c_str());
+    if (args.faults > 0.0) {
+        const exec::ExecStats &st = res.execStats;
+        std::printf("resilience: %llu executions, %llu retries, "
+                    "%llu breaker trips, %d demotions, level %s\n",
+                    static_cast<unsigned long long>(st.executions),
+                    static_cast<unsigned long long>(st.retries),
+                    static_cast<unsigned long long>(st.breakerTrips),
+                    st.demotions,
+                    exec::degradationLevelName(res.degradation));
+    }
     return 0;
 }
 
@@ -216,6 +280,7 @@ runBaseline(const problems::Problem &problem, const Args &args,
         o.seed = args.seed;
         o.noise = noise;
         o.optimizer = method;
+        o.resilience = makeResilience(args);
         res = baselines::Chocoq(problem, o).run();
     } else if (args.algorithm == "pqaoa") {
         baselines::PqaoaOptions o;
@@ -224,6 +289,7 @@ runBaseline(const problems::Problem &problem, const Args &args,
         o.noise = noise;
         o.optimizer = method;
         o.smartInit = true;
+        o.resilience = makeResilience(args);
         res = baselines::Pqaoa(problem, o).run();
     } else {
         baselines::HeaOptions o;
@@ -231,6 +297,7 @@ runBaseline(const problems::Problem &problem, const Args &args,
         o.seed = args.seed;
         o.noise = noise;
         o.optimizer = method;
+        o.resilience = makeResilience(args);
         res = baselines::Hea(problem, o).run();
     }
     std::printf("expected objective %.4f", res.expectedObjective);
@@ -242,6 +309,16 @@ runBaseline(const problems::Problem &problem, const Args &args,
                 res.numParams);
     std::printf("best feasible in output: %.4f\n",
                 problems::bestFeasibleObjective(problem, res.counts));
+    if (args.faults > 0.0) {
+        const exec::ExecStats &st = res.execStats;
+        std::printf("resilience: %llu executions, %llu retries, "
+                    "%llu breaker trips, %d demotions, level %s\n",
+                    static_cast<unsigned long long>(st.executions),
+                    static_cast<unsigned long long>(st.retries),
+                    static_cast<unsigned long long>(st.breakerTrips),
+                    st.demotions,
+                    exec::degradationLevelName(res.degradation));
+    }
     return 0;
 }
 
