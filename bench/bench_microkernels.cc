@@ -1,133 +1,399 @@
 /**
  * @file
- * Google-benchmark microbenchmarks for the hot kernels underneath the
- * experiment harnesses: dense gate application, sparse pair rotation,
- * transpilation, routing, exact RREF, and chain construction.
+ * Microbenchmarks for the hot simulation kernels, hand-rolled so the
+ * results land in a machine-readable artifact (BENCH_kernels.json).
+ *
+ * Each kernel is timed for >= 5 repeats and reported as the median, in
+ * three configurations where applicable:
+ *
+ *   - a thread sweep (1, 2, 4 by default) over the parallel kernels
+ *     (dense gate application, diagonal evolution, reductions, noisy
+ *     trajectories, alias-table sampling);
+ *   - fusion on vs. off for full-circuit application (a transpiled
+ *     Rasengan segment circuit and a synthetic deep circuit), with the
+ *     fused/source gate counts recorded alongside the times.
+ *
+ * Knobs: RASENGAN_BENCH_FAST=1 shrinks sizes/repeats for CI smoke runs;
+ * RASENGAN_BENCH_THREADS="1,2,4" overrides the sweep;
+ * RASENGAN_BENCH_JSON overrides the output path.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
+#include "circuit/fusion.h"
 #include "circuit/transpile.h"
-#include "core/basis.h"
-#include "core/chain.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timer.h"
 #include "core/rasengan.h"
-#include "device/routing.h"
-#include "linalg/rref.h"
 #include "problems/suite.h"
-#include "qsim/sparsestate.h"
+#include "qsim/counts.h"
+#include "qsim/noise.h"
 #include "qsim/statevector.h"
 
 namespace {
 
 using namespace rasengan;
 
-void
-BM_DenseHadamardLayer(benchmark::State &state)
+struct Record
 {
-    const int n = static_cast<int>(state.range(0));
+    std::string kernel;
+    std::string variant; ///< "serial", "threads=N", "fused", "unfused"
+    int threads = 1;
+    int repeats = 0;
+    double medianMs = 0.0;
+    double minMs = 0.0;
+    /** Extra kernel-specific fields (gate counts, shots, ...). */
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+std::vector<Record> g_records;
+
+double
+medianOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    size_t n = samples.size();
+    return n % 2 ? samples[n / 2]
+                 : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/**
+ * Time @p body for @p repeats runs (after one untimed warmup) and
+ * record the median.  @p setup runs before each timed repeat, outside
+ * the timed region.
+ */
+Record &
+timeKernel(const std::string &kernel, const std::string &variant,
+           int threads, int repeats, const std::function<void()> &setup,
+           const std::function<void()> &body)
+{
+    setup();
+    body(); // warmup: first-touch pages, populate caches
+    std::vector<double> ms;
+    ms.reserve(repeats);
+    for (int r = 0; r < repeats; ++r) {
+        setup();
+        Stopwatch sw;
+        sw.start();
+        body();
+        sw.stop();
+        ms.push_back(sw.seconds() * 1e3);
+    }
+    Record rec;
+    rec.kernel = kernel;
+    rec.variant = variant;
+    rec.threads = threads;
+    rec.repeats = repeats;
+    rec.medianMs = medianOf(ms);
+    rec.minMs = *std::min_element(ms.begin(), ms.end());
+    g_records.push_back(std::move(rec));
+    return g_records.back();
+}
+
+std::vector<int>
+threadSweep()
+{
+    std::vector<int> sweep;
+    if (const char *env = std::getenv("RASENGAN_BENCH_THREADS")) {
+        int cur = 0;
+        bool have = false;
+        for (const char *c = env;; ++c) {
+            if (*c >= '0' && *c <= '9') {
+                cur = cur * 10 + (*c - '0');
+                have = true;
+            } else {
+                if (have && cur > 0)
+                    sweep.push_back(cur);
+                cur = 0;
+                have = false;
+                if (!*c)
+                    break;
+            }
+        }
+    }
+    if (sweep.empty())
+        sweep = {1, 2, 4};
+    return sweep;
+}
+
+/** Deep, structured circuit exercising runs + diagonal chains. */
+circuit::Circuit
+layeredCircuit(int n, int layers)
+{
+    circuit::Circuit circ(n);
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < n; ++q) {
+            circ.h(q);
+            circ.rz(q, 0.1 * (l + 1));
+            circ.rx(q, 0.05 * (q + 1));
+        }
+        for (int q = 0; q < n; ++q)
+            circ.p(q, 0.2);
+        for (int q = 0; q + 1 < n; ++q)
+            circ.cp(q, q + 1, 0.15);
+        for (int q = 0; q + 1 < n; q += 2)
+            circ.cx(q, q + 1);
+    }
+    return circ;
+}
+
+void
+benchGateKernels(const std::vector<int> &sweep, int n, int repeats)
+{
+    bench::banner("dense gate kernels");
+    bench::Table table({"kernel", "threads", "median_ms"});
+    table.printHeader();
+
+    qsim::Mat2 h = qsim::gateMatrix(circuit::GateKind::H, 0.0);
+    qsim::Mat2 x = qsim::gateMatrix(circuit::GateKind::X, 0.0);
+    qsim::Statevector sv(n);
+
+    for (int tc : sweep) {
+        parallel::setThreadCount(tc);
+        Record &r1 = timeKernel(
+            "apply1q_hadamard_layer", "threads=" + std::to_string(tc), tc,
+            repeats, [] {},
+            [&] {
+                for (int q = 0; q < n; ++q)
+                    sv.apply1q(q, h);
+            });
+        r1.extra.emplace_back("qubits", n);
+        table.cell("h_layer");
+        table.cell(tc);
+        table.cell(r1.medianMs);
+        table.endRow();
+
+        Record &r2 = timeKernel(
+            "cx_chain", "threads=" + std::to_string(tc), tc, repeats,
+            [] {},
+            [&] {
+                for (int q = 0; q + 1 < n; ++q)
+                    sv.applyControlled1q({q}, q + 1, x);
+            });
+        r2.extra.emplace_back("qubits", n);
+        table.cell("cx_chain");
+        table.cell(tc);
+        table.cell(r2.medianMs);
+        table.endRow();
+
+        std::vector<double> values(sv.dimension());
+        for (size_t i = 0; i < values.size(); ++i)
+            values[i] = 1e-3 * static_cast<double>(i % 97);
+        Record &r3 = timeKernel(
+            "diagonal_evolution", "threads=" + std::to_string(tc), tc,
+            repeats, [] {},
+            [&] { sv.applyDiagonalEvolution(values, 0.25); });
+        r3.extra.emplace_back("qubits", n);
+        table.cell("diag_evo");
+        table.cell(tc);
+        table.cell(r3.medianMs);
+        table.endRow();
+
+        Record &r4 = timeKernel(
+            "norm_reduction", "threads=" + std::to_string(tc), tc, repeats,
+            [] {},
+            [&] {
+                volatile double sink = sv.normSquared();
+                (void)sink;
+            });
+        r4.extra.emplace_back("qubits", n);
+        table.cell("norm");
+        table.cell(tc);
+        table.cell(r4.medianMs);
+        table.endRow();
+    }
+}
+
+void
+benchSampling(const std::vector<int> &sweep, int n, uint64_t shots,
+              int repeats)
+{
+    bench::banner("alias sampling");
+    bench::Table table({"kernel", "threads", "median_ms"});
+    table.printHeader();
+
     qsim::Statevector sv(n);
     qsim::Mat2 h = qsim::gateMatrix(circuit::GateKind::H, 0.0);
-    for (auto _ : state) {
-        for (int q = 0; q < n; ++q)
-            sv.apply1q(q, h);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
-    }
-    state.SetItemsProcessed(state.iterations() * n *
-                            static_cast<int64_t>(sv.dimension()));
-}
-BENCHMARK(BM_DenseHadamardLayer)->Arg(10)->Arg(14)->Arg(18);
+    for (int q = 0; q < n; ++q)
+        sv.apply1q(q, h);
 
-void
-BM_DenseCxChain(benchmark::State &state)
-{
-    const int n = static_cast<int>(state.range(0));
-    qsim::Statevector sv(n);
-    sv.apply1q(0, qsim::gateMatrix(circuit::GateKind::H, 0.0));
-    for (auto _ : state) {
-        for (int q = 0; q + 1 < n; ++q)
-            sv.applyControlled1q({q}, q + 1,
-                                 qsim::gateMatrix(circuit::GateKind::X,
-                                                  0.0));
-        benchmark::DoNotOptimize(sv.amplitudes().data());
+    for (int tc : sweep) {
+        parallel::setThreadCount(tc);
+        Record &rec = timeKernel(
+            "sample_alias", "threads=" + std::to_string(tc), tc, repeats,
+            [] {},
+            [&] {
+                Rng rng(7);
+                qsim::Counts counts = sv.sample(rng, shots);
+                volatile uint64_t sink = counts.total();
+                (void)sink;
+            });
+        rec.extra.emplace_back("qubits", n);
+        rec.extra.emplace_back("shots", static_cast<double>(shots));
+        table.cell("sample");
+        table.cell(tc);
+        table.cell(rec.medianMs);
+        table.endRow();
     }
 }
-BENCHMARK(BM_DenseCxChain)->Arg(10)->Arg(14)->Arg(18);
 
 void
-BM_SparsePairRotation(benchmark::State &state)
+benchTrajectories(const std::vector<int> &sweep, int repeats)
 {
-    problems::Problem p = problems::makeScalabilityFlp(
-        static_cast<int>(state.range(0)));
-    auto transitions =
-        core::makeTransitions(core::transitionVectors(p));
-    // One segment-sized pass from a fresh basis state per iteration
-    // (otherwise the support keeps doubling across iterations).
-    for (auto _ : state) {
-        qsim::SparseState s(p.numVars(), p.trivialFeasible());
-        for (size_t k = 0; k < std::min<size_t>(transitions.size(), 8); ++k)
-            transitions[k].applyTo(s, 0.3);
-        benchmark::DoNotOptimize(s.supportSize());
+    bench::banner("noisy trajectories");
+    bench::Table table({"kernel", "threads", "median_ms"});
+    table.printHeader();
+
+    const int n = 12;
+    circuit::Circuit circ = layeredCircuit(n, 3);
+    qsim::NoiseModel noise;
+    noise.depol1q = 0.001;
+    noise.depol2q = 0.005;
+    noise.readoutError = 0.01;
+
+    for (int tc : sweep) {
+        parallel::setThreadCount(tc);
+        Record &rec = timeKernel(
+            "noisy_trajectories", "threads=" + std::to_string(tc), tc,
+            repeats, [] {},
+            [&] {
+                Rng rng(3);
+                qsim::Counts counts = qsim::sampleNoisy(
+                    circ, n, BitVec{}, noise, rng, 256,
+                    /*trajectories=*/8);
+                volatile uint64_t sink = counts.total();
+                (void)sink;
+            });
+        rec.extra.emplace_back("qubits", n);
+        rec.extra.emplace_back("trajectories", 8);
+        table.cell("noisy");
+        table.cell(tc);
+        table.cell(rec.medianMs);
+        table.endRow();
     }
 }
-BENCHMARK(BM_SparsePairRotation)->Arg(21)->Arg(52)->Arg(105);
 
 void
-BM_TranspileTransitionOp(benchmark::State &state)
+benchFusion(int n, int layers, int repeats)
 {
-    const int k = static_cast<int>(state.range(0));
-    linalg::IntVec u(k, 1);
-    core::TransitionHamiltonian tau(u);
-    circuit::Circuit circ = tau.toCircuit(k, 0.4);
-    for (auto _ : state) {
-        circuit::Circuit lowered = circuit::transpile(circ);
-        benchmark::DoNotOptimize(lowered.size());
-    }
-}
-BENCHMARK(BM_TranspileTransitionOp)->Arg(2)->Arg(4)->Arg(6);
+    bench::banner("gate fusion (full circuit)");
+    bench::Table table({"circuit", "variant", "median_ms", "gates"});
+    table.printHeader();
+    parallel::setThreadCount(1);
 
-void
-BM_RouteOntoHeavyHex(benchmark::State &state)
-{
+    struct Case
+    {
+        std::string name;
+        circuit::Circuit circ;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"layered", layeredCircuit(n, layers)});
+
+    // A transpiled Rasengan segment: the shape this pass is built for.
     problems::Problem p = problems::makeBenchmark("S2");
     core::RasenganSolver solver(p, {});
     std::vector<double> nominal(solver.numParams(), 0.5);
-    circuit::Circuit lowered = circuit::transpile(
-        solver.segmentCircuit(0, p.trivialFeasible(), nominal));
-    device::CouplingMap map = device::CouplingMap::heavyHex(7, 15);
-    for (auto _ : state) {
-        device::RoutingResult r = device::route(lowered, map);
-        benchmark::DoNotOptimize(r.swapsInserted);
+    cases.push_back({"segment_S2",
+                     circuit::transpile(solver.segmentCircuit(
+                         0, p.trivialFeasible(), nominal))});
+
+    for (const Case &c : cases) {
+        const int nq = c.circ.numQubits();
+        circuit::FusedProgram prog = circuit::fuseCircuit(c.circ);
+
+        circuit::setFusionEnabled(false);
+        Record &plain = timeKernel(
+            c.name + "_apply", "unfused", 1, repeats, [] {},
+            [&] {
+                qsim::Statevector sv(nq);
+                sv.applyCircuit(c.circ);
+            });
+        plain.extra.emplace_back("gates",
+                                 static_cast<double>(prog.sourceOps));
+        table.cell(c.name);
+        table.cell("unfused");
+        table.cell(plain.medianMs);
+        table.cell(static_cast<int>(prog.sourceOps));
+        table.endRow();
+
+        circuit::setFusionEnabled(true);
+        Record &fused = timeKernel(
+            c.name + "_apply", "fused", 1, repeats, [] {},
+            [&] {
+                qsim::Statevector sv(nq);
+                sv.applyFused(prog);
+            });
+        fused.extra.emplace_back("gates",
+                                 static_cast<double>(prog.fusedOps()));
+        fused.extra.emplace_back("fusion_ratio",
+                                 prog.fusedOps() == 0
+                                     ? 0.0
+                                     : static_cast<double>(prog.sourceOps) /
+                                           static_cast<double>(
+                                               prog.fusedOps()));
+        table.cell(c.name);
+        table.cell("fused");
+        table.cell(fused.medianMs);
+        table.cell(static_cast<int>(prog.fusedOps()));
+        table.endRow();
     }
 }
-BENCHMARK(BM_RouteOntoHeavyHex);
 
 void
-BM_ExactRref(benchmark::State &state)
+writeJson(const std::string &path)
 {
-    problems::Problem p = problems::makeScalabilityFlp(
-        static_cast<int>(state.range(0)));
-    linalg::RatMat m = linalg::toRational(p.constraints());
-    for (auto _ : state) {
-        linalg::RrefResult r = linalg::rref(m);
-        benchmark::DoNotOptimize(r.rank);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return;
     }
-}
-BENCHMARK(BM_ExactRref)->Arg(21)->Arg(52)->Arg(105);
-
-void
-BM_ChainConstruction(benchmark::State &state)
-{
-    problems::Problem p = problems::makeBenchmark("S4");
-    auto transitions =
-        core::makeTransitions(core::transitionVectors(p));
-    for (auto _ : state) {
-        core::Chain chain =
-            core::buildChain(transitions, p.trivialFeasible());
-        benchmark::DoNotOptimize(chain.reachableCount);
+    std::fprintf(f, "{\n  \"benchmark\": \"microkernels\",\n");
+    std::fprintf(f, "  \"records\": [\n");
+    for (size_t i = 0; i < g_records.size(); ++i) {
+        const Record &r = g_records[i];
+        std::fprintf(f,
+                     "    {\"kernel\": \"%s\", \"variant\": \"%s\", "
+                     "\"threads\": %d, \"repeats\": %d, "
+                     "\"median_ms\": %.6f, \"min_ms\": %.6f",
+                     r.kernel.c_str(), r.variant.c_str(), r.threads,
+                     r.repeats, r.medianMs, r.minMs);
+        for (const auto &[key, value] : r.extra)
+            std::fprintf(f, ", \"%s\": %g", key.c_str(), value);
+        std::fprintf(f, "}%s\n", i + 1 < g_records.size() ? "," : "");
     }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", g_records.size(),
+                path.c_str());
 }
-BENCHMARK(BM_ChainConstruction);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    const bool fast = bench::fastMode();
+    const int repeats = fast ? 5 : 7;
+    const int n_dense = fast ? 16 : 20;
+    const std::vector<int> sweep = threadSweep();
+
+    std::printf("microkernel bench: %d dense qubits, %d repeats, "
+                "%zu thread configs%s\n",
+                n_dense, repeats, sweep.size(), fast ? " (fast mode)" : "");
+
+    benchGateKernels(sweep, n_dense, repeats);
+    benchSampling(sweep, fast ? 14 : 18, fast ? 20000 : 100000, repeats);
+    benchTrajectories(sweep, repeats);
+    benchFusion(fast ? 10 : 12, fast ? 4 : 8, repeats);
+
+    const char *env = std::getenv("RASENGAN_BENCH_JSON");
+    writeJson(env && *env ? env : "BENCH_kernels.json");
+    return 0;
+}

@@ -1,0 +1,63 @@
+#include "circuit/gatematrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasengan::circuit {
+
+namespace {
+
+constexpr std::complex<double> kI{0.0, 1.0};
+constexpr double kSqrtHalf = 0.70710678118654752440;
+
+} // namespace
+
+Mat2
+gateMatrix(GateKind kind, double theta)
+{
+    double half = theta / 2.0;
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::CX:
+      case GateKind::MCX:
+        return {0, 1, 1, 0};
+      case GateKind::H:
+        return {kSqrtHalf, kSqrtHalf, kSqrtHalf, -kSqrtHalf};
+      case GateKind::RX:
+        return {std::cos(half), -kI * std::sin(half),
+                -kI * std::sin(half), std::cos(half)};
+      case GateKind::RY:
+        return {std::cos(half), -std::sin(half),
+                std::sin(half), std::cos(half)};
+      case GateKind::RZ:
+        return {std::exp(-kI * half), 0, 0, std::exp(kI * half)};
+      case GateKind::P:
+      case GateKind::CP:
+      case GateKind::MCP:
+        return {1, 0, 0, std::exp(kI * theta)};
+      default:
+        panic("gate {} has no 2x2 matrix", gateName(kind));
+    }
+}
+
+Mat2
+matmul(const Mat2 &a, const Mat2 &b)
+{
+    return {a.m00 * b.m00 + a.m01 * b.m10,
+            a.m00 * b.m01 + a.m01 * b.m11,
+            a.m10 * b.m00 + a.m11 * b.m10,
+            a.m10 * b.m01 + a.m11 * b.m11};
+}
+
+double
+distanceFromIdentity(const Mat2 &u)
+{
+    double d = std::abs(u.m00 - 1.0);
+    d = std::max(d, std::abs(u.m01));
+    d = std::max(d, std::abs(u.m10));
+    d = std::max(d, std::abs(u.m11 - 1.0));
+    return d;
+}
+
+} // namespace rasengan::circuit

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * 2x2 unitaries for the single-qubit gate kinds.
+ *
+ * Lives in the circuit layer (rather than qsim) so circuit-level passes
+ * -- notably the gate-fusion pass (fusion.h) -- can compose matrices
+ * without depending on a simulator.  qsim re-exports these names for
+ * backward compatibility.
+ */
+
+#ifndef RASENGAN_CIRCUIT_GATEMATRIX_H
+#define RASENGAN_CIRCUIT_GATEMATRIX_H
+
+#include <complex>
+
+#include "circuit/gate.h"
+
+namespace rasengan::circuit {
+
+/** 2x2 unitary in row-major order. */
+struct Mat2
+{
+    std::complex<double> m00, m01, m10, m11;
+};
+
+/** The 2x2 matrix of a single-qubit gate kind with parameter @p theta. */
+Mat2 gateMatrix(GateKind kind, double theta);
+
+/** Matrix product a * b (i.e. apply b first, then a). */
+Mat2 matmul(const Mat2 &a, const Mat2 &b);
+
+/** Max elementwise distance from the identity. */
+double distanceFromIdentity(const Mat2 &u);
+
+} // namespace rasengan::circuit
+
+#endif // RASENGAN_CIRCUIT_GATEMATRIX_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic parallelism substrate: a fixed-size thread pool with
+ * static partitioning.
+ *
+ * Design goals, in order:
+ *  1. Bit-identical results at every thread count.  parallelFor only
+ *     runs callables whose iterations write disjoint data, so the
+ *     thread count merely reschedules work.  Floating-point reductions
+ *     go through reduceBlocks/reduceBlocksComplex, which sum fixed-size
+ *     blocks and combine the partials in index order -- the association
+ *     of the additions depends on the block size only, never on the
+ *     thread count (including the serial case).
+ *  2. No oversubscription: one global pool, lazily created.  A region
+ *     already executing inside the pool (or inside a parallelFor on the
+ *     caller thread) runs nested parallelFor calls serially.
+ *  3. Cheap opt-out: ranges smaller than the grain never touch the
+ *     pool, so sub-threshold statevectors keep their scalar hot loops.
+ *
+ * Thread count resolution (first use, or setThreadCount):
+ *   explicit setThreadCount(n > 0)  >  RASENGAN_THREADS env  >
+ *   std::thread::hardware_concurrency().
+ */
+
+#ifndef RASENGAN_COMMON_PARALLEL_H
+#define RASENGAN_COMMON_PARALLEL_H
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+
+namespace rasengan::parallel {
+
+/** Default iterations per chunk below which a range stays serial. */
+constexpr uint64_t kDefaultGrain = uint64_t{1} << 12;
+
+/** Fixed reduction block size; determines the summation association. */
+constexpr uint64_t kReduceBlock = uint64_t{1} << 14;
+
+/** Configured worker count (including the calling thread), >= 1. */
+int threadCount();
+
+/**
+ * Reconfigure the pool to @p n threads; @p n <= 0 re-resolves from the
+ * RASENGAN_THREADS environment variable / hardware concurrency.  Safe
+ * to call repeatedly (tests sweep 1/2/7); must not be called from
+ * inside a pool task.
+ */
+void setThreadCount(int n);
+
+/** True while the calling thread is executing a pool task. */
+bool inParallelRegion();
+
+/**
+ * Execute @p fn over [begin, end) split into at most threadCount()
+ * contiguous chunks of at least @p grain iterations each.  @p fn is
+ * called as fn(chunk_begin, chunk_end) and must only write data that
+ * no other chunk writes.  Runs serially when the range is small, the
+ * pool has one thread, or the caller is already inside a pool task.
+ */
+void parallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)> &fn);
+
+/**
+ * Deterministic parallel sum: partition [begin, end) into fixed
+ * @p block -sized blocks, evaluate @p fn(block_begin, block_end) for
+ * each, and combine the per-block partials in index order.  The result
+ * is bit-identical for every thread count.
+ */
+double reduceBlocks(uint64_t begin, uint64_t end, uint64_t block,
+                    const std::function<double(uint64_t, uint64_t)> &fn);
+
+/** Complex-valued analogue of reduceBlocks. */
+std::complex<double>
+reduceBlocksComplex(uint64_t begin, uint64_t end, uint64_t block,
+                    const std::function<std::complex<double>(
+                        uint64_t, uint64_t)> &fn);
+
+} // namespace rasengan::parallel
+
+#endif // RASENGAN_COMMON_PARALLEL_H

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace rasengan::exec {
 
@@ -23,6 +24,8 @@ ResilientExecutor::ResilientExecutor(ResilienceOptions options)
     : options_(options), breaker_(options.breaker),
       jitterRng_(options.jitterSeed)
 {
+    if (options_.threads > 0)
+        parallel::setThreadCount(options_.threads);
     if (options_.wallClock)
         clock_ = std::make_unique<WallClock>();
     else

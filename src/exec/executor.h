@@ -52,6 +52,14 @@ struct ResilienceOptions
     double shotsDemotionFactor = 0.5; ///< ReducedShots multiplier
     uint64_t jitterSeed = 0x8ACC0FF;  ///< backoff jitter stream
     bool wallClock = false;      ///< real sleeps instead of virtual time
+    /**
+     * Simulation thread count for the jobs this executor runs
+     * (common/parallel.h pool).  0 keeps the current/env-derived
+     * configuration; > 0 reconfigures the pool (the CLI --threads flag
+     * and the bench harnesses route through this).  Results are
+     * bit-identical at every setting.
+     */
+    int threads = 0;
 };
 
 struct ExecStats

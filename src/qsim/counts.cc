@@ -4,6 +4,57 @@
 
 namespace rasengan::qsim {
 
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    fatal_if(weights.empty(), "alias table over an empty weight vector");
+    const size_t n = weights.size();
+    for (double w : weights) {
+        panic_if(w < 0.0, "alias table: negative weight {}", w);
+        total_ += w;
+    }
+    fatal_if(total_ <= 0.0, "alias table: zero total weight");
+
+    // Vose's method with index-ordered worklists: scaled weight < 1 goes
+    // to `small`, >= 1 to `large`; each small slot is topped up by one
+    // large donor.  Processing order is a deterministic function of the
+    // weights, so the table (and thus every sampled stream) is too.
+    prob_.resize(n);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    const double mean = total_ / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] / mean;
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<uint32_t>(i));
+        else
+            large.push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        uint32_t s = small.back();
+        uint32_t l = large.back();
+        small.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] -= 1.0 - scaled[s];
+        if (scaled[l] < 1.0) {
+            large.pop_back();
+            small.push_back(l);
+        }
+    }
+    // Leftovers are exactly 1 up to rounding: accept unconditionally.
+    for (uint32_t l : large) {
+        prob_[l] = 1.0;
+        alias_[l] = l;
+    }
+    for (uint32_t s : small) {
+        prob_[s] = 1.0;
+        alias_[s] = s;
+    }
+}
+
 BitVec
 Counts::mostFrequent() const
 {

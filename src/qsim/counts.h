@@ -1,6 +1,7 @@
 /**
  * @file
- * Measurement-outcome histograms shared by all simulators.
+ * Measurement-outcome histograms shared by all simulators, and the
+ * alias-method sampler that produces them in O(1) per shot.
  */
 
 #ifndef RASENGAN_QSIM_COUNTS_H
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/rng.h"
 
 namespace rasengan::qsim {
 
@@ -90,6 +92,45 @@ class Counts
   private:
     Map counts_;
     uint64_t total_ = 0;
+};
+
+/**
+ * Walker/Vose alias table over an unnormalized weight vector: O(n)
+ * construction, O(1) per sample with a single uniform draw and no
+ * allocation.  Shared by the dense, sparse, and density-matrix
+ * samplers, replacing the per-shot O(log n) CDF binary search (dense)
+ * and O(n) linear scan (sparse/density).
+ *
+ * Construction and sampling are deterministic: the table layout depends
+ * only on the weights, and each sample consumes exactly one
+ * uniformReal draw from the caller's Rng.
+ */
+class AliasTable
+{
+  public:
+    /** @p weights must be non-negative with a positive sum (aborts
+     *  otherwise). */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    size_t size() const { return prob_.size(); }
+    double totalWeight() const { return total_; }
+
+    /** Draw one index with probability weights[i] / totalWeight(). */
+    size_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniformReal(0.0, static_cast<double>(prob_.size()));
+        size_t slot = static_cast<size_t>(u);
+        if (slot >= prob_.size()) // guard the u == n edge
+            slot = prob_.size() - 1;
+        double frac = u - static_cast<double>(slot);
+        return frac < prob_[slot] ? slot : alias_[slot];
+    }
+
+  private:
+    std::vector<double> prob_;   ///< acceptance threshold per slot
+    std::vector<uint32_t> alias_;///< fallback index per slot
+    double total_ = 0.0;
 };
 
 } // namespace rasengan::qsim

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace rasengan::qsim {
 
@@ -112,8 +113,11 @@ DensityMatrix::applyKraus1q(int target, const std::vector<Mat2> &kraus)
             // Element-wise accumulation through the amplitude vector.
             auto &out = acc.mutableAmplitudes();
             const auto &b = branch.amplitudes();
-            for (size_t i = 0; i < out.size(); ++i)
-                out[i] += b[i];
+            parallel::parallelFor(0, out.size(), parallel::kDefaultGrain,
+                                  [&](uint64_t i0, uint64_t i1) {
+                                      for (uint64_t i = i0; i < i1; ++i)
+                                          out[i] += b[i];
+                                  });
         }
     }
     vec_ = std::move(acc);
@@ -195,9 +199,10 @@ DensityMatrix::sample(Rng &rng, uint64_t shots, int num_bits) const
     const uint64_t mask = num_bits >= 64
                               ? ~uint64_t{0}
                               : ((uint64_t{1} << num_bits) - 1);
+    AliasTable table(diag); // O(1)/shot instead of a linear scan
     Counts counts;
     for (uint64_t s = 0; s < shots; ++s) {
-        uint64_t idx = rng.weightedIndex(diag);
+        uint64_t idx = table.sample(rng);
         counts.add(BitVec::fromIndex(idx & mask));
     }
     return counts;

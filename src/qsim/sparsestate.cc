@@ -136,9 +136,10 @@ SparseState::sample(Rng &rng, uint64_t shots) const
         keys.push_back(x);
         weights.push_back(std::norm(a));
     }
+    AliasTable table(weights); // O(1)/shot instead of a linear scan
     Counts counts;
     for (uint64_t s = 0; s < shots; ++s)
-        counts.add(keys[rng.weightedIndex(weights)]);
+        counts.add(keys[table.sample(rng)]);
     return counts;
 }
 

@@ -5,44 +5,30 @@
 #include <numbers>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace rasengan::qsim {
 
 namespace {
 
 constexpr Complex kI{0.0, 1.0};
-constexpr double kSqrtHalf = 0.70710678118654752440;
+
+/** Grain for the gate kernels: states below ~2^14 amplitudes stay on
+ *  the scalar path (pool dispatch would dominate). */
+constexpr uint64_t kGateGrain = parallel::kDefaultGrain;
+
+/** Minimum circuit size for which fusing pays off. */
+constexpr size_t kFusionMinGates = 4;
+
+/** Insert a zero bit at position `bit` of the compact pair index `h`,
+ *  mapping [0, dim/2) onto the indices whose `bit` is clear. */
+inline uint64_t
+expandIndex(uint64_t h, uint64_t low_mask)
+{
+    return ((h & ~low_mask) << 1) | (h & low_mask);
+}
 
 } // namespace
-
-Mat2
-gateMatrix(circuit::GateKind kind, double theta)
-{
-    using circuit::GateKind;
-    double half = theta / 2.0;
-    switch (kind) {
-      case GateKind::X:
-      case GateKind::CX:
-      case GateKind::MCX:
-        return {0, 1, 1, 0};
-      case GateKind::H:
-        return {kSqrtHalf, kSqrtHalf, kSqrtHalf, -kSqrtHalf};
-      case GateKind::RX:
-        return {std::cos(half), -kI * std::sin(half),
-                -kI * std::sin(half), std::cos(half)};
-      case GateKind::RY:
-        return {std::cos(half), -std::sin(half),
-                std::sin(half), std::cos(half)};
-      case GateKind::RZ:
-        return {std::exp(-kI * half), 0, 0, std::exp(kI * half)};
-      case GateKind::P:
-      case GateKind::CP:
-      case GateKind::MCP:
-        return {1, 0, 0, std::exp(kI * theta)};
-      default:
-        panic("gate {} has no 2x2 matrix", circuit::gateName(kind));
-    }
-}
 
 Statevector::Statevector(int num_qubits) : numQubits_(num_qubits)
 {
@@ -71,10 +57,14 @@ Statevector::checkQubit(int q) const
 double
 Statevector::normSquared() const
 {
-    double acc = 0.0;
-    for (const Complex &a : amps_)
-        acc += std::norm(a);
-    return acc;
+    return parallel::reduceBlocks(
+        0, amps_.size(), parallel::kReduceBlock,
+        [this](uint64_t lo, uint64_t hi) {
+            double acc = 0.0;
+            for (uint64_t i = lo; i < hi; ++i)
+                acc += std::norm(amps_[i]);
+            return acc;
+        });
 }
 
 void
@@ -82,9 +72,12 @@ Statevector::renormalize()
 {
     double n2 = normSquared();
     panic_if(n2 < 1e-300, "renormalizing a zero state");
-    double inv = 1.0 / std::sqrt(n2);
-    for (Complex &a : amps_)
-        a *= inv;
+    const double inv = 1.0 / std::sqrt(n2);
+    parallel::parallelFor(0, amps_.size(), kGateGrain,
+                          [&](uint64_t lo, uint64_t hi) {
+                              for (uint64_t i = lo; i < hi; ++i)
+                                  amps_[i] *= inv;
+                          });
 }
 
 Complex
@@ -93,10 +86,14 @@ Statevector::inner(const Statevector &other) const
     panic_if(numQubits_ != other.numQubits_,
              "inner product across register sizes {} vs {}", numQubits_,
              other.numQubits_);
-    Complex acc{0.0, 0.0};
-    for (size_t i = 0; i < amps_.size(); ++i)
-        acc += std::conj(amps_[i]) * other.amps_[i];
-    return acc;
+    return parallel::reduceBlocksComplex(
+        0, amps_.size(), parallel::kReduceBlock,
+        [&](uint64_t lo, uint64_t hi) {
+            Complex acc{0.0, 0.0};
+            for (uint64_t i = lo; i < hi; ++i)
+                acc += std::conj(amps_[i]) * other.amps_[i];
+            return acc;
+        });
 }
 
 void
@@ -104,15 +101,18 @@ Statevector::apply1q(int target, const Mat2 &u)
 {
     checkQubit(target);
     const uint64_t bit = uint64_t{1} << target;
-    const uint64_t dim = amps_.size();
-    for (uint64_t base = 0; base < dim; ++base) {
-        if (base & bit)
-            continue;
-        Complex a0 = amps_[base];
-        Complex a1 = amps_[base | bit];
-        amps_[base] = u.m00 * a0 + u.m01 * a1;
-        amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
-    }
+    const uint64_t low = bit - 1;
+    const uint64_t pairs = amps_.size() >> 1;
+    parallel::parallelFor(0, pairs, kGateGrain,
+                          [&](uint64_t h0, uint64_t h1) {
+        for (uint64_t h = h0; h < h1; ++h) {
+            uint64_t base = expandIndex(h, low);
+            Complex a0 = amps_[base];
+            Complex a1 = amps_[base | bit];
+            amps_[base] = u.m00 * a0 + u.m01 * a1;
+            amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
+        }
+    });
 }
 
 void
@@ -131,15 +131,20 @@ Statevector::applyControlled1q(const std::vector<int> &controls, int target,
         cmask |= uint64_t{1} << c;
     }
     const uint64_t bit = uint64_t{1} << target;
-    const uint64_t dim = amps_.size();
-    for (uint64_t base = 0; base < dim; ++base) {
-        if ((base & bit) || (base & cmask) != cmask)
-            continue;
-        Complex a0 = amps_[base];
-        Complex a1 = amps_[base | bit];
-        amps_[base] = u.m00 * a0 + u.m01 * a1;
-        amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
-    }
+    const uint64_t low = bit - 1;
+    const uint64_t pairs = amps_.size() >> 1;
+    parallel::parallelFor(0, pairs, kGateGrain,
+                          [&](uint64_t h0, uint64_t h1) {
+        for (uint64_t h = h0; h < h1; ++h) {
+            uint64_t base = expandIndex(h, low);
+            if ((base & cmask) != cmask)
+                continue;
+            Complex a0 = amps_[base];
+            Complex a1 = amps_[base | bit];
+            amps_[base] = u.m00 * a0 + u.m01 * a1;
+            amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
+        }
+    });
 }
 
 void
@@ -151,13 +156,18 @@ Statevector::applySwap(int a, int b)
         return;
     const uint64_t bit_a = uint64_t{1} << a;
     const uint64_t bit_b = uint64_t{1} << b;
-    const uint64_t dim = amps_.size();
-    for (uint64_t i = 0; i < dim; ++i) {
-        bool va = i & bit_a;
-        bool vb = i & bit_b;
-        if (va && !vb)
-            std::swap(amps_[i], amps_[(i ^ bit_a) | bit_b]);
-    }
+    // Each index with a=1,b=0 swaps with its a=0,b=1 partner; every
+    // element belongs to at most one such pair, so chunks never write
+    // each other's data even though partners cross chunk boundaries.
+    parallel::parallelFor(0, amps_.size(), kGateGrain,
+                          [&](uint64_t i0, uint64_t i1) {
+        for (uint64_t i = i0; i < i1; ++i) {
+            bool va = i & bit_a;
+            bool vb = i & bit_b;
+            if (va && !vb)
+                std::swap(amps_[i], amps_[(i ^ bit_a) | bit_b]);
+        }
+    });
 }
 
 void
@@ -189,18 +199,83 @@ Statevector::applyCircuit(const circuit::Circuit &circ)
     fatal_if(circ.numQubits() > numQubits_,
              "circuit needs {} qubits, register has {}", circ.numQubits(),
              numQubits_);
+    if (circuit::fusionEnabled() && circ.size() >= kFusionMinGates) {
+        applyFused(circuit::fuseCircuit(circ));
+        return;
+    }
     for (const circuit::Gate &g : circ.gates())
         applyGate(g);
+}
+
+void
+Statevector::applyFused(const circuit::FusedProgram &prog)
+{
+    fatal_if(prog.numQubits > numQubits_,
+             "fused program needs {} qubits, register has {}",
+             prog.numQubits, numQubits_);
+    using Kind = circuit::FusedOp::Kind;
+    for (const circuit::FusedOp &op : prog.ops) {
+        switch (op.kind) {
+          case Kind::Unitary1q:
+            apply1q(op.target, op.unitary);
+            break;
+          case Kind::Controlled1q:
+            applyControlled1q(op.controls, op.target, op.unitary);
+            break;
+          case Kind::Swap:
+            applySwap(op.target, op.other);
+            break;
+          case Kind::Diagonal:
+            applyDiagonalTerms(op.diag);
+            break;
+          case Kind::Measure:
+          case Kind::Reset:
+            panic("mid-circuit measure/reset needs an rng: use "
+                  "runTrajectory or measureQubit/resetQubit");
+        }
+    }
+}
+
+void
+Statevector::applyDiagonalTerms(const std::vector<circuit::DiagTerm> &terms)
+{
+    if (terms.empty())
+        return;
+    parallel::parallelFor(0, amps_.size(), kGateGrain,
+                          [&](uint64_t i0, uint64_t i1) {
+        for (uint64_t i = i0; i < i1; ++i) {
+            double angle = 0.0;
+            for (const circuit::DiagTerm &t : terms) {
+                if ((i & t.controlMask) == t.controlMask)
+                    angle += (i & t.targetBit) ? t.phase1 : t.phase0;
+            }
+            if (angle != 0.0)
+                amps_[i] *= std::exp(kI * angle);
+        }
+    });
 }
 
 void
 Statevector::applyDiagonalPhase(
     const std::function<double(const BitVec &)> &phase)
 {
+    // Serial on purpose: the callback may capture state.  Zero
+    // amplitudes skip the BitVec construction and the callback
+    // entirely, and the exp of a repeated phase value is reused (many
+    // objective-derived phases are piecewise constant).
+    double cached_phase = 0.0;
+    Complex cached_exp{1.0, 0.0};
+    bool have_cache = false;
     for (uint64_t i = 0; i < amps_.size(); ++i) {
         if (std::norm(amps_[i]) == 0.0)
             continue;
-        amps_[i] *= std::exp(kI * phase(BitVec::fromIndex(i)));
+        double p = phase(BitVec::fromIndex(i));
+        if (!have_cache || p != cached_phase) {
+            cached_phase = p;
+            cached_exp = std::exp(kI * p);
+            have_cache = true;
+        }
+        amps_[i] *= cached_exp;
     }
 }
 
@@ -211,8 +286,11 @@ Statevector::applyDiagonalEvolution(const std::vector<double> &values,
     fatal_if(values.size() != amps_.size(),
              "diagonal has {} entries, state has {}", values.size(),
              amps_.size());
-    for (size_t i = 0; i < amps_.size(); ++i)
-        amps_[i] *= std::exp(kI * (-scale * values[i]));
+    parallel::parallelFor(0, amps_.size(), kGateGrain,
+                          [&](uint64_t i0, uint64_t i1) {
+        for (uint64_t i = i0; i < i1; ++i)
+            amps_[i] *= std::exp(kI * (-scale * values[i]));
+    });
 }
 
 Counts
@@ -220,25 +298,29 @@ Statevector::sample(Rng &rng, uint64_t shots, int num_bits) const
 {
     if (num_bits < 0)
         num_bits = numQubits_;
-    // Build the cumulative distribution once, then binary-search per shot.
-    std::vector<double> cdf(amps_.size());
-    double acc = 0.0;
-    for (size_t i = 0; i < amps_.size(); ++i) {
-        acc += std::norm(amps_[i]);
-        cdf[i] = acc;
-    }
-    fatal_if(acc < 1e-12, "sampling from a zero state");
+    std::vector<double> weights(amps_.size());
+    parallel::parallelFor(0, amps_.size(), kGateGrain,
+                          [&](uint64_t i0, uint64_t i1) {
+                              for (uint64_t i = i0; i < i1; ++i)
+                                  weights[i] = std::norm(amps_[i]);
+                          });
+    double total = parallel::reduceBlocks(
+        0, weights.size(), parallel::kReduceBlock,
+        [&](uint64_t lo, uint64_t hi) {
+            double acc = 0.0;
+            for (uint64_t i = lo; i < hi; ++i)
+                acc += weights[i];
+            return acc;
+        });
+    fatal_if(total < 1e-12, "sampling from a zero state");
 
+    AliasTable table(weights);
     const uint64_t mask = num_bits >= 64
                               ? ~uint64_t{0}
                               : ((uint64_t{1} << num_bits) - 1);
     Counts counts;
     for (uint64_t s = 0; s < shots; ++s) {
-        double r = rng.uniformReal(0.0, acc);
-        auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
-        uint64_t idx = static_cast<uint64_t>(it - cdf.begin());
-        if (idx >= amps_.size())
-            idx = amps_.size() - 1;
+        uint64_t idx = table.sample(rng);
         counts.add(BitVec::fromIndex(idx & mask));
     }
     return counts;
@@ -249,11 +331,15 @@ Statevector::probabilityOfOne(int q) const
 {
     checkQubit(q);
     const uint64_t bit = uint64_t{1} << q;
-    double p = 0.0;
-    for (uint64_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            p += std::norm(amps_[i]);
-    return p;
+    const uint64_t low = bit - 1;
+    return parallel::reduceBlocks(
+        0, amps_.size() >> 1, parallel::kReduceBlock,
+        [&](uint64_t h0, uint64_t h1) {
+            double acc = 0.0;
+            for (uint64_t h = h0; h < h1; ++h)
+                acc += std::norm(amps_[expandIndex(h, low) | bit]);
+            return acc;
+        });
 }
 
 bool
@@ -263,11 +349,14 @@ Statevector::measureQubit(int q, Rng &rng)
     double p1 = probabilityOfOne(q);
     bool outcome = rng.bernoulli(p1);
     const uint64_t bit = uint64_t{1} << q;
-    for (uint64_t i = 0; i < amps_.size(); ++i) {
-        bool is_one = i & bit;
-        if (is_one != outcome)
-            amps_[i] = 0.0;
-    }
+    parallel::parallelFor(0, amps_.size(), kGateGrain,
+                          [&](uint64_t i0, uint64_t i1) {
+        for (uint64_t i = i0; i < i1; ++i) {
+            bool is_one = i & bit;
+            if (is_one != outcome)
+                amps_[i] = 0.0;
+        }
+    });
     renormalize();
     return outcome;
 }

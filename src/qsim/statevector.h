@@ -7,6 +7,16 @@
  * circuits can be simulated either before or after transpilation) and
  * measurement sampling.  Used for the baseline VQAs and for the exactness
  * tests of the sparse simulator and the transpiler.
+ *
+ * Performance substrate:
+ *  - every O(2^n) kernel (gate application, norms, inner products,
+ *    collapse) runs on the deterministic thread pool (common/parallel.h)
+ *    above a size threshold; results are bit-identical at any thread
+ *    count (reductions use fixed-block summation);
+ *  - applyCircuit transparently routes measurement-free circuits through
+ *    the gate-fusion pass (circuit/fusion.h) when fusion is enabled;
+ *  - sample() builds an O(dim) alias table and draws each shot in O(1)
+ *    (counts.h), replacing the O(dim) CDF + O(log dim) binary search.
  */
 
 #ifndef RASENGAN_QSIM_STATEVECTOR_H
@@ -16,6 +26,8 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/fusion.h"
+#include "circuit/gatematrix.h"
 #include "common/bitvec.h"
 #include "common/rng.h"
 #include "qsim/counts.h"
@@ -24,14 +36,11 @@ namespace rasengan::qsim {
 
 using Complex = std::complex<double>;
 
-/** 2x2 unitary in row-major order. */
-struct Mat2
-{
-    Complex m00, m01, m10, m11;
-};
+/** 2x2 unitary in row-major order (defined in circuit/gatematrix.h). */
+using Mat2 = circuit::Mat2;
 
 /** The 2x2 matrix of a single-qubit gate kind with parameter @p theta. */
-Mat2 gateMatrix(circuit::GateKind kind, double theta);
+using circuit::gateMatrix;
 
 class Statevector
 {
@@ -81,6 +90,10 @@ class Statevector
     void applySwap(int a, int b);
     void applyGate(const circuit::Gate &gate);
     void applyCircuit(const circuit::Circuit &circ);
+    /** Execute a fused program (panics on Measure/Reset: needs an rng). */
+    void applyFused(const circuit::FusedProgram &prog);
+    /** One coalesced diagonal block (phase accumulation per basis state). */
+    void applyDiagonalTerms(const std::vector<circuit::DiagTerm> &terms);
     /// @}
 
     /** Multiply amplitude of each basis state x by e^{i phase(x)}. */

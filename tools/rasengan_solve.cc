@@ -18,6 +18,9 @@
  *   --faults RATE    inject transient faults at RATE (0..1) per execution
  *   --retries N      retry budget per execution (default 5)
  *   --checkpoint P   checkpoint/resume the solve through file P
+ *   --threads N      simulation threads (default: RASENGAN_THREADS env,
+ *                    then hardware concurrency); results are
+ *                    bit-identical at every setting
  */
 
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include <string>
 
 #include "baselines/chocoq.h"
+#include "common/parallel.h"
 #include "baselines/hea.h"
 #include "baselines/pqaoa.h"
 #include "circuit/draw.h"
@@ -56,6 +60,7 @@ struct Args
     double faults = 0.0;
     int retries = 5;
     std::string checkpoint;
+    int threads = 0;
 };
 
 void
@@ -69,7 +74,8 @@ usage()
                  "  [--noise none|kyiv|brisbane] "
                  "[--optimizer cobyla|nelder-mead|spsa|adam-spsa]\n"
                  "  [--draw] [--qasm]\n"
-                 "  [--faults RATE] [--retries N] [--checkpoint PATH]\n");
+                 "  [--faults RATE] [--retries N] [--checkpoint PATH]\n"
+                 "  [--threads N]\n");
 }
 
 bool
@@ -145,6 +151,15 @@ parseArgs(int argc, char **argv, Args &args)
             if (!v)
                 return false;
             args.checkpoint = v;
+        } else if (flag == "--threads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.threads = std::atoi(v);
+            if (args.threads < 1) {
+                std::fprintf(stderr, "--threads needs a count >= 1\n");
+                return false;
+            }
         } else if (flag == "--draw") {
             args.draw = true;
         } else if (flag == "--qasm") {
@@ -178,6 +193,7 @@ makeResilience(const Args &args)
     r.faults.rate = args.faults;
     r.faults.seed = args.seed ^ 0xFA17;
     r.retry.maxAttempts = args.retries;
+    r.threads = args.threads;
     return r;
 }
 
@@ -332,6 +348,8 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    if (args.threads > 0)
+        parallel::setThreadCount(args.threads);
 
     if (!args.dump.empty()) {
         if (!problems::isBenchmarkId(args.dump)) {
