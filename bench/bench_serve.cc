@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Batch solve service benchmark: throughput and artifact-cache
+ * effectiveness, cold vs. warm, across a thread sweep
+ * (BENCH_serve.json).
+ *
+ * One synthetic workload (serve::generateWorkload draws repeats from a
+ * small configuration space, like a real submission stream) is run
+ * twice per thread count against a SHARED artifact cache: the first
+ * batch starts cold and populates it, the second hits it.  Identical
+ * deterministic results are asserted between the two runs -- the cache
+ * may only change latency, never output.
+ *
+ * Knobs: RASENGAN_BENCH_FAST=1 shrinks the workload for CI smoke runs;
+ * RASENGAN_BENCH_THREADS="1,2,4" overrides the sweep;
+ * RASENGAN_BENCH_JSON overrides the output path.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "serve/artifact_cache.h"
+#include "serve/job.h"
+#include "serve/scheduler.h"
+#include "serve/workload.h"
+
+namespace {
+
+using namespace rasengan;
+
+struct Record
+{
+    std::string phase; ///< "cold" | "warm"
+    int threads = 1;
+    size_t jobs = 0;
+    size_t ok = 0;
+    int repeats = 0;
+    double seconds = 0.0; ///< median over repeats
+    double jobsPerSec = 0.0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    double hitRate = 0.0;
+    uint64_t cacheBytes = 0;
+};
+
+std::vector<Record> g_records;
+
+struct BatchOutcome
+{
+    std::vector<std::string> lines; ///< deterministic result lines
+    size_t ok = 0;
+    double seconds = 0.0;
+};
+
+BatchOutcome
+runBatch(const std::vector<serve::JobRequest> &requests, int threads,
+         std::shared_ptr<serve::ArtifactCache> cache)
+{
+    serve::ServeOptions options;
+    options.threads = threads;
+    serve::BatchScheduler scheduler(options, std::move(cache));
+    for (const serve::JobRequest &req : requests)
+        scheduler.submit(req);
+    Stopwatch sw;
+    sw.start();
+    scheduler.runAll();
+    sw.stop();
+
+    BatchOutcome outcome;
+    outcome.seconds = sw.seconds();
+    for (const serve::JobResult &result : scheduler.results()) {
+        outcome.lines.push_back(serve::writeResult(result));
+        if (result.accepted && result.ok)
+            ++outcome.ok;
+    }
+    return outcome;
+}
+
+double
+medianOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    size_t n = samples.size();
+    return n % 2 ? samples[n / 2]
+                 : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+void
+record(const char *phase, int threads, size_t jobs, size_t ok,
+       const std::vector<double> &seconds, uint64_t hits,
+       uint64_t misses, uint64_t bytes)
+{
+    Record rec;
+    rec.phase = phase;
+    rec.threads = threads;
+    rec.jobs = jobs;
+    rec.ok = ok;
+    rec.repeats = static_cast<int>(seconds.size());
+    rec.seconds = medianOf(seconds);
+    rec.jobsPerSec = rec.seconds > 0
+                         ? static_cast<double>(jobs) / rec.seconds
+                         : 0.0;
+    rec.cacheHits = hits;
+    rec.cacheMisses = misses;
+    rec.hitRate = (hits + misses) > 0
+                      ? static_cast<double>(hits) /
+                            static_cast<double>(hits + misses)
+                      : 0.0;
+    rec.cacheBytes = bytes;
+    g_records.push_back(rec);
+    std::printf("  %-4s threads=%d  %6.1f ms median  %7.1f jobs/s  "
+                "%llu hits / %llu misses (%.0f%%)\n",
+                phase, threads, rec.seconds * 1e3, rec.jobsPerSec,
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                100.0 * rec.hitRate);
+}
+
+void
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"serve\",\n");
+    std::fprintf(f, "  \"records\": [\n");
+    for (size_t i = 0; i < g_records.size(); ++i) {
+        const Record &r = g_records[i];
+        std::fprintf(
+            f,
+            "    {\"phase\": \"%s\", \"threads\": %d, \"jobs\": %zu, "
+            "\"ok\": %zu, \"repeats\": %d, \"seconds\": %.6f, "
+            "\"jobs_per_sec\": %.2f, "
+            "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+            "\"hit_rate\": %.4f, \"cache_bytes\": %llu}%s\n",
+            r.phase.c_str(), r.threads, r.jobs, r.ok, r.repeats,
+            r.seconds, r.jobsPerSec,
+            static_cast<unsigned long long>(r.cacheHits),
+            static_cast<unsigned long long>(r.cacheMisses), r.hitRate,
+            static_cast<unsigned long long>(r.cacheBytes),
+            i + 1 < g_records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", g_records.size(),
+                path.c_str());
+}
+
+std::vector<int>
+threadSweep()
+{
+    std::vector<int> sweep;
+    if (const char *env = std::getenv("RASENGAN_BENCH_THREADS")) {
+        int cur = 0;
+        bool have = false;
+        for (const char *c = env;; ++c) {
+            if (*c >= '0' && *c <= '9') {
+                cur = cur * 10 + (*c - '0');
+                have = true;
+            } else {
+                if (have && cur > 0)
+                    sweep.push_back(cur);
+                cur = 0;
+                have = false;
+                if (!*c)
+                    break;
+            }
+        }
+    }
+    if (sweep.empty())
+        sweep = {1, 2, 4};
+    return sweep;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool fast = bench::fastMode();
+    const size_t jobs = fast ? 20 : 50;
+    const std::vector<int> sweep = threadSweep();
+
+    std::vector<serve::JobRequest> requests =
+        serve::generateWorkload(jobs, 1);
+    std::printf("serve bench: %zu jobs, %zu thread configs%s\n",
+                jobs, sweep.size(), fast ? " (fast mode)" : "");
+
+    const int repeats = fast ? 3 : 5;
+    std::vector<std::string> reference;
+    for (int threads : sweep) {
+        std::vector<double> coldSec, warmSec;
+        uint64_t coldHits = 0, coldMisses = 0;
+        uint64_t warmHits = 0, warmMisses = 0, bytes = 0;
+        size_t ok = 0;
+        for (int r = 0; r < repeats; ++r) {
+            // A fresh cache per repeat keeps every cold run truly cold.
+            auto cache =
+                std::make_shared<serve::ArtifactCache>(64ull << 20);
+
+            BatchOutcome cold = runBatch(requests, threads, cache);
+            serve::ArtifactCache::Stats mid = cache->stats();
+            BatchOutcome warm = runBatch(requests, threads, cache);
+            serve::ArtifactCache::Stats after = cache->stats();
+
+            coldSec.push_back(cold.seconds);
+            warmSec.push_back(warm.seconds);
+            coldHits = mid.hits;
+            coldMisses = mid.misses;
+            warmHits = after.hits - mid.hits;
+            warmMisses = after.misses - mid.misses;
+            bytes = after.bytesInUse;
+            ok = cold.ok;
+
+            // The cache and the thread count may only change latency.
+            panic_if(cold.lines != warm.lines,
+                     "warm batch results differ from cold");
+            if (reference.empty())
+                reference = cold.lines;
+            panic_if(reference != cold.lines,
+                     "results differ across thread counts/repeats");
+        }
+        record("cold", threads, requests.size(), ok, coldSec, coldHits,
+               coldMisses, bytes);
+        record("warm", threads, requests.size(), ok, warmSec, warmHits,
+               warmMisses, bytes);
+    }
+    parallel::setThreadCount(0);
+
+    const char *env = std::getenv("RASENGAN_BENCH_JSON");
+    writeJson(env && *env ? env : "BENCH_serve.json");
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "circuit/circuit.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <sstream>
 
@@ -297,6 +298,37 @@ Circuit::toQasm() const
         os << ";\n";
     }
     return os.str();
+}
+
+uint64_t
+Circuit::fingerprint() const
+{
+    // FNV-1a 64-bit over a canonical byte stream of the circuit.
+    constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t h = kOffset;
+    auto mix64 = [&h](uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= kPrime;
+        }
+    };
+    mix64(static_cast<uint64_t>(numQubits_));
+    mix64(gates_.size());
+    for (const Gate &g : gates_) {
+        mix64(static_cast<uint64_t>(g.kind));
+        mix64(g.controls.size());
+        for (int q : g.controls)
+            mix64(static_cast<uint64_t>(q));
+        mix64(g.targets.size());
+        for (int q : g.targets)
+            mix64(static_cast<uint64_t>(q));
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(g.param));
+        std::memcpy(&bits, &g.param, sizeof(bits));
+        mix64(bits);
+    }
+    return h;
 }
 
 } // namespace rasengan::circuit

@@ -6,6 +6,7 @@
 #ifndef RASENGAN_CIRCUIT_CIRCUIT_H
 #define RASENGAN_CIRCUIT_CIRCUIT_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,14 @@ class Circuit
 
     /** OpenQASM 2.0-style textual dump (MCX/MCP printed as comments). */
     std::string toQasm() const;
+
+    /**
+     * Content hash of the circuit: qubit count plus every gate record
+     * (kind, controls, targets, exact parameter bits), FNV-1a folded.
+     * Two circuits with identical gate streams hash equal; used by the
+     * serve layer to content-address transpiled-circuit caches.
+     */
+    uint64_t fingerprint() const;
 
   private:
     void checkQubit(int q) const;

@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
@@ -208,6 +209,36 @@ parallelFor(uint64_t begin, uint64_t end, uint64_t grain,
         ranges.emplace_back(lo, hi);
     }
     pool.run(fn, std::move(ranges));
+}
+
+void
+parallelForDynamic(uint64_t begin, uint64_t end,
+                   const std::function<void(uint64_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    const uint64_t n = end - begin;
+    Pool &pool = Pool::instance();
+    uint64_t lanes = std::min<uint64_t>(pool.size(), n);
+    if (lanes <= 1 || tls_in_parallel) {
+        for (uint64_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<uint64_t> next{begin};
+    // Every lane runs the same claim loop; the range arguments carry no
+    // information (the shared counter is the work list).
+    auto claimLoop = [&](uint64_t, uint64_t) {
+        for (;;) {
+            uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= end)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::pair<uint64_t, uint64_t>> ranges(
+        lanes, std::pair<uint64_t, uint64_t>{0, 0});
+    pool.run(claimLoop, std::move(ranges));
 }
 
 double

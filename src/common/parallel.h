@@ -62,6 +62,21 @@ void parallelFor(uint64_t begin, uint64_t end, uint64_t grain,
                  const std::function<void(uint64_t, uint64_t)> &fn);
 
 /**
+ * Execute @p fn(i) once for every i in [begin, end), distributing the
+ * indices dynamically: workers claim the next unprocessed index from a
+ * shared atomic counter, so long-running items do not stall the rest of
+ * the batch behind a static partition.  Intended for coarse,
+ * independent work items (e.g. whole solve jobs); each invocation must
+ * only write data no other invocation writes.  Which thread runs which
+ * index is nondeterministic -- callers needing reproducible output must
+ * make each item's result independent of scheduling (the serve layer
+ * does this with per-item seeds).  Runs serially when the pool has one
+ * thread or the caller is already inside a pool task.
+ */
+void parallelForDynamic(uint64_t begin, uint64_t end,
+                        const std::function<void(uint64_t)> &fn);
+
+/**
  * Deterministic parallel sum: partition [begin, end) into fixed
  * @p block -sized blocks, evaluate @p fn(block_begin, block_end) for
  * each, and combine the per-block partials in index order.  The result

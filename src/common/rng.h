@@ -10,6 +10,7 @@
 #ifndef RASENGAN_COMMON_RNG_H
 #define RASENGAN_COMMON_RNG_H
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -85,10 +86,13 @@ class Rng
     {
         double total = 0.0;
         for (double w : weights) {
+            panic_if(!std::isfinite(w), "weightedIndex: non-finite weight {}",
+                     w);
             panic_if(w < 0.0, "weightedIndex: negative weight {}", w);
             total += w;
         }
-        panic_if(total <= 0.0, "weightedIndex: zero total weight");
+        panic_if(!std::isfinite(total) || total <= 0.0,
+                 "weightedIndex: degenerate total weight {}", total);
         double r = uniformReal(0.0, total);
         double acc = 0.0;
         for (size_t i = 0; i < weights.size(); ++i) {

@@ -25,25 +25,56 @@ constexpr double kFailureScore = 1e18;
 
 } // namespace
 
+PipelineArtifacts
+buildPipelineArtifacts(const problems::Problem &problem,
+                       const RasenganOptions &options)
+{
+    PipelineArtifacts artifacts;
+    artifacts.transitions = makeTransitions(
+        transitionVectors(problem, options.simplify,
+                          options.maxTrackedStates));
+
+    ChainOptions chain_opts;
+    chain_opts.rounds = options.rounds;
+    chain_opts.prune = options.prune;
+    chain_opts.earlyStop = options.prune;
+    chain_opts.maxTrackedStates = options.maxTrackedStates;
+    artifacts.chain = buildChain(artifacts.transitions,
+                                 problem.trivialFeasible(), chain_opts);
+
+    artifacts.segments =
+        partitionChain(static_cast<int>(artifacts.chain.steps.size()),
+                       options.transitionsPerSegment);
+    return artifacts;
+}
+
 RasenganSolver::RasenganSolver(problems::Problem problem,
                                RasenganOptions options)
     : problem_(std::move(problem)), options_(std::move(options)),
       executor_(std::make_unique<exec::ResilientExecutor>(
           options_.resilience))
 {
-    transitions_ = makeTransitions(
-        transitionVectors(problem_, options_.simplify,
-                          options_.maxTrackedStates));
+    if (options_.pipeline) {
+        transitions_ = options_.pipeline->transitions;
+        chain_ = options_.pipeline->chain;
+        segments_ = options_.pipeline->segments;
+    } else {
+        PipelineArtifacts artifacts =
+            buildPipelineArtifacts(problem_, options_);
+        transitions_ = std::move(artifacts.transitions);
+        chain_ = std::move(artifacts.chain);
+        segments_ = std::move(artifacts.segments);
+    }
+}
 
-    ChainOptions chain_opts;
-    chain_opts.rounds = options_.rounds;
-    chain_opts.prune = options_.prune;
-    chain_opts.earlyStop = options_.prune;
-    chain_opts.maxTrackedStates = options_.maxTrackedStates;
-    chain_ = buildChain(transitions_, problem_.trivialFeasible(), chain_opts);
-
-    segments_ = partitionChain(static_cast<int>(chain_.steps.size()),
-                               options_.transitionsPerSegment);
+circuit::Circuit
+RasenganSolver::lowerSegment(const circuit::Circuit &circ) const
+{
+    circuit::TranspileOptions topts{.mode = options_.transpileMode,
+                                    .lowerToCx = true};
+    if (options_.lowerCircuit)
+        return options_.lowerCircuit(circ, topts);
+    return circuit::transpile(circ, topts);
 }
 
 circuit::Circuit
@@ -81,8 +112,7 @@ RasenganSolver::maxSegmentCost() const
     for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
         circuit::Circuit circ =
             segmentCircuit(s, problem_.trivialFeasible(), nominal);
-        circuit::Circuit lowered = circuit::transpile(
-            circ, {.mode = options_.transpileMode, .lowerToCx = true});
+        circuit::Circuit lowered = lowerSegment(circ);
         circuit::Circuit optimized = circuit::optimizeCircuit(lowered);
         max_depth = std::max(max_depth, optimized.depth());
         max_cx = std::max(max_cx, optimized.countCx());
@@ -104,8 +134,7 @@ RasenganSolver::sampleSegment(
         if (options_.execution ==
             RasenganOptions::Execution::NoisyGateLevel) {
             circuit::Circuit circ = segmentCircuit(seg_index, state, times);
-            circuit::Circuit lowered = circuit::transpile(
-                circ, {.mode = options_.transpileMode, .lowerToCx = true});
+            circuit::Circuit lowered = lowerSegment(circ);
             // The segment circuit itself prepares `state` with its
             // leading X column, so the register starts at |0...0>.
             qsim::Counts part = qsim::sampleNoisy(
@@ -127,9 +156,7 @@ RasenganSolver::sampleSegment(
                 // failed; a corrupted shot takes random bit flips.
                 circuit::Circuit circ =
                     segmentCircuit(seg_index, state, times);
-                circuit::Circuit lowered = circuit::transpile(
-                    circ,
-                    {.mode = options_.transpileMode, .lowerToCx = true});
+                circuit::Circuit lowered = lowerSegment(circ);
                 double p_err = 1.0 - std::pow(1.0 - options_.noise.depol2q,
                                               lowered.countCx());
                 qsim::Counts corrupted;
@@ -447,8 +474,7 @@ RasenganSolver::segmentSeconds() const
     for (int s = 0; s < static_cast<int>(segments_.size()); ++s) {
         circuit::Circuit circ =
             segmentCircuit(s, problem_.trivialFeasible(), nominal);
-        circuit::Circuit lowered = circuit::transpile(
-            circ, {.mode = options_.transpileMode, .lowerToCx = true});
+        circuit::Circuit lowered = lowerSegment(circ);
         uint64_t shots = static_cast<uint64_t>(
             static_cast<double>(options_.shotsPerSegment) *
             std::pow(std::max(options_.shotGrowth, 1e-6), s));

@@ -100,6 +100,30 @@ struct RasenganOptions
     /** Device whose durations drive the quantum-latency estimate. */
     device::DeviceModel latencyDevice = device::DeviceModel::ibmQuebec();
 
+    /// @name Artifact injection (src/serve)
+    /// @{
+    /**
+     * Precomputed pipeline artifacts (transitions, chain, segments) to
+     * adopt instead of recomputing them in the constructor.  Must have
+     * been built by buildPipelineArtifacts() for the SAME problem and
+     * the same simplify/prune/rounds/transitionsPerSegment/
+     * maxTrackedStates configuration -- the serve layer's ArtifactCache
+     * guarantees this by keying on the canonical problem + config text.
+     */
+    std::shared_ptr<const struct PipelineArtifacts> pipeline;
+    /**
+     * Optional transpile memo: when set, every segment lowering goes
+     * through this hook instead of circuit::transpile directly, letting
+     * the serve layer content-address transpiled circuits across jobs.
+     * The hook MUST be semantically transparent (return exactly
+     * transpile(circ, opts)); results are bit-identical with or without
+     * it.
+     */
+    std::function<circuit::Circuit(const circuit::Circuit &,
+                                   const circuit::TranspileOptions &)>
+        lowerCircuit;
+    /// @}
+
     /// @name Resilience (src/exec)
     /// @{
     /**
@@ -118,6 +142,32 @@ struct RasenganOptions
     std::string checkpointPath;
     /// @}
 };
+
+/**
+ * The expensive reusable artifacts of one solver configuration: the
+ * transition-Hamiltonian set over the problem's homogeneous basis, the
+ * pruned chain, and its segmentation.  Computed once by
+ * buildPipelineArtifacts and shareable across every solve of the same
+ * (problem, pipeline-config) pair -- the serve layer memoizes these in
+ * its content-addressed cache and injects them via
+ * RasenganOptions::pipeline.
+ */
+struct PipelineArtifacts
+{
+    std::vector<TransitionHamiltonian> transitions;
+    Chain chain;
+    std::vector<Segment> segments;
+};
+
+/**
+ * Build the pipeline artifacts exactly as the RasenganSolver
+ * constructor would: basis extraction + simplification + augmentation,
+ * chain construction with pruning/early-stop, and segmentation.  Only
+ * the fields of @p options that shape the pipeline matter (simplify,
+ * prune, rounds, transitionsPerSegment, maxTrackedStates).
+ */
+PipelineArtifacts buildPipelineArtifacts(const problems::Problem &problem,
+                                         const RasenganOptions &options);
 
 /**
  * Hooks into one segmented execution: checkpoint sink, resume source,
@@ -219,6 +269,8 @@ class RasenganSolver
     exec::ResilientExecutor &executor() const { return *executor_; }
 
   private:
+    /** transpile() via options_.lowerCircuit when set (serve memo). */
+    circuit::Circuit lowerSegment(const circuit::Circuit &circ) const;
     double scoreDistribution(const RasenganDistribution &dist) const;
     RasenganResult summarize(const std::vector<double> &times,
                              opt::OptResult training, double classical_s,

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <sstream>
 
 namespace rasengan::problems {
@@ -21,10 +22,18 @@ writeProblem(const Problem &problem)
     for (int i = 0; i < f.numVars(); ++i)
         if (f.linear()[i] != 0.0)
             os << "objective linear " << i << " " << f.linear()[i] << "\n";
+    // Quadratic terms are stored in insertion order, which depends on
+    // the construction path (generator vs. parser vs. accumulate), so
+    // merge and sort them here: two equal problems must serialize to
+    // the same bytes -- the serve layer content-addresses its caches
+    // with this text.
+    std::map<std::pair<int, int>, double> quad;
     for (const auto &[i, j, q] : f.quadratic())
+        quad[{i, j}] += q;
+    for (const auto &[key, q] : quad)
         if (q != 0.0)
-            os << "objective quadratic " << i << " " << j << " " << q
-               << "\n";
+            os << "objective quadratic " << key.first << " " << key.second
+               << " " << q << "\n";
 
     const auto &c = problem.constraints();
     for (int r = 0; r < c.rows(); ++r) {
@@ -37,6 +46,12 @@ writeProblem(const Problem &problem)
     os << "feasible "
        << problem.trivialFeasible().toString(problem.numVars()) << "\n";
     return os.str();
+}
+
+std::string
+canonicalProblemText(const Problem &problem)
+{
+    return writeProblem(problem);
 }
 
 namespace {

@@ -26,8 +26,25 @@
 
 namespace rasengan::problems {
 
-/** Serialize @p problem into the text format above. */
+/**
+ * Serialize @p problem into the text format above.
+ *
+ * The output is CANONICAL: statements appear in a fixed order, zero
+ * coefficients are dropped, and quadratic terms are merged and sorted
+ * by index pair, so two Problem instances describing the same math
+ * serialize to identical bytes no matter how they were constructed.
+ * The serve layer's content-addressed artifact caches key on this text
+ * (via canonicalProblemText); do not introduce ordering that depends on
+ * construction history.
+ */
 std::string writeProblem(const Problem &problem);
+
+/**
+ * The canonical serialization used for cache keys: currently identical
+ * to writeProblem, named separately so key-producing call sites survive
+ * any future divergence (e.g. a prettier writeProblem).
+ */
+std::string canonicalProblemText(const Problem &problem);
 
 struct ProblemParseResult
 {

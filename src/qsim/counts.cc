@@ -1,5 +1,7 @@
 #include "qsim/counts.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace rasengan::qsim {
@@ -9,10 +11,22 @@ AliasTable::AliasTable(const std::vector<double> &weights)
     fatal_if(weights.empty(), "alias table over an empty weight vector");
     const size_t n = weights.size();
     for (double w : weights) {
+        // Degenerate inputs reach this point when aggressive noise or
+        // degradation collapses a probability vector; fail loudly here
+        // instead of sampling from a silently corrupt table.
+        panic_if(!std::isfinite(w),
+                 "alias table: non-finite weight {} (noise/degradation "
+                 "produced an invalid probability vector)",
+                 w);
         panic_if(w < 0.0, "alias table: negative weight {}", w);
         total_ += w;
     }
-    fatal_if(total_ <= 0.0, "alias table: zero total weight");
+    panic_if(!std::isfinite(total_),
+             "alias table: weight sum overflowed to {}", total_);
+    fatal_if(total_ <= 0.0,
+             "alias table: zero total weight (all outcomes have "
+             "probability 0 -- noise or degradation emptied the "
+             "distribution)");
 
     // Vose's method with index-ordered worklists: scaled weight < 1 goes
     // to `small`, >= 1 to `large`; each small slot is topped up by one

@@ -132,10 +132,16 @@ SparseState::sample(Rng &rng, uint64_t shots) const
     std::vector<double> weights;
     keys.reserve(amps_.size());
     weights.reserve(amps_.size());
+    double total = 0.0;
     for (const auto &[x, a] : amps_) {
         keys.push_back(x);
         weights.push_back(std::norm(a));
+        total += weights.back();
     }
+    fatal_if(!(total > 1e-18) || !std::isfinite(total),
+             "sampling from a sparse state with total probability {} "
+             "(noise/degradation collapsed the distribution)",
+             total);
     AliasTable table(weights); // O(1)/shot instead of a linear scan
     Counts counts;
     for (uint64_t s = 0; s < shots; ++s)

@@ -1,0 +1,104 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rasengan::serve {
+
+namespace {
+
+std::string
+fmtCost(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return buf;
+}
+
+} // namespace
+
+double
+estimateJobCost(const JobRequest &req, int num_vars)
+{
+    double evals = static_cast<double>(std::max(req.iterations, 1));
+    double states = std::pow(2.0, std::min(num_vars, 40));
+    double perEval;
+    if (req.execution == "exact") {
+        // Sparse propagation touches at most the feasible portion of
+        // the state space; 2^n is the conservative bound.
+        perEval = states;
+    } else if (req.execution == "gate") {
+        // Full statevector per trajectory per segment evaluation.
+        perEval = states * 8.0 + static_cast<double>(req.shots);
+    } else { // sampled | noisy
+        perEval = static_cast<double>(req.shots) *
+                  std::max(req.shotGrowth, 1.0);
+    }
+    // The baselines simulate the full circuit densely per evaluation.
+    if (req.algorithm != "rasengan")
+        perEval = std::max(perEval, states) *
+                  static_cast<double>(std::max(req.layers, 1));
+    return evals * perEval / 1024.0;
+}
+
+AdmissionController::AdmissionController(AdmissionLimits limits)
+    : limits_(limits)
+{
+}
+
+AdmissionDecision
+AdmissionController::admit(const JobRequest &req, int num_vars)
+{
+    AdmissionDecision d;
+    d.costUnits = estimateJobCost(req, num_vars);
+    if (queuedJobs_ >= limits_.maxQueuedJobs) {
+        d.reason = "queue full (" + std::to_string(limits_.maxQueuedJobs) +
+                   " jobs pending)";
+        return d;
+    }
+    if (num_vars > limits_.maxQubits) {
+        d.reason = "instance has " + std::to_string(num_vars) +
+                   " variables; limit is " +
+                   std::to_string(limits_.maxQubits);
+        return d;
+    }
+    if (req.shots > limits_.maxShotsPerJob) {
+        d.reason = "shots " + std::to_string(req.shots) +
+                   " exceed the per-job limit " +
+                   std::to_string(limits_.maxShotsPerJob);
+        return d;
+    }
+    if (req.iterations > limits_.maxIterationsPerJob) {
+        d.reason = "iterations " + std::to_string(req.iterations) +
+                   " exceed the per-job limit " +
+                   std::to_string(limits_.maxIterationsPerJob);
+        return d;
+    }
+    if (d.costUnits > limits_.maxJobCostUnits) {
+        d.reason = "estimated cost " + fmtCost(d.costUnits) +
+                   " units exceeds the per-job budget " +
+                   fmtCost(limits_.maxJobCostUnits);
+        return d;
+    }
+    if (batchCost_ + d.costUnits > limits_.maxBatchCostUnits) {
+        d.reason = "batch cost budget exhausted (" +
+                   fmtCost(batchCost_) + " of " +
+                   fmtCost(limits_.maxBatchCostUnits) +
+                   " units committed)";
+        return d;
+    }
+    d.admitted = true;
+    ++queuedJobs_;
+    batchCost_ += d.costUnits;
+    return d;
+}
+
+void
+AdmissionController::release()
+{
+    if (queuedJobs_ > 0)
+        --queuedJobs_;
+}
+
+} // namespace rasengan::serve

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Admission control and backpressure for the batch solve service.
+ *
+ * Every request is costed before it enters the queue.  The cost model
+ * is a deliberately coarse work estimate in abstract "cost units"
+ * (roughly: optimizer evaluations x per-evaluation simulation effort);
+ * it exists to bound the batch, not to predict wall time.  A job is
+ * rejected -- with a human-readable reason echoed into its result line
+ * -- when the queue is full, the instance exceeds the simulable qubit
+ * cap, a per-field limit is violated, or the job/batch cost budget
+ * would be exceeded.  Rejection is deterministic: it depends only on
+ * the request stream, never on timing.
+ */
+
+#ifndef RASENGAN_SERVE_ADMISSION_H
+#define RASENGAN_SERVE_ADMISSION_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/job.h"
+
+namespace rasengan::serve {
+
+struct AdmissionLimits
+{
+    size_t maxQueuedJobs = 1024;    ///< bounded queue (backpressure)
+    int maxQubits = 26;             ///< dense/sparse simulability cap
+    uint64_t maxShotsPerJob = 1u << 20;
+    int maxIterationsPerJob = 5000;
+    double maxJobCostUnits = 5e7;   ///< single-job ceiling
+    double maxBatchCostUnits = 5e8; ///< sum over admitted jobs
+};
+
+/**
+ * Coarse work estimate for @p req on a problem with @p num_vars
+ * variables.  Exact execution pays the sparse-state footprint
+ * (bounded by 2^n); shot-based execution pays shots; gate-level noisy
+ * execution additionally pays statevector trajectories (2^n amplitudes
+ * per trajectory).  All scaled by the optimizer evaluation budget.
+ */
+double estimateJobCost(const JobRequest &req, int num_vars);
+
+/** Outcome of one admission decision. */
+struct AdmissionDecision
+{
+    bool admitted = false;
+    std::string reason; ///< set when !admitted
+    double costUnits = 0.0;
+};
+
+/**
+ * Stateful gate: tracks queued-job count and admitted batch cost.
+ * Not thread-safe; the scheduler admits under its own submit lock.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionLimits limits);
+
+    /** Decide on @p req; admission reserves queue + cost capacity. */
+    AdmissionDecision admit(const JobRequest &req, int num_vars);
+
+    /** Release one queue slot (job finished); cost stays reserved. */
+    void release();
+
+    size_t queuedJobs() const { return queuedJobs_; }
+    double batchCostUnits() const { return batchCost_; }
+    const AdmissionLimits &limits() const { return limits_; }
+
+  private:
+    AdmissionLimits limits_;
+    size_t queuedJobs_ = 0;
+    double batchCost_ = 0.0;
+};
+
+} // namespace rasengan::serve
+
+#endif // RASENGAN_SERVE_ADMISSION_H

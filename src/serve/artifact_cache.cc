@@ -1,0 +1,77 @@
+#include "serve/artifact_cache.h"
+
+namespace rasengan::serve {
+
+ArtifactCache::ArtifactCache(uint64_t byte_budget)
+{
+    stats_.byteBudget = byte_budget;
+}
+
+std::shared_ptr<const void>
+ArtifactCache::find(const CacheKey &key, LookupCounters *counters)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        if (counters)
+            ++counters->misses;
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second); // touch
+    ++stats_.hits;
+    if (counters)
+        ++counters->hits;
+    return it->second->value;
+}
+
+std::shared_ptr<const void>
+ArtifactCache::publish(const CacheKey &key,
+                       std::shared_ptr<const void> value, uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Another job computed and published the same key while we were
+        // computing; adopt its (identical) value so both jobs share one
+        // copy.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->value;
+    }
+    if (stats_.byteBudget == 0 || bytes > stats_.byteBudget) {
+        ++stats_.uncacheable;
+        return value;
+    }
+    lru_.push_front(Entry{key, std::move(value), bytes});
+    index_[key] = lru_.begin();
+    stats_.bytesInUse += bytes;
+    ++stats_.insertions;
+    while (stats_.bytesInUse > stats_.byteBudget && lru_.size() > 1) {
+        const Entry &victim = lru_.back();
+        stats_.bytesInUse -= victim.bytes;
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    stats_.entries = lru_.size();
+    return lru_.front().value;
+}
+
+ArtifactCache::Stats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    stats_.bytesInUse = 0;
+    stats_.entries = 0;
+}
+
+} // namespace rasengan::serve

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal flat-JSON line reader/writer for the serve request and result
+ * streams.
+ *
+ * The request format is deliberately restricted: one JSON object per
+ * line, values limited to strings, finite numbers, booleans, and null
+ * -- no nested objects or arrays.  That covers every JobRequest field,
+ * keeps the hand-rolled parser small enough to audit, and avoids a
+ * dependency the container does not ship.  parseFlatJson reports the
+ * first error with a byte offset; the writer emits keys in insertion
+ * order with "%.17g" doubles, so identical results serialize to
+ * identical bytes (the serve determinism check diffs whole files).
+ */
+
+#ifndef RASENGAN_SERVE_JSONL_H
+#define RASENGAN_SERVE_JSONL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rasengan::serve {
+
+struct JsonValue
+{
+    enum class Kind { String, Number, Bool, Null };
+    Kind kind = Kind::Null;
+    std::string str;
+    double num = 0.0;
+    bool flag = false;
+};
+
+/** Key -> value map of one flat object (key order is irrelevant). */
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonParseResult
+{
+    bool ok = false;
+    std::string error; ///< empty when ok
+    size_t errorOffset = 0;
+    JsonObject object;
+};
+
+/** Parse one flat JSON object line. */
+JsonParseResult parseFlatJson(const std::string &line);
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &raw);
+
+/** Builds one flat JSON object line, keys in call order. */
+class JsonWriter
+{
+  public:
+    JsonWriter &field(const std::string &key, const std::string &value);
+    JsonWriter &field(const std::string &key, const char *value);
+    JsonWriter &field(const std::string &key, double value);
+    JsonWriter &field(const std::string &key, int64_t value);
+    JsonWriter &field(const std::string &key, uint64_t value);
+    JsonWriter &field(const std::string &key, int value);
+    JsonWriter &boolean(const std::string &key, bool value);
+
+    /** The finished single-line object (no trailing newline). */
+    std::string str() const;
+
+  private:
+    void prefix(const std::string &key);
+    std::string body_;
+};
+
+} // namespace rasengan::serve
+
+#endif // RASENGAN_SERVE_JSONL_H

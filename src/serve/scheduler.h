@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Batch scheduler: runs many solve jobs concurrently on the shared
+ * simulation thread pool with deterministic per-job seeds and a
+ * content-addressed artifact cache.
+ *
+ * Determinism contract.  Every job's RNG seed is derived from the hash
+ * of its canonical request text (canonicalRequestText: configuration +
+ * canonical problem bytes, NOT the job id) mixed with the batch seed --
+ * never from queue position or timing.  Jobs are dispatched with
+ * parallel::parallelForDynamic (atomic work claiming, nondeterministic
+ * ORDER), but each job writes only its own pre-allocated result slot
+ * and seeds only from its content hash, so the deterministic result
+ * lines are byte-identical at any thread count and any submission
+ * order.  Cache hits return values that are deterministic functions of
+ * their keys, so a warm cache changes latency, never results.
+ *
+ * Worker jobs run inside a pool task, therefore their solvers must not
+ * reconfigure the pool: the scheduler forces resilience.threads = 0 on
+ * every job and applies ServeOptions::threads once, before dispatch.
+ */
+
+#ifndef RASENGAN_SERVE_SCHEDULER_H
+#define RASENGAN_SERVE_SCHEDULER_H
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "problems/problem.h"
+#include "serve/admission.h"
+#include "serve/artifact_cache.h"
+#include "serve/job.h"
+
+namespace rasengan::serve {
+
+struct ServeOptions
+{
+    /**
+     * Worker threads for the batch (applied via
+     * parallel::setThreadCount before dispatch).  0 keeps the
+     * current/env-derived pool configuration.
+     */
+    int threads = 0;
+    /** Mixed into every job's child seed; same batch seed + same
+     *  requests -> same results. */
+    uint64_t batchSeed = 0;
+    /** Artifact cache LRU budget in bytes; 0 disables caching. */
+    uint64_t cacheBudgetBytes = 64ull << 20;
+    AdmissionLimits limits;
+};
+
+class BatchScheduler
+{
+  public:
+    /**
+     * @p cache lets several schedulers (e.g. a cold batch and a warm
+     * batch, or repeated batches of a long-lived service) share one
+     * artifact cache; nullptr creates a private cache sized by
+     * @p options.cacheBudgetBytes.
+     */
+    explicit BatchScheduler(ServeOptions options,
+                            std::shared_ptr<ArtifactCache> cache = nullptr);
+
+    /**
+     * Validate, cost, and admit @p req; allocates the job's result slot
+     * immediately (rejected jobs get a completed rejection result).
+     * Returns the slot index.  Not thread-safe; submission is a
+     * single-producer phase.
+     */
+    size_t submit(const JobRequest &req);
+
+    /**
+     * Run every admitted job; blocks until the batch drains.  Must be
+     * called from outside any parallel region.  Safe to call once.
+     */
+    void runAll();
+
+    /** Result slots, in submission order (complete after runAll). */
+    const std::vector<JobResult> &results() const { return results_; }
+
+    ArtifactCache &cache() { return *cache_; }
+    const AdmissionController &admission() const { return admission_; }
+
+    /** Jobs admitted (== jobs runAll will execute). */
+    size_t admittedJobs() const { return pending_.size(); }
+
+  private:
+    struct PendingJob
+    {
+        JobRequest req;
+        problems::Problem problem;
+        std::string canonicalProblem;
+        uint64_t childSeed = 0;
+        double costUnits = 0.0;
+        size_t resultIndex = 0;
+        std::chrono::steady_clock::time_point submitTime;
+    };
+
+    void runJob(PendingJob &job);
+    JobResult solveRasengan(const PendingJob &job,
+                            ArtifactCache::LookupCounters &counters);
+    JobResult solveBaseline(const PendingJob &job);
+
+    ServeOptions options_;
+    std::shared_ptr<ArtifactCache> cache_;
+    AdmissionController admission_;
+    std::vector<PendingJob> pending_;
+    std::vector<JobResult> results_;
+    bool ran_ = false;
+};
+
+} // namespace rasengan::serve
+
+#endif // RASENGAN_SERVE_SCHEDULER_H

@@ -1,0 +1,51 @@
+#include "serve/workload.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace rasengan::serve {
+
+std::vector<JobRequest>
+generateWorkload(size_t jobs, uint64_t seed)
+{
+    // Small benchmarks keep the dense baseline VQAs cheap; the larger
+    // suite instances give the rasengan jobs pipelines expensive enough
+    // that a warm artifact cache shows up in batch wall time.
+    static const char *kSmall[] = {"F1", "F2", "K1", "K2",
+                                   "J1", "S1", "G1", "G2"};
+    static const char *kLarge[] = {"F3", "F4", "K3", "K4", "G3", "G4"};
+    static const char *kBaselines[] = {"chocoq", "pqaoa", "hea"};
+
+    Rng rng(seed);
+    std::vector<JobRequest> requests;
+    requests.reserve(jobs);
+    for (size_t i = 0; i < jobs; ++i) {
+        JobRequest req;
+        req.id = "job-" + std::to_string(i);
+        // Every 7th job is a baseline VQA on one of the three smallest
+        // instances (dense simulation makes larger ones dominate the
+        // batch); the rest run rasengan.
+        if (i % 7 == 6) {
+            req.benchmark = kSmall[rng.uniformInt(0, 2) * 2];
+            req.caseIndex = static_cast<uint64_t>(rng.uniformInt(0, 2));
+            req.algorithm = kBaselines[rng.uniformInt(0, 2)];
+            req.iterations = 8;
+            req.layers = 2;
+            req.shots = 256;
+        } else {
+            req.benchmark = rng.bernoulli(0.5)
+                                ? kSmall[rng.uniformInt(0, 7)]
+                                : kLarge[rng.uniformInt(0, 5)];
+            req.caseIndex = static_cast<uint64_t>(rng.uniformInt(0, 2));
+            req.algorithm = "rasengan";
+            req.iterations = static_cast<int>(rng.uniformInt(6, 12));
+            req.execution = rng.bernoulli(0.5) ? "exact" : "sampled";
+            req.shots = 512;
+        }
+        requests.push_back(std::move(req));
+    }
+    return requests;
+}
+
+} // namespace rasengan::serve

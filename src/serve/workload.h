@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Deterministic synthetic workloads for the serve driver, bench, and
+ * CI smoke test.
+ *
+ * generateWorkload(n, seed) draws n requests from a deliberately small
+ * configuration space (a handful of suite benchmarks x a few cases x
+ * two execution modes), so realistic batches contain repeated logical
+ * work and exercise the artifact cache.  Same (n, seed) -> identical
+ * request list, byte for byte.
+ */
+
+#ifndef RASENGAN_SERVE_WORKLOAD_H
+#define RASENGAN_SERVE_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace rasengan::serve {
+
+std::vector<JobRequest> generateWorkload(size_t jobs, uint64_t seed);
+
+} // namespace rasengan::serve
+
+#endif // RASENGAN_SERVE_WORKLOAD_H

@@ -132,5 +132,48 @@ TEST(Io, RejectsWrappingVariableIndices)
     EXPECT_FALSE(res2.problem.has_value());
 }
 
+TEST(Io, CanonicalTextIsConstructionOrderInvariant)
+{
+    // Two construction paths for the same instance: quadratic terms
+    // added in opposite orders (and one split into two pieces) must
+    // serialize to identical bytes, since cache keys hash this text.
+    linalg::IntMat c(1, 3);
+    c.at(0, 0) = 1;
+    c.at(0, 1) = 1;
+    c.at(0, 2) = 1;
+    linalg::IntVec b{1};
+    BitVec triv = BitVec::fromString("100");
+
+    QuadraticObjective fa(3);
+    fa.addLinear(2, 0.5);
+    fa.addQuadratic(0, 1, 1.25);
+    fa.addQuadratic(1, 2, -2.0);
+
+    QuadraticObjective fb(3);
+    fb.addQuadratic(2, 1, -2.0); // reversed indices normalize to (1, 2)
+    fb.addQuadratic(0, 1, 1.0);
+    fb.addQuadratic(0, 1, 0.25); // split term, merged at serialization
+    fb.addLinear(2, 0.5);
+
+    Problem pa("t", "T", c, b, fa, triv);
+    Problem pb("t", "T", c, b, fb, triv);
+    EXPECT_EQ(canonicalProblemText(pa), canonicalProblemText(pb));
+    EXPECT_EQ(writeProblem(pa), writeProblem(pb));
+}
+
+TEST(Io, CanonicalTextRoundTripsThroughParser)
+{
+    // parse(write(p)) must re-serialize to the identical canonical
+    // bytes: the parser is one of the "construction paths" the serve
+    // cache must treat as equal.
+    for (const std::string &id : benchmarkIds()) {
+        Problem original = makeBenchmark(id);
+        std::string text = canonicalProblemText(original);
+        ProblemParseResult res = parseProblem(text);
+        ASSERT_TRUE(res.problem.has_value()) << id << ": " << res.error;
+        EXPECT_EQ(canonicalProblemText(*res.problem), text) << id;
+    }
+}
+
 } // namespace
 } // namespace rasengan::problems

@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <complex>
 #include <cstdlib>
+#include <limits>
 #include <cstring>
 #include <vector>
 
@@ -143,6 +145,46 @@ TEST(ParallelFor, EmptyAndSubGrainRangesRunInline)
         EXPECT_FALSE(parallel::inParallelRegion());
     });
     EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForDynamic, CoversRangeExactlyOnceAtEveryThreadCount)
+{
+    ThreadGuard guard;
+    constexpr uint64_t n = 4099; // not a multiple of any sweep count
+    for (int tc : kSweep) {
+        parallel::setThreadCount(tc);
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h.store(0);
+        parallel::parallelForDynamic(0, n, [&](uint64_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " @ " << tc;
+    }
+}
+
+TEST(ParallelForDynamic, NestedCallsRunSeriallyWithoutDeadlock)
+{
+    ThreadGuard guard;
+    parallel::setThreadCount(4);
+    constexpr uint64_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    parallel::parallelForDynamic(0, 8, [&](uint64_t outer) {
+        parallel::parallelForDynamic(outer * 8, outer * 8 + 8,
+                                     [&](uint64_t i) {
+                                         EXPECT_TRUE(
+                                             parallel::inParallelRegion());
+                                         hits[i].fetch_add(1);
+                                     });
+    });
+    for (uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+    int calls = 0;
+    parallel::parallelForDynamic(3, 3, [&](uint64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
 }
 
 TEST(ParallelFor, NestedCallsRunSeriallyWithoutDeadlock)
@@ -558,6 +600,30 @@ TEST(AliasTable, RejectsDegenerateInput)
                  "alias");
     EXPECT_DEATH({ qsim::AliasTable t(std::vector<double>{0.0, 0.0}); },
                  "alias");
+}
+
+TEST(AliasTable, RejectsNonFiniteWeights)
+{
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH({ qsim::AliasTable t(std::vector<double>{0.5, nan}); },
+                 "non-finite");
+    EXPECT_DEATH({ qsim::AliasTable t(std::vector<double>{inf, 1.0}); },
+                 "non-finite");
+    EXPECT_DEATH({ qsim::AliasTable t(std::vector<double>{-1.0, 2.0}); },
+                 "negative");
+    // Two weights that individually pass but overflow the sum.
+    const double huge = std::numeric_limits<double>::max();
+    EXPECT_DEATH({ qsim::AliasTable t(std::vector<double>{huge, huge}); },
+                 "overflow");
+}
+
+TEST(AliasTable, WeightedIndexRejectsNonFinite)
+{
+    Rng rng(3);
+    const double nan = std::nan("");
+    EXPECT_DEATH(rng.weightedIndex({1.0, nan}), "non-finite");
+    EXPECT_DEATH(rng.weightedIndex({0.0, 0.0}), "degenerate");
 }
 
 } // namespace

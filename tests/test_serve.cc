@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Batch solve service tests: cache keys (equality across construction
+ * paths, distinctness across config fields), the LRU artifact cache,
+ * JSONL parsing, admission control, and the scheduler's determinism
+ * guarantees (thread count, submission order, cache temperature).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "problems/io.h"
+#include "problems/suite.h"
+#include "serve/admission.h"
+#include "serve/artifact_cache.h"
+#include "serve/cachekey.h"
+#include "serve/job.h"
+#include "serve/jsonl.h"
+#include "serve/scheduler.h"
+#include "serve/workload.h"
+
+using namespace rasengan;
+using namespace rasengan::serve;
+
+// ---------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------
+
+TEST(CacheKey, DomainSeparatesEqualPayloads)
+{
+    CacheKey a = makeKey("pipeline", "payload");
+    CacheKey b = makeKey("circuit", "payload");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, makeKey("pipeline", "payload"));
+    EXPECT_EQ(a.hex().size(), 32u);
+    EXPECT_NE(a.hex(), b.hex());
+}
+
+TEST(CacheKey, NoBoundarySlipBetweenDomainAndPayload)
+{
+    // "ab" + "c" must not alias "a" + "bc".
+    EXPECT_NE(makeKey("ab", "c"), makeKey("a", "bc"));
+}
+
+TEST(CacheKey, SameProblemDifferentConstructionPathsHashEqual)
+{
+    // The benchmark generator and a parse of its serialization are two
+    // construction paths to the same logical problem; the canonical
+    // text (and therefore the key) must agree.
+    problems::Problem direct = problems::makeBenchmark("F1", 0);
+    problems::ProblemParseResult reparsed =
+        problems::parseProblem(problems::writeProblem(direct));
+    ASSERT_TRUE(reparsed.problem.has_value());
+    std::string a = problems::canonicalProblemText(direct);
+    std::string b = problems::canonicalProblemText(*reparsed.problem);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(makeKey("pipeline", a), makeKey("pipeline", b));
+}
+
+TEST(CacheKey, RequestFieldsChangeTheJobKey)
+{
+    problems::Problem problem = problems::makeBenchmark("F1", 0);
+    std::string ptext = problems::canonicalProblemText(problem);
+    JobRequest base;
+    base.benchmark = "F1";
+    std::string baseText = canonicalRequestText(base, ptext);
+    CacheKey baseKey = makeKey("job", baseText);
+
+    auto keyOf = [&](const JobRequest &req) {
+        return makeKey("job", canonicalRequestText(req, ptext));
+    };
+
+    JobRequest shots = base;
+    shots.shots = 2048;
+    EXPECT_NE(keyOf(shots), baseKey);
+
+    JobRequest noise = base;
+    noise.noise = "kyiv";
+    EXPECT_NE(keyOf(noise), baseKey);
+
+    JobRequest penalty = base;
+    penalty.penaltyLambda = 12.5;
+    EXPECT_NE(keyOf(penalty), baseKey);
+
+    JobRequest seed = base;
+    seed.seed = 8;
+    EXPECT_NE(keyOf(seed), baseKey);
+
+    // The id is correlation metadata, not part of the work.
+    JobRequest renamed = base;
+    renamed.id = "some-other-name";
+    EXPECT_EQ(keyOf(renamed), baseKey);
+}
+
+TEST(CacheKey, AllDistinctBenchmarksProduceDistinctKeys)
+{
+    std::vector<std::string> hexes;
+    for (const std::string &id : problems::benchmarkIds()) {
+        problems::Problem p = problems::makeBenchmark(id, 0);
+        hexes.push_back(
+            makeKey("pipeline", problems::canonicalProblemText(p)).hex());
+    }
+    std::sort(hexes.begin(), hexes.end());
+    EXPECT_EQ(std::unique(hexes.begin(), hexes.end()), hexes.end());
+}
+
+// ---------------------------------------------------------------------
+// Artifact cache
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::pair<std::shared_ptr<const int>, uint64_t>
+makeInt(int v, uint64_t bytes)
+{
+    return {std::make_shared<int>(v), bytes};
+}
+
+} // namespace
+
+TEST(ArtifactCache, HitMissAndPerJobCounters)
+{
+    ArtifactCache cache(1 << 20);
+    ArtifactCache::LookupCounters job;
+    CacheKey k = makeKey("t", "x");
+    int computes = 0;
+    auto make = [&]() {
+        ++computes;
+        return makeInt(42, 100);
+    };
+    auto a = cache.getOrCompute<int>(k, make, &job);
+    auto b = cache.getOrCompute<int>(k, make, &job);
+    EXPECT_EQ(*a, 42);
+    EXPECT_EQ(a.get(), b.get()); // shared, not recomputed
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(job.hits, 1u);
+    EXPECT_EQ(job.misses, 1u);
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.bytesInUse, 100u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedWithinByteBudget)
+{
+    ArtifactCache cache(250);
+    CacheKey a = makeKey("t", "a"), b = makeKey("t", "b"),
+             c = makeKey("t", "c");
+    cache.getOrCompute<int>(a, [] { return makeInt(1, 100); });
+    cache.getOrCompute<int>(b, [] { return makeInt(2, 100); });
+    // Touch `a` so `b` is the LRU victim.
+    cache.getOrCompute<int>(a, [] { return makeInt(-1, 100); });
+    cache.getOrCompute<int>(c, [] { return makeInt(3, 100); });
+
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.bytesInUse, 250u);
+
+    int recomputes = 0;
+    auto va = cache.getOrCompute<int>(a, [&] {
+        ++recomputes;
+        return makeInt(-1, 100);
+    });
+    EXPECT_EQ(*va, 1); // survived
+    auto vb = cache.getOrCompute<int>(b, [&] {
+        ++recomputes;
+        return makeInt(2, 100);
+    });
+    EXPECT_EQ(*vb, 2);
+    EXPECT_EQ(recomputes, 1); // only b was evicted
+}
+
+TEST(ArtifactCache, ZeroBudgetDisablesCaching)
+{
+    ArtifactCache cache(0);
+    CacheKey k = makeKey("t", "x");
+    int computes = 0;
+    auto make = [&] {
+        ++computes;
+        return makeInt(7, 0);
+    };
+    cache.getOrCompute<int>(k, make);
+    cache.getOrCompute<int>(k, make);
+    EXPECT_EQ(computes, 2);
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.uncacheable, 2u);
+}
+
+TEST(ArtifactCache, OversizedArtifactIsReturnedButNotInserted)
+{
+    ArtifactCache cache(100);
+    auto v = cache.getOrCompute<int>(makeKey("t", "big"),
+                                     [] { return makeInt(9, 1000); });
+    EXPECT_EQ(*v, 9);
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.uncacheable, 1u);
+    EXPECT_EQ(stats.bytesInUse, 0u);
+}
+
+// ---------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------
+
+TEST(Jsonl, ParsesStringsNumbersBoolsAndEscapes)
+{
+    JsonParseResult r = parseFlatJson(
+        "{\"s\":\"a\\n\\\"b\\\"\",\"n\":-2.5e3,\"t\":true,\"f\":false,"
+        "\"z\":null}");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.object.at("s").str, "a\n\"b\"");
+    EXPECT_DOUBLE_EQ(r.object.at("n").num, -2500.0);
+    EXPECT_TRUE(r.object.at("t").flag);
+    EXPECT_FALSE(r.object.at("f").flag);
+    EXPECT_EQ(r.object.at("z").kind, JsonValue::Kind::Null);
+}
+
+TEST(Jsonl, RejectsNestingAndTrailingGarbage)
+{
+    EXPECT_FALSE(parseFlatJson("{\"a\":{}}").ok);
+    EXPECT_FALSE(parseFlatJson("{\"a\":[1]}").ok);
+    EXPECT_FALSE(parseFlatJson("{\"a\":1} x").ok);
+    EXPECT_FALSE(parseFlatJson("{\"a\":}").ok);
+    EXPECT_FALSE(parseFlatJson("not json").ok);
+}
+
+TEST(Jsonl, WriterRoundTripsThroughParser)
+{
+    std::string line = JsonWriter()
+                           .field("name", "tab\there")
+                           .field("pi", 3.5)
+                           .field("count", int64_t{-7})
+                           .boolean("flag", true)
+                           .str();
+    JsonParseResult r = parseFlatJson(line);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.object.at("name").str, "tab\there");
+    EXPECT_DOUBLE_EQ(r.object.at("pi").num, 3.5);
+    EXPECT_DOUBLE_EQ(r.object.at("count").num, -7.0);
+    EXPECT_TRUE(r.object.at("flag").flag);
+}
+
+TEST(Jsonl, RequestRoundTrip)
+{
+    JobRequest req;
+    req.id = "r1";
+    req.benchmark = "K2";
+    req.caseIndex = 3;
+    req.algorithm = "pqaoa";
+    req.iterations = 17;
+    req.shots = 333;
+    req.noise = "brisbane";
+    req.penaltyLambda = 4.25;
+    RequestParseResult parsed = parseRequest(writeRequest(req));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(writeRequest(parsed.request), writeRequest(req));
+}
+
+TEST(Jsonl, RequestParserRejectsUnknownKeysAndBadTypes)
+{
+    EXPECT_FALSE(parseRequest("{\"benchmark\":\"F1\",\"shotz\":12}").ok);
+    EXPECT_FALSE(parseRequest("{\"benchmark\":\"F1\",\"shots\":\"many\"}")
+                     .ok);
+    EXPECT_FALSE(
+        parseRequest("{\"benchmark\":\"F1\",\"iterations\":2.5}").ok);
+}
+
+TEST(Jsonl, ValidateRequestCatchesBadEnumsAndRanges)
+{
+    JobRequest req;
+    req.benchmark = "F1";
+    std::string err;
+    EXPECT_TRUE(validateRequest(req, &err)) << err;
+
+    JobRequest both = req;
+    both.problemText = "problem x";
+    EXPECT_FALSE(validateRequest(both, &err));
+
+    JobRequest neither;
+    EXPECT_FALSE(validateRequest(neither, &err));
+
+    JobRequest badAlgo = req;
+    badAlgo.algorithm = "grover";
+    EXPECT_FALSE(validateRequest(badAlgo, &err));
+    EXPECT_NE(err.find("grover"), std::string::npos);
+
+    JobRequest badExec = req;
+    badExec.execution = "warp";
+    EXPECT_FALSE(validateRequest(badExec, &err));
+
+    JobRequest badFault = req;
+    badFault.faultRate = 1.5;
+    EXPECT_FALSE(validateRequest(badFault, &err));
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+TEST(Admission, RejectsWithSpecificReasons)
+{
+    AdmissionLimits limits;
+    limits.maxQueuedJobs = 2;
+    limits.maxQubits = 10;
+    limits.maxShotsPerJob = 4096;
+    limits.maxIterationsPerJob = 100;
+    AdmissionController gate(limits);
+
+    JobRequest req;
+    req.benchmark = "F1";
+    req.iterations = 10;
+    req.execution = "sampled";
+    req.shots = 512;
+
+    EXPECT_TRUE(gate.admit(req, 8).admitted);
+
+    AdmissionDecision qubits = gate.admit(req, 12);
+    EXPECT_FALSE(qubits.admitted);
+    EXPECT_NE(qubits.reason.find("12 variables"), std::string::npos);
+
+    JobRequest bigShots = req;
+    bigShots.shots = 8192;
+    AdmissionDecision shots = gate.admit(bigShots, 8);
+    EXPECT_FALSE(shots.admitted);
+    EXPECT_NE(shots.reason.find("shots"), std::string::npos);
+
+    JobRequest manyIters = req;
+    manyIters.iterations = 1000;
+    AdmissionDecision iters = gate.admit(manyIters, 8);
+    EXPECT_FALSE(iters.admitted);
+    EXPECT_NE(iters.reason.find("iterations"), std::string::npos);
+
+    // Fill the queue; the next admit bounces with backpressure.
+    EXPECT_TRUE(gate.admit(req, 8).admitted);
+    AdmissionDecision full = gate.admit(req, 8);
+    EXPECT_FALSE(full.admitted);
+    EXPECT_NE(full.reason.find("queue full"), std::string::npos);
+
+    // Draining a job frees the slot.
+    gate.release();
+    EXPECT_TRUE(gate.admit(req, 8).admitted);
+}
+
+TEST(Admission, CostBudgetsBoundJobAndBatch)
+{
+    JobRequest req;
+    req.benchmark = "F1";
+    req.iterations = 100;
+    req.execution = "sampled";
+    req.shots = 1024;
+    double one = estimateJobCost(req, 8);
+    ASSERT_GT(one, 0.0);
+
+    AdmissionLimits limits;
+    limits.maxJobCostUnits = one * 0.5;
+    AdmissionController perJob(limits);
+    AdmissionDecision d = perJob.admit(req, 8);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_NE(d.reason.find("per-job budget"), std::string::npos);
+
+    limits.maxJobCostUnits = one * 10;
+    limits.maxBatchCostUnits = one * 2.5;
+    AdmissionController batch(limits);
+    EXPECT_TRUE(batch.admit(req, 8).admitted);
+    EXPECT_TRUE(batch.admit(req, 8).admitted);
+    AdmissionDecision third = batch.admit(req, 8);
+    EXPECT_FALSE(third.admitted);
+    EXPECT_NE(third.reason.find("batch cost budget"), std::string::npos);
+}
+
+TEST(Admission, ExactExecutionCostGrowsWithVariables)
+{
+    JobRequest req;
+    req.benchmark = "F1";
+    req.execution = "exact";
+    EXPECT_GT(estimateJobCost(req, 20), estimateJobCost(req, 10));
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Tiny mixed workload that still produces repeat work (cache hits). */
+std::vector<JobRequest>
+tinyWorkload()
+{
+    std::vector<JobRequest> reqs;
+    const char *benchmarks[] = {"F1", "K1", "F1", "J1", "F1", "K1"};
+    for (int i = 0; i < 6; ++i) {
+        JobRequest req;
+        req.id = "t" + std::to_string(i);
+        req.benchmark = benchmarks[i];
+        req.iterations = 8;
+        req.execution = (i % 2 == 0) ? "exact" : "sampled";
+        req.shots = 256;
+        reqs.push_back(req);
+    }
+    return reqs;
+}
+
+std::vector<std::string>
+runBatch(const std::vector<JobRequest> &reqs, int threads,
+         std::shared_ptr<ArtifactCache> cache = nullptr)
+{
+    ServeOptions options;
+    options.threads = threads;
+    BatchScheduler scheduler(options, std::move(cache));
+    for (const JobRequest &req : reqs)
+        scheduler.submit(req);
+    scheduler.runAll();
+    std::vector<std::string> lines;
+    for (const JobResult &result : scheduler.results())
+        lines.push_back(writeResult(result));
+    return lines;
+}
+
+} // namespace
+
+TEST(Scheduler, ResultsAreByteIdenticalAcrossThreadCounts)
+{
+    std::vector<JobRequest> reqs = tinyWorkload();
+    std::vector<std::string> t1 = runBatch(reqs, 1);
+    std::vector<std::string> t2 = runBatch(reqs, 2);
+    std::vector<std::string> t7 = runBatch(reqs, 7);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t7);
+    parallel::setThreadCount(0); // restore env-derived config
+}
+
+TEST(Scheduler, ResultsAreIndependentOfSubmissionOrder)
+{
+    std::vector<JobRequest> reqs = tinyWorkload();
+    std::vector<std::string> forward = runBatch(reqs, 2);
+
+    std::vector<JobRequest> reversed(reqs.rbegin(), reqs.rend());
+    std::vector<std::string> backward = runBatch(reversed, 2);
+
+    // Same per-id payload either way; only the line order follows the
+    // submission order.
+    std::sort(forward.begin(), forward.end());
+    std::sort(backward.begin(), backward.end());
+    EXPECT_EQ(forward, backward);
+    parallel::setThreadCount(0);
+}
+
+TEST(Scheduler, WarmCacheHitsDoNotChangeResults)
+{
+    std::vector<JobRequest> reqs = tinyWorkload();
+    auto cache = std::make_shared<ArtifactCache>(64ull << 20);
+    std::vector<std::string> cold = runBatch(reqs, 2, cache);
+    uint64_t missesAfterCold = cache->stats().misses;
+    EXPECT_GT(cache->stats().hits, 0u); // repeats inside the batch
+
+    std::vector<std::string> warm = runBatch(reqs, 2, cache);
+    EXPECT_EQ(cold, warm);
+    // The warm batch recomputed nothing the cold batch already built.
+    EXPECT_EQ(cache->stats().misses, missesAfterCold);
+    parallel::setThreadCount(0);
+}
+
+TEST(Scheduler, RepeatJobWithDifferentIdSharesSeedAndHash)
+{
+    JobRequest a;
+    a.id = "first";
+    a.benchmark = "F1";
+    a.iterations = 6;
+    JobRequest b = a;
+    b.id = "second";
+
+    ServeOptions options;
+    options.threads = 1;
+    BatchScheduler scheduler(options);
+    scheduler.submit(a);
+    scheduler.submit(b);
+    scheduler.runAll();
+    const std::vector<JobResult> &results = scheduler.results();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].childSeed, results[1].childSeed);
+    EXPECT_EQ(results[0].resultHash, results[1].resultHash);
+    EXPECT_EQ(results[0].solution, results[1].solution);
+    // The second job's pipeline came from the cache.
+    EXPECT_GT(results[1].telemetry.cacheHits +
+                  results[0].telemetry.cacheHits,
+              0u);
+    parallel::setThreadCount(0);
+}
+
+TEST(Scheduler, BatchSeedChangesChildSeeds)
+{
+    JobRequest req;
+    req.id = "x";
+    req.benchmark = "F1";
+    req.iterations = 5;
+
+    uint64_t seeds[2];
+    for (int i = 0; i < 2; ++i) {
+        ServeOptions options;
+        options.threads = 1;
+        options.batchSeed = static_cast<uint64_t>(i);
+        BatchScheduler scheduler(options);
+        scheduler.submit(req);
+        scheduler.runAll();
+        seeds[i] = scheduler.results()[0].childSeed;
+    }
+    EXPECT_NE(seeds[0], seeds[1]);
+    parallel::setThreadCount(0);
+}
+
+TEST(Scheduler, RejectedJobsGetReasonsAndDoNotRun)
+{
+    ServeOptions options;
+    options.threads = 1;
+    options.limits.maxQubits = 4; // everything in the suite is larger
+    BatchScheduler scheduler(options);
+
+    JobRequest req;
+    req.id = "too-big";
+    req.benchmark = "F1";
+    scheduler.submit(req);
+
+    JobRequest bogus;
+    bogus.id = "no-such";
+    bogus.benchmark = "Z9";
+    scheduler.submit(bogus);
+
+    JobRequest badProblem;
+    badProblem.id = "bad-text";
+    badProblem.problemText = "this is not a problem file";
+    scheduler.submit(badProblem);
+
+    EXPECT_EQ(scheduler.admittedJobs(), 0u);
+    scheduler.runAll();
+    const std::vector<JobResult> &results = scheduler.results();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].accepted);
+    EXPECT_NE(results[0].rejectReason.find("variables"),
+              std::string::npos);
+    EXPECT_FALSE(results[1].accepted);
+    EXPECT_NE(results[1].rejectReason.find("Z9"), std::string::npos);
+    EXPECT_FALSE(results[2].accepted);
+    EXPECT_NE(results[2].rejectReason.find("parse error"),
+              std::string::npos);
+}
+
+TEST(Scheduler, BaselineJobsRunAndReportFeasibleSolutions)
+{
+    JobRequest req;
+    req.id = "base";
+    req.benchmark = "F1";
+    req.algorithm = "chocoq";
+    req.iterations = 5;
+    req.layers = 2;
+    req.shots = 128;
+
+    ServeOptions options;
+    options.threads = 1;
+    BatchScheduler scheduler(options);
+    scheduler.submit(req);
+    scheduler.runAll();
+    const JobResult &result = scheduler.results()[0];
+    ASSERT_TRUE(result.accepted);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_FALSE(result.solution.empty());
+
+    problems::Problem problem = problems::makeBenchmark("F1", 0);
+    EXPECT_TRUE(problem.isFeasible(
+        BitVec::fromString(result.solution)));
+}
+
+// ---------------------------------------------------------------------
+// Workload generator
+// ---------------------------------------------------------------------
+
+TEST(Workload, DeterministicAndValid)
+{
+    std::vector<JobRequest> a = generateWorkload(25, 3);
+    std::vector<JobRequest> b = generateWorkload(25, 3);
+    ASSERT_EQ(a.size(), 25u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(writeRequest(a[i]), writeRequest(b[i]));
+        std::string err;
+        EXPECT_TRUE(validateRequest(a[i], &err)) << err;
+    }
+    EXPECT_NE(writeRequest(generateWorkload(25, 4)[0]),
+              writeRequest(a[0]));
+}
