@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The seed hash-map sparse simulator, preserved verbatim (modulo the
+ * rename) as the A/B baseline for bench_sparse: one unordered_map from
+ * BitVec to amplitude, partner lookups through the hash table, and a
+ * full key snapshot plus populated-set per rotation.  The production
+ * engine in src/qsim/sparsestate.h replaced this with a flat sorted
+ * structure-of-arrays store; keeping the old engine here (and only
+ * here) lets the benchmark measure the replacement against the real
+ * predecessor instead of a synthetic stand-in.
+ */
+
+#ifndef RASENGAN_BENCH_LEGACY_SPARSESTATE_H
+#define RASENGAN_BENCH_LEGACY_SPARSESTATE_H
+
+#include <cmath>
+#include <complex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/logging.h"
+
+namespace rasengan::bench {
+
+class LegacySparseState
+{
+  public:
+    using Complex = std::complex<double>;
+    using Map = std::unordered_map<BitVec, Complex, BitVecHash>;
+
+    LegacySparseState(int num_qubits, const BitVec &basis)
+        : numQubits_(num_qubits)
+    {
+        fatal_if(num_qubits < 0 || num_qubits > kMaxBits,
+                 "sparse state supports up to {} qubits, got {}", kMaxBits,
+                 num_qubits);
+        amps_.emplace(basis, Complex{1.0, 0.0});
+    }
+
+    int numQubits() const { return numQubits_; }
+    const Map &amplitudes() const { return amps_; }
+    size_t supportSize() const { return amps_.size(); }
+
+    Complex
+    amplitude(const BitVec &basis) const
+    {
+        auto it = amps_.find(basis);
+        return it == amps_.end() ? Complex{0.0, 0.0} : it->second;
+    }
+
+    double
+    normSquared() const
+    {
+        double acc = 0.0;
+        for (const auto &[_, a] : amps_)
+            acc += std::norm(a);
+        return acc;
+    }
+
+    void
+    prune(double threshold = 1e-24)
+    {
+        for (auto it = amps_.begin(); it != amps_.end();) {
+            if (std::norm(it->second) < threshold)
+                it = amps_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    void
+    applyPairRotation(const BitVec &mask, const BitVec &pattern_plus,
+                      double t)
+    {
+        panic_if(mask == BitVec{}, "pair rotation with empty support");
+        const BitVec pattern_minus = pattern_plus ^ mask;
+        const double c = std::cos(t);
+        const Complex ms = Complex{0.0, -1.0} * std::sin(t);
+
+        // Snapshot the keys: the rotation creates partners not yet in
+        // the map.
+        std::vector<BitVec> keys;
+        keys.reserve(amps_.size());
+        std::unordered_set<BitVec, BitVecHash> populated;
+        populated.reserve(amps_.size());
+        for (const auto &[x, _] : amps_) {
+            keys.push_back(x);
+            populated.insert(x);
+        }
+
+        for (const BitVec &x : keys) {
+            BitVec restricted = x & mask;
+            if (restricted != pattern_plus && restricted != pattern_minus)
+                continue; // dark state: H^tau annihilates it.
+            BitVec y = x ^ mask;
+            // Process each unordered pair exactly once: from its
+            // pattern_plus member, or from the minus member when the
+            // plus member was not populated.
+            if (restricted == pattern_minus && populated.count(y))
+                continue;
+            Complex ax = amplitude(x);
+            Complex ay = amplitude(y);
+            amps_[x] = c * ax + ms * ay;
+            amps_[y] = c * ay + ms * ax;
+        }
+        prune();
+    }
+
+  private:
+    int numQubits_;
+    Map amps_;
+};
+
+} // namespace rasengan::bench
+
+#endif // RASENGAN_BENCH_LEGACY_SPARSESTATE_H

@@ -71,8 +71,10 @@ Chocoq::exactExpectation(const std::vector<double> &params) const
 {
     qsim::SparseState state = simulate(params);
     double acc = 0.0;
-    for (const auto &[x, amp] : state.amplitudes())
-        acc += std::norm(amp) * problem_.objective(x);
+    const std::vector<BitVec> &keys = state.keys();
+    const auto &amps = state.amps();
+    for (size_t i = 0; i < keys.size(); ++i)
+        acc += std::norm(amps[i]) * problem_.objective(keys[i]);
     return acc;
 }
 

@@ -120,6 +120,12 @@ class BitVec
         return words_[0];
     }
 
+    /** Raw low word (bits 0-63), for hashing/serialization. */
+    uint64_t low64() const { return words_[0]; }
+
+    /** Raw high word (bits 64-127), for hashing/serialization. */
+    uint64_t high64() const { return words_[1]; }
+
     /** First @p n bits as a 0/1 vector. */
     std::vector<int>
     toVector(int n) const

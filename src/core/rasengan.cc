@@ -67,6 +67,109 @@ RasenganSolver::RasenganSolver(problems::Problem problem,
     }
 }
 
+qsim::SparseState
+RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
+                              const std::vector<double> &times) const
+{
+    const Segment &seg = segments_[seg_index];
+    const int n = problem_.numVars();
+    const double threshold = options_.sparsePruneThreshold;
+    const double *seg_times = times.data() + seg.firstStep;
+
+    auto direct = [&](qsim::SparseSegmentPlan *plan) {
+        qsim::SparseState sim(n, init);
+        const uint64_t epoch0 = sim.supportEpoch();
+        for (int k = 0; k < seg.stepCount; ++k) {
+            qsim::SparseStepPlan *step = nullptr;
+            if (plan != nullptr)
+                step = &plan->steps.emplace_back();
+            transitions_[chain_.steps[seg.firstStep + k]].applyTo(
+                sim, seg_times[k], threshold, step);
+        }
+        if (plan != nullptr) {
+            // Pruning during recording means the captured index
+            // structure tracked THIS angle vector's support collapse --
+            // it is not angle-independent, so the plan must never
+            // replay.  (Replays of healthy plans re-detect this per
+            // angle vector and fall back; see replaySegmentPlan.)
+            if (sim.supportEpoch() != epoch0)
+                plan->replayable = false;
+            else
+                plan->finalKeys = sim.keys();
+        }
+        return sim;
+    };
+
+    if (!options_.cacheRotationPlans)
+        return direct(nullptr);
+
+    if (segmentStructures_.empty())
+        segmentStructures_.resize(segments_.size());
+    std::vector<std::pair<BitVec, BitVec>> &structure =
+        segmentStructures_[seg_index];
+    if (structure.empty()) {
+        structure.reserve(seg.stepCount);
+        for (int k = 0; k < seg.stepCount; ++k) {
+            const TransitionHamiltonian &tau =
+                transitions_[chain_.steps[seg.firstStep + k]];
+            structure.emplace_back(tau.mask(), tau.patternPlus());
+        }
+    }
+    const uint64_t fp = qsim::planStructureFingerprint(n, init, structure);
+
+    std::shared_ptr<const qsim::SparseSegmentPlan> plan;
+    if (auto it = planCache_.find(fp); it != planCache_.end()) {
+        plan = it->second;
+    } else {
+        auto record = [&]() {
+            auto fresh = std::make_shared<qsim::SparseSegmentPlan>();
+            fresh->numQubits = n;
+            fresh->initial = init;
+            fresh->steps.reserve(seg.stepCount);
+            qsim::SparseState sim = direct(fresh.get());
+            ++planStats_.recorded;
+            if (!fresh->replayable)
+                ++planStats_.invalidated;
+            planCache_.emplace(fp, fresh);
+            return std::pair{std::move(fresh), std::move(sim)};
+        };
+        if (options_.planStore) {
+            // Cross-job path: the store may already hold a plan recorded
+            // by another solver.  Recording runs lazily inside the
+            // store's getOrCompute, so a store hit skips the direct
+            // execution entirely (the replay below reproduces the
+            // state bit-identically).
+            std::optional<qsim::SparseState> recorded_sim;
+            plan = options_.planStore(fp, [&]() {
+                auto [fresh, sim] = record();
+                recorded_sim.emplace(std::move(sim));
+                return std::shared_ptr<const qsim::SparseSegmentPlan>(
+                    std::move(fresh));
+            });
+            planCache_[fp] = plan;
+            if (recorded_sim.has_value())
+                return std::move(*recorded_sim);
+        } else {
+            auto [fresh, sim] = record();
+            return sim;
+        }
+    }
+
+    if (plan && plan->replayable) {
+        auto replayed =
+            qsim::replaySegmentPlan(*plan, seg_times, threshold);
+        if (replayed.has_value()) {
+            ++planStats_.replayed;
+            return std::move(*replayed);
+        }
+        // These angles rotate some state below the prune threshold; the
+        // plan's structure no longer applies.  Keep the plan (other
+        // angle vectors may still replay) and run the direct kernels.
+        ++planStats_.aborted;
+    }
+    return direct(nullptr);
+}
+
 circuit::Circuit
 RasenganSolver::lowerSegment(const circuit::Circuit &circ) const
 {
@@ -125,7 +228,6 @@ RasenganSolver::sampleSegment(
     int seg_index, const std::vector<double> &times,
     const std::vector<std::pair<BitVec, uint64_t>> &alloc, Rng &rng) const
 {
-    const Segment &seg = segments_[seg_index];
     const int n = problem_.numVars();
     qsim::Counts raw;
     for (const auto &[state, state_shots] : alloc) {
@@ -143,11 +245,7 @@ RasenganSolver::sampleSegment(
             for (const auto &[y, cnt] : part.map())
                 raw.add(y, cnt);
         } else {
-            qsim::SparseState sim(n, state);
-            for (int pos = seg.firstStep;
-                 pos < seg.firstStep + seg.stepCount; ++pos) {
-                transitions_[chain_.steps[pos]].applyTo(sim, times[pos]);
-            }
+            qsim::SparseState sim = evolveSegment(seg_index, state, times);
             qsim::Counts part = sim.sample(rng, state_shots);
             if (options_.execution ==
                 RasenganOptions::Execution::NoisyInjected) {
@@ -238,16 +336,13 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
             result.prePurifyFeasibleFraction = cp.prePurifyFeasibleFraction;
         }
         for (int s = first_seg; s < num_segments; ++s) {
-            const Segment &seg = segments_[s];
             ProbMap out;
             for (const auto &[state, p] : dist) {
-                qsim::SparseState sim(n, state);
-                for (int pos = seg.firstStep;
-                     pos < seg.firstStep + seg.stepCount; ++pos) {
-                    transitions_[chain_.steps[pos]].applyTo(sim, times[pos]);
-                }
-                for (const auto &[y, amp] : sim.amplitudes())
-                    out[y] += p * std::norm(amp);
+                qsim::SparseState sim = evolveSegment(s, state, times);
+                const std::vector<BitVec> &keys = sim.keys();
+                const auto &amps = sim.amps();
+                for (size_t i = 0; i < keys.size(); ++i)
+                    out[keys[i]] += p * std::norm(amps[i]);
             }
             // Purification (Section 4.3): validate C x = b, drop the rest.
             double feasible_mass = 0.0, total_mass = 0.0;
@@ -285,6 +380,10 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
             }
         }
         result.entries.assign(dist.begin(), dist.end());
+        // Ascending state order: callers' expectation sums and the
+        // best-outcome tie-break must not depend on hash layout, so a
+        // checkpoint-resumed run reports the identical solution.
+        std::sort(result.entries.begin(), result.entries.end());
         return result;
     }
 
@@ -448,6 +547,7 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
     for (const auto &[y, cnt] : dist)
         result.entries.emplace_back(
             y, static_cast<double>(cnt) / static_cast<double>(total));
+    std::sort(result.entries.begin(), result.entries.end());
     return result;
 }
 

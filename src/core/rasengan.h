@@ -25,10 +25,12 @@
 #ifndef RASENGAN_CORE_RASENGAN_H
 #define RASENGAN_CORE_RASENGAN_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/transpile.h"
@@ -42,6 +44,8 @@
 #include "opt/optimizer.h"
 #include "problems/problem.h"
 #include "qsim/noise.h"
+#include "qsim/sparseplan.h"
+#include "qsim/sparsestate.h"
 
 namespace rasengan::core {
 
@@ -95,6 +99,23 @@ struct RasenganOptions
         circuit::TranspileMode::AncillaLadder;
     int rounds = -1;               ///< chain rounds; -1 = m (Theorem 1)
     size_t maxTrackedStates = size_t{1} << 20; ///< pruning reachability cap
+    /**
+     * Record the index-space structure of every sparse segment evolution
+     * the first time it runs and replay it on later executions of the
+     * same (segment, input state) -- the structure depends only on the
+     * circuit, not the evolution times, so the optimizer's hundreds of
+     * iterations skip partner searches and key merges entirely.  Replay
+     * is bit-identical to direct execution: a plan is invalidated when
+     * pruning changed the support while recording, and replay falls back
+     * to the direct kernels the moment the current angles would prune.
+     */
+    bool cacheRotationPlans = true;
+    /**
+     * Post-rotation prune threshold on |amplitude|^2 forwarded to every
+     * sparse kernel invocation (<= 0 disables pruning entirely, keeping
+     * exact zeros in the support).
+     */
+    double sparsePruneThreshold = qsim::SparseState::kDefaultPruneThreshold;
     /// @}
 
     /** Device whose durations drive the quantum-latency estimate. */
@@ -122,6 +143,20 @@ struct RasenganOptions
     std::function<circuit::Circuit(const circuit::Circuit &,
                                    const circuit::TranspileOptions &)>
         lowerCircuit;
+    /**
+     * Optional cross-job rotation-plan store: when set, evolveSegment
+     * resolves recorded segment plans through this hook (the serve layer
+     * points it at its content-addressed ArtifactCache under the
+     * "spplan" domain) instead of only the solver-local memo.  Keyed by
+     * planStructureFingerprint, so two jobs solving the same problem
+     * share partner-index plans.  Purely a performance hint: results
+     * are bit-identical with or without it.
+     */
+    std::function<std::shared_ptr<const qsim::SparseSegmentPlan>(
+        uint64_t fingerprint,
+        const std::function<
+            std::shared_ptr<const qsim::SparseSegmentPlan>()> &make)>
+        planStore;
     /// @}
 
     /// @name Resilience (src/exec)
@@ -186,7 +221,10 @@ struct ExecHooks
 /** Final output distribution of one pipeline execution. */
 struct RasenganDistribution
 {
-    std::vector<std::pair<BitVec, double>> entries; ///< state, probability
+    /** (state, probability) in ascending state order — deterministic, so
+     *  equal-objective tie-breaks and FP accumulation over the entries do
+     *  not depend on hash-map layout (live vs checkpoint-resumed runs). */
+    std::vector<std::pair<BitVec, double>> entries;
     bool failed = false; ///< purification emptied a segment's output
     bool aborted = false; ///< stopped early by ExecHooks::stopAfterSegment
     double prePurifyFeasibleFraction = 1.0; ///< feasible mass before purify
@@ -216,6 +254,18 @@ struct RasenganResult
     bool resumed = false; ///< produced from a checkpoint, training skipped
     exec::ExecStats execStats;     ///< retries/failures/backoff summary
     exec::DegradationLevel degradation = exec::DegradationLevel::Full;
+};
+
+/** Rotation-plan cache effectiveness counters (see planStats()). */
+struct PlanStats
+{
+    uint64_t recorded = 0;    ///< segment plans built by direct execution
+    uint64_t replayed = 0;    ///< segment evolutions served from a plan
+    uint64_t aborted = 0;     ///< replays that hit a prune and fell back
+    uint64_t invalidated = 0; ///< plans unusable (pruning during record)
+
+    uint64_t hits() const { return replayed; }
+    uint64_t misses() const { return recorded + aborted + invalidated; }
 };
 
 class RasenganSolver
@@ -268,6 +318,9 @@ class RasenganSolver
      */
     exec::ResilientExecutor &executor() const { return *executor_; }
 
+    /** Rotation-plan cache counters accumulated across executions. */
+    const PlanStats &planStats() const { return planStats_; }
+
   private:
     /** transpile() via options_.lowerCircuit when set (serve memo). */
     circuit::Circuit lowerSegment(const circuit::Circuit &circ) const;
@@ -283,6 +336,14 @@ class RasenganSolver
                                const std::vector<std::pair<BitVec,
                                    uint64_t>> &alloc,
                                Rng &rng) const;
+    /**
+     * Evolve |init> through segment @p seg_index at the given times --
+     * the single sparse-evolution entry point shared by the exact and
+     * sampled backends.  Uses the rotation-plan cache when enabled;
+     * always bit-identical to the direct kernels.
+     */
+    qsim::SparseState evolveSegment(int seg_index, const BitVec &init,
+                                    const std::vector<double> &times) const;
 
     problems::Problem problem_;
     RasenganOptions options_;
@@ -291,6 +352,21 @@ class RasenganSolver
     std::vector<Segment> segments_;
     std::unique_ptr<exec::ResilientExecutor> executor_;
     mutable std::vector<double> segmentSeconds_; ///< latency cache
+    /**
+     * Solver-local rotation-plan memo keyed by structural fingerprint.
+     * Like executor_, this is per-solver mutable state: a solver
+     * instance is driven from one thread at a time (the serve layer
+     * builds one solver per job), so no synchronization is needed.
+     * An entry may be marked !replayable; it is kept to suppress
+     * repeated recording attempts.
+     */
+    mutable std::unordered_map<uint64_t,
+                               std::shared_ptr<const qsim::SparseSegmentPlan>>
+        planCache_;
+    mutable PlanStats planStats_;
+    /** Lazily built per-segment (mask, pattern) lists for fingerprints. */
+    mutable std::vector<std::vector<std::pair<BitVec, BitVec>>>
+        segmentStructures_;
 };
 
 } // namespace rasengan::core

@@ -40,12 +40,15 @@ TransitionHamiltonian::partner(const BitVec &x) const
 }
 
 void
-TransitionHamiltonian::applyTo(qsim::SparseState &state, double t) const
+TransitionHamiltonian::applyTo(qsim::SparseState &state, double t,
+                               double prune_threshold,
+                               qsim::SparseStepPlan *record) const
 {
     panic_if(state.numQubits() < numVars(),
              "state has {} qubits, transition needs {}", state.numQubits(),
              numVars());
-    state.applyPairRotation(mask_, patternPlus_, t);
+    state.applyPairRotation(mask_, patternPlus_, t, prune_threshold,
+                            record);
 }
 
 void

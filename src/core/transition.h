@@ -57,8 +57,17 @@ class TransitionHamiltonian
     /** True when applying the transition to |x> can produce a new state. */
     bool applicable(const BitVec &x) const { return partner(x).has_value(); }
 
-    /** Exact evolution e^{-i H^tau t} on a sparse state (Equation 6). */
-    void applyTo(qsim::SparseState &state, double t) const;
+    /**
+     * Exact evolution e^{-i H^tau t} on a sparse state (Equation 6).
+     * @p prune_threshold and @p record forward to
+     * SparseState::applyPairRotation: the threshold drops states rotated
+     * below it (<= 0 keeps everything), the optional plan records the
+     * rotation's angle-independent index structure for replay.
+     */
+    void applyTo(qsim::SparseState &state, double t,
+                 double prune_threshold =
+                     qsim::SparseState::kDefaultPruneThreshold,
+                 qsim::SparseStepPlan *record = nullptr) const;
 
     /**
      * Append the transition operator tau(u, t) to @p circ: X conjugation

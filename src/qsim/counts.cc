@@ -1,10 +1,21 @@
 #include "qsim/counts.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 
 namespace rasengan::qsim {
+
+std::vector<std::pair<BitVec, uint64_t>>
+Counts::sorted() const
+{
+    std::vector<std::pair<BitVec, uint64_t>> entries(counts_.begin(),
+                                                     counts_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return entries;
+}
 
 AliasTable::AliasTable(const std::vector<double> &weights)
 {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -37,6 +38,16 @@ class Counts
     bool empty() const { return total_ == 0; }
     size_t distinct() const { return counts_.size(); }
 
+    /**
+     * Entries in ascending BitVec order.  Every serialization path
+     * (JSONL results, bench dumps) and every floating-point
+     * accumulation over a histogram must use this instead of map():
+     * unordered_map iteration order is hash-seed/platform dependent, so
+     * walking it directly makes output bytes and FP summation order
+     * irreproducible across builds.
+     */
+    std::vector<std::pair<BitVec, uint64_t>> sorted() const;
+
     /** Empirical probability of @p outcome. */
     double
     probability(const BitVec &outcome) const
@@ -50,14 +61,18 @@ class Counts
                          static_cast<double>(total_);
     }
 
-    /** Expectation of a per-outcome scalar under the empirical law. */
+    /**
+     * Expectation of a per-outcome scalar under the empirical law.
+     * Accumulated in ascending outcome order so the floating-point sum
+     * is independent of the hash layout.
+     */
     double
     expectation(const std::function<double(const BitVec &)> &value) const
     {
         if (total_ == 0)
             return 0.0;
         double acc = 0.0;
-        for (const auto &[outcome, n] : counts_)
+        for (const auto &[outcome, n] : sorted())
             acc += value(outcome) * static_cast<double>(n);
         return acc / static_cast<double>(total_);
     }

@@ -310,6 +310,39 @@ BatchScheduler::solveRasengan(const PendingJob &job,
             };
     }
 
+    // Sparse rotation plans: keyed by the segment's structural
+    // fingerprint (qubits + initial support + transition masks), shared
+    // across jobs solving the same problem so only the first one pays
+    // for partner searches and key merges.  A plan recorded while
+    // pruning fired is stored !replayable; since angles differ per job
+    // seed, two jobs can legitimately race to publish different values
+    // for that marker -- first-publish-wins is fine because plans are a
+    // performance hint, never a correctness input (results stay
+    // bit-identical with the hook on or off, or with the cache cold).
+    {
+        std::shared_ptr<ArtifactCache> cache = cache_;
+        ArtifactCache::LookupCounters *ctr = &counters;
+        opts.planStore =
+            [cache, ctr](uint64_t fingerprint,
+                         const std::function<std::shared_ptr<
+                             const qsim::SparseSegmentPlan>()> &make) {
+                char payload[32];
+                std::snprintf(payload, sizeof(payload), "%016llx",
+                              static_cast<unsigned long long>(fingerprint));
+                CacheKey key = makeKey("spplan", payload);
+                return cache->getOrCompute<qsim::SparseSegmentPlan>(
+                    key,
+                    [&make]()
+                        -> std::pair<
+                            std::shared_ptr<const qsim::SparseSegmentPlan>,
+                            uint64_t> {
+                        auto built = make();
+                        return {built, built->approxBytes()};
+                    },
+                    ctr);
+            };
+    }
+
     core::RasenganSolver solver(job.problem, opts);
     core::RasenganResult r = solver.run();
 
@@ -377,29 +410,20 @@ BatchScheduler::solveBaseline(const PendingJob &job)
     out.telemetry.degradation =
         exec::degradationLevelName(r.degradation);
 
-    // Best feasible outcome, tie-broken deterministically by bitstring
-    // (the counts map's iteration order is implementation-defined).
+    // Best feasible outcome.  Walking Counts::sorted() makes the
+    // objective tie-break deterministic for free: the first outcome
+    // seen at the best objective is the smallest bitstring.
     bool found = false;
-    BitVec best;
-    double bestObjective = 0.0;
-    std::string bestBits;
-    for (const auto &[outcome, n] : r.counts.map()) {
+    for (const auto &[outcome, n] : r.counts.sorted()) {
         (void)n;
         if (!job.problem.isFeasible(outcome))
             continue;
         double obj = job.problem.objective(outcome);
-        std::string bits = outcome.toString(numVars);
-        if (!found || obj < bestObjective ||
-            (obj == bestObjective && bits < bestBits)) {
+        if (!found || obj < out.objective) {
             found = true;
-            best = outcome;
-            bestObjective = obj;
-            bestBits = bits;
+            out.solution = outcome.toString(numVars);
+            out.objective = obj;
         }
-    }
-    if (found) {
-        out.solution = bestBits;
-        out.objective = bestObjective;
     }
     return out;
 }

@@ -247,9 +247,10 @@ TEST(TransitionCircuit, FeasibleStatesStayFeasible)
     for (int round = 0; round < 3; ++round)
         for (const auto &tau : transitions)
             tau.applyTo(s, rng.uniformReal(0.1, 1.4));
-    for (const auto &[x, amp] : s.amplitudes()) {
-        if (std::norm(amp) > 1e-18) {
-            EXPECT_TRUE(p.isFeasible(x)) << x.toString(p.numVars());
+    for (size_t i = 0; i < s.keys().size(); ++i) {
+        if (std::norm(s.amps()[i]) > 1e-18) {
+            EXPECT_TRUE(p.isFeasible(s.keys()[i]))
+                << s.keys()[i].toString(p.numVars());
         }
     }
 }
