@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Observability overhead harness (BENCH_obs.json).
+ *
+ * Answers the question the profiling hooks were designed around: what
+ * does instrumentation cost when it is OFF?  Three measurements:
+ *
+ *  1. span_disabled_call: per-call cost of a RASENGAN_PROF span with
+ *     tracing disabled (the advertised price: one relaxed atomic load
+ *     and a branch), measured against an identical loop with no span.
+ *  2. kernel_workload: a kernel-sized unit of work (a rotation pass
+ *     over a 4096-amplitude vector, the granularity at which the real
+ *     kernels are instrumented) with and without a wrapping span, at
+ *     tracing disabled and enabled.  disabled_overhead_pct is the
+ *     number CI gates at <= 1%.
+ *  3. solver_trace: a full F1 solve with tracing off vs on -- the
+ *     end-to-end price of recording a complete trace, plus the event
+ *     count a solve produces.
+ *
+ * Knobs: RASENGAN_BENCH_FAST=1 shrinks repeats for CI smoke runs;
+ * RASENGAN_BENCH_JSON overrides the output path.
+ */
+
+#include <algorithm>
+#include <complex>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/rasengan.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
+#include "problems/suite.h"
+
+using namespace rasengan;
+
+namespace {
+
+struct Record
+{
+    std::string kernel;
+    std::string variant;
+    int repeats = 0;
+    double medianMs = 0.0;
+    double minMs = 0.0;
+    /** Optional extras rendered verbatim (", key: value" pairs). */
+    std::string extra;
+};
+
+std::vector<Record> g_records;
+
+double
+median(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+}
+
+double
+minOfVec(const std::vector<double> &xs)
+{
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+void
+record(const std::string &kernel, const std::string &variant, int repeats,
+       const std::vector<double> &ms, std::string extra = "")
+{
+    g_records.push_back(
+        {kernel, variant, repeats, median(ms), minOfVec(ms),
+         std::move(extra)});
+    std::printf("%-24s %-22s median %10.4f ms  min %10.4f ms%s\n",
+                kernel.c_str(), variant.c_str(), g_records.back().medianMs,
+                g_records.back().minMs, extra.empty() ? "" : extra.c_str());
+}
+
+void
+writeJson(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"obs\",\n  \"records\": [\n");
+    for (size_t i = 0; i < g_records.size(); ++i) {
+        const Record &r = g_records[i];
+        std::fprintf(f,
+                     "    {\"kernel\": \"%s\", \"variant\": \"%s\", "
+                     "\"repeats\": %d, \"median_ms\": %.6f, "
+                     "\"min_ms\": %.6f%s}%s\n",
+                     r.kernel.c_str(), r.variant.c_str(), r.repeats,
+                     r.medianMs, r.minMs, r.extra.c_str(),
+                     i + 1 < g_records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", g_records.size(),
+                path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------
+
+constexpr size_t kAmps = 4096;
+
+/**
+ * One kernel-sized unit of work: a phase-rotation pass.  noinline so
+ * both template instantiations of passes() call the exact same code
+ * and the A/B measures only the span, not codegen divergence.
+ */
+__attribute__((noinline)) double
+rotationPass(std::vector<std::complex<double>> &amps, double angle)
+{
+    const std::complex<double> phase(std::cos(angle), std::sin(angle));
+    double norm = 0.0;
+    for (std::complex<double> &a : amps) {
+        a *= phase;
+        norm += std::norm(a);
+    }
+    return norm;
+}
+
+template <bool WithSpan>
+double
+passes(std::vector<std::complex<double>> &amps, int n)
+{
+    double sink = 0.0;
+    for (int i = 0; i < n; ++i) {
+        if constexpr (WithSpan) {
+            RASENGAN_PROF("bench", "rotation-pass");
+            sink += rotationPass(amps, 1e-3 * (i + 1));
+        } else {
+            sink += rotationPass(amps, 1e-3 * (i + 1));
+        }
+    }
+    return sink;
+}
+
+/** Per-call disabled-span cost against an empty-body loop (ns). */
+double
+benchDisabledCall(int repeats)
+{
+    constexpr int kCalls = 4'000'000;
+    volatile uint64_t sink = 0;
+
+    // Warmup.
+    for (int i = 0; i < kCalls; ++i) {
+        RASENGAN_PROF("bench", "empty");
+        sink = sink + 1;
+    }
+
+    std::vector<double> plainMs, spanMs;
+    for (int r = 0; r < repeats; ++r) {
+        Stopwatch sw;
+        sw.start();
+        for (int i = 0; i < kCalls; ++i)
+            sink = sink + 1;
+        sw.stop();
+        plainMs.push_back(sw.milliseconds());
+
+        sw.reset();
+        sw.start();
+        for (int i = 0; i < kCalls; ++i) {
+            RASENGAN_PROF("bench", "empty");
+            sink = sink + 1;
+        }
+        sw.stop();
+        spanMs.push_back(sw.milliseconds());
+    }
+    const double perCallNs =
+        (minOfVec(spanMs) - minOfVec(plainMs)) * 1e6 / kCalls;
+    char extra[96];
+    std::snprintf(extra, sizeof(extra), ", \"per_call_ns\": %.3f",
+                  perCallNs);
+    record("span_disabled_call", "plain_loop", repeats, plainMs);
+    record("span_disabled_call", "span_loop", repeats, spanMs, extra);
+    std::printf("  disabled span per call: %.3f ns\n", perCallNs);
+    return perCallNs;
+}
+
+/**
+ * Kernel-granularity measurement.  The direct A/B difference between
+ * the no-span and span-with-tracing-off variants sits well below
+ * run-to-run noise (several percent either way), so the committed
+ * disabled_overhead_pct is the stable derived bound: the per-call span
+ * cost measured by benchDisabledCall divided by the time one
+ * kernel-sized unit of work takes.  The raw A/B delta is still
+ * reported (direct_ab_pct) as evidence it is noise-bounded.
+ */
+double
+benchKernelWorkload(int repeats, int passesPerRep, double perCallNs)
+{
+    std::vector<std::complex<double>> amps(kAmps, {1.0, 0.5});
+    double sink = 0.0;
+
+    // Warm both instantiations (caches, frequency) before timing.
+    sink += passes<false>(amps, passesPerRep);
+    sink += passes<true>(amps, passesPerRep);
+
+    std::vector<double> noSpanMs, offMs, onMs;
+    auto timeOne = [&](std::vector<double> &out, bool with_span) {
+        Stopwatch sw;
+        sw.start();
+        sink += with_span ? passes<true>(amps, passesPerRep)
+                          : passes<false>(amps, passesPerRep);
+        sw.stop();
+        out.push_back(sw.milliseconds());
+    };
+    for (int r = 0; r < repeats; ++r) {
+        // Alternate the A/B order per rep so neither variant always
+        // pays the post-gap warmup position.
+        if (r % 2 == 0) {
+            timeOne(noSpanMs, false);
+            timeOne(offMs, true); // tracing disabled
+        } else {
+            timeOne(offMs, true);
+            timeOne(noSpanMs, false);
+        }
+
+        obs::clearTrace();
+        obs::startTracing();
+        timeOne(onMs, true);
+        obs::stopTracing();
+    }
+    const size_t events = obs::traceEventCount();
+    obs::clearTrace();
+
+    // Best-of-N (min) is the robust estimator for identical work.
+    const double perPassNs =
+        minOfVec(noSpanMs) * 1e6 / static_cast<double>(passesPerRep);
+    const double disabledPct = perCallNs / perPassNs * 100.0;
+    const double directAbPct =
+        (minOfVec(offMs) - minOfVec(noSpanMs)) / minOfVec(noSpanMs) * 100.0;
+    const double enabledPct =
+        (minOfVec(onMs) - minOfVec(noSpanMs)) / minOfVec(noSpanMs) * 100.0;
+
+    record("kernel_workload", "no_span", repeats, noSpanMs);
+    char extra[128];
+    std::snprintf(extra, sizeof(extra),
+                  ", \"disabled_overhead_pct\": %.4f, "
+                  "\"direct_ab_pct\": %.4f",
+                  disabledPct, directAbPct);
+    record("kernel_workload", "span_tracing_off", repeats, offMs, extra);
+    std::snprintf(extra, sizeof(extra),
+                  ", \"enabled_overhead_pct\": %.4f, \"events\": %zu",
+                  enabledPct, events);
+    record("kernel_workload", "span_tracing_on", repeats, onMs, extra);
+    std::printf("  disabled overhead %.4f%% (direct A/B %+.4f%%), "
+                "enabled overhead %+.4f%% (sink %.3f)\n",
+                disabledPct, directAbPct, enabledPct, sink);
+    return disabledPct;
+}
+
+/** End-to-end: tracing a whole solve. */
+void
+benchSolverTrace(int repeats)
+{
+    problems::Problem p = problems::makeBenchmark("F1");
+    core::RasenganOptions opts;
+    opts.maxIterations = bench::fastMode() ? 10 : 30;
+
+    std::vector<double> offMs, onMs;
+    size_t events = 0;
+    for (int r = 0; r < repeats; ++r) {
+        Stopwatch sw;
+        sw.start();
+        core::RasenganSolver(p, opts).run();
+        sw.stop();
+        offMs.push_back(sw.milliseconds());
+
+        obs::clearTrace();
+        obs::startTracing();
+        sw.reset();
+        sw.start();
+        core::RasenganSolver(p, opts).run();
+        sw.stop();
+        obs::stopTracing();
+        onMs.push_back(sw.milliseconds());
+        events = obs::traceEventCount();
+    }
+    obs::clearTrace();
+
+    const double enabledPct =
+        (minOfVec(onMs) - minOfVec(offMs)) / minOfVec(offMs) * 100.0;
+    record("solver_trace", "tracing_off", repeats, offMs);
+    char extra[96];
+    std::snprintf(extra, sizeof(extra),
+                  ", \"enabled_overhead_pct\": %.4f, \"events\": %zu",
+                  enabledPct, events);
+    record("solver_trace", "tracing_on", repeats, onMs, extra);
+    std::printf("  solver trace: %zu events, enabled overhead %.4f%%\n",
+                events, enabledPct);
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool fast = bench::fastMode();
+    const int repeats = fast ? 3 : 7;
+    std::printf("obs overhead bench: %d repeats%s\n\n", repeats,
+                fast ? " (fast mode)" : "");
+
+    parallel::setThreadCount(1); // single thread: cleanest timing
+
+    const double perCallNs = benchDisabledCall(repeats);
+    const double disabledPct =
+        benchKernelWorkload(repeats, fast ? 1000 : 4000, perCallNs);
+    benchSolverTrace(repeats);
+
+    parallel::setThreadCount(0);
+
+    const char *env = std::getenv("RASENGAN_BENCH_JSON");
+    writeJson(env && *env ? env : "BENCH_obs.json");
+
+    if (disabledPct > 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: disabled-path overhead %.4f%% exceeds 1%%\n",
+                     disabledPct);
+        return 1;
+    }
+    std::printf("disabled-path overhead %.4f%% within the 1%% budget\n",
+                disabledPct);
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 
 namespace rasengan::circuit {
 
@@ -196,6 +197,7 @@ fuseCircuit(const Circuit &circ)
     fatal_if(circ.numQubits() > 64,
              "gate fusion supports up to 64 qubits, got {}",
              circ.numQubits());
+    RASENGAN_PROF("transpile", "fuse");
     return Fuser(circ)(circ);
 }
 

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 
 namespace rasengan::circuit {
 
@@ -179,6 +180,7 @@ paperTransitionCxCost(int k)
 Circuit
 transpile(const Circuit &input, const TranspileOptions &opts)
 {
+    RASENGAN_PROF("transpile", "transpile");
     // Size the ancilla pool for the widest multi-controlled gate.
     int max_anc = 0;
     if (opts.mode == TranspileMode::AncillaLadder) {

@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,20 +9,68 @@ namespace rasengan {
 
 namespace {
 
-std::atomic<LogLevel> globalLevel{LogLevel::Inform};
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("RASENGAN_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Inform;
+    return parseLogLevel(env, LogLevel::Inform);
+}
+
+std::atomic<LogLevel> &
+globalLevel()
+{
+    // Meyer's singleton so the getenv read happens on first use, not at
+    // an unspecified point in static initialisation order.
+    static std::atomic<LogLevel> level{initialLevel()};
+    return level;
+}
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel.store(level, std::memory_order_relaxed);
+    globalLevel().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel.load(std::memory_order_relaxed);
+    return globalLevel().load(std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &text, LogLevel fallback)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "silent" || lower == "0")
+        return LogLevel::Silent;
+    if (lower == "warn" || lower == "1")
+        return LogLevel::Warn;
+    if (lower == "inform" || lower == "info" || lower == "2")
+        return LogLevel::Inform;
+    if (lower == "debug" || lower == "3")
+        return LogLevel::Debug;
+    return fallback;
+}
+
+LogTail &
+LogTail::kvText(const char *key, const std::string &value)
+{
+    tail_ += " ";
+    tail_ += key;
+    tail_ += "=";
+    if (value.find(' ') != std::string::npos)
+        tail_ += "\"" + value + "\"";
+    else
+        tail_ += value;
+    return *this;
 }
 
 namespace detail {

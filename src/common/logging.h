@@ -27,8 +27,49 @@ enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
 /** Set the global verbosity threshold (default: Inform). */
 void setLogLevel(LogLevel level);
 
-/** Current global verbosity threshold. */
+/**
+ * Current global verbosity threshold.  The initial value honours the
+ * RASENGAN_LOG_LEVEL environment variable (silent/warn/inform/debug or
+ * 0-3, case-insensitive; unrecognised values keep the Inform default).
+ */
 LogLevel logLevel();
+
+/** Parse a level name or digit; returns fallback when unrecognised. */
+LogLevel parseLogLevel(const std::string &text, LogLevel fallback);
+
+/**
+ * Structured key=value tail appended to a log line, for output that is
+ * both human-readable and machine-greppable:
+ *
+ *     warn(LogTail().kv("attempt", 3).kv("backoff_s", 0.25),
+ *          "executor retrying");
+ *     // -> warn: executor retrying attempt=3 backoff_s=0.25
+ *
+ * Values render through operator<<; values containing spaces are
+ * quoted so the tail stays splittable on whitespace.
+ */
+class LogTail
+{
+  public:
+    template <typename T>
+    LogTail &
+    kv(const char *key, const T &value)
+    {
+        std::ostringstream os;
+        os << value;
+        return kvText(key, os.str());
+    }
+
+    LogTail &kvText(const char *key, const std::string &value);
+
+    bool empty() const { return tail_.empty(); }
+
+    /** " k1=v1 k2=v2" (leading space) or "" when empty. */
+    const std::string &render() const { return tail_; }
+
+  private:
+    std::string tail_;
+};
 
 namespace detail {
 
@@ -107,6 +148,16 @@ warn(const char *fmt, Args &&...args)
         detail::warnImpl(detail::format(fmt, std::forward<Args>(args)...));
 }
 
+/** Print a warning with a structured key=value tail. */
+template <typename... Args>
+void
+warn(const LogTail &tail, const char *fmt, Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::format(fmt, std::forward<Args>(args)...) +
+                         tail.render());
+}
+
 /** Print an informational message (level >= Inform). */
 template <typename... Args>
 void
@@ -114,6 +165,16 @@ inform(const char *fmt, Args &&...args)
 {
     if (logLevel() >= LogLevel::Inform)
         detail::informImpl(detail::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Print an informational message with a structured key=value tail. */
+template <typename... Args>
+void
+inform(const LogTail &tail, const char *fmt, Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::informImpl(detail::format(fmt, std::forward<Args>(args)...) +
+                           tail.render());
 }
 
 /** Print a debug message (level >= Debug). */

@@ -60,6 +60,21 @@ percentile(std::vector<double> xs, double p)
 }
 
 double
+exactRankPercentile(std::vector<double> xs, double p)
+{
+    fatal_if(xs.empty(), "percentile of empty sample");
+    fatal_if(p < 0.0 || p > 100.0, "percentile {} out of [0,100]", p);
+    std::sort(xs.begin(), xs.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+    if (rank == 0)
+        rank = 1;
+    // ceil can overshoot n when p is within rounding error of 100.
+    rank = std::min(rank, xs.size());
+    return xs[rank - 1];
+}
+
+double
 minOf(const std::vector<double> &xs)
 {
     double m = std::numeric_limits<double>::infinity();

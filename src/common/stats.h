@@ -21,11 +21,25 @@ double stddev(const std::vector<double> &xs);
 double geomean(const std::vector<double> &xs);
 
 /**
- * Linear-interpolated percentile.
+ * Linear-interpolated percentile (type R-7, the numpy default).
+ * Interpolation biases tail percentiles toward the interior on small
+ * samples (p99 of 10 points lands between the 9th and 10th order
+ * statistics); use exactRankPercentile() when a reported tail value
+ * must be an actually observed sample.
  * @param xs sample (not required to be sorted)
  * @param p  percentile in [0, 100]
  */
 double percentile(std::vector<double> xs, double p);
+
+/**
+ * Nearest-rank (exact) percentile: the smallest sample value such that
+ * at least p% of the sample is <= it -- rank ceil(p/100 * n), so the
+ * result is always a member of @p xs and p99 of 10 samples is the max.
+ * p = 0 returns the minimum.
+ * @param xs sample (not required to be sorted)
+ * @param p  percentile in [0, 100]
+ */
+double exactRankPercentile(std::vector<double> xs, double p);
 
 /** Minimum; +inf for an empty sample. */
 double minOf(const std::vector<double> &xs);

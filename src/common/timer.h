@@ -1,12 +1,16 @@
 /**
  * @file
  * Wall-clock stopwatch used for the classical-latency measurements.
+ *
+ * Reads time through obs::nowNanos() -- the one wall-clock seam shared
+ * with trace/metric timestamps -- so a test that pins the obs time
+ * source sees deterministic stopwatch readings too.
  */
 
 #ifndef RASENGAN_COMMON_TIMER_H
 #define RASENGAN_COMMON_TIMER_H
 
-#include <chrono>
+#include "obs/clock.h"
 
 namespace rasengan {
 
@@ -22,7 +26,7 @@ class Stopwatch
     start()
     {
         if (!running_) {
-            begin_ = Clock::now();
+            begin_ = obs::nowNanos();
             running_ = true;
         }
     }
@@ -31,7 +35,7 @@ class Stopwatch
     stop()
     {
         if (running_) {
-            accum_ += Clock::now() - begin_;
+            accum_ += obs::nowNanos() - begin_;
             running_ = false;
         }
     }
@@ -39,7 +43,7 @@ class Stopwatch
     void
     reset()
     {
-        accum_ = Duration::zero();
+        accum_ = 0;
         running_ = false;
     }
 
@@ -47,20 +51,17 @@ class Stopwatch
     double
     seconds() const
     {
-        Duration total = accum_;
+        obs::TimeNanos total = accum_;
         if (running_)
-            total += Clock::now() - begin_;
-        return std::chrono::duration<double>(total).count();
+            total += obs::nowNanos() - begin_;
+        return static_cast<double>(total) * 1e-9;
     }
 
     double milliseconds() const { return seconds() * 1e3; }
 
   private:
-    using Clock = std::chrono::steady_clock;
-    using Duration = Clock::duration;
-
-    Duration accum_ = Duration::zero();
-    Clock::time_point begin_{};
+    obs::TimeNanos accum_ = 0;
+    obs::TimeNanos begin_ = 0;
     bool running_ = false;
 };
 

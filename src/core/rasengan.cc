@@ -10,6 +10,8 @@
 #include "common/timer.h"
 #include "core/basis.h"
 #include "device/mitigation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/cobyla.h"
 #include "problems/metrics.h"
 #include "qsim/sparsestate.h"
@@ -23,28 +25,66 @@ using ShotMap = std::unordered_map<BitVec, uint64_t, BitVecHash>;
 
 constexpr double kFailureScore = 1e18;
 
+/**
+ * Registry mirrors of the per-solver PlanStats counters.  The struct
+ * stays (tests and summaries read it per instance); the registry view
+ * aggregates across every solver in the process for export.
+ */
+struct PlanCounters
+{
+    obs::Counter &recorded = obs::Registry::global().counter(
+        "sparse_plan_recorded_total",
+        "Sparse rotation plans recorded from direct execution");
+    obs::Counter &replayed = obs::Registry::global().counter(
+        "sparse_plan_replayed_total",
+        "Segment evolutions served by replaying a cached plan");
+    obs::Counter &aborted = obs::Registry::global().counter(
+        "sparse_plan_aborted_total",
+        "Plan replays aborted by support collapse at these angles");
+    obs::Counter &invalidated = obs::Registry::global().counter(
+        "sparse_plan_invalidated_total",
+        "Plans marked non-replayable while recording");
+};
+
+PlanCounters &
+planCounters()
+{
+    static PlanCounters counters;
+    return counters;
+}
+
 } // namespace
 
 PipelineArtifacts
 buildPipelineArtifacts(const problems::Problem &problem,
                        const RasenganOptions &options)
 {
+    obs::Span pipeline_span("transition", "build-pipeline");
     PipelineArtifacts artifacts;
-    artifacts.transitions = makeTransitions(
-        transitionVectors(problem, options.simplify,
-                          options.maxTrackedStates));
+    {
+        obs::Span span("transition", "transition-set");
+        artifacts.transitions = makeTransitions(
+            transitionVectors(problem, options.simplify,
+                              options.maxTrackedStates));
+    }
 
     ChainOptions chain_opts;
     chain_opts.rounds = options.rounds;
     chain_opts.prune = options.prune;
     chain_opts.earlyStop = options.prune;
     chain_opts.maxTrackedStates = options.maxTrackedStates;
-    artifacts.chain = buildChain(artifacts.transitions,
-                                 problem.trivialFeasible(), chain_opts);
+    {
+        obs::Span span("transition", "build-chain");
+        artifacts.chain = buildChain(artifacts.transitions,
+                                     problem.trivialFeasible(), chain_opts);
+    }
 
-    artifacts.segments =
-        partitionChain(static_cast<int>(artifacts.chain.steps.size()),
-                       options.transitionsPerSegment);
+    {
+        obs::Span span("transition", "partition-chain");
+        artifacts.segments =
+            partitionChain(static_cast<int>(artifacts.chain.steps.size()),
+                           options.transitionsPerSegment);
+    }
     return artifacts;
 }
 
@@ -71,6 +111,10 @@ qsim::SparseState
 RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
                               const std::vector<double> &times) const
 {
+    // One span per evolution regardless of the record/replay branch
+    // taken below, so the span tree is independent of cache state.
+    obs::Span span("segment-evolve", "evolve",
+                   "seg=" + std::to_string(seg_index));
     const Segment &seg = segments_[seg_index];
     const int n = problem_.numVars();
     const double threshold = options_.sparsePruneThreshold;
@@ -128,8 +172,11 @@ RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
             fresh->steps.reserve(seg.stepCount);
             qsim::SparseState sim = direct(fresh.get());
             ++planStats_.recorded;
-            if (!fresh->replayable)
+            planCounters().recorded.inc();
+            if (!fresh->replayable) {
                 ++planStats_.invalidated;
+                planCounters().invalidated.inc();
+            }
             planCache_.emplace(fp, fresh);
             return std::pair{std::move(fresh), std::move(sim)};
         };
@@ -160,12 +207,14 @@ RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
             qsim::replaySegmentPlan(*plan, seg_times, threshold);
         if (replayed.has_value()) {
             ++planStats_.replayed;
+            planCounters().replayed.inc();
             return std::move(*replayed);
         }
         // These angles rotate some state below the prune threshold; the
         // plan's structure no longer applies.  Keep the plan (other
         // angle vectors may still replay) and run the direct kernels.
         ++planStats_.aborted;
+        planCounters().aborted.inc();
     }
     return direct(nullptr);
 }
@@ -293,6 +342,7 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
     panic_if(times.size() != chain_.steps.size(),
              "expected {} evolution times, got {}", chain_.steps.size(),
              times.size());
+    obs::Span span("solver", "execute");
     const int n = problem_.numVars();
     const int num_segments = static_cast<int>(segments_.size());
     RasenganDistribution result;
@@ -345,6 +395,10 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
                     out[keys[i]] += p * std::norm(amps[i]);
             }
             // Purification (Section 4.3): validate C x = b, drop the rest.
+            // The exact path never samples; this span is its analogue of
+            // the sampled path's measurement stage.
+            obs::Span sample_span("sample", "purify",
+                                  "seg=" + std::to_string(s));
             double feasible_mass = 0.0, total_mass = 0.0;
             for (const auto &[y, p] : out) {
                 total_mass += p;
@@ -671,6 +725,7 @@ RasenganSolver::summarize(const std::vector<double> &times,
 RasenganResult
 RasenganSolver::run()
 {
+    obs::Span span("solver", "run", problem_.id());
     Stopwatch wall;
     wall.start();
 
@@ -746,7 +801,11 @@ RasenganSolver::run()
     auto optimizer = opt::makeOptimizer(options_.optimizer, oo);
 
     std::vector<double> x0(params, options_.initialTime);
-    opt::OptResult training = optimizer->minimize(objective, x0);
+    opt::OptResult training;
+    {
+        obs::Span train_span("solver", "train");
+        training = optimizer->minimize(objective, x0);
+    }
     wall.stop();
 
     // Persist the trained evolution times before the final execution so

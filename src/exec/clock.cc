@@ -3,26 +3,18 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/clock.h"
+
 namespace rasengan::exec {
 
-namespace {
-
-double
-steadySeconds()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
-} // namespace
-
-WallClock::WallClock() : origin_(steadySeconds()) {}
+WallClock::WallClock() : origin_(obs::nowSeconds()) {}
 
 double
 WallClock::now() const
 {
-    return steadySeconds() - origin_;
+    // Same seam as trace/metric timestamps (obs::Clock) so exec timing
+    // and observability output never disagree about wall time.
+    return obs::nowSeconds() - origin_;
 }
 
 void

@@ -5,8 +5,42 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rasengan::exec {
+
+namespace {
+
+/** Process-wide mirrors of the per-executor ExecStats counters. */
+struct ExecCounters
+{
+    obs::Counter &executions = obs::Registry::global().counter(
+        "exec_executions_total", "Jobs submitted to the executor");
+    obs::Counter &attempts = obs::Registry::global().counter(
+        "exec_attempts_total", "Backend attempts including retries");
+    obs::Counter &retries = obs::Registry::global().counter(
+        "exec_retries_total", "Attempts after the first for a job");
+    obs::Counter &failures = obs::Registry::global().counter(
+        "exec_failures_total", "Jobs that exhausted every attempt");
+    obs::Counter &breakerTrips = obs::Registry::global().counter(
+        "exec_breaker_trips_total", "Circuit breaker Closed->Open trips");
+    obs::Counter &demotions = obs::Registry::global().counter(
+        "exec_demotions_total", "Degradation ladder steps taken");
+    obs::Counter &fallbacks = obs::Registry::global().counter(
+        "exec_fallbacks_total", "Jobs served by the clean fallback");
+    obs::Gauge &backoffSeconds = obs::Registry::global().gauge(
+        "exec_backoff_seconds", "Total backoff delay (virtual or wall)");
+};
+
+ExecCounters &
+execCounters()
+{
+    static ExecCounters counters;
+    return counters;
+}
+
+} // namespace
 
 const char *
 degradationLevelName(DegradationLevel level)
@@ -43,19 +77,25 @@ Expected<Result>
 ResilientExecutor::attemptLoop(const Job &job, const Call &call)
 {
     ++stats_.executions;
+    execCounters().executions.inc();
     const int max_attempts = std::max(options_.retry.maxAttempts, 1);
     ExecError last{ErrorCode::RetriesExhausted, job.tag};
 
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         if (!breaker_.allow(clock_->now())) {
             ++stats_.failures;
+            execCounters().failures.inc();
             return ExecError{ErrorCode::BreakerOpen,
                              job.tag + ": circuit breaker open",
                              attempt - 1};
         }
         ++stats_.attempts;
-        if (attempt > 1)
+        execCounters().attempts.inc();
+        if (attempt > 1) {
             ++stats_.retries;
+            execCounters().retries.inc();
+            obs::instantEvent("exec", "retry", job.tag);
+        }
         if (job.attemptSeconds > 0.0) {
             if (auto *vc = dynamic_cast<VirtualClock *>(clock_.get()))
                 vc->advance(job.attemptSeconds);
@@ -67,7 +107,13 @@ ResilientExecutor::attemptLoop(const Job &job, const Call &call)
         }
         last = result.error();
         last.attempts = attempt;
+        const uint64_t trips_before = breaker_.trips();
         breaker_.recordFailure(clock_->now());
+        if (breaker_.trips() > trips_before) {
+            execCounters().breakerTrips.inc(breaker_.trips() -
+                                            trips_before);
+            obs::instantEvent("exec", "breaker-trip", job.tag);
+        }
         stats_.breakerTrips = breaker_.trips();
         debugLog("exec: {} attempt {}/{} failed ({})", job.tag.c_str(),
                  attempt, max_attempts, last.toString().c_str());
@@ -77,11 +123,13 @@ ResilientExecutor::attemptLoop(const Job &job, const Call &call)
             double delay =
                 options_.retry.delaySeconds(attempt, jitterRng_);
             stats_.backoffSeconds += delay;
+            execCounters().backoffSeconds.add(delay);
             clock_->sleep(delay);
         }
     }
 
     ++stats_.failures;
+    execCounters().failures.inc();
     stats_.breakerTrips = breaker_.trips();
     return ExecError{ErrorCode::RetriesExhausted,
                      job.tag + ": " + last.toString(), last.attempts};
@@ -96,6 +144,9 @@ ResilientExecutor::run(const ShotJob &job)
         ++stats_.executions;
         ++stats_.attempts;
         ++stats_.fallbacks;
+        execCounters().executions.inc();
+        execCounters().attempts.inc();
+        execCounters().fallbacks.inc();
         return simulator_.run(job);
     }
     return attemptLoop<qsim::Counts>(
@@ -109,6 +160,9 @@ ResilientExecutor::expectation(const ValueJob &job)
         ++stats_.executions;
         ++stats_.attempts;
         ++stats_.fallbacks;
+        execCounters().executions.inc();
+        execCounters().attempts.inc();
+        execCounters().fallbacks.inc();
         return simulator_.expectation(job);
     }
     return attemptLoop<double>(
@@ -128,10 +182,14 @@ ResilientExecutor::demote(const std::string &reason)
     panic_if(!canDemote(), "demote() beyond the ladder");
     level_ = static_cast<DegradationLevel>(static_cast<int>(level_) + 1);
     ++stats_.demotions;
+    execCounters().demotions.inc();
+    obs::instantEvent("exec", "demote", degradationLevelName(level_));
     stats_.breakerTrips = breaker_.trips();
     breaker_.reset();
-    warn("exec: degrading to {} ({})", degradationLevelName(level_),
-         reason.c_str());
+    warn(LogTail()
+             .kv("level", degradationLevelName(level_))
+             .kvText("reason", reason),
+         "exec: degrading");
     return level_;
 }
 

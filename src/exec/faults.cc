@@ -5,8 +5,42 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace rasengan::exec {
+
+namespace {
+
+/** Registry mirrors of FaultStats, labeled by fault kind. */
+struct FaultCounters
+{
+    obs::Counter &calls = obs::Registry::global().counter(
+        "exec_fault_injector_calls_total",
+        "Jobs passing through the fault injector");
+    obs::Counter &timeouts = obs::Registry::global().counter(
+        "exec_faults_total", "Faults injected by kind",
+        {{"kind", "timeout"}});
+    obs::Counter &outages = obs::Registry::global().counter(
+        "exec_faults_total", "Faults injected by kind",
+        {{"kind", "outage"}});
+    obs::Counter &shotLosses = obs::Registry::global().counter(
+        "exec_faults_total", "Faults injected by kind",
+        {{"kind", "shot-loss"}});
+    obs::Counter &corruptions = obs::Registry::global().counter(
+        "exec_faults_total", "Faults injected by kind",
+        {{"kind", "corruption"}});
+    obs::Counter &nans = obs::Registry::global().counter(
+        "exec_faults_total", "Faults injected by kind", {{"kind", "nan"}});
+};
+
+FaultCounters &
+faultCounters()
+{
+    static FaultCounters counters;
+    return counters;
+}
+
+} // namespace
 
 FaultInjector::FaultInjector(ExecBackend &inner, FaultProfile profile,
                              Clock *clock)
@@ -43,10 +77,12 @@ Expected<qsim::Counts>
 FaultInjector::run(const ShotJob &job)
 {
     ++stats_.calls;
+    faultCounters().calls.inc();
     Kind kind = draw(false);
 
     if (kind == Kind::Timeout) {
         ++stats_.timeouts;
+        faultCounters().timeouts.inc();
         if (clock_)
             clock_->sleep(profile_.timeoutSeconds);
         return ExecError{ErrorCode::Timeout,
@@ -54,6 +90,7 @@ FaultInjector::run(const ShotJob &job)
     }
     if (kind == Kind::Outage) {
         ++stats_.outages;
+        faultCounters().outages.inc();
         return ExecError{ErrorCode::BackendUnavailable,
                          job.tag + ": backend rejected the job"};
     }
@@ -65,6 +102,7 @@ FaultInjector::run(const ShotJob &job)
     qsim::Counts raw = std::move(inner.value());
     if (kind == Kind::ShotLoss) {
         ++stats_.shotLosses;
+        faultCounters().shotLosses.inc();
         // Drop a fraction of every outcome's shots (rounding down, so at
         // least one shot disappears whenever the fraction is positive).
         qsim::Counts lost;
@@ -84,6 +122,7 @@ FaultInjector::run(const ShotJob &job)
 
     // Corruption: random readout bitflips on a few sampled outcomes.
     ++stats_.corruptions;
+    faultCounters().corruptions.inc();
     qsim::Counts corrupted;
     const int bits = std::max(job.numBits, 1);
     for (const auto &[outcome, n] : raw.map()) {
@@ -111,9 +150,11 @@ Expected<double>
 FaultInjector::expectation(const ValueJob &job)
 {
     ++stats_.calls;
+    faultCounters().calls.inc();
     Kind kind = draw(true);
     if (kind == Kind::Timeout) {
         ++stats_.timeouts;
+        faultCounters().timeouts.inc();
         if (clock_)
             clock_->sleep(profile_.timeoutSeconds);
         return ExecError{ErrorCode::Timeout,
@@ -121,6 +162,7 @@ FaultInjector::expectation(const ValueJob &job)
     }
     if (kind == Kind::Outage) {
         ++stats_.outages;
+        faultCounters().outages.inc();
         return ExecError{ErrorCode::BackendUnavailable,
                          job.tag + ": backend rejected the job"};
     }
@@ -128,6 +170,7 @@ FaultInjector::expectation(const ValueJob &job)
     if (!inner || kind == Kind::None)
         return inner;
     ++stats_.nans;
+    faultCounters().nans.inc();
     return validateValue(job,
                          std::numeric_limits<double>::quiet_NaN());
 }

@@ -3,12 +3,14 @@
 #include <numeric>
 
 #include "linalg/rref.h"
+#include "obs/prof.h"
 
 namespace rasengan::linalg {
 
 std::vector<IntVec>
 nullspaceBasis(const IntMat &c)
 {
+    RASENGAN_PROF("linalg", "nullspace-basis");
     RrefResult rr = rref(toRational(c));
     const RatMat &a = rr.mat;
     int n = c.cols();

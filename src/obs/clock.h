@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The one clock seam for observability timestamps.
+ *
+ * Before this layer existed the repository had two notions of "now":
+ * common/timer.h read std::chrono::steady_clock directly and
+ * exec/clock.h wrapped a virtual/wall Clock hierarchy for resilience
+ * backoff.  Span and metric timestamps must never mix the two silently
+ * (a trace stamped partly in fault-injection virtual time would show
+ * nonsense durations), so every wall-clock read in the repository goes
+ * through obs::Clock: the Stopwatch, exec::WallClock, and every trace
+ * event use this function.  exec::VirtualClock deliberately does NOT --
+ * virtual time is a modeled quantity and only ever surfaces as metric
+ * *values* (e.g. exec_backoff_seconds), never as timestamps.
+ *
+ * The source is swappable (setTimeSourceForTest) so tests can pin
+ * deterministic timestamps; the default reads steady_clock.  Everything
+ * is header-inline: the seam adds no link dependency to the libraries
+ * that include it.
+ */
+
+#ifndef RASENGAN_OBS_CLOCK_H
+#define RASENGAN_OBS_CLOCK_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rasengan::obs {
+
+/** Monotonic nanoseconds; the absolute origin is unspecified. */
+using TimeNanos = uint64_t;
+
+/** Signature of a replacement time source (tests). */
+using TimeSourceFn = TimeNanos (*)();
+
+namespace detail {
+
+inline TimeNanos
+steadyNanos()
+{
+    return static_cast<TimeNanos>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+inline std::atomic<TimeSourceFn> &
+timeSource()
+{
+    static std::atomic<TimeSourceFn> source{&steadyNanos};
+    return source;
+}
+
+} // namespace detail
+
+/** Current monotonic time in nanoseconds from the process time source. */
+inline TimeNanos
+nowNanos()
+{
+    return detail::timeSource().load(std::memory_order_relaxed)();
+}
+
+/** Current monotonic time in seconds (convenience for latency math). */
+inline double
+nowSeconds()
+{
+    return static_cast<double>(nowNanos()) * 1e-9;
+}
+
+/**
+ * Replace the process time source; nullptr restores the steady-clock
+ * default.  Test-only: swapping while spans are open produces traces
+ * with mixed origins.
+ */
+inline void
+setTimeSourceForTest(TimeSourceFn fn)
+{
+    detail::timeSource().store(fn ? fn : &detail::steadyNanos,
+                               std::memory_order_relaxed);
+}
+
+} // namespace rasengan::obs
+
+#endif // RASENGAN_OBS_CLOCK_H

@@ -1,0 +1,365 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace rasengan::obs {
+
+namespace {
+
+/** Shortest round-trip double rendering (matches the serve JSONL style). */
+std::string
+fmtDouble(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    // Integral values read better as integers than as the shortest
+    // round-tripping %g form (50 -> "50", not "5e+01").
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    for (int prec = 1; prec <= 16; ++prec) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == v)
+            return shorter;
+    }
+    return buf;
+}
+
+/** Rendered label set: {a="x",b="y"} or "" when empty. */
+std::string
+renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + promEscapeLabelValue(v) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/** Label set with extra pairs appended (histogram `le` buckets). */
+std::string
+renderLabelsWith(const Labels &labels, const std::string &key,
+                 const std::string &value)
+{
+    Labels merged = labels;
+    merged[key] = value;
+    return renderLabels(merged);
+}
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+Histogram::bucketFor(double v)
+{
+    if (!(v > 0.0))
+        return 0;
+    int exp = 0;
+    const double m = std::frexp(v, &exp);
+    // frexp: v = m * 2^exp with m in [0.5, 1).  The smallest
+    // power-of-two upper bound with le (inclusive) semantics is 2^exp,
+    // except when v is itself a power of two (m == 0.5): then
+    // v == 2^(exp-1) and belongs in that tighter bucket.
+    if (m == 0.5)
+        --exp;
+    int k = exp - kMinExp;
+    if (k < 0)
+        return 0;
+    if (k > kBuckets - 1)
+        return kBuckets - 1;
+    return k;
+}
+
+void
+Histogram::observe(double v)
+{
+    buckets_[static_cast<size_t>(bucketFor(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.add(v);
+}
+
+double
+Histogram::quantileUpperBound(double q) const
+{
+    uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (int k = 0; k < kBuckets; ++k) {
+        seen += bucketCount(k);
+        if (seen >= rank) {
+            return k == kBuckets - 1
+                       ? std::numeric_limits<double>::infinity()
+                       : bucketUpperBound(k);
+        }
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.reset();
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *registry = new Registry(); // never destroyed: call
+    return *registry; // sites cache references past static teardown
+}
+
+Registry::Instrument &
+Registry::findOrCreate(Kind kind, const std::string &name,
+                       const std::string &help, Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    InstrumentKey key{name, renderLabels(labels)};
+    auto it = instruments_.find(key);
+    if (it != instruments_.end())
+        return *it->second;
+    auto inst = std::make_unique<Instrument>();
+    inst->kind = kind;
+    inst->name = name;
+    inst->help = help;
+    inst->labels = std::move(labels);
+    switch (kind) {
+      case Kind::Counter:
+        inst->counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        inst->gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        inst->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    auto [pos, inserted] = instruments_.emplace(key, std::move(inst));
+    (void)inserted;
+    return *pos->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  Labels labels)
+{
+    return *findOrCreate(Kind::Counter, name, help, std::move(labels))
+                .counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                Labels labels)
+{
+    return *findOrCreate(Kind::Gauge, name, help, std::move(labels)).gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    Labels labels)
+{
+    return *findOrCreate(Kind::Histogram, name, help, std::move(labels))
+                .histogram;
+}
+
+std::string
+Registry::promText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    const std::string *lastAnnotated = nullptr;
+    for (const auto &[key, inst] : instruments_) {
+        // One HELP/TYPE block per metric family (label variants share it).
+        if (lastAnnotated == nullptr || *lastAnnotated != inst->name) {
+            if (!inst->help.empty())
+                os << "# HELP " << inst->name << " "
+                   << promEscapeHelp(inst->help) << "\n";
+            os << "# TYPE " << inst->name << " ";
+            switch (inst->kind) {
+              case Kind::Counter: os << "counter"; break;
+              case Kind::Gauge: os << "gauge"; break;
+              case Kind::Histogram: os << "histogram"; break;
+            }
+            os << "\n";
+            lastAnnotated = &inst->name;
+        }
+        const std::string labels = renderLabels(inst->labels);
+        switch (inst->kind) {
+          case Kind::Counter:
+            os << inst->name << labels << " " << inst->counter->value()
+               << "\n";
+            break;
+          case Kind::Gauge:
+            os << inst->name << labels << " "
+               << fmtDouble(inst->gauge->value()) << "\n";
+            break;
+          case Kind::Histogram: {
+            const Histogram &h = *inst->histogram;
+            uint64_t cumulative = 0;
+            for (int k = 0; k < Histogram::kBuckets; ++k) {
+                uint64_t in_bucket = h.bucketCount(k);
+                cumulative += in_bucket;
+                // Keep the exposition compact: only edges that separate
+                // observations appear, plus the mandatory +Inf bucket.
+                if (in_bucket == 0 && k != Histogram::kBuckets - 1)
+                    continue;
+                std::string le =
+                    k == Histogram::kBuckets - 1
+                        ? "+Inf"
+                        : fmtDouble(Histogram::bucketUpperBound(k));
+                os << inst->name << "_bucket"
+                   << renderLabelsWith(inst->labels, "le", le) << " "
+                   << cumulative << "\n";
+            }
+            os << inst->name << "_sum" << labels << " "
+               << fmtDouble(h.sum()) << "\n";
+            os << inst->name << "_count" << labels << " " << h.count()
+               << "\n";
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::string
+Registry::jsonText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    auto emit = [&](const std::string &key, const std::string &value) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(key) << "\":" << value;
+    };
+    for (const auto &[key, inst] : instruments_) {
+        const std::string series = inst->name + renderLabels(inst->labels);
+        switch (inst->kind) {
+          case Kind::Counter:
+            emit(series, std::to_string(inst->counter->value()));
+            break;
+          case Kind::Gauge: {
+            double v = inst->gauge->value();
+            std::string rendered = fmtDouble(v);
+            if (!std::isfinite(v))
+                rendered = "\"" + rendered + "\"";
+            emit(series, rendered);
+            break;
+          }
+          case Kind::Histogram:
+            emit(series + "_count",
+                 std::to_string(inst->histogram->count()));
+            emit(series + "_sum", fmtDouble(inst->histogram->sum()));
+            break;
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void
+Registry::resetAllForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[key, inst] : instruments_) {
+        switch (inst->kind) {
+          case Kind::Counter: inst->counter->reset(); break;
+          case Kind::Gauge: inst->gauge->reset(); break;
+          case Kind::Histogram: inst->histogram->reset(); break;
+        }
+    }
+}
+
+std::string
+promEscapeLabelValue(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+promEscapeHelp(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+} // namespace rasengan::obs

@@ -1,0 +1,360 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rasengan::obs {
+
+namespace detail {
+
+std::atomic<bool> tracingOn{false};
+
+} // namespace detail
+
+namespace {
+
+struct TraceEvent
+{
+    char phase;          ///< 'B', 'E', or 'i'
+    const char *category;///< static string (call-site literal)
+    const char *name;    ///< static string (call-site literal)
+    std::string detail;  ///< dynamic annotation (may be empty)
+    TimeNanos ts;
+    SpanId id;
+    SpanId parent;
+};
+
+struct ThreadBuffer
+{
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+    uint64_t dropped = 0;
+};
+
+struct TraceRegistry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    uint32_t nextTid = 1;
+};
+
+TraceRegistry &
+registry()
+{
+    static TraceRegistry *reg = new TraceRegistry(); // outlives threads
+    return *reg;
+}
+
+std::atomic<SpanId> nextSpanId{1};
+
+thread_local ThreadBuffer *tls_buffer = nullptr;
+thread_local SpanId tls_currentSpan = 0;
+
+ThreadBuffer &
+threadBuffer()
+{
+    if (tls_buffer == nullptr) {
+        auto buf = std::make_shared<ThreadBuffer>();
+        TraceRegistry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        buf->tid = reg.nextTid++;
+        reg.buffers.push_back(buf);
+        tls_buffer = buf.get();
+    }
+    return *tls_buffer;
+}
+
+Counter &
+droppedCounter()
+{
+    static Counter &c = Registry::global().counter(
+        "obs_trace_dropped_total",
+        "Trace events dropped by full per-thread buffers");
+    return c;
+}
+
+void
+append(ThreadBuffer &buf, TraceEvent event)
+{
+    if (buf.events.size() >= kMaxEventsPerThread) {
+        ++buf.dropped;
+        droppedCounter().inc();
+        return;
+    }
+    buf.events.push_back(std::move(event));
+}
+
+} // namespace
+
+void
+startTracing()
+{
+    detail::tracingOn.store(true, std::memory_order_relaxed);
+}
+
+void
+stopTracing()
+{
+    detail::tracingOn.store(false, std::memory_order_relaxed);
+}
+
+void
+clearTrace()
+{
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &buf : reg.buffers) {
+        buf->events.clear();
+        buf->dropped = 0;
+    }
+}
+
+size_t
+traceEventCount()
+{
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    size_t n = 0;
+    for (const auto &buf : reg.buffers)
+        n += buf->events.size();
+    return n;
+}
+
+uint64_t
+traceDroppedCount()
+{
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    uint64_t n = 0;
+    for (const auto &buf : reg.buffers)
+        n += buf->dropped;
+    return n;
+}
+
+SpanId
+currentSpanId()
+{
+    return tls_currentSpan;
+}
+
+Span::Span(const char *category, const char *name, std::string detail)
+{
+    if (!tracingEnabled())
+        return;
+    open(category, name, std::move(detail), tls_currentSpan);
+}
+
+Span::Span(const char *category, const char *name, std::string detail,
+           SpanId explicit_parent)
+{
+    if (!tracingEnabled())
+        return;
+    open(category, name, std::move(detail), explicit_parent);
+}
+
+void
+Span::open(const char *category, const char *name, std::string detail,
+           SpanId parent)
+{
+    id_ = nextSpanId.fetch_add(1, std::memory_order_relaxed);
+    restoreParent_ = tls_currentSpan;
+    tls_currentSpan = id_;
+    active_ = true;
+    append(threadBuffer(), TraceEvent{'B', category, name,
+                                      std::move(detail), nowNanos(), id_,
+                                      parent});
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    // Close unconditionally (even if tracing stopped mid-span) so every
+    // recorded B has a matching E and the exported JSON stays balanced.
+    append(*tls_buffer, TraceEvent{'E', "", "", std::string(), nowNanos(),
+                                   id_, 0});
+    tls_currentSpan = restoreParent_;
+}
+
+void
+instantEvent(const char *category, const char *name, std::string detail)
+{
+    if (!tracingEnabled())
+        return;
+    append(threadBuffer(),
+           TraceEvent{'i', category, name, std::move(detail), nowNanos(),
+                      nextSpanId.fetch_add(1, std::memory_order_relaxed),
+                      tls_currentSpan});
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+struct FlatEvent
+{
+    TraceEvent event;
+    uint32_t tid;
+    uint64_t seq; ///< per-thread order, stable tiebreak for equal ts
+};
+
+/** Snapshot every buffer under the registry lock. */
+std::vector<FlatEvent>
+snapshotEvents()
+{
+    TraceRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<FlatEvent> flat;
+    for (const auto &buf : reg.buffers) {
+        uint64_t seq = 0;
+        for (const TraceEvent &e : buf->events)
+            flat.push_back(FlatEvent{e, buf->tid, seq++});
+    }
+    return flat;
+}
+
+} // namespace
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::vector<FlatEvent> flat = snapshotEvents();
+    // Global timestamp order (stable within a thread): chrome://tracing
+    // accepts any order but monotonic ts makes the file diff- and
+    // jq-checkable.  Per-thread B/E nesting survives the sort because
+    // within one tid the order is already nested and ts-monotonic.
+    std::stable_sort(flat.begin(), flat.end(),
+                     [](const FlatEvent &a, const FlatEvent &b) {
+                         if (a.event.ts != b.event.ts)
+                             return a.event.ts < b.event.ts;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.seq < b.seq;
+                     });
+
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+    char line[160];
+    for (const FlatEvent &fe : flat) {
+        const TraceEvent &e = fe.event;
+        if (!first)
+            out << ",\n";
+        first = false;
+        double ts_us = static_cast<double>(e.ts) / 1000.0;
+        if (e.phase == 'E') {
+            std::snprintf(line, sizeof(line),
+                          "{\"ph\":\"E\",\"pid\":1,\"tid\":%u,"
+                          "\"ts\":%.3f}",
+                          fe.tid, ts_us);
+            out << line;
+            continue;
+        }
+        std::snprintf(line, sizeof(line),
+                      "{\"ph\":\"%c\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,",
+                      e.phase == 'i' ? 'i' : 'B', fe.tid, ts_us);
+        out << line << "\"cat\":\"" << jsonEscape(e.category)
+            << "\",\"name\":\"" << jsonEscape(e.name) << "\"";
+        if (e.phase == 'i')
+            out << ",\"s\":\"t\"";
+        out << ",\"args\":{\"id\":" << e.id << ",\"parent\":" << e.parent;
+        if (!e.detail.empty())
+            out << ",\"detail\":\"" << jsonEscape(e.detail) << "\"";
+        out << "}}";
+    }
+    out << "\n]}\n";
+    return static_cast<bool>(out);
+}
+
+namespace {
+
+struct SigNode
+{
+    std::string label;
+    std::vector<const SigNode *> children;
+};
+
+std::string
+renderNode(const SigNode &node)
+{
+    std::vector<std::string> rendered;
+    rendered.reserve(node.children.size());
+    for (const SigNode *child : node.children)
+        rendered.push_back(renderNode(*child));
+    std::sort(rendered.begin(), rendered.end());
+    std::string out = node.label;
+    if (!rendered.empty()) {
+        out += "(";
+        for (size_t i = 0; i < rendered.size(); ++i) {
+            if (i)
+                out += ",";
+            out += rendered[i];
+        }
+        out += ")";
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+spanTreeSignature()
+{
+    std::vector<FlatEvent> flat = snapshotEvents();
+    std::map<SpanId, SigNode> nodes;
+    std::vector<std::pair<SpanId, SpanId>> links; ///< (child, parent)
+    for (const FlatEvent &fe : flat) {
+        const TraceEvent &e = fe.event;
+        if (e.phase == 'E')
+            continue;
+        SigNode &node = nodes[e.id];
+        node.label = std::string(e.category) + ":" + e.name;
+        if (!e.detail.empty())
+            node.label += "[" + e.detail + "]";
+        links.emplace_back(e.id, e.parent);
+    }
+    std::vector<const SigNode *> roots;
+    for (const auto &[child, parent] : links) {
+        auto it = nodes.find(parent);
+        if (parent != 0 && it != nodes.end())
+            it->second.children.push_back(&nodes.at(child));
+        else
+            roots.push_back(&nodes.at(child));
+    }
+    std::vector<std::string> rendered;
+    rendered.reserve(roots.size());
+    for (const SigNode *root : roots)
+        rendered.push_back(renderNode(*root));
+    std::sort(rendered.begin(), rendered.end());
+    std::ostringstream os;
+    for (const std::string &r : rendered)
+        os << r << "\n";
+    return os.str();
+}
+
+} // namespace rasengan::obs

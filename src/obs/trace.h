@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Structured tracing: RAII spans with explicit parent links, recorded
+ * into per-thread buffers and exported as Chrome trace-event JSON
+ * (loadable in Perfetto / chrome://tracing).
+ *
+ * Design constraints, in order:
+ *
+ *  1. Determinism.  The *span tree* (category, name, parentage) of an
+ *     instrumented run must be identical at every thread count, so
+ *     spans are only opened at call sites whose execution count is
+ *     thread-invariant -- never inside parallelFor chunk callbacks
+ *     (chunk counts vary with the pool size).  spanTreeSignature()
+ *     renders the forest into a canonical, timestamp- and thread-free
+ *     string for byte-comparison across thread counts.
+ *
+ *  2. Cheap when off.  tracingEnabled() is one relaxed atomic load;
+ *     every recording call checks it first and a disabled span
+ *     constructor does nothing else (see obs/prof.h for the macro whose
+ *     disabled cost is exactly that branch).
+ *
+ *  3. Thread-safe but lock-free on the hot path.  Each thread appends
+ *     to its own buffer through a thread_local pointer; the global
+ *     registry mutex is touched once per thread lifetime (registration)
+ *     and at export.  Buffers survive their threads (shared_ptr), so
+ *     pool reconfiguration does not lose events.  Export must run
+ *     outside any parallel region -- the deterministic pool's join
+ *     provides the happens-before edge that makes the buffers readable.
+ *
+ * Parentage: spans nest through a thread-local current-span id.  Work
+ * dispatched onto pool threads does not inherit the dispatcher's
+ * thread-local parent, so cross-thread callers (e.g. the serve
+ * scheduler's per-job spans) pass the parent id explicitly.
+ *
+ * Capacity: each thread buffer holds at most kMaxEventsPerThread
+ * events; overflow drops the event and bumps the
+ * obs_trace_dropped_total counter rather than growing unboundedly.
+ */
+
+#ifndef RASENGAN_OBS_TRACE_H
+#define RASENGAN_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/clock.h"
+
+namespace rasengan::obs {
+
+using SpanId = uint64_t;
+
+/** Max events one thread records before dropping (~96 MB worst case). */
+constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+namespace detail {
+
+extern std::atomic<bool> tracingOn;
+
+} // namespace detail
+
+/** One relaxed load; the gate every recording call checks first. */
+inline bool
+tracingEnabled()
+{
+    return detail::tracingOn.load(std::memory_order_relaxed);
+}
+
+/**
+ * Start recording (idempotent).  Existing buffered events are kept;
+ * call clearTrace() first for a fresh trace.
+ */
+void startTracing();
+
+/** Stop recording; buffered events remain available for export. */
+void stopTracing();
+
+/** Drop every buffered event (must be outside any parallel region). */
+void clearTrace();
+
+/** Buffered events across all threads (export-time snapshot). */
+size_t traceEventCount();
+
+/** Events dropped by full thread buffers since the last clear. */
+uint64_t traceDroppedCount();
+
+/** Current thread's innermost open span id (0 = none). */
+SpanId currentSpanId();
+
+/**
+ * RAII span.  Records a begin event at construction and an end event at
+ * destruction when tracing is enabled; otherwise both are a branch.
+ * The parent defaults to the calling thread's innermost open span; the
+ * explicit-parent constructor links across threads.
+ *
+ * @p category and @p name must outlive the span (string literals at
+ * every call site in this repository); dynamic detail goes into
+ * @p detail, which is copied.
+ */
+class Span
+{
+  public:
+    Span(const char *category, const char *name)
+        : Span(category, name, std::string())
+    {}
+
+    Span(const char *category, const char *name, std::string detail);
+
+    /** Cross-thread span: explicit parent instead of the thread-local. */
+    Span(const char *category, const char *name, std::string detail,
+         SpanId explicit_parent);
+
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** 0 when tracing was disabled at construction. */
+    SpanId id() const { return id_; }
+
+  private:
+    void open(const char *category, const char *name, std::string detail,
+              SpanId parent);
+
+    SpanId id_ = 0;
+    SpanId restoreParent_ = 0;
+    bool active_ = false;
+};
+
+/** Zero-duration instant event (retry fired, breaker tripped, ...). */
+void instantEvent(const char *category, const char *name,
+                  std::string detail = std::string());
+
+/**
+ * Export every buffered event as Chrome trace-event JSON to @p path.
+ * Events are sorted by timestamp; B/E pairs stay balanced per thread.
+ * Returns false on I/O failure.  Call outside any parallel region.
+ */
+bool writeChromeTrace(const std::string &path);
+
+/**
+ * Canonical, timestamp- and thread-free rendering of the span forest:
+ * every node as "category:name[detail](children...)" with children and
+ * roots sorted lexicographically.  Byte-identical across thread counts
+ * for deterministically instrumented work; the determinism tests and
+ * CI compare these strings.
+ */
+std::string spanTreeSignature();
+
+} // namespace rasengan::obs
+
+#endif // RASENGAN_OBS_TRACE_H

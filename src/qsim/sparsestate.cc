@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 #include "qsim/sparseplan.h"
 
 namespace rasengan::qsim {
@@ -131,6 +132,7 @@ SparseState::applyPairRotation(const BitVec &mask,
                                SparseStepPlan *record)
 {
     panic_if(mask == BitVec{}, "pair rotation with empty support");
+    RASENGAN_PROF("kernel", "sparse-pair-rotation");
     const BitVec pattern_minus = pattern_plus ^ mask;
     const double c = std::cos(t);
     const Complex ms = -kI * std::sin(t);
@@ -347,6 +349,7 @@ Counts
 SparseState::sample(Rng &rng, uint64_t shots) const
 {
     fatal_if(keys_.empty(), "sampling from an empty sparse state");
+    RASENGAN_PROF("sample", "sparse-sample");
     const uint64_t n = amps_.size();
     std::vector<double> weights(n);
     parallel::parallelFor(0, n, parallel::kDefaultGrain,

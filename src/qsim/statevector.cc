@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/prof.h"
 
 namespace rasengan::qsim {
 
@@ -199,6 +200,7 @@ Statevector::applyCircuit(const circuit::Circuit &circ)
     fatal_if(circ.numQubits() > numQubits_,
              "circuit needs {} qubits, register has {}", circ.numQubits(),
              numQubits_);
+    RASENGAN_PROF("kernel", "dense-apply-circuit");
     if (circuit::fusionEnabled() && circ.size() >= kFusionMinGates) {
         applyFused(circuit::fuseCircuit(circ));
         return;
@@ -213,6 +215,7 @@ Statevector::applyFused(const circuit::FusedProgram &prog)
     fatal_if(prog.numQubits > numQubits_,
              "fused program needs {} qubits, register has {}",
              prog.numQubits, numQubits_);
+    RASENGAN_PROF("kernel", "dense-apply-fused");
     using Kind = circuit::FusedOp::Kind;
     for (const circuit::FusedOp &op : prog.ops) {
         switch (op.kind) {
@@ -296,6 +299,7 @@ Statevector::applyDiagonalEvolution(const std::vector<double> &values,
 Counts
 Statevector::sample(Rng &rng, uint64_t shots, int num_bits) const
 {
+    RASENGAN_PROF("sample", "dense-sample");
     if (num_bits < 0)
         num_bits = numQubits_;
     std::vector<double> weights(amps_.size());

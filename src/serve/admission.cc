@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace rasengan::serve {
 
 namespace {
@@ -14,6 +16,26 @@ fmtCost(double v)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.3g", v);
     return buf;
+}
+
+struct AdmissionCounters
+{
+    obs::Counter &admitted = obs::Registry::global().counter(
+        "serve_admission_admitted_total", "Jobs admitted to the batch");
+    obs::Counter &rejected = obs::Registry::global().counter(
+        "serve_admission_rejected_total", "Jobs rejected by admission");
+    obs::Gauge &queuedJobs = obs::Registry::global().gauge(
+        "serve_admission_queued_jobs", "Jobs currently admitted and queued");
+    obs::Gauge &batchCost = obs::Registry::global().gauge(
+        "serve_admission_batch_cost_units",
+        "Cost units committed by the current batch");
+};
+
+AdmissionCounters &
+admissionCounters()
+{
+    static AdmissionCounters counters;
+    return counters;
 }
 
 } // namespace
@@ -52,33 +74,38 @@ AdmissionController::admit(const JobRequest &req, int num_vars)
 {
     AdmissionDecision d;
     d.costUnits = estimateJobCost(req, num_vars);
-    if (queuedJobs_ >= limits_.maxQueuedJobs) {
+    if (queuedJobs() >= limits_.maxQueuedJobs) {
         d.reason = "queue full (" + std::to_string(limits_.maxQueuedJobs) +
                    " jobs pending)";
+        admissionCounters().rejected.inc();
         return d;
     }
     if (num_vars > limits_.maxQubits) {
         d.reason = "instance has " + std::to_string(num_vars) +
                    " variables; limit is " +
                    std::to_string(limits_.maxQubits);
+        admissionCounters().rejected.inc();
         return d;
     }
     if (req.shots > limits_.maxShotsPerJob) {
         d.reason = "shots " + std::to_string(req.shots) +
                    " exceed the per-job limit " +
                    std::to_string(limits_.maxShotsPerJob);
+        admissionCounters().rejected.inc();
         return d;
     }
     if (req.iterations > limits_.maxIterationsPerJob) {
         d.reason = "iterations " + std::to_string(req.iterations) +
                    " exceed the per-job limit " +
                    std::to_string(limits_.maxIterationsPerJob);
+        admissionCounters().rejected.inc();
         return d;
     }
     if (d.costUnits > limits_.maxJobCostUnits) {
         d.reason = "estimated cost " + fmtCost(d.costUnits) +
                    " units exceeds the per-job budget " +
                    fmtCost(limits_.maxJobCostUnits);
+        admissionCounters().rejected.inc();
         return d;
     }
     if (batchCost_ + d.costUnits > limits_.maxBatchCostUnits) {
@@ -86,19 +113,29 @@ AdmissionController::admit(const JobRequest &req, int num_vars)
                    fmtCost(batchCost_) + " of " +
                    fmtCost(limits_.maxBatchCostUnits) +
                    " units committed)";
+        admissionCounters().rejected.inc();
         return d;
     }
     d.admitted = true;
-    ++queuedJobs_;
+    queuedJobs_.fetch_add(1, std::memory_order_relaxed);
     batchCost_ += d.costUnits;
+    admissionCounters().admitted.inc();
+    admissionCounters().queuedJobs.set(static_cast<double>(queuedJobs()));
+    admissionCounters().batchCost.set(batchCost_);
     return d;
 }
 
 void
 AdmissionController::release()
 {
-    if (queuedJobs_ > 0)
-        --queuedJobs_;
+    // Pool threads release concurrently as jobs finish; never go below
+    // zero even if release() is over-called.
+    size_t seen = queuedJobs_.load(std::memory_order_relaxed);
+    while (seen > 0 &&
+           !queuedJobs_.compare_exchange_weak(seen, seen - 1,
+                                              std::memory_order_relaxed)) {
+    }
+    admissionCounters().queuedJobs.set(static_cast<double>(queuedJobs()));
 }
 
 } // namespace rasengan::serve

@@ -16,6 +16,7 @@
 #ifndef RASENGAN_SERVE_ADMISSION_H
 #define RASENGAN_SERVE_ADMISSION_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -52,7 +53,9 @@ struct AdmissionDecision
 
 /**
  * Stateful gate: tracks queued-job count and admitted batch cost.
- * Not thread-safe; the scheduler admits under its own submit lock.
+ * admit() is single-producer (the scheduler's serial submit phase);
+ * release() is called concurrently from pool threads as jobs finish,
+ * so the queued-job count is atomic.
  */
 class AdmissionController
 {
@@ -65,13 +68,18 @@ class AdmissionController
     /** Release one queue slot (job finished); cost stays reserved. */
     void release();
 
-    size_t queuedJobs() const { return queuedJobs_; }
+    size_t
+    queuedJobs() const
+    {
+        return queuedJobs_.load(std::memory_order_relaxed);
+    }
+
     double batchCostUnits() const { return batchCost_; }
     const AdmissionLimits &limits() const { return limits_; }
 
   private:
     AdmissionLimits limits_;
-    size_t queuedJobs_ = 0;
+    std::atomic<size_t> queuedJobs_{0};
     double batchCost_ = 0.0;
 };
 

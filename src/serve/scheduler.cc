@@ -12,6 +12,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "core/rasengan.h"
+#include "obs/metrics.h"
 #include "device/device.h"
 #include "problems/io.h"
 #include "problems/suite.h"
@@ -169,10 +170,11 @@ BatchScheduler::submit(const JobRequest &req)
     uint64_t childSeed =
         mixSeed(fnv1a64(canonicalRequestText(req, canonicalProblem)) ^
                 options_.batchSeed);
+    obs::instantEvent("serve", "job-queued", req.id);
     pending_.push_back(PendingJob{req, std::move(*problem),
                                   std::move(canonicalProblem), childSeed,
                                   decision.costUnits, index,
-                                  std::chrono::steady_clock::now()});
+                                  obs::nowNanos()});
     return index;
 }
 
@@ -183,15 +185,23 @@ BatchScheduler::runAll()
     ran_ = true;
     if (options_.threads > 0)
         parallel::setThreadCount(options_.threads);
-    parallel::parallelForDynamic(0, pending_.size(), [this](uint64_t i) {
-        runJob(pending_[i]);
-    });
+    // Per-job spans run on pool threads, which do not inherit this
+    // thread's span stack; the batch span id is passed down explicitly
+    // so the job spans still parent under the batch.
+    obs::Span batch_span("serve", "batch",
+                         "jobs=" + std::to_string(pending_.size()));
+    const obs::SpanId batch_id = batch_span.id();
+    parallel::parallelForDynamic(0, pending_.size(),
+                                 [this, batch_id](uint64_t i) {
+                                     runJob(pending_[i], batch_id);
+                                 });
 }
 
 void
-BatchScheduler::runJob(PendingJob &job)
+BatchScheduler::runJob(PendingJob &job, obs::SpanId batch_span)
 {
-    auto start = std::chrono::steady_clock::now();
+    obs::Span span("serve", "job", job.req.id, batch_span);
+    const obs::TimeNanos start = obs::nowNanos();
     ArtifactCache::LookupCounters counters;
 
     JobResult result = job.req.algorithm == "rasengan"
@@ -207,12 +217,21 @@ BatchScheduler::runJob(PendingJob &job)
     result.resultHash = hashResult(result);
     result.telemetry.cacheHits = counters.hits;
     result.telemetry.cacheMisses = counters.misses;
-    auto end = std::chrono::steady_clock::now();
+    const obs::TimeNanos end = obs::nowNanos();
     result.telemetry.queueWaitMs =
-        std::chrono::duration<double, std::milli>(start - job.submitTime)
-            .count();
-    result.telemetry.wallMs =
-        std::chrono::duration<double, std::milli>(end - start).count();
+        static_cast<double>(start - job.submitTime) * 1e-6;
+    result.telemetry.wallMs = static_cast<double>(end - start) * 1e-6;
+
+    static obs::Counter &jobs_done = obs::Registry::global().counter(
+        "serve_jobs_completed_total", "Jobs finished by the scheduler");
+    static obs::Histogram &wall_hist = obs::Registry::global().histogram(
+        "serve_job_wall_ms", "Per-job run time in milliseconds");
+    static obs::Histogram &wait_hist = obs::Registry::global().histogram(
+        "serve_job_queue_wait_ms",
+        "Submission-to-start wait in milliseconds");
+    jobs_done.inc();
+    wall_hist.observe(result.telemetry.wallMs);
+    wait_hist.observe(result.telemetry.queueWaitMs);
 
     results_[job.resultIndex] = std::move(result);
     admission_.release();

@@ -23,11 +23,11 @@
 #ifndef RASENGAN_SERVE_SCHEDULER_H
 #define RASENGAN_SERVE_SCHEDULER_H
 
-#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h" // SpanId + the obs clock
 #include "problems/problem.h"
 #include "serve/admission.h"
 #include "serve/artifact_cache.h"
@@ -95,10 +95,10 @@ class BatchScheduler
         uint64_t childSeed = 0;
         double costUnits = 0.0;
         size_t resultIndex = 0;
-        std::chrono::steady_clock::time_point submitTime;
+        obs::TimeNanos submitTime = 0;
     };
 
-    void runJob(PendingJob &job);
+    void runJob(PendingJob &job, obs::SpanId batch_span);
     JobResult solveRasengan(const PendingJob &job,
                             ArtifactCache::LookupCounters &counters);
     JobResult solveBaseline(const PendingJob &job);

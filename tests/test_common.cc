@@ -198,6 +198,29 @@ TEST(Stats, Percentile)
     EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
 }
 
+TEST(Stats, ExactRankPercentileIsAlwaysASample)
+{
+    // Ten latencies; nearest-rank p99 must be the max, not an
+    // interpolated value between the two largest samples.
+    std::vector<double> xs;
+    for (int i = 1; i <= 10; ++i)
+        xs.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(exactRankPercentile(xs, 99), 10.0);
+    EXPECT_DOUBLE_EQ(exactRankPercentile(xs, 100), 10.0);
+    EXPECT_DOUBLE_EQ(exactRankPercentile(xs, 0), 1.0);
+    // ceil(0.50 * 10) = rank 5.
+    EXPECT_DOUBLE_EQ(exactRankPercentile(xs, 50), 5.0);
+    // ceil(0.51 * 10) = rank 6.
+    EXPECT_DOUBLE_EQ(exactRankPercentile(xs, 51), 6.0);
+    // Input order must not matter.
+    std::vector<double> shuffled{7, 2, 9, 1, 10, 4, 3, 8, 6, 5};
+    EXPECT_DOUBLE_EQ(exactRankPercentile(shuffled, 99), 10.0);
+    // Single sample: every percentile is that sample.
+    std::vector<double> one{42.0};
+    EXPECT_DOUBLE_EQ(exactRankPercentile(one, 1), 42.0);
+    EXPECT_DOUBLE_EQ(exactRankPercentile(one, 99), 42.0);
+}
+
 TEST(Stats, MinMax)
 {
     std::vector<double> xs{3.0, -1.0, 2.0};
@@ -260,6 +283,34 @@ TEST(Logging, LevelRoundTrip)
     setLogLevel(LogLevel::Silent);
     EXPECT_EQ(logLevel(), LogLevel::Silent);
     setLogLevel(original);
+}
+
+TEST(Logging, ParseLogLevel)
+{
+    EXPECT_EQ(parseLogLevel("silent", LogLevel::Inform), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("WARN", LogLevel::Inform), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("inform", LogLevel::Silent), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("info", LogLevel::Silent), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("Debug", LogLevel::Inform), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("0", LogLevel::Inform), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("3", LogLevel::Inform), LogLevel::Debug);
+    // Unrecognised values keep the fallback.
+    EXPECT_EQ(parseLogLevel("", LogLevel::Warn), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("loud", LogLevel::Inform), LogLevel::Inform);
+    EXPECT_EQ(parseLogLevel("7", LogLevel::Warn), LogLevel::Warn);
+}
+
+TEST(Logging, LogTailRendering)
+{
+    EXPECT_TRUE(LogTail().empty());
+    EXPECT_EQ(LogTail().render(), "");
+    EXPECT_EQ(LogTail().kv("attempt", 3).render(), " attempt=3");
+    EXPECT_EQ(LogTail().kv("a", 1).kv("b", 2.5).render(), " a=1 b=2.5");
+    // Values with spaces are quoted so the tail splits on whitespace.
+    EXPECT_EQ(LogTail().kvText("reason", "queue full").render(),
+              " reason=\"queue full\"");
+    EXPECT_EQ(LogTail().kv("level", "Full").kvText("reason", "x").render(),
+              " level=Full reason=x");
 }
 
 } // namespace

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs): the metrics registry
+ * and its exports, the tracing spans and their determinism guarantees,
+ * the clock seam, and the serve-layer telemetry mirroring.
+ *
+ * The determinism contract under test mirrors the rest of the
+ * repository: the *span tree* (categories, names, parentage -- never
+ * timestamps or thread ids) of an instrumented solve must be
+ * byte-identical at 1, 2 and 7 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/rasengan.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
+#include "problems/suite.h"
+#include "serve/scheduler.h"
+
+namespace rasengan {
+namespace {
+
+const std::vector<int> kSweep = {1, 2, 7};
+
+/** RAII: restore the env-derived thread configuration on scope exit. */
+struct ThreadGuard
+{
+    ~ThreadGuard() { parallel::setThreadCount(0); }
+};
+
+/** RAII: stop tracing and drop buffered events on scope exit. */
+struct TraceGuard
+{
+    ~TraceGuard()
+    {
+        obs::stopTracing();
+        obs::clearTrace();
+    }
+};
+
+// ---------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterBasics)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    obs::Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(2.5);
+    EXPECT_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_EQ(g.value(), 1.5);
+    g.set(-0.0);
+    EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, RegistryHandsOutStableReferences)
+{
+    obs::Registry reg;
+    obs::Counter &a = reg.counter("x_total", "help");
+    obs::Counter &b = reg.counter("x_total");
+    EXPECT_EQ(&a, &b);
+
+    // Different labels are a different series.
+    obs::Counter &c = reg.counter("x_total", "", {{"kind", "y"}});
+    EXPECT_NE(&a, &c);
+
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket edges
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BucketEdgesArePowersOfTwo)
+{
+    using H = obs::Histogram;
+    // Bucket k has upper bound 2^(k + kMinExp); a value equal to an
+    // edge belongs to the bucket whose bound it equals (le semantics).
+    const int k1 = -H::kMinExp; // bucket whose upper bound is 2^0 = 1
+    EXPECT_EQ(H::bucketUpperBound(k1), 1.0);
+    EXPECT_EQ(H::bucketFor(1.0), k1);
+    EXPECT_EQ(H::bucketFor(0.75), k1);    // (0.5, 1] -> bound 1
+    EXPECT_EQ(H::bucketFor(0.5), k1 - 1); // exactly on the lower edge
+    EXPECT_EQ(H::bucketFor(1.5), k1 + 1); // (1, 2] -> bound 2
+    EXPECT_EQ(H::bucketFor(2.0), k1 + 1);
+    EXPECT_EQ(H::bucketFor(2.0000001), k1 + 2);
+
+    // Values at or below the smallest bound collapse into bucket 0.
+    EXPECT_EQ(H::bucketFor(0.0), 0);
+    EXPECT_EQ(H::bucketFor(1e-300), 0);
+    EXPECT_EQ(H::bucketFor(H::bucketUpperBound(0)), 0);
+
+    // Values beyond the largest finite bound land in the +inf bucket.
+    EXPECT_EQ(H::bucketFor(1e300), H::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveCountsAndQuantiles)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0.0); // empty
+    h.observe(0.75); // bucket bound 1
+    h.observe(0.75);
+    h.observe(3.0);  // bucket bound 4
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 4.5);
+    EXPECT_EQ(h.bucketCount(obs::Histogram::bucketFor(0.75)), 2u);
+    // Two of three observations fall at or below bound 1.
+    EXPECT_EQ(h.quantileUpperBound(0.5), 1.0);
+    EXPECT_EQ(h.quantileUpperBound(1.0), 4.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus / JSON exports
+// ---------------------------------------------------------------------
+
+TEST(PromText, EscapesLabelsAndHelp)
+{
+    EXPECT_EQ(obs::promEscapeLabelValue("a\\b\"c\nd"),
+              "a\\\\b\\\"c\\nd");
+    EXPECT_EQ(obs::promEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+
+    obs::Registry reg;
+    reg.counter("evil_total", "help with \\ and\nnewline",
+                {{"path", "a\"b\\c"}})
+        .inc(2);
+    const std::string text = reg.promText();
+    EXPECT_NE(text.find("# HELP evil_total help with \\\\ and\\nnewline"),
+              std::string::npos);
+    EXPECT_NE(text.find("evil_total{path=\"a\\\"b\\\\c\"} 2"),
+              std::string::npos);
+}
+
+TEST(PromText, HistogramExposition)
+{
+    obs::Registry reg;
+    obs::Histogram &h = reg.histogram("lat_ms", "latency");
+    h.observe(0.75); // le="1"
+    h.observe(0.75);
+    h.observe(3.0);  // le="4"
+    const std::string text = reg.promText();
+
+    EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+    // Buckets are cumulative and always end in a +Inf bucket.
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"4\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_sum 4.5"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_count 3"), std::string::npos);
+}
+
+TEST(PromText, AnnotatesEachFamilyOnce)
+{
+    obs::Registry reg;
+    reg.counter("family_total", "the help", {{"kind", "a"}}).inc();
+    reg.counter("family_total", "the help", {{"kind", "b"}}).inc();
+    const std::string text = reg.promText();
+    size_t first = text.find("# HELP family_total");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find("# HELP family_total", first + 1),
+              std::string::npos);
+}
+
+TEST(JsonText, FlatAndSorted)
+{
+    obs::Registry reg;
+    reg.counter("b_total").inc(2);
+    reg.gauge("a_bytes").set(1.5);
+    const std::string text = reg.jsonText();
+    size_t a = text.find("\"a_bytes\":1.5");
+    size_t b = text.find("\"b_total\":2");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b); // sorted keys
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text.back(), '\n');
+}
+
+// ---------------------------------------------------------------------
+// Clock seam
+// ---------------------------------------------------------------------
+
+std::atomic<obs::TimeNanos> fakeNow{0};
+
+obs::TimeNanos
+fakeTime()
+{
+    return fakeNow.load(std::memory_order_relaxed);
+}
+
+TEST(ClockSeam, StopwatchFollowsPinnedTimeSource)
+{
+    obs::setTimeSourceForTest(&fakeTime);
+    fakeNow = 1'000'000'000; // t = 1 s
+
+    Stopwatch sw;
+    sw.start();
+    fakeNow = 3'500'000'000; // t = 3.5 s
+    sw.stop();
+    EXPECT_DOUBLE_EQ(sw.seconds(), 2.5);
+
+    // Accumulation across start/stop cycles.
+    sw.start();
+    fakeNow = 4'000'000'000;
+    EXPECT_DOUBLE_EQ(sw.seconds(), 3.0); // open interval included
+    sw.stop();
+    EXPECT_DOUBLE_EQ(sw.seconds(), 3.0);
+
+    obs::setTimeSourceForTest(nullptr); // restore steady_clock
+    Stopwatch real;
+    real.start();
+    EXPECT_GE(real.seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Tracing: spans, parentage, export
+// ---------------------------------------------------------------------
+
+TEST(Trace, DisabledSpansRecordNothing)
+{
+    TraceGuard guard;
+    obs::clearTrace();
+    ASSERT_FALSE(obs::tracingEnabled());
+    {
+        obs::Span span("cat", "name");
+        EXPECT_EQ(span.id(), 0u);
+        EXPECT_EQ(obs::currentSpanId(), 0u);
+        RASENGAN_PROF("cat", "macro");
+    }
+    obs::instantEvent("cat", "instant");
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+    EXPECT_EQ(obs::spanTreeSignature(), "");
+}
+
+TEST(Trace, NestedSpansFormATree)
+{
+    TraceGuard guard;
+    obs::clearTrace();
+    obs::startTracing();
+    {
+        obs::Span outer("solver", "outer");
+        EXPECT_NE(outer.id(), 0u);
+        EXPECT_EQ(obs::currentSpanId(), outer.id());
+        {
+            obs::Span inner("kernel", "inner", "d=1");
+            EXPECT_EQ(obs::currentSpanId(), inner.id());
+        }
+        EXPECT_EQ(obs::currentSpanId(), outer.id());
+        obs::Span sibling("kernel", "also-inner");
+    }
+    EXPECT_EQ(obs::currentSpanId(), 0u);
+    obs::stopTracing();
+    EXPECT_EQ(obs::spanTreeSignature(),
+              "solver:outer(kernel:also-inner,kernel:inner[d=1])\n");
+}
+
+TEST(Trace, ExplicitParentLinksAcrossPoolThreads)
+{
+    ThreadGuard threads;
+    TraceGuard guard;
+
+    std::string reference;
+    for (int tc : kSweep) {
+        parallel::setThreadCount(tc);
+        obs::clearTrace();
+        obs::startTracing();
+        {
+            obs::Span batch("serve", "batch");
+            const obs::SpanId batch_id = batch.id();
+            parallel::parallelForDynamic(0, 5, [&](uint64_t i) {
+                // Pool threads do not inherit the dispatcher's span
+                // stack; the explicit parent re-links the tree.
+                obs::Span job("serve", "job", std::to_string(i),
+                              batch_id);
+            });
+        }
+        obs::stopTracing();
+        const std::string sig = obs::spanTreeSignature();
+        EXPECT_EQ(sig,
+                  "serve:batch(serve:job[0],serve:job[1],serve:job[2],"
+                  "serve:job[3],serve:job[4])\n")
+            << "threads=" << tc;
+        if (reference.empty())
+            reference = sig;
+        EXPECT_EQ(sig, reference) << "threads=" << tc;
+    }
+}
+
+TEST(Trace, SpansWithoutExplicitParentRootOnPoolThreads)
+{
+    ThreadGuard threads;
+    TraceGuard guard;
+    parallel::setThreadCount(2);
+    obs::clearTrace();
+    obs::startTracing();
+    {
+        obs::Span batch("serve", "batch");
+        parallel::parallelForDynamic(0, 2, [&](uint64_t i) {
+            obs::Span job("serve", "orphan", std::to_string(i));
+        });
+    }
+    obs::stopTracing();
+    const std::string sig = obs::spanTreeSignature();
+    // With 2 threads one orphan may run inline on the dispatcher thread
+    // (nesting under batch); on a pool thread it becomes a root.  Either
+    // way every span is present -- this documents why cross-thread
+    // callers must pass the parent explicitly.
+    EXPECT_NE(sig.find("serve:batch"), std::string::npos);
+    EXPECT_NE(sig.find("serve:orphan[0]"), std::string::npos);
+    EXPECT_NE(sig.find("serve:orphan[1]"), std::string::npos);
+}
+
+TEST(Trace, ChromeExportIsBalancedAndSorted)
+{
+    TraceGuard guard;
+    obs::clearTrace();
+    obs::startTracing();
+    {
+        obs::Span a("cat", "a");
+        { obs::Span b("cat", "b", "x\"y\\z"); } // exercises escaping
+        obs::instantEvent("cat", "tick");
+    }
+    obs::stopTracing();
+
+    const std::string path = ::testing::TempDir() + "trace_obs_test.json";
+    ASSERT_TRUE(obs::writeChromeTrace(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    size_t begins = 0, ends = 0, instants = 0;
+    std::vector<double> ts;
+    for (size_t pos = 0; (pos = text.find("\"ph\":\"", pos)) !=
+                         std::string::npos;
+         ++pos) {
+        switch (text[pos + 6]) {
+          case 'B': ++begins; break;
+          case 'E': ++ends; break;
+          case 'i': ++instants; break;
+        }
+    }
+    EXPECT_EQ(begins, 2u);
+    EXPECT_EQ(ends, 2u);
+    EXPECT_EQ(instants, 1u);
+    // Timestamps are exported sorted (jq checks this in CI too).
+    for (size_t pos = 0; (pos = text.find("\"ts\":", pos)) !=
+                         std::string::npos;
+         ++pos)
+        ts.push_back(std::strtod(text.c_str() + pos + 5, nullptr));
+    ASSERT_EQ(ts.size(), 5u);
+    for (size_t i = 1; i < ts.size(); ++i)
+        EXPECT_LE(ts[i - 1], ts[i]);
+    // The escaped detail survived the JSON encoder.
+    EXPECT_NE(text.find("x\\\"y\\\\z"), std::string::npos);
+}
+
+TEST(Trace, SpanEndsRecordedEvenIfTracingStopsMidSpan)
+{
+    TraceGuard guard;
+    obs::clearTrace();
+    obs::startTracing();
+    {
+        obs::Span span("cat", "crosses-stop");
+        obs::stopTracing();
+    } // destructor must still close the span: B/E stay balanced
+    const std::string path = ::testing::TempDir() + "trace_stop_test.json";
+    ASSERT_TRUE(obs::writeChromeTrace(path));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::remove(path.c_str());
+    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Solver trace determinism across thread counts
+// ---------------------------------------------------------------------
+
+TEST(Trace, SolverSpanTreeIdenticalAcrossThreadCounts)
+{
+    ThreadGuard threads;
+    TraceGuard guard;
+
+    problems::Problem p = problems::makeBenchmark("F1");
+    core::RasenganOptions opts;
+    opts.maxIterations = 8;
+
+    std::string reference;
+    for (int tc : kSweep) {
+        opts.resilience.threads = tc;
+        obs::clearTrace();
+        obs::startTracing();
+        {
+            core::RasenganSolver solver(p, opts);
+            core::RasenganResult res = solver.run();
+            ASSERT_FALSE(res.failed);
+        }
+        obs::stopTracing();
+        EXPECT_EQ(parallel::threadCount(), tc);
+        const std::string sig = obs::spanTreeSignature();
+        ASSERT_FALSE(sig.empty());
+        if (reference.empty()) {
+            reference = sig;
+            // The pipeline instruments every stage the acceptance
+            // criteria name.
+            for (const char *cat :
+                 {"linalg:", "transition:", "segment-evolve:", "kernel:",
+                  "transpile:", "sample:", "solver:"}) {
+                EXPECT_NE(sig.find(cat), std::string::npos)
+                    << "missing category " << cat;
+            }
+            continue;
+        }
+        EXPECT_EQ(sig, reference) << "threads=" << tc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serve telemetry mirrors the registry
+// ---------------------------------------------------------------------
+
+TEST(ServeTelemetry, CacheStatsMatchRegistryDeltas)
+{
+    ThreadGuard threads;
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &hits = reg.counter("serve_cache_hits_total");
+    obs::Counter &misses = reg.counter("serve_cache_misses_total");
+    obs::Counter &completed = reg.counter("serve_jobs_completed_total");
+
+    const uint64_t hits0 = hits.value();
+    const uint64_t misses0 = misses.value();
+    const uint64_t completed0 = completed.value();
+
+    serve::ServeOptions options;
+    options.threads = 2;
+    auto cache = std::make_shared<serve::ArtifactCache>(64ull << 20);
+    serve::BatchScheduler scheduler(options, cache);
+    std::vector<serve::JobRequest> reqs;
+    const char *benchmarks[] = {"F1", "F1", "F1", "K1"};
+    for (int i = 0; i < 4; ++i) {
+        serve::JobRequest req;
+        req.id = "obs" + std::to_string(i);
+        req.benchmark = benchmarks[i];
+        req.iterations = 6;
+        req.execution = "exact";
+        reqs.push_back(req);
+        scheduler.submit(req);
+    }
+    scheduler.runAll();
+
+    // Every per-instance Stats increment was mirrored into the global
+    // registry, so the deltas agree exactly.
+    const serve::ArtifactCache::Stats stats = cache->stats();
+    EXPECT_EQ(hits.value() - hits0, stats.hits);
+    EXPECT_EQ(misses.value() - misses0, stats.misses);
+    EXPECT_GT(stats.hits + stats.misses, 0u);
+    EXPECT_EQ(completed.value() - completed0, scheduler.admittedJobs());
+
+    // Job latency histograms observed one value per completed job.
+    const std::string prom = reg.promText();
+    EXPECT_NE(prom.find("serve_job_wall_ms_count"), std::string::npos);
+    EXPECT_NE(prom.find("serve_job_queue_wait_ms_count"),
+              std::string::npos);
+}
+
+TEST(ServeTelemetry, AdmissionCountersMirrorDecisions)
+{
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &admitted = reg.counter("serve_admission_admitted_total");
+    obs::Counter &rejected = reg.counter("serve_admission_rejected_total");
+    const uint64_t admitted0 = admitted.value();
+    const uint64_t rejected0 = rejected.value();
+
+    serve::AdmissionLimits limits;
+    limits.maxQueuedJobs = 1;
+    serve::AdmissionController ctrl(limits);
+    serve::JobRequest req;
+    req.benchmark = "F1";
+    req.iterations = 4;
+    EXPECT_TRUE(ctrl.admit(req, 4).admitted);
+    EXPECT_FALSE(ctrl.admit(req, 4).admitted); // queue full
+    EXPECT_EQ(admitted.value() - admitted0, 1u);
+    EXPECT_EQ(rejected.value() - rejected0, 1u);
+    EXPECT_EQ(reg.gauge("serve_admission_queued_jobs").value(), 1.0);
+    ctrl.release();
+    EXPECT_EQ(reg.gauge("serve_admission_queued_jobs").value(), 0.0);
+}
+
+} // namespace
+} // namespace rasengan

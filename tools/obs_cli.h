@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared --trace/--metrics plumbing for the CLI tools.
+ *
+ * Usage: call obsCliStart() once flags are parsed (enables tracing when
+ * a trace path was given) and obsCliFinish() before exit (writes the
+ * Chrome trace JSON and the metrics exposition).  A metrics path ending
+ * in ".json" selects the flat JSON export; anything else gets
+ * Prometheus text.
+ */
+
+#ifndef RASENGAN_TOOLS_OBS_CLI_H
+#define RASENGAN_TOOLS_OBS_CLI_H
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rasengan::tools {
+
+struct ObsCliOptions
+{
+    std::string tracePath;
+    std::string metricsPath;
+};
+
+inline void
+obsCliStart(const ObsCliOptions &opts)
+{
+    if (!opts.tracePath.empty()) {
+        obs::clearTrace();
+        obs::startTracing();
+    }
+}
+
+/** Returns false (after printing to stderr) if an export failed. */
+inline bool
+obsCliFinish(const ObsCliOptions &opts)
+{
+    bool ok = true;
+    if (!opts.tracePath.empty()) {
+        obs::stopTracing();
+        if (!obs::writeChromeTrace(opts.tracePath)) {
+            std::fprintf(stderr, "cannot write trace to '%s'\n",
+                         opts.tracePath.c_str());
+            ok = false;
+        } else {
+            std::fprintf(stderr, "trace: %zu events -> %s\n",
+                         obs::traceEventCount(), opts.tracePath.c_str());
+            if (uint64_t dropped = obs::traceDroppedCount())
+                std::fprintf(stderr,
+                             "trace: %llu events dropped (buffer full)\n",
+                             static_cast<unsigned long long>(dropped));
+        }
+    }
+    if (!opts.metricsPath.empty()) {
+        const bool json =
+            opts.metricsPath.size() >= 5 &&
+            opts.metricsPath.compare(opts.metricsPath.size() - 5, 5,
+                                     ".json") == 0;
+        const std::string text = json ? obs::Registry::global().jsonText()
+                                      : obs::Registry::global().promText();
+        if (!obs::writeTextFile(opts.metricsPath, text)) {
+            std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                         opts.metricsPath.c_str());
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+} // namespace rasengan::tools
+
+#endif // RASENGAN_TOOLS_OBS_CLI_H

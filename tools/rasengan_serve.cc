@@ -28,6 +28,9 @@
  *   --max-shots N        admission: max shots per job
  *   --max-cost UNITS     admission: per-job cost ceiling
  *   --dump-workload      print the generated workload requests and exit
+ *   --trace FILE         write a Chrome trace-event JSON of the batch
+ *   --metrics FILE       write the metrics registry; Prometheus text,
+ *                        or flat JSON when FILE ends in .json
  *
  * Exit status: 0 when every admitted job succeeded, 1 on usage or I/O
  * errors, 2 when some admitted job failed (rejections alone do not
@@ -41,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "obs_cli.h"
 #include "serve/job.h"
 #include "serve/scheduler.h"
 #include "serve/workload.h"
@@ -64,6 +68,7 @@ struct Args
     long maxShots = -1;
     double maxCost = -1.0;
     bool dumpWorkload = false;
+    tools::ObsCliOptions obs;
 };
 
 void
@@ -76,7 +81,8 @@ usage()
                  "[--batch-seed S]\n"
                  "  [--cache-mb M] [--max-queue N] [--max-qubits N] "
                  "[--max-shots N]\n"
-                 "  [--max-cost UNITS] [--dump-workload]\n");
+                 "  [--max-cost UNITS] [--dump-workload]\n"
+                 "  [--trace FILE] [--metrics FILE]\n");
 }
 
 bool
@@ -112,6 +118,10 @@ parseArgs(int argc, char **argv, Args &args)
             args.maxShots = std::strtol(v, nullptr, 10);
         else if (flag == "--max-cost" && (v = next()))
             args.maxCost = std::strtod(v, nullptr);
+        else if (flag == "--trace" && (v = next()))
+            args.obs.tracePath = v;
+        else if (flag == "--metrics" && (v = next()))
+            args.obs.metricsPath = v;
         else if (flag == "--dump-workload")
             args.dumpWorkload = true;
         else {
@@ -198,6 +208,7 @@ main(int argc, char **argv)
     if (args.maxCost >= 0.0)
         options.limits.maxJobCostUnits = args.maxCost;
 
+    tools::obsCliStart(args.obs);
     serve::BatchScheduler scheduler(options);
     for (const auto &req : requests)
         scheduler.submit(req);
@@ -257,5 +268,7 @@ main(int argc, char **argv)
     std::fprintf(stderr, "admission: %.3g cost units committed\n",
                  scheduler.admission().batchCostUnits());
 
+    if (!tools::obsCliFinish(args.obs))
+        return 1;
     return failed > 0 ? 2 : 0;
 }

@@ -21,6 +21,10 @@
  *   --threads N      simulation threads (default: RASENGAN_THREADS env,
  *                    then hardware concurrency); results are
  *                    bit-identical at every setting
+ *   --trace PATH     write a Chrome trace-event JSON of the solve
+ *                    (load in Perfetto or chrome://tracing)
+ *   --metrics PATH   write the metrics registry; Prometheus text, or
+ *                    flat JSON when PATH ends in .json
  */
 
 #include <cstdio>
@@ -40,6 +44,7 @@
 #include "problems/io.h"
 #include "problems/metrics.h"
 #include "problems/suite.h"
+#include "obs_cli.h"
 
 using namespace rasengan;
 
@@ -61,6 +66,7 @@ struct Args
     int retries = 5;
     std::string checkpoint;
     int threads = 0;
+    tools::ObsCliOptions obs;
 };
 
 void
@@ -75,7 +81,7 @@ usage()
                  "[--optimizer cobyla|nelder-mead|spsa|adam-spsa]\n"
                  "  [--draw] [--qasm]\n"
                  "  [--faults RATE] [--retries N] [--checkpoint PATH]\n"
-                 "  [--threads N]\n");
+                 "  [--threads N] [--trace PATH] [--metrics PATH]\n");
 }
 
 bool
@@ -160,6 +166,16 @@ parseArgs(int argc, char **argv, Args &args)
                 std::fprintf(stderr, "--threads needs a count >= 1\n");
                 return false;
             }
+        } else if (flag == "--trace") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.obs.tracePath = v;
+        } else if (flag == "--metrics") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.obs.metricsPath = v;
         } else if (flag == "--draw") {
             args.draw = true;
         } else if (flag == "--qasm") {
@@ -350,6 +366,7 @@ main(int argc, char **argv)
     }
     if (args.threads > 0)
         parallel::setThreadCount(args.threads);
+    tools::obsCliStart(args.obs);
 
     if (!args.dump.empty()) {
         if (!problems::isBenchmarkId(args.dump)) {
@@ -409,11 +426,17 @@ main(int argc, char **argv)
                 args.algorithm.c_str(), args.optimizer.c_str(),
                 args.noise.c_str(), args.iterations);
 
-    if (args.algorithm == "rasengan")
-        return runRasengan(*problem, args, *method, *noise);
-    if (args.algorithm == "chocoq" || args.algorithm == "pqaoa" ||
-        args.algorithm == "hea") {
-        return runBaseline(*problem, args, *method, *noise);
+    int rc = -1;
+    if (args.algorithm == "rasengan") {
+        rc = runRasengan(*problem, args, *method, *noise);
+    } else if (args.algorithm == "chocoq" || args.algorithm == "pqaoa" ||
+               args.algorithm == "hea") {
+        rc = runBaseline(*problem, args, *method, *noise);
+    }
+    if (rc >= 0) {
+        if (!tools::obsCliFinish(args.obs) && rc == 0)
+            rc = 1;
+        return rc;
     }
     std::fprintf(stderr, "unknown algorithm '%s'\n",
                  args.algorithm.c_str());
