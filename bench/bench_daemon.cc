@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Serve daemon benchmark (BENCH_daemon.json): what the always-on path
+ * adds on top of the batch scheduler.
+ *
+ * Three measurements:
+ *
+ *  - "journal-append": raw write-ahead journal throughput.  Every
+ *    accepted/running/done record is fflush'd and fdatasync'd, so this
+ *    is a disk-latency bench; it bounds the daemon's accept rate.
+ *
+ *  - "queue": DeadlineQueue push+pop throughput at a realistic mixed
+ *    backlog, with the priority -> EDF -> FIFO dispatch order asserted
+ *    on every drain (a perf regression and a policy regression would
+ *    both show up here).
+ *
+ *  - "daemon" / "daemon-journaled": end-to-end jobs/second through a
+ *    live unix socket, with and without the journal, on the same
+ *    request stream.  The two runs' result lines are asserted
+ *    byte-identical: durability may cost latency, never bytes.
+ *
+ * Knobs: RASENGAN_BENCH_FAST=1 shrinks the stream for CI;
+ * RASENGAN_BENCH_JSON overrides the output path.
+ */
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "serve/daemon.h"
+#include "serve/job.h"
+#include "serve/journal.h"
+#include "serve/slo.h"
+
+namespace {
+
+using namespace rasengan;
+using bench::fastMode;
+
+struct Record
+{
+    std::string phase;
+    size_t ops = 0;
+    double seconds = 0.0;
+    double opsPerSec = 0.0;
+};
+
+std::vector<Record> g_records;
+
+void
+record(const char *phase, size_t ops, double seconds)
+{
+    Record r;
+    r.phase = phase;
+    r.ops = ops;
+    r.seconds = seconds;
+    r.opsPerSec = seconds > 0.0 ? static_cast<double>(ops) / seconds
+                                : 0.0;
+    g_records.push_back(r);
+    std::printf("%-18s %8zu ops  %9.4f s  %12.1f ops/s\n", phase, ops,
+                seconds, r.opsPerSec);
+}
+
+void
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"records\": [\n");
+    for (size_t i = 0; i < g_records.size(); ++i) {
+        const Record &r = g_records[i];
+        std::fprintf(f,
+                     "    {\"phase\": \"%s\", \"ops\": %zu, "
+                     "\"seconds\": %.6f, \"ops_per_sec\": %.2f}%s\n",
+                     r.phase.c_str(), r.ops, r.seconds, r.opsPerSec,
+                     i + 1 < g_records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", g_records.size(),
+                path.c_str());
+}
+
+std::string
+tempPath(const char *leaf)
+{
+    const char *base = std::getenv("TMPDIR");
+    return std::string(base && *base ? base : "/tmp") + "/" + leaf +
+           "." + std::to_string(::getpid());
+}
+
+// ---------------------------------------------------------------------
+// Journal append throughput
+// ---------------------------------------------------------------------
+
+void
+benchJournal()
+{
+    const size_t jobs = fastMode() ? 64 : 512;
+    const std::string path = tempPath("bench_daemon_wal");
+    serve::Journal journal;
+    std::string error;
+    panic_if(!journal.open(path, 1, &error), "journal open failed");
+
+    serve::JobRequest req;
+    req.benchmark = "F1";
+    Stopwatch sw;
+    sw.start();
+    for (size_t i = 0; i < jobs; ++i) {
+        req.id = "j-" + std::to_string(i);
+        uint64_t seq = journal.appendAccepted(req, "fingerprint");
+        journal.appendRunning(seq, req.id);
+        journal.appendDone(seq, req.id, "{\"id\":\"x\",\"ok\":true}");
+    }
+    sw.stop();
+    journal.close();
+    std::remove(path.c_str());
+    record("journal-append", jobs * 3, sw.seconds());
+}
+
+// ---------------------------------------------------------------------
+// DeadlineQueue throughput + dispatch-order assertion
+// ---------------------------------------------------------------------
+
+void
+benchQueue()
+{
+    const size_t rounds = fastMode() ? 200 : 2000;
+    const size_t depth = 64;
+    Stopwatch sw;
+    sw.start();
+    for (size_t round = 0; round < rounds; ++round) {
+        serve::DeadlineQueue queue;
+        for (size_t i = 0; i < depth; ++i) {
+            serve::SloJob job;
+            job.seq = i;
+            job.arrival = i;
+            // Deterministic mixed backlog: all three classes, deadlines
+            // on every other job.
+            job.priority = static_cast<serve::Priority>(i % 3);
+            job.deadlineMs =
+                (i % 2) ? 100.0 + static_cast<double>((i * 37) % 900)
+                        : 0.0;
+            job.costUnits = 1.0;
+            queue.push(job);
+        }
+        serve::SloJob prev = queue.pop();
+        while (!queue.empty()) {
+            serve::SloJob next = queue.pop();
+            const bool classOrdered = prev.priority <= next.priority;
+            panic_if(!classOrdered, "priority inversion in dispatch");
+            if (prev.priority == next.priority && prev.deadlineMs > 0.0 &&
+                next.deadlineMs > 0.0) {
+                panic_if(prev.deadlineMs > next.deadlineMs,
+                         "EDF inversion in dispatch");
+            }
+            prev = next;
+        }
+    }
+    sw.stop();
+    record("queue", rounds * depth, sw.seconds());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end daemon throughput over a unix socket
+// ---------------------------------------------------------------------
+
+class Client
+{
+  public:
+    explicit Client(const std::string &path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      path.c_str());
+        panic_if(::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr)) != 0,
+                 "cannot connect to the bench daemon");
+    }
+    ~Client() { ::close(fd_); }
+
+    void
+    send(const std::string &line)
+    {
+        std::string framed = line + "\n";
+        size_t off = 0;
+        while (off < framed.size()) {
+            ssize_t n =
+                ::send(fd_, framed.data() + off, framed.size() - off, 0);
+            panic_if(n <= 0, "send failed");
+            off += static_cast<size_t>(n);
+        }
+    }
+
+    std::string
+    recvLine()
+    {
+        while (true) {
+            size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = buffer_.substr(0, nl);
+                buffer_.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[65536];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            panic_if(n <= 0, "daemon closed mid-stream");
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+std::map<std::string, std::string>
+runDaemon(bool journaled, const std::vector<serve::JobRequest> &requests,
+          double *seconds)
+{
+    const std::string sock = tempPath("bench_daemon_sock");
+    const std::string wal = tempPath("bench_daemon_run_wal");
+    serve::DaemonOptions options;
+    options.listen = "unix:" + sock;
+    if (journaled)
+        options.journalPath = wal;
+    serve::Daemon daemon(options);
+    std::string error;
+    panic_if(!daemon.start(&error), "daemon start failed: {}", error);
+
+    std::map<std::string, std::string> results;
+    {
+        Client client(sock);
+        Stopwatch sw;
+        sw.start();
+        for (const serve::JobRequest &req : requests)
+            client.send(serve::writeRequest(req));
+        for (size_t i = 0; i < requests.size(); ++i) {
+            std::string line = client.recvLine();
+            serve::JsonParseResult parsed = serve::parseFlatJson(line);
+            panic_if(!parsed.ok, "bad result line: {}", parsed.error);
+            results[parsed.object["id"].str] = line;
+        }
+        sw.stop();
+        *seconds = sw.seconds();
+    }
+    daemon.stop();
+    std::remove(wal.c_str());
+    return results;
+}
+
+void
+benchDaemon()
+{
+    const size_t jobs = fastMode() ? 8 : 32;
+    const char *benchmarks[] = {"F1", "F2", "K1"};
+    std::vector<serve::JobRequest> requests;
+    for (size_t i = 0; i < jobs; ++i) {
+        serve::JobRequest req;
+        req.id = "bench-" + std::to_string(i);
+        req.benchmark = benchmarks[i % 3];
+        req.iterations = 4;
+        req.priority = (i % 3 == 0) ? "interactive" : "batch";
+        requests.push_back(req);
+    }
+
+    double plainSec = 0.0, journaledSec = 0.0;
+    std::map<std::string, std::string> plain =
+        runDaemon(false, requests, &plainSec);
+    std::map<std::string, std::string> durable =
+        runDaemon(true, requests, &journaledSec);
+    panic_if(plain != durable,
+             "journaled and plain daemons disagree on result bytes");
+
+    record("daemon", jobs, plainSec);
+    record("daemon-journaled", jobs, journaledSec);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("serve daemon bench%s\n\n",
+                fastMode() ? " (fast mode)" : "");
+    benchJournal();
+    benchQueue();
+    benchDaemon();
+    const char *env = std::getenv("RASENGAN_BENCH_JSON");
+    writeJson(env && *env ? env : "BENCH_daemon.json");
+    return 0;
+}

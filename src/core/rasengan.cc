@@ -347,6 +347,21 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
     const int num_segments = static_cast<int>(segments_.size());
     RasenganDistribution result;
 
+    // Cooperative deadline/cancel checkpoints between segment
+    // evolutions: a long pipeline notices a tripped token at the next
+    // segment boundary instead of running to completion.  A token that
+    // never trips cannot influence the output.
+    const exec::CancelToken *cancel_token = options_.resilience.cancel;
+    auto cancelTripped = [&]() {
+        if (cancel_token == nullptr || !cancel_token->stopRequested())
+            return false;
+        result.failed = true;
+        result.deadlineHit = true;
+        return true;
+    };
+    if (cancelTripped())
+        return result;
+
     if (segments_.empty()) {
         // Full-rank constraints: the trivial solution is the only state.
         result.entries.emplace_back(problem_.trivialFeasible(), 1.0);
@@ -386,6 +401,8 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
             result.prePurifyFeasibleFraction = cp.prePurifyFeasibleFraction;
         }
         for (int s = first_seg; s < num_segments; ++s) {
+            if (cancelTripped())
+                return result;
             ProbMap out;
             for (const auto &[state, p] : dist) {
                 qsim::SparseState sim = evolveSegment(s, state, times);
@@ -462,6 +479,8 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
     const std::vector<double> &seg_seconds = segmentSeconds();
 
     for (int s = first_seg; s < num_segments; ++s) {
+        if (cancelTripped())
+            return result;
         // One job seed per segment, drawn from the caller's stream before
         // anything can fail: every retry attempt re-seeds from it, so a
         // faulty-but-recovered run consumes the caller's rng exactly like
@@ -503,6 +522,14 @@ RasenganSolver::execute(const std::vector<double> &times, Rng &rng,
             if (attempt.ok()) {
                 raw = std::move(attempt.value());
                 break;
+            }
+            // A deadline/cancel failure is terminal: demoting the
+            // ladder and re-running cannot buy the job more time.
+            if (attempt.error().code == exec::ErrorCode::DeadlineExceeded ||
+                attempt.error().code == exec::ErrorCode::Cancelled) {
+                result.failed = true;
+                result.deadlineHit = true;
+                return result;
             }
             if (!ex.canDemote()) {
                 warn("segment {} failed permanently: {}", s,
@@ -681,6 +708,7 @@ RasenganSolver::summarize(const std::vector<double> &times,
     }
     res.finalDistribution = execute(times, rng, hooks);
     res.failed = res.finalDistribution.failed;
+    res.deadlineHit = res.finalDistribution.deadlineHit;
     res.execStats = executor_->stats();
     res.degradation = executor_->level();
     if (options_.execution != RasenganOptions::Execution::ExactSparse) {
@@ -811,7 +839,14 @@ RasenganSolver::run()
     // Persist the trained evolution times before the final execution so
     // a kill between training and completion resumes without retraining:
     // the snapshot is positioned "before segment 0" of the final run.
-    if (!options_.checkpointPath.empty()) {
+    // Never from a cancelled run, though: a token that tripped
+    // mid-training leaves training.x at whatever point the objective
+    // evaluations started failing, and resuming from those times would
+    // diverge from an uninterrupted solve.
+    const exec::CancelToken *cancel_token = options_.resilience.cancel;
+    const bool cancelled =
+        cancel_token != nullptr && cancel_token->stopRequested();
+    if (!options_.checkpointPath.empty() && !cancelled) {
         exec::SegmentCheckpoint cp;
         cp.problemId = problem_.id();
         cp.shotBased = !exact;

@@ -227,6 +227,8 @@ struct RasenganDistribution
     std::vector<std::pair<BitVec, double>> entries;
     bool failed = false; ///< purification emptied a segment's output
     bool aborted = false; ///< stopped early by ExecHooks::stopAfterSegment
+    /** Stopped by the resilience cancel token (deadline or drain). */
+    bool deadlineHit = false;
     double prePurifyFeasibleFraction = 1.0; ///< feasible mass before purify
 };
 
@@ -252,6 +254,9 @@ struct RasenganResult
     opt::OptResult training;
 
     bool resumed = false; ///< produced from a checkpoint, training skipped
+    /** Failed because the cancel token tripped (deadline or drain),
+     *  not because execution itself broke. */
+    bool deadlineHit = false;
     exec::ExecStats execStats;     ///< retries/failures/backoff summary
     exec::DegradationLevel degradation = exec::DegradationLevel::Full;
 };

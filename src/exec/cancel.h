@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running executions.
+ *
+ * A CancelToken combines an explicit cancel flag (drain, client gone)
+ * with an optional wall-clock deadline.  Work never gets interrupted
+ * preemptively: the executor checks the token between retry attempts,
+ * and the solver checks it between segment evolutions and optimizer
+ * evaluations, so a tripped token surfaces as a typed ExecError
+ * (Cancelled / DeadlineExceeded) at the next checkpoint instead of a
+ * torn state.
+ *
+ * Determinism note: the deadline is measured against the real steady
+ * clock -- the only wall-time dependence in the execution path.  A
+ * token that never trips cannot influence results; a tripped token
+ * fails the job with a structured reason rather than changing its
+ * output, so successful results remain bit-identical with or without a
+ * deadline attached.
+ */
+
+#ifndef RASENGAN_EXEC_CANCEL_H
+#define RASENGAN_EXEC_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+
+namespace rasengan::exec {
+
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** Arm a wall-clock deadline @p seconds from now; <= 0 disarms. */
+    void
+    setDeadlineSeconds(double seconds)
+    {
+        if (seconds > 0.0) {
+            deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+            hasDeadline_.store(true, std::memory_order_release);
+        } else {
+            hasDeadline_.store(false, std::memory_order_release);
+        }
+    }
+
+    /** Request cancellation (drain, disconnect); sticky. */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /** Has the armed deadline passed?  False when no deadline is set. */
+    bool
+    deadlineExpired() const
+    {
+        return hasDeadline_.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+    /** Cooperative checkpoint: should the work stop now? */
+    bool
+    stopRequested() const
+    {
+        return cancelled() || deadlineExpired();
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<bool> hasDeadline_{false};
+    /** Written before hasDeadline_ is released; read-only afterwards. */
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+} // namespace rasengan::exec
+
+#endif // RASENGAN_EXEC_CANCEL_H

@@ -15,6 +15,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::RetriesExhausted: return "retries-exhausted";
       case ErrorCode::InvalidJob: return "invalid-job";
       case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
+      case ErrorCode::DeadlineExceeded: return "deadline";
+      case ErrorCode::Cancelled: return "cancelled";
     }
     return "unknown";
 }

@@ -28,6 +28,8 @@ enum class ErrorCode {
     RetriesExhausted,   ///< bounded retry budget spent without success
     InvalidJob,         ///< malformed job description (not retryable)
     CheckpointCorrupt,  ///< checkpoint file failed to parse/validate
+    DeadlineExceeded,   ///< per-job wall-clock deadline passed
+    Cancelled,          ///< cooperative cancellation (drain, client gone)
 };
 
 /** Human-readable name of @p code (stable, used in logs and tests). */
@@ -45,7 +47,9 @@ struct ExecError
     {
         return code != ErrorCode::InvalidJob &&
                code != ErrorCode::RetriesExhausted &&
-               code != ErrorCode::CheckpointCorrupt;
+               code != ErrorCode::CheckpointCorrupt &&
+               code != ErrorCode::DeadlineExceeded &&
+               code != ErrorCode::Cancelled;
     }
 
     std::string toString() const;

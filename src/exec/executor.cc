@@ -29,6 +29,9 @@ struct ExecCounters
         "exec_demotions_total", "Degradation ladder steps taken");
     obs::Counter &fallbacks = obs::Registry::global().counter(
         "exec_fallbacks_total", "Jobs served by the clean fallback");
+    obs::Counter &deadlineHits = obs::Registry::global().counter(
+        "exec_deadline_hits_total",
+        "Jobs stopped by a deadline or cancellation token");
     obs::Gauge &backoffSeconds = obs::Registry::global().gauge(
         "exec_backoff_seconds", "Total backoff delay (virtual or wall)");
 };
@@ -72,6 +75,27 @@ ResilientExecutor::ResilientExecutor(ResilienceOptions options)
     }
 }
 
+bool
+ResilientExecutor::stopCheck(const std::string &tag, int attempts_spent,
+                             ExecError *err)
+{
+    const CancelToken *token = options_.cancel;
+    if (token == nullptr || !token->stopRequested())
+        return false;
+    ++stats_.failures;
+    ++stats_.deadlineHits;
+    execCounters().failures.inc();
+    execCounters().deadlineHits.inc();
+    obs::instantEvent("exec", "deadline", tag);
+    const bool expired = token->deadlineExpired();
+    *err = ExecError{expired ? ErrorCode::DeadlineExceeded
+                             : ErrorCode::Cancelled,
+                     tag + (expired ? ": wall-clock deadline passed"
+                                    : ": cancelled"),
+                     attempts_spent};
+    return true;
+}
+
 template <typename Result, typename Job, typename Call>
 Expected<Result>
 ResilientExecutor::attemptLoop(const Job &job, const Call &call)
@@ -82,6 +106,10 @@ ResilientExecutor::attemptLoop(const Job &job, const Call &call)
     ExecError last{ErrorCode::RetriesExhausted, job.tag};
 
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        // Cooperative deadline/cancel checkpoint: checked before every
+        // attempt so a retry loop cannot outlive the job's budget.
+        if (ExecError stop; stopCheck(job.tag, attempt - 1, &stop))
+            return stop;
         if (!breaker_.allow(clock_->now())) {
             ++stats_.failures;
             execCounters().failures.inc();
@@ -142,9 +170,11 @@ ResilientExecutor::run(const ShotJob &job)
         // Bypass the flaky chain entirely: the clean simulator is the
         // local, trusted stand-in a hybrid stack falls back to.
         ++stats_.executions;
+        execCounters().executions.inc();
+        if (ExecError stop; stopCheck(job.tag, 0, &stop))
+            return stop;
         ++stats_.attempts;
         ++stats_.fallbacks;
-        execCounters().executions.inc();
         execCounters().attempts.inc();
         execCounters().fallbacks.inc();
         return simulator_.run(job);
@@ -158,9 +188,11 @@ ResilientExecutor::expectation(const ValueJob &job)
 {
     if (level_ == DegradationLevel::CleanFallback) {
         ++stats_.executions;
+        execCounters().executions.inc();
+        if (ExecError stop; stopCheck(job.tag, 0, &stop))
+            return stop;
         ++stats_.attempts;
         ++stats_.fallbacks;
-        execCounters().executions.inc();
         execCounters().attempts.inc();
         execCounters().fallbacks.inc();
         return simulator_.expectation(job);

@@ -27,6 +27,7 @@
 
 #include "exec/backend.h"
 #include "exec/breaker.h"
+#include "exec/cancel.h"
 #include "exec/clock.h"
 #include "exec/faults.h"
 #include "exec/retry.h"
@@ -60,6 +61,15 @@ struct ResilienceOptions
      * bit-identical at every setting.
      */
     int threads = 0;
+    /**
+     * Cooperative cancellation/deadline token, checked before every
+     * backend attempt (the solvers add further checkpoints between
+     * segment evolutions).  Non-owning: the serve daemon keeps one
+     * token per in-flight job; nullptr disables the checks.  A tripped
+     * token fails the job with ErrorCode::DeadlineExceeded or
+     * ErrorCode::Cancelled -- neither is retryable.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 struct ExecStats
@@ -69,6 +79,7 @@ struct ExecStats
     uint64_t retries = 0;    ///< attempts beyond the first
     uint64_t failures = 0;   ///< jobs that exhausted retries/breaker
     uint64_t fallbacks = 0;  ///< jobs served by the clean-fallback path
+    uint64_t deadlineHits = 0; ///< jobs stopped by a deadline/cancel token
     int demotions = 0;       ///< ladder steps taken
     uint64_t breakerTrips = 0;
     double backoffSeconds = 0.0; ///< clock time spent sleeping
@@ -115,6 +126,14 @@ class ResilientExecutor
   private:
     template <typename Result, typename Job, typename Call>
     Expected<Result> attemptLoop(const Job &job, const Call &call);
+
+    /**
+     * Cooperative deadline/cancel checkpoint.  When the options' token
+     * has tripped, records the failure and fills @p err (attempts set
+     * to @p attempts_spent) and returns true.
+     */
+    bool stopCheck(const std::string &tag, int attempts_spent,
+                   ExecError *err);
 
     ResilienceOptions options_;
     std::unique_ptr<Clock> clock_;

@@ -108,9 +108,10 @@ AdmissionController::admit(const JobRequest &req, int num_vars)
         admissionCounters().rejected.inc();
         return d;
     }
-    if (batchCost_ + d.costUnits > limits_.maxBatchCostUnits) {
+    const double committed = batchCostUnits();
+    if (committed + d.costUnits > limits_.maxBatchCostUnits) {
         d.reason = "batch cost budget exhausted (" +
-                   fmtCost(batchCost_) + " of " +
+                   fmtCost(committed) + " of " +
                    fmtCost(limits_.maxBatchCostUnits) +
                    " units committed)";
         admissionCounters().rejected.inc();
@@ -118,11 +119,28 @@ AdmissionController::admit(const JobRequest &req, int num_vars)
     }
     d.admitted = true;
     queuedJobs_.fetch_add(1, std::memory_order_relaxed);
-    batchCost_ += d.costUnits;
+    batchCost_.fetch_add(d.costUnits, std::memory_order_relaxed);
     admissionCounters().admitted.inc();
     admissionCounters().queuedJobs.set(static_cast<double>(queuedJobs()));
-    admissionCounters().batchCost.set(batchCost_);
+    admissionCounters().batchCost.set(batchCostUnits());
     return d;
+}
+
+void
+AdmissionController::releaseCost(double cost_units)
+{
+    // Clamp at zero: replayed jobs release cost that was admitted by a
+    // previous daemon incarnation.
+    double seen = batchCost_.load(std::memory_order_relaxed);
+    while (true) {
+        double next = seen - cost_units;
+        if (next < 0.0)
+            next = 0.0;
+        if (batchCost_.compare_exchange_weak(seen, next,
+                                             std::memory_order_relaxed))
+            break;
+    }
+    admissionCounters().batchCost.set(batchCostUnits());
 }
 
 void

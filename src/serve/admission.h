@@ -68,19 +68,34 @@ class AdmissionController
     /** Release one queue slot (job finished); cost stays reserved. */
     void release();
 
+    /**
+     * Return @p cost_units to the budget (daemon mode: a finished job
+     * frees its share, so maxBatchCostUnits bounds cost *in flight*
+     * rather than cost-ever-admitted).  Batch mode never calls this,
+     * keeping its cost-per-batch semantics.  Thread-safe.
+     */
+    void releaseCost(double cost_units);
+
     size_t
     queuedJobs() const
     {
         return queuedJobs_.load(std::memory_order_relaxed);
     }
 
-    double batchCostUnits() const { return batchCost_; }
+    double
+    batchCostUnits() const
+    {
+        return batchCost_.load(std::memory_order_relaxed);
+    }
+
     const AdmissionLimits &limits() const { return limits_; }
 
   private:
     AdmissionLimits limits_;
     std::atomic<size_t> queuedJobs_{0};
-    double batchCost_ = 0.0;
+    /** Atomic: the daemon admits on its IO thread while the worker
+     *  releases cost as jobs finish. */
+    std::atomic<double> batchCost_{0.0};
 };
 
 } // namespace rasengan::serve

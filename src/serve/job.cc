@@ -18,6 +18,8 @@ const std::set<std::string> kOptimizers = {"cobyla", "nelder-mead", "spsa",
 const std::set<std::string> kExecutions = {"exact", "sampled", "noisy",
                                             "gate"};
 const std::set<std::string> kNoises = {"none", "kyiv", "brisbane"};
+const std::set<std::string> kPriorities = {"interactive", "batch",
+                                           "best-effort"};
 
 const std::set<std::string> kKnownKeys = {
     "id",         "benchmark",  "case",       "problem",
@@ -25,6 +27,7 @@ const std::set<std::string> kKnownKeys = {
     "execution",  "noise",      "shots",      "transitions_per_segment",
     "simplify",   "prune",      "purify",     "shot_growth",
     "penalty_lambda", "layers", "fault_rate", "max_attempts",
+    "priority",   "deadline_ms", "timeout_ms",
 };
 
 bool
@@ -173,6 +176,10 @@ parseRequest(const std::string &line)
                    err) ||
         !getNumber(parsed.object, "fault_rate", req.faultRate, err))
         return result;
+    if (!getString(parsed.object, "priority", req.priority, err) ||
+        !getNumber(parsed.object, "deadline_ms", req.deadlineMs, err) ||
+        !getNumber(parsed.object, "timeout_ms", req.timeoutMs, err))
+        return result;
 
     result.ok = true;
     return result;
@@ -205,6 +212,14 @@ writeRequest(const JobRequest &req)
         .field("layers", req.layers)
         .field("fault_rate", req.faultRate)
         .field("max_attempts", req.maxAttempts);
+    // Scheduling metadata: defaults are omitted so pre-daemon request
+    // files round-trip byte-identically.
+    if (req.priority != "batch")
+        w.field("priority", req.priority);
+    if (req.deadlineMs > 0.0)
+        w.field("deadline_ms", req.deadlineMs);
+    if (req.timeoutMs > 0.0)
+        w.field("timeout_ms", req.timeoutMs);
     return w.str();
 }
 
@@ -241,6 +256,12 @@ validateRequest(const JobRequest &req, std::string *error)
         return fail("fault_rate must be in [0, 1)");
     if (!std::isfinite(req.penaltyLambda))
         return fail("penalty_lambda must be finite");
+    if (kPriorities.find(req.priority) == kPriorities.end())
+        return fail("unknown priority \"" + req.priority + "\"");
+    if (!(req.deadlineMs >= 0.0) || !std::isfinite(req.deadlineMs))
+        return fail("deadline_ms must be >= 0");
+    if (!(req.timeoutMs >= 0.0) || !std::isfinite(req.timeoutMs))
+        return fail("timeout_ms must be >= 0");
     return true;
 }
 
@@ -281,6 +302,8 @@ writeResult(const JobResult &result)
     w.boolean("accepted", result.accepted);
     if (!result.accepted) {
         w.field("reject_reason", result.rejectReason);
+        if (!result.rejectCode.empty())
+            w.field("reject_code", result.rejectCode);
         w.field("cost_units", result.costUnits);
         return w.str();
     }
@@ -314,7 +337,9 @@ writeTelemetry(const JobResult &result)
         .field("cache_misses", result.telemetry.cacheMisses)
         .field("retries", result.telemetry.retries)
         .field("attempts", result.telemetry.attempts)
-        .field("degradation", result.telemetry.degradation);
+        .field("degradation", result.telemetry.degradation)
+        .field("priority", result.telemetry.priority);
+    w.boolean("deadline_hit", result.telemetry.deadlineHit);
     return w.str();
 }
 

@@ -68,6 +68,20 @@ struct JobRequest
     double faultRate = 0.0;
     int maxAttempts = 5;
     /// @}
+
+    /// @name Scheduling metadata (daemon SLO layer)
+    ///
+    /// Deliberately EXCLUDED from canonicalRequestText: priority and
+    /// deadlines shape when a job runs, never what it computes, so two
+    /// requests for the same work keep the same child seed (and thus
+    /// byte-identical results) regardless of urgency.  A journal replay
+    /// after a crash re-runs jobs without their long-expired deadlines
+    /// for the same reason.
+    /// @{
+    std::string priority = "batch"; ///< interactive|batch|best-effort
+    double deadlineMs = 0.0; ///< accept-to-done SLO target; 0 = none
+    double timeoutMs = 0.0;  ///< per-job wall-clock cap; 0 = none
+    /// @}
 };
 
 struct JobTelemetry
@@ -79,6 +93,8 @@ struct JobTelemetry
     uint64_t retries = 0;
     uint64_t attempts = 0;
     std::string degradation = "Full";
+    bool deadlineHit = false; ///< stopped by the wall-clock timeout
+    std::string priority = "batch";
 };
 
 struct JobResult
@@ -89,6 +105,9 @@ struct JobResult
     /// @{
     bool accepted = false;
     std::string rejectReason; ///< set when !accepted
+    /** Machine-readable rejection class when !accepted: "validation",
+     *  "admission", or "deadline-unmeetable" (load shed). */
+    std::string rejectCode;
     double costUnits = 0.0;   ///< admission cost estimate
     /// @}
 

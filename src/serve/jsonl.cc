@@ -205,6 +205,66 @@ parseFlatJson(const std::string &line)
     return result;
 }
 
+bool
+LineReader::next(Line &out)
+{
+    while (true) {
+        out = Line{};
+        if (!in_.good())
+            return false;
+
+        // Read manually instead of std::getline so an oversized line
+        // can be drained without buffering it whole.
+        std::string text;
+        bool sawNewline = false;
+        bool oversized = false;
+        int c;
+        while ((c = in_.get()) != std::char_traits<char>::eof()) {
+            if (c == '\n') {
+                sawNewline = true;
+                break;
+            }
+            if (c == '\r')
+                continue; // tolerate CRLF streams
+            if (!oversized) {
+                text.push_back(static_cast<char>(c));
+                if (text.size() > maxLineBytes_) {
+                    oversized = true;
+                    text.clear();
+                    text.shrink_to_fit();
+                }
+            }
+        }
+        if (!sawNewline && text.empty() && !oversized)
+            return false; // clean end of stream
+
+        ++lineNumber_;
+        ++linesRead_;
+        out.number = lineNumber_;
+
+        if (oversized) {
+            ++oversizedLines_;
+            out.oversized = true;
+            return true;
+        }
+        if (!sawNewline) {
+            // Torn final line: a crash mid-append leaves a partial
+            // record with no newline.  Report it; never parse it.
+            ++truncatedLines_;
+            out.truncated = true;
+            out.text = std::move(text);
+            return true;
+        }
+        if (text.empty()) {
+            ++emptyLines_;
+            continue;
+        }
+        out.ok = true;
+        out.text = std::move(text);
+        return true;
+    }
+}
+
 std::string
 jsonEscape(const std::string &raw)
 {

@@ -17,6 +17,7 @@
 #define RASENGAN_SERVE_JSONL_H
 
 #include <cstdint>
+#include <istream>
 #include <map>
 #include <string>
 
@@ -44,6 +45,69 @@ struct JsonParseResult
 
 /** Parse one flat JSON object line. */
 JsonParseResult parseFlatJson(const std::string &line);
+
+/**
+ * Bounded, truncation-aware line reader for request streams and journal
+ * replay.
+ *
+ * Hardens the plain getline loop against the failure modes of files
+ * written by a crashed process or bytes fed by an untrusted client:
+ *
+ *  - a line longer than @p maxLineBytes is consumed to its newline but
+ *    reported oversized (never buffered whole, so a pathological line
+ *    cannot balloon memory);
+ *  - a final line with no trailing newline -- the classic torn
+ *    partial write -- is surfaced with `truncated = true` so replay
+ *    can skip-and-count it instead of parsing half a record;
+ *  - empty lines are skipped and counted.
+ *
+ * The reader never throws and never aborts the stream early: callers
+ * decide per line whether a defect is fatal (request files) or merely
+ * counted (journal replay).
+ */
+class LineReader
+{
+  public:
+    /** Default line-length cap: generous for inline problems, small
+     *  enough that a corrupt length prefix cannot eat the heap. */
+    static constexpr size_t kDefaultMaxLineBytes = 1u << 20;
+
+    explicit LineReader(std::istream &in,
+                        size_t maxLineBytes = kDefaultMaxLineBytes)
+        : in_(in), maxLineBytes_(maxLineBytes)
+    {
+    }
+
+    struct Line
+    {
+        std::string text;       ///< contents (valid when ok)
+        size_t number = 0;      ///< 1-based line number in the stream
+        bool ok = false;        ///< a usable, complete line
+        bool oversized = false; ///< exceeded maxLineBytes; text dropped
+        bool truncated = false; ///< no trailing newline (torn write)
+    };
+
+    /**
+     * Read the next non-empty line.  Returns false at end of stream;
+     * otherwise fills @p out (check `out.ok`: oversized/truncated lines
+     * are reported, not silently skipped).
+     */
+    bool next(Line &out);
+
+    size_t linesRead() const { return linesRead_; }
+    size_t emptyLines() const { return emptyLines_; }
+    size_t oversizedLines() const { return oversizedLines_; }
+    size_t truncatedLines() const { return truncatedLines_; }
+
+  private:
+    std::istream &in_;
+    size_t maxLineBytes_;
+    size_t lineNumber_ = 0;
+    size_t linesRead_ = 0;
+    size_t emptyLines_ = 0;
+    size_t oversizedLines_ = 0;
+    size_t truncatedLines_ = 0;
+};
 
 /** JSON string escaping (quotes not included). */
 std::string jsonEscape(const std::string &raw);

@@ -1,120 +1,20 @@
 #include "serve/scheduler.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <sstream>
 #include <utility>
 
-#include "baselines/chocoq.h"
-#include "baselines/hea.h"
-#include "baselines/pqaoa.h"
-#include "circuit/transpile.h"
 #include "common/logging.h"
 #include "common/parallel.h"
-#include "core/rasengan.h"
 #include "obs/metrics.h"
-#include "device/device.h"
-#include "problems/io.h"
-#include "problems/suite.h"
-#include "serve/cachekey.h"
 
 namespace rasengan::serve {
-
-namespace {
-
-std::optional<opt::Method>
-parseOptimizer(const std::string &name)
-{
-    if (name == "cobyla")
-        return opt::Method::Cobyla;
-    if (name == "nelder-mead")
-        return opt::Method::NelderMead;
-    if (name == "spsa")
-        return opt::Method::Spsa;
-    if (name == "adam-spsa")
-        return opt::Method::AdamSpsa;
-    return std::nullopt;
-}
-
-qsim::NoiseModel
-parseNoiseModel(const std::string &name)
-{
-    if (name == "kyiv")
-        return device::DeviceModel::ibmKyiv().toNoiseModel();
-    if (name == "brisbane")
-        return device::DeviceModel::ibmBrisbane().toNoiseModel();
-    return qsim::NoiseModel{};
-}
-
-uint64_t
-estimatePipelineBytes(const core::PipelineArtifacts &artifacts)
-{
-    uint64_t bytes = 256;
-    for (const auto &t : artifacts.transitions)
-        bytes += 64 + static_cast<uint64_t>(t.numVars()) * 40;
-    bytes += (artifacts.chain.steps.size() +
-              artifacts.chain.unprunedSteps.size()) *
-             24;
-    bytes += (artifacts.chain.coverage.size() +
-              artifacts.chain.unprunedCoverage.size()) *
-             8;
-    bytes += artifacts.segments.size() * 16;
-    return bytes;
-}
-
-uint64_t
-estimateCircuitBytes(const circuit::Circuit &circ)
-{
-    return 64 + static_cast<uint64_t>(circ.size()) * 80;
-}
-
-std::string
-fmtDouble(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-/** Content digest of the deterministic payload of @p r (16 hex). */
-std::string
-hashResult(const JobResult &r)
-{
-    std::ostringstream s;
-    s << r.solution << "|" << fmtDouble(r.objective) << "|"
-      << fmtDouble(r.expectedObjective) << "|"
-      << fmtDouble(r.inConstraintsRate) << "|" << r.chainLength << "|"
-      << r.numSegments << "|" << r.numParams << "|" << r.childSeed << "|"
-      << (r.ok ? 1 : 0);
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fnv1a64(s.str())));
-    return buf;
-}
-
-exec::ResilienceOptions
-makeResilience(const JobRequest &req, uint64_t child_seed)
-{
-    exec::ResilienceOptions r;
-    r.faults.rate = req.faultRate;
-    r.faults.seed = child_seed ^ 0xFA17;
-    r.retry.maxAttempts = req.maxAttempts;
-    r.jitterSeed = mixSeed(child_seed ^ 0x8ACC0FF);
-    r.wallClock = false; // virtual backoff: no timing nondeterminism
-    // CRITICAL: jobs run inside a pool task; reconfiguring the pool
-    // from there panics.  The scheduler sets the thread count once.
-    r.threads = 0;
-    return r;
-}
-
-} // namespace
 
 BatchScheduler::BatchScheduler(ServeOptions options,
                                std::shared_ptr<ArtifactCache> cache)
     : options_(options),
-      cache_(cache ? std::move(cache)
-                   : std::make_shared<ArtifactCache>(
-                         options.cacheBudgetBytes)),
+      runner_(RunnerOptions{options.batchSeed, ""},
+              cache ? std::move(cache)
+                    : std::make_shared<ArtifactCache>(
+                          options.cacheBudgetBytes)),
       admission_(options.limits)
 {
 }
@@ -128,51 +28,26 @@ BatchScheduler::submit(const JobRequest &req)
     JobResult &slot = results_.back();
     slot.id = req.id;
 
-    auto reject = [&](const std::string &why) {
+    auto reject = [&](const std::string &why, const char *code) {
         slot.accepted = false;
         slot.rejectReason = why;
+        slot.rejectCode = code;
         return index;
     };
 
-    std::string err;
-    if (!validateRequest(req, &err))
-        return reject(err);
-
-    // Materialize the problem at submission time: admission needs its
-    // size, and a malformed problem should be a rejection, not a
-    // mid-batch failure.
-    std::optional<problems::Problem> problem;
-    if (!req.benchmark.empty()) {
-        if (!problems::isBenchmarkId(req.benchmark))
-            return reject("unknown benchmark \"" + req.benchmark + "\"");
-        problem.emplace(problems::makeBenchmark(req.benchmark,
-                                                req.caseIndex));
-    } else {
-        problems::ProblemParseResult parsed =
-            problems::parseProblem(req.problemText);
-        if (!parsed.problem)
-            return reject("problem parse error (line " +
-                          std::to_string(parsed.errorLine) +
-                          "): " + parsed.error);
-        problem.emplace(std::move(*parsed.problem));
-    }
-    if (parseOptimizer(req.optimizer) == std::nullopt)
-        return reject("unknown optimizer \"" + req.optimizer + "\"");
+    PrepareOutcome prepared = runner_.prepare(req);
+    if (!prepared.ok)
+        return reject(prepared.error, "validation");
 
     AdmissionDecision decision =
-        admission_.admit(req, problem->numVars());
+        admission_.admit(req, prepared.job.problem->numVars());
     slot.costUnits = decision.costUnits;
     if (!decision.admitted)
-        return reject(decision.reason);
+        return reject(decision.reason, "admission");
 
     slot.accepted = true;
-    std::string canonicalProblem = problems::canonicalProblemText(*problem);
-    uint64_t childSeed =
-        mixSeed(fnv1a64(canonicalRequestText(req, canonicalProblem)) ^
-                options_.batchSeed);
     obs::instantEvent("serve", "job-queued", req.id);
-    pending_.push_back(PendingJob{req, std::move(*problem),
-                                  std::move(canonicalProblem), childSeed,
+    pending_.push_back(PendingJob{std::move(prepared.job),
                                   decision.costUnits, index,
                                   obs::nowNanos()});
     return index;
@@ -200,23 +75,39 @@ BatchScheduler::runAll()
 void
 BatchScheduler::runJob(PendingJob &job, obs::SpanId batch_span)
 {
-    obs::Span span("serve", "job", job.req.id, batch_span);
+    const JobRequest &req = job.prepared.req;
+    obs::Span span("serve", "job", req.id, batch_span);
     const obs::TimeNanos start = obs::nowNanos();
-    ArtifactCache::LookupCounters counters;
 
-    JobResult result = job.req.algorithm == "rasengan"
-                           ? solveRasengan(job, counters)
-                           : solveBaseline(job);
+    JobResult result;
+    if (options_.stopFlag != nullptr &&
+        options_.stopFlag->load(std::memory_order_relaxed)) {
+        // Graceful stop: admitted but never started.  Cheap and
+        // side-effect free, so the batch drains almost immediately
+        // while in-flight jobs finish normally.
+        ++interrupted_;
+        result.ok = false;
+        result.error = "interrupted: batch stopped before this job "
+                       "started";
+        result.id = req.id;
+        result.accepted = true;
+        result.problemId = job.prepared.problem->id();
+        result.numVars = job.prepared.problem->numVars();
+        result.childSeed = job.prepared.childSeed;
+        result.telemetry.priority = req.priority;
+    } else {
+        // Per-job wall-clock timeout: armed here (not in the runner)
+        // so the token's lifetime spans exactly this execution.
+        exec::CancelToken deadline;
+        const exec::CancelToken *token = nullptr;
+        if (req.timeoutMs > 0.0) {
+            deadline.setDeadlineSeconds(req.timeoutMs * 1e-3);
+            token = &deadline;
+        }
+        result = runner_.run(job.prepared, token);
+    }
 
-    result.id = job.req.id;
-    result.accepted = true;
     result.costUnits = job.costUnits;
-    result.problemId = job.problem.id();
-    result.numVars = job.problem.numVars();
-    result.childSeed = job.childSeed;
-    result.resultHash = hashResult(result);
-    result.telemetry.cacheHits = counters.hits;
-    result.telemetry.cacheMisses = counters.misses;
     const obs::TimeNanos end = obs::nowNanos();
     result.telemetry.queueWaitMs =
         static_cast<double>(start - job.submitTime) * 1e-6;
@@ -235,216 +126,6 @@ BatchScheduler::runJob(PendingJob &job, obs::SpanId batch_span)
 
     results_[job.resultIndex] = std::move(result);
     admission_.release();
-}
-
-JobResult
-BatchScheduler::solveRasengan(const PendingJob &job,
-                              ArtifactCache::LookupCounters &counters)
-{
-    const JobRequest &req = job.req;
-    core::RasenganOptions opts;
-    opts.simplify = req.simplify;
-    opts.prune = req.prune;
-    opts.purify = req.purify;
-    opts.transitionsPerSegment = req.transitionsPerSegment;
-    opts.maxIterations = req.iterations;
-    opts.seed = job.childSeed;
-    opts.optimizer = *parseOptimizer(req.optimizer);
-    opts.shotsPerSegment = req.shots;
-    opts.shotGrowth = req.shotGrowth;
-    opts.noise = parseNoiseModel(req.noise);
-    opts.resilience = makeResilience(req, job.childSeed);
-
-    using Execution = core::RasenganOptions::Execution;
-    if (req.execution == "exact")
-        opts.execution = Execution::ExactSparse;
-    else if (req.execution == "sampled")
-        opts.execution = Execution::SampledSparse;
-    else if (req.execution == "noisy")
-        opts.execution = Execution::NoisyInjected;
-    else
-        opts.execution = Execution::NoisyGateLevel;
-    // Fault injection needs shot jobs; mirror the CLI's promotion.
-    if (req.faultRate > 0.0 && opts.execution == Execution::ExactSparse)
-        opts.execution = Execution::SampledSparse;
-
-    // Pipeline artifacts: keyed by the canonical problem plus exactly
-    // the options buildPipelineArtifacts depends on, so jobs differing
-    // only in shots/seed/execution share one pipeline.
-    {
-        std::ostringstream cfg;
-        cfg << "simplify=" << (opts.simplify ? 1 : 0)
-            << ";prune=" << (opts.prune ? 1 : 0)
-            << ";tps=" << opts.transitionsPerSegment
-            << ";rounds=" << opts.rounds
-            << ";maxTracked=" << opts.maxTrackedStates << "\n"
-            << job.canonicalProblem;
-        CacheKey key = makeKey("pipeline", cfg.str());
-        const problems::Problem &problem = job.problem;
-        const core::RasenganOptions &optsRef = opts;
-        opts.pipeline =
-            cache_->getOrCompute<core::PipelineArtifacts>(
-                key,
-                [&problem, &optsRef]()
-                    -> std::pair<
-                        std::shared_ptr<const core::PipelineArtifacts>,
-                        uint64_t> {
-                    auto built =
-                        std::make_shared<core::PipelineArtifacts>(
-                            core::buildPipelineArtifacts(problem,
-                                                         optsRef));
-                    uint64_t bytes = estimatePipelineBytes(*built);
-                    return {built, bytes};
-                },
-                &counters);
-    }
-
-    // Transpiled segment circuits: content-addressed by the input
-    // circuit's fingerprint + lowering options, shared across jobs.
-    {
-        std::shared_ptr<ArtifactCache> cache = cache_;
-        ArtifactCache::LookupCounters *ctr = &counters;
-        opts.lowerCircuit =
-            [cache, ctr](const circuit::Circuit &circ,
-                         const circuit::TranspileOptions &topts) {
-                char payload[64];
-                std::snprintf(payload, sizeof(payload), "%016llx|%d|%d",
-                              static_cast<unsigned long long>(
-                                  circ.fingerprint()),
-                              static_cast<int>(topts.mode),
-                              topts.lowerToCx ? 1 : 0);
-                CacheKey key = makeKey("circuit", payload);
-                auto lowered = cache->getOrCompute<circuit::Circuit>(
-                    key,
-                    [&circ, &topts]()
-                        -> std::pair<
-                            std::shared_ptr<const circuit::Circuit>,
-                            uint64_t> {
-                        auto built = std::make_shared<circuit::Circuit>(
-                            circuit::transpile(circ, topts));
-                        return {built, estimateCircuitBytes(*built)};
-                    },
-                    ctr);
-                return *lowered;
-            };
-    }
-
-    // Sparse rotation plans: keyed by the segment's structural
-    // fingerprint (qubits + initial support + transition masks), shared
-    // across jobs solving the same problem so only the first one pays
-    // for partner searches and key merges.  A plan recorded while
-    // pruning fired is stored !replayable; since angles differ per job
-    // seed, two jobs can legitimately race to publish different values
-    // for that marker -- first-publish-wins is fine because plans are a
-    // performance hint, never a correctness input (results stay
-    // bit-identical with the hook on or off, or with the cache cold).
-    {
-        std::shared_ptr<ArtifactCache> cache = cache_;
-        ArtifactCache::LookupCounters *ctr = &counters;
-        opts.planStore =
-            [cache, ctr](uint64_t fingerprint,
-                         const std::function<std::shared_ptr<
-                             const qsim::SparseSegmentPlan>()> &make) {
-                char payload[32];
-                std::snprintf(payload, sizeof(payload), "%016llx",
-                              static_cast<unsigned long long>(fingerprint));
-                CacheKey key = makeKey("spplan", payload);
-                return cache->getOrCompute<qsim::SparseSegmentPlan>(
-                    key,
-                    [&make]()
-                        -> std::pair<
-                            std::shared_ptr<const qsim::SparseSegmentPlan>,
-                            uint64_t> {
-                        auto built = make();
-                        return {built, built->approxBytes()};
-                    },
-                    ctr);
-            };
-    }
-
-    core::RasenganSolver solver(job.problem, opts);
-    core::RasenganResult r = solver.run();
-
-    JobResult out;
-    out.ok = !r.failed;
-    if (r.failed)
-        out.error = "execution failed (purification emptied the output "
-                    "or the backend exhausted retries)";
-    else
-        out.solution = r.solution.toString(job.problem.numVars());
-    out.objective = r.objectiveValue;
-    out.expectedObjective = r.expectedObjective;
-    out.inConstraintsRate = r.inConstraintsRate;
-    out.chainLength = r.chainLength;
-    out.numSegments = r.numSegments;
-    out.numParams = r.numParams;
-    out.telemetry.retries = r.execStats.retries;
-    out.telemetry.attempts = r.execStats.attempts;
-    out.telemetry.degradation =
-        exec::degradationLevelName(r.degradation);
-    return out;
-}
-
-JobResult
-BatchScheduler::solveBaseline(const PendingJob &job)
-{
-    const JobRequest &req = job.req;
-    baselines::VqaResult r;
-    int numVars = job.problem.numVars();
-
-    auto fill = [&](auto &vqaOpts) {
-        vqaOpts.layers = req.layers;
-        vqaOpts.maxIterations = req.iterations;
-        vqaOpts.shots = req.shots;
-        vqaOpts.seed = job.childSeed;
-        vqaOpts.penaltyLambda = req.penaltyLambda;
-        vqaOpts.optimizer = *parseOptimizer(req.optimizer);
-        vqaOpts.noise = parseNoiseModel(req.noise);
-        vqaOpts.resilience = makeResilience(req, job.childSeed);
-    };
-
-    if (req.algorithm == "chocoq") {
-        baselines::ChocoqOptions o;
-        fill(o);
-        r = baselines::Chocoq(job.problem, o).run();
-    } else if (req.algorithm == "pqaoa") {
-        baselines::PqaoaOptions o;
-        fill(o);
-        r = baselines::Pqaoa(job.problem, o).run();
-    } else { // hea
-        baselines::HeaOptions o;
-        fill(o);
-        r = baselines::Hea(job.problem, o).run();
-    }
-
-    JobResult out;
-    out.ok = !r.counts.empty();
-    if (!out.ok)
-        out.error = "baseline produced an empty distribution";
-    out.expectedObjective = r.expectedObjective;
-    out.inConstraintsRate = r.inConstraintsRate;
-    out.numParams = r.numParams;
-    out.telemetry.retries = r.execStats.retries;
-    out.telemetry.attempts = r.execStats.attempts;
-    out.telemetry.degradation =
-        exec::degradationLevelName(r.degradation);
-
-    // Best feasible outcome.  Walking Counts::sorted() makes the
-    // objective tie-break deterministic for free: the first outcome
-    // seen at the best objective is the smallest bitstring.
-    bool found = false;
-    for (const auto &[outcome, n] : r.counts.sorted()) {
-        (void)n;
-        if (!job.problem.isFeasible(outcome))
-            continue;
-        double obj = job.problem.objective(outcome);
-        if (!found || obj < out.objective) {
-            found = true;
-            out.solution = outcome.toString(numVars);
-            out.objective = obj;
-        }
-    }
-    return out;
 }
 
 } // namespace rasengan::serve

@@ -15,23 +15,28 @@
  * order.  Cache hits return values that are deterministic functions of
  * their keys, so a warm cache changes latency, never results.
  *
+ * Per-job preparation and execution live in serve::JobRunner (shared
+ * with the always-on daemon); this class adds the batch-shaped parts:
+ * serial admission, slot allocation, and the parallel dispatch loop.
+ *
  * Worker jobs run inside a pool task, therefore their solvers must not
- * reconfigure the pool: the scheduler forces resilience.threads = 0 on
+ * reconfigure the pool: the runner forces resilience.threads = 0 on
  * every job and applies ServeOptions::threads once, before dispatch.
  */
 
 #ifndef RASENGAN_SERVE_SCHEDULER_H
 #define RASENGAN_SERVE_SCHEDULER_H
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h" // SpanId + the obs clock
-#include "problems/problem.h"
 #include "serve/admission.h"
 #include "serve/artifact_cache.h"
 #include "serve/job.h"
+#include "serve/runner.h"
 
 namespace rasengan::serve {
 
@@ -49,6 +54,13 @@ struct ServeOptions
     /** Artifact cache LRU budget in bytes; 0 disables caching. */
     uint64_t cacheBudgetBytes = 64ull << 20;
     AdmissionLimits limits;
+    /**
+     * Cooperative stop flag (SIGTERM/SIGINT in the CLI).  When it
+     * becomes true mid-batch, jobs already running finish normally;
+     * jobs not yet started complete immediately as accepted-but-
+     * interrupted failures instead of executing.  nullptr disables.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 class BatchScheduler
@@ -80,34 +92,35 @@ class BatchScheduler
     /** Result slots, in submission order (complete after runAll). */
     const std::vector<JobResult> &results() const { return results_; }
 
-    ArtifactCache &cache() { return *cache_; }
+    ArtifactCache &cache() { return runner_.cache(); }
     const AdmissionController &admission() const { return admission_; }
 
     /** Jobs admitted (== jobs runAll will execute). */
     size_t admittedJobs() const { return pending_.size(); }
 
+    /** Jobs skipped because the stop flag tripped mid-batch. */
+    size_t interruptedJobs() const
+    {
+        return interrupted_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct PendingJob
     {
-        JobRequest req;
-        problems::Problem problem;
-        std::string canonicalProblem;
-        uint64_t childSeed = 0;
+        PreparedJob prepared;
         double costUnits = 0.0;
         size_t resultIndex = 0;
         obs::TimeNanos submitTime = 0;
     };
 
     void runJob(PendingJob &job, obs::SpanId batch_span);
-    JobResult solveRasengan(const PendingJob &job,
-                            ArtifactCache::LookupCounters &counters);
-    JobResult solveBaseline(const PendingJob &job);
 
     ServeOptions options_;
-    std::shared_ptr<ArtifactCache> cache_;
+    JobRunner runner_;
     AdmissionController admission_;
     std::vector<PendingJob> pending_;
     std::vector<JobResult> results_;
+    std::atomic<size_t> interrupted_{0};
     bool ran_ = false;
 };
 

@@ -1,0 +1,136 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace rasengan::serve {
+
+bool
+parsePriority(const std::string &name, Priority *out)
+{
+    if (name == "interactive")
+        *out = Priority::Interactive;
+    else if (name == "batch")
+        *out = Priority::Batch;
+    else if (name == "best-effort")
+        *out = Priority::BestEffort;
+    else
+        return false;
+    return true;
+}
+
+const char *
+priorityName(Priority p)
+{
+    switch (p) {
+    case Priority::Interactive:
+        return "interactive";
+    case Priority::Batch:
+        return "batch";
+    case Priority::BestEffort:
+        return "best-effort";
+    }
+    return "batch";
+}
+
+bool
+DeadlineQueue::before(const SloJob &a, const SloJob &b) const
+{
+    // Strict class order first.
+    if (a.priority != b.priority)
+        return static_cast<int>(a.priority) < static_cast<int>(b.priority);
+    // Within a class: jobs with deadlines ahead of jobs without, EDF
+    // among the former.
+    const bool aHas = a.deadlineMs > 0.0;
+    const bool bHas = b.deadlineMs > 0.0;
+    if (aHas != bHas)
+        return aHas;
+    if (aHas && a.deadlineMs != b.deadlineMs)
+        return a.deadlineMs < b.deadlineMs;
+    // FIFO tiebreak on the acceptance counter: deterministic for a
+    // given request stream, independent of wall time.
+    return a.arrival < b.arrival;
+}
+
+void
+DeadlineQueue::push(const SloJob &job)
+{
+    // Linear insertion keeps the deque sorted; queue depths are bounded
+    // by admission (maxQueuedJobs), so O(n) insert is irrelevant next
+    // to seconds-long jobs.
+    auto it = std::upper_bound(
+        jobs_.begin(), jobs_.end(), job,
+        [this](const SloJob &a, const SloJob &b) { return before(a, b); });
+    jobs_.insert(it, job);
+}
+
+SloJob
+DeadlineQueue::pop()
+{
+    panic_if(jobs_.empty(), "DeadlineQueue::pop on empty queue");
+    SloJob job = jobs_.front();
+    jobs_.pop_front();
+    return job;
+}
+
+double
+DeadlineQueue::earliestDeadlineMs() const
+{
+    double best = 0.0;
+    for (const SloJob &job : jobs_)
+        if (job.deadlineMs > 0.0 &&
+            (best == 0.0 || job.deadlineMs < best))
+            best = job.deadlineMs;
+    return best;
+}
+
+double
+DeadlineQueue::backlogCostUnits() const
+{
+    double total = 0.0;
+    for (const SloJob &job : jobs_)
+        total += job.costUnits;
+    return total;
+}
+
+std::deque<SloJob>
+DeadlineQueue::drain()
+{
+    std::deque<SloJob> out;
+    out.swap(jobs_);
+    return out;
+}
+
+ShedDecision
+shedDecision(const SloJob &job, double backlog_cost, double running_cost,
+             const SloPolicy &policy)
+{
+    ShedDecision d;
+    if (job.deadlineMs <= 0.0)
+        return d; // no deadline, nothing to miss
+    const double rate = std::max(policy.costUnitsPerSecond, 1.0);
+    // Serial worker: everything queued ahead plus the job itself must
+    // finish before the deadline.  Priority classes are ignored here on
+    // purpose -- a conservative (pessimistic-for-interactive) bound
+    // keeps the predictor monotone and simple to reason about.
+    const double total = backlog_cost + running_cost + job.costUnits;
+    d.predictedMs = total / rate * 1e3;
+    const double budget =
+        job.deadlineMs * (1.0 - std::clamp(policy.shedMargin, 0.0, 0.9));
+    if (d.predictedMs > budget) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "deadline %.0f ms unmeetable: predicted completion "
+                      "%.0f ms against budget %.0f ms (backlog %.3g cost "
+                      "units)",
+                      job.deadlineMs, d.predictedMs, budget,
+                      backlog_cost + running_cost);
+        d.shed = true;
+        d.reason = buf;
+    }
+    return d;
+}
+
+} // namespace rasengan::serve

@@ -512,5 +512,110 @@ TEST(CheckpointTest, SaveAndLoadThroughFile)
     EXPECT_EQ(missing.error().code, ErrorCode::CheckpointCorrupt);
 }
 
+// ---------------------------------------------- Cancellation / deadlines
+
+TEST(CancelTokenTest, ArmDisarmCancelAndExpiry)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.stopRequested());
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_FALSE(token.deadlineExpired());
+
+    // A generous deadline is armed but not yet expired.
+    token.setDeadlineSeconds(3600.0);
+    EXPECT_FALSE(token.stopRequested());
+
+    // Non-positive budgets disarm.
+    token.setDeadlineSeconds(0.0);
+    EXPECT_FALSE(token.deadlineExpired());
+
+    // A token already in the past trips immediately.
+    token.setDeadlineSeconds(1e-9);
+    while (!token.deadlineExpired()) {
+    }
+    EXPECT_TRUE(token.stopRequested());
+    EXPECT_FALSE(token.cancelled());
+
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(ResilientExecutorTest, CancelledTokenFailsBeforeAnyAttempt)
+{
+    CancelToken token;
+    token.cancel();
+    ResilienceOptions opts;
+    opts.cancel = &token;
+    ResilientExecutor ex(opts);
+    auto r = ex.run(makeJob(32, 3, 1));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::Cancelled);
+    EXPECT_FALSE(r.error().retryable());
+    EXPECT_EQ(r.error().attempts, 0);
+    EXPECT_EQ(ex.stats().attempts, 0u); // stopped before the backend
+    EXPECT_EQ(ex.stats().deadlineHits, 1u);
+    EXPECT_EQ(ex.stats().failures, 1u);
+    EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+}
+
+TEST(ResilientExecutorTest, ExpiredDeadlineIsTypedAndNotRetryable)
+{
+    CancelToken token;
+    token.setDeadlineSeconds(1e-9);
+    while (!token.deadlineExpired()) {
+    }
+    ResilienceOptions opts;
+    opts.cancel = &token;
+    // Plenty of retry budget: the deadline must cut through it.
+    opts.retry.maxAttempts = 50;
+    ResilientExecutor ex(opts);
+    auto r = ex.run(makeJob(32, 3, 1));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::DeadlineExceeded);
+    EXPECT_FALSE(r.error().retryable());
+    EXPECT_EQ(ex.stats().attempts, 0u);
+    EXPECT_EQ(ex.stats().deadlineHits, 1u);
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded), "deadline");
+}
+
+TEST(ResilientExecutorTest, DeadlineStopsARetryLoopMidway)
+{
+    // Every attempt fails; the token trips after the first attempt, so
+    // the retry loop must exit with the deadline error instead of
+    // burning the remaining budget.
+    CancelToken token;
+    ResilienceOptions opts;
+    opts.cancel = &token;
+    opts.faults.rate = 1.0;
+    opts.retry.maxAttempts = 1; // first call: plain failure
+    opts.breaker.failureThreshold = 100;
+    ResilientExecutor ex(opts);
+    auto first = ex.run(makeJob(32, 3, 1));
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(first.error().code, ErrorCode::RetriesExhausted);
+
+    token.cancel();
+    auto second = ex.run(makeJob(32, 3, 1));
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.error().code, ErrorCode::Cancelled);
+    EXPECT_EQ(ex.stats().deadlineHits, 1u);
+}
+
+TEST(ResilientExecutorTest, CleanFallbackHonoursTheToken)
+{
+    CancelToken token;
+    token.cancel();
+    ResilienceOptions opts;
+    opts.cancel = &token;
+    ResilientExecutor ex(opts);
+    while (ex.canDemote())
+        ex.demote("test");
+    ASSERT_EQ(ex.level(), DegradationLevel::CleanFallback);
+    auto r = ex.run(makeJob(32, 3, 1));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::Cancelled);
+}
+
 } // namespace
 } // namespace rasengan::exec
+

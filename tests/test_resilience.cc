@@ -198,6 +198,43 @@ TEST(CheckpointResume, RunResumesFromCheckpointFile)
     std::remove(path.c_str());
 }
 
+TEST(CheckpointResume, CancelledTrainingNeverPoisonsTheCheckpoint)
+{
+    // A cancel token that trips during training makes every later
+    // objective evaluation fail, so training.x is garbage; persisting
+    // it would make the NEXT run resume from the wrong times and
+    // silently diverge from an uninterrupted solve.  A cancelled run
+    // must leave no checkpoint behind.
+    const std::string path =
+        ::testing::TempDir() + "rasengan_cancelled_cp_test.txt";
+    std::remove(path.c_str());
+
+    problems::Problem p = problems::makeBenchmark("F1");
+    RasenganResult want = RasenganSolver(p, segmentedOptions()).run();
+    ASSERT_FALSE(want.failed);
+
+    exec::CancelToken token;
+    token.cancel(); // tripped before (hence throughout) training
+    RasenganOptions opts = segmentedOptions();
+    opts.checkpointPath = path;
+    opts.resilience.cancel = &token;
+    RasenganResult killed = RasenganSolver(p, opts).run();
+    EXPECT_TRUE(killed.failed);
+
+    // The re-run finds no snapshot, retrains cold, and reproduces the
+    // uninterrupted result exactly.
+    RasenganOptions retry = segmentedOptions();
+    retry.checkpointPath = path;
+    RasenganResult got = RasenganSolver(p, retry).run();
+    ASSERT_FALSE(got.failed);
+    EXPECT_FALSE(got.resumed);
+    EXPECT_EQ(got.solution, want.solution);
+    EXPECT_EQ(got.expectedObjective, want.expectedObjective);
+    EXPECT_EQ(sorted(got.finalDistribution.entries),
+              sorted(want.finalDistribution.entries));
+    std::remove(path.c_str());
+}
+
 TEST(CheckpointResume, MismatchedCheckpointIsIgnored)
 {
     const std::string path =

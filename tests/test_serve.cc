@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -592,4 +594,142 @@ TEST(Workload, DeterministicAndValid)
     }
     EXPECT_NE(writeRequest(generateWorkload(25, 4)[0]),
               writeRequest(a[0]));
+}
+
+// ---------------------------------------------------------------------
+// LineReader hardening
+// ---------------------------------------------------------------------
+
+TEST(LineReader, ReadsLinesSkipsEmptiesAndStripsCr)
+{
+    std::istringstream in("first\r\n\n\nsecond\nthird\n");
+    LineReader reader(in);
+    LineReader::Line line;
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_TRUE(line.ok);
+    EXPECT_EQ(line.text, "first");
+    EXPECT_EQ(line.number, 1u);
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.text, "second");
+    EXPECT_EQ(line.number, 4u); // empty lines count toward numbering
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line.text, "third");
+    EXPECT_FALSE(reader.next(line));
+    EXPECT_EQ(reader.emptyLines(), 2u);
+    EXPECT_EQ(reader.linesRead(), 5u); // physical lines, empties included
+}
+
+TEST(LineReader, OversizedLineIsReportedNotBuffered)
+{
+    std::string big(4096, 'x');
+    std::istringstream in(big + "\nok\n");
+    LineReader reader(in, 64);
+    LineReader::Line line;
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_FALSE(line.ok);
+    EXPECT_TRUE(line.oversized);
+    EXPECT_TRUE(line.text.empty()); // contents dropped, not ballooned
+    ASSERT_TRUE(reader.next(line)); // stream recovers at the newline
+    EXPECT_TRUE(line.ok);
+    EXPECT_EQ(line.text, "ok");
+    EXPECT_EQ(reader.oversizedLines(), 1u);
+}
+
+TEST(LineReader, TornFinalLineIsFlaggedTruncated)
+{
+    std::istringstream in("complete\n{\"type\":\"done\",\"se");
+    LineReader reader(in);
+    LineReader::Line line;
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_TRUE(line.ok);
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_FALSE(line.ok);
+    EXPECT_TRUE(line.truncated);
+    EXPECT_FALSE(reader.next(line));
+    EXPECT_EQ(reader.truncatedLines(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Scheduling metadata and graceful stop
+// ---------------------------------------------------------------------
+
+TEST(Jsonl, SchedulingFieldsRoundTripAndStayOffTheWire)
+{
+    JobRequest req;
+    req.id = "sched";
+    req.benchmark = "F1";
+    // Defaults are omitted from the wire format (byte compatibility
+    // with pre-daemon request files).
+    EXPECT_EQ(writeRequest(req).find("priority"), std::string::npos);
+    EXPECT_EQ(writeRequest(req).find("deadline_ms"), std::string::npos);
+
+    req.priority = "interactive";
+    req.deadlineMs = 1500.0;
+    req.timeoutMs = 900.0;
+    RequestParseResult parsed = parseRequest(writeRequest(req));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.request.priority, "interactive");
+    EXPECT_DOUBLE_EQ(parsed.request.deadlineMs, 1500.0);
+    EXPECT_DOUBLE_EQ(parsed.request.timeoutMs, 900.0);
+
+    std::string err;
+    req.priority = "urgent";
+    EXPECT_FALSE(validateRequest(req, &err));
+    req.priority = "batch";
+    req.deadlineMs = -5.0;
+    EXPECT_FALSE(validateRequest(req, &err));
+}
+
+TEST(Jsonl, SchedulingFieldsDoNotChangeTheCanonicalText)
+{
+    JobRequest a;
+    a.benchmark = "F1";
+    JobRequest b = a;
+    b.priority = "interactive";
+    b.deadlineMs = 10.0;
+    b.timeoutMs = 20.0;
+    // Urgency shapes WHEN a job runs, never WHAT it computes: the
+    // canonical text (and therefore child seed and results) must agree.
+    EXPECT_EQ(canonicalRequestText(a, "p"), canonicalRequestText(b, "p"));
+}
+
+TEST(Scheduler, StopFlagInterruptsUnstartedJobsGracefully)
+{
+    ServeOptions options;
+    std::atomic<bool> stop{true}; // tripped before the batch starts
+    options.stopFlag = &stop;
+    BatchScheduler scheduler(options);
+    JobRequest req;
+    req.benchmark = "F1";
+    req.iterations = 5;
+    for (int i = 0; i < 3; ++i) {
+        req.id = "job-" + std::to_string(i);
+        scheduler.submit(req);
+    }
+    scheduler.runAll();
+    EXPECT_EQ(scheduler.interruptedJobs(), 3u);
+    for (const JobResult &r : scheduler.results()) {
+        EXPECT_TRUE(r.accepted);
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("interrupted"), std::string::npos);
+        EXPECT_NE(r.childSeed, 0u); // identity fields still filled
+    }
+}
+
+TEST(Scheduler, PerJobTimeoutSurfacesDeadlineTelemetry)
+{
+    ServeOptions options;
+    BatchScheduler scheduler(options);
+    JobRequest req;
+    req.id = "tight";
+    req.benchmark = "K1";
+    req.iterations = 50;
+    req.timeoutMs = 1e-6; // expires before the first checkpoint
+    scheduler.submit(req);
+    scheduler.runAll();
+    const JobResult &r = scheduler.results()[0];
+    ASSERT_TRUE(r.accepted);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("deadline"), std::string::npos);
+    EXPECT_TRUE(r.telemetry.deadlineHit);
 }

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Deadline/SLO scheduling tests: priority wire names, the
+ * priority + EDF + FIFO ready queue, and the shed predictor that
+ * rejects deadline-unmeetable jobs at accept time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/slo.h"
+
+using namespace rasengan;
+using namespace rasengan::serve;
+
+namespace {
+
+SloJob
+job(uint64_t seq, Priority p, double deadline_ms, double cost = 1.0)
+{
+    SloJob j;
+    j.seq = seq;
+    j.priority = p;
+    j.deadlineMs = deadline_ms;
+    j.costUnits = cost;
+    j.arrival = seq; // tests use seq as the arrival counter too
+    return j;
+}
+
+std::vector<uint64_t>
+popOrder(DeadlineQueue &q)
+{
+    std::vector<uint64_t> order;
+    while (!q.empty())
+        order.push_back(q.pop().seq);
+    return order;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Priority wire names
+// ---------------------------------------------------------------------
+
+TEST(Priority, ParseAndNameRoundTrip)
+{
+    for (Priority p : {Priority::Interactive, Priority::Batch,
+                       Priority::BestEffort}) {
+        Priority parsed;
+        ASSERT_TRUE(parsePriority(priorityName(p), &parsed));
+        EXPECT_EQ(parsed, p);
+    }
+    Priority out;
+    EXPECT_FALSE(parsePriority("urgent", &out));
+    EXPECT_FALSE(parsePriority("", &out));
+    EXPECT_FALSE(parsePriority("Interactive", &out)); // case-sensitive
+}
+
+// ---------------------------------------------------------------------
+// DeadlineQueue ordering
+// ---------------------------------------------------------------------
+
+TEST(DeadlineQueue, StrictPriorityClassesBeatDeadlines)
+{
+    DeadlineQueue q;
+    // A best-effort job with a razor-thin deadline still yields to an
+    // interactive job with no deadline at all: classes are strict.
+    q.push(job(1, Priority::BestEffort, 1.0));
+    q.push(job(2, Priority::Batch, 5.0));
+    q.push(job(3, Priority::Interactive, 0.0));
+    EXPECT_EQ(popOrder(q), (std::vector<uint64_t>{3, 2, 1}));
+}
+
+TEST(DeadlineQueue, EdfWithinClassThenDeadlinelessThenFifo)
+{
+    DeadlineQueue q;
+    q.push(job(1, Priority::Batch, 0.0));   // no deadline, earliest arrival
+    q.push(job(2, Priority::Batch, 900.0)); // latest deadline
+    q.push(job(3, Priority::Batch, 100.0)); // earliest deadline
+    q.push(job(4, Priority::Batch, 0.0));   // no deadline, later arrival
+    q.push(job(5, Priority::Batch, 500.0));
+    // Deadlined jobs first (EDF), then deadline-less in arrival order.
+    EXPECT_EQ(popOrder(q), (std::vector<uint64_t>{3, 5, 2, 1, 4}));
+}
+
+TEST(DeadlineQueue, FifoBreaksExactTies)
+{
+    DeadlineQueue q;
+    q.push(job(7, Priority::Batch, 250.0));
+    q.push(job(3, Priority::Batch, 250.0));
+    q.push(job(5, Priority::Batch, 250.0));
+    // Equal class and deadline: arrival counter decides, so dispatch
+    // order is a pure function of the request stream.
+    EXPECT_EQ(popOrder(q), (std::vector<uint64_t>{3, 5, 7}));
+}
+
+TEST(DeadlineQueue, BacklogAndEarliestDeadlineTrackContents)
+{
+    DeadlineQueue q;
+    EXPECT_EQ(q.earliestDeadlineMs(), 0.0);
+    EXPECT_EQ(q.backlogCostUnits(), 0.0);
+    q.push(job(1, Priority::Batch, 0.0, 2.5));
+    EXPECT_EQ(q.earliestDeadlineMs(), 0.0); // no deadlined job yet
+    q.push(job(2, Priority::BestEffort, 800.0, 1.5));
+    q.push(job(3, Priority::Interactive, 300.0, 4.0));
+    EXPECT_DOUBLE_EQ(q.earliestDeadlineMs(), 300.0);
+    EXPECT_DOUBLE_EQ(q.backlogCostUnits(), 8.0);
+    q.pop();
+    EXPECT_DOUBLE_EQ(q.earliestDeadlineMs(), 800.0);
+}
+
+TEST(DeadlineQueue, DrainEmptiesAndReturnsEverything)
+{
+    DeadlineQueue q;
+    for (uint64_t s = 1; s <= 4; ++s)
+        q.push(job(s, Priority::Batch, 100.0 * static_cast<double>(s)));
+    std::deque<SloJob> drained = q.drain();
+    EXPECT_EQ(drained.size(), 4u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.backlogCostUnits(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Shed predictor
+// ---------------------------------------------------------------------
+
+TEST(ShedDecision, JobsWithoutDeadlinesAreNeverShed)
+{
+    SloPolicy policy;
+    policy.costUnitsPerSecond = 1.0; // pathologically slow worker
+    ShedDecision d = shedDecision(job(1, Priority::Batch, 0.0, 1e9),
+                                  1e9, 1e9, policy);
+    EXPECT_FALSE(d.shed);
+}
+
+TEST(ShedDecision, HopelessDeadlineIsShedWithStructuredReason)
+{
+    SloPolicy policy;
+    policy.costUnitsPerSecond = 1000.0; // 1 cost unit == 1 ms
+    // 5000 units of backlog ahead of a 100 ms deadline: hopeless.
+    ShedDecision d = shedDecision(job(1, Priority::Batch, 100.0, 10.0),
+                                  4000.0, 1000.0, policy);
+    EXPECT_TRUE(d.shed);
+    EXPECT_GT(d.predictedMs, 100.0);
+    EXPECT_NE(d.reason.find("unmeetable"), std::string::npos);
+    EXPECT_NE(d.reason.find("100"), std::string::npos); // the deadline
+}
+
+TEST(ShedDecision, MeetableDeadlineIsAdmitted)
+{
+    SloPolicy policy;
+    policy.costUnitsPerSecond = 1000.0;
+    // 50 units total at 1 unit/ms against a 100 ms deadline with the
+    // default 10% margin: predicted 50 ms < budget 90 ms.
+    ShedDecision d = shedDecision(job(1, Priority::Batch, 100.0, 10.0),
+                                  30.0, 10.0, policy);
+    EXPECT_FALSE(d.shed);
+    EXPECT_DOUBLE_EQ(d.predictedMs, 50.0);
+}
+
+TEST(ShedDecision, MarginTightensTheBudget)
+{
+    // Predicted 80 ms against a 100 ms deadline: admitted at 10%
+    // margin (budget 90 ms), shed at 30% (budget 70 ms).
+    SloPolicy policy;
+    policy.costUnitsPerSecond = 1000.0;
+    SloJob j = job(1, Priority::Batch, 100.0, 80.0);
+    policy.shedMargin = 0.1;
+    EXPECT_FALSE(shedDecision(j, 0.0, 0.0, policy).shed);
+    policy.shedMargin = 0.3;
+    EXPECT_TRUE(shedDecision(j, 0.0, 0.0, policy).shed);
+}
+
+TEST(ShedDecision, RunningCostCountsTowardThePrediction)
+{
+    SloPolicy policy;
+    policy.costUnitsPerSecond = 1000.0;
+    SloJob j = job(1, Priority::Batch, 100.0, 10.0);
+    EXPECT_FALSE(shedDecision(j, 0.0, 0.0, policy).shed);
+    // Same queue, but a large job is mid-flight on the worker.
+    EXPECT_TRUE(shedDecision(j, 0.0, 500.0, policy).shed);
+}

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Minimal client for the rasengan_served JSONL socket protocol.
+
+The daemon speaks newline-delimited JSON over a Unix or TCP socket and
+answers HTTP/1.0 probe lines on the same port, so this client is all the
+tooling an operator (or the CI daemon-smoke job) needs:
+
+  daemon_client.py send ADDR REQUESTS.jsonl [--read N] [--retry S]
+      Stream request lines to the daemon; with --read, wait for N
+      response lines and echo them to stdout.
+
+  daemon_client.py probe ADDR PATH
+      Issue an HTTP GET (e.g. /healthz, /metrics.json) and print the
+      response body; exits non-zero unless the status is 200.
+
+  daemon_client.py wait-idle JOURNAL [--jobs N] [--timeout S]
+      Poll a job journal until every accepted job has a terminal
+      record (and, with --jobs, until N jobs exist at all).
+
+  daemon_client.py verify JOURNAL REFERENCE.jsonl
+      Check that every done record in the journal carries a result
+      line byte-identical to the same id's line in REFERENCE.jsonl,
+      and that the journal holds no pending jobs.
+
+ADDR is "unix:PATH" or "tcp:HOST:PORT".
+"""
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+def connect(addr, retry_seconds=10.0):
+    """Connect to unix:PATH or tcp:HOST:PORT, retrying while the
+    daemon is still binding its socket."""
+    deadline = time.monotonic() + retry_seconds
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            if addr.startswith("unix:"):
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.connect(addr[len("unix:"):])
+            elif addr.startswith("tcp:"):
+                host, _, port = addr[len("tcp:"):].rpartition(":")
+                s = socket.create_connection((host or "127.0.0.1",
+                                              int(port)))
+            else:
+                raise SystemExit(f"bad address {addr!r}: want "
+                                 "unix:PATH or tcp:HOST:PORT")
+            return s
+        except OSError as exc:
+            last = exc
+            time.sleep(0.05)
+    raise SystemExit(f"cannot connect to {addr}: {last}")
+
+
+def read_lines(sock, count, timeout=300.0):
+    sock.settimeout(timeout)
+    buffer = b""
+    lines = []
+    while len(lines) < count:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise SystemExit(f"daemon closed after {len(lines)}/"
+                             f"{count} responses")
+        buffer += chunk
+        while b"\n" in buffer and len(lines) < count:
+            line, _, buffer = buffer.partition(b"\n")
+            lines.append(line.decode())
+    return lines
+
+
+def journal_state(path):
+    """(jobs-by-seq, done{id: result}, pending-ids) from a journal."""
+    jobs, done, pending = {}, {}, []
+    try:
+        raw = open(path, "rb").read().decode(errors="replace")
+    except FileNotFoundError:
+        return jobs, done, pending
+    for line in raw.split("\n"):
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue  # torn/garbled crash debris: replay skips it too
+        seq = rec.get("seq")
+        kind = rec.get("type")
+        if kind == "accepted":
+            jobs[seq] = {"id": rec.get("id", ""), "terminal": False}
+        elif kind in ("done", "shed") and seq in jobs:
+            jobs[seq]["terminal"] = True
+            if kind == "done":
+                done[jobs[seq]["id"]] = rec.get("result", "")
+    pending = [j["id"] for j in jobs.values() if not j["terminal"]]
+    return jobs, done, pending
+
+
+def cmd_send(args):
+    sock = connect(args.addr, args.retry)
+    requests = [l for l in open(args.requests).read().split("\n") if l]
+    for line in requests:
+        sock.sendall(line.encode() + b"\n")
+    if args.read:
+        for line in read_lines(sock, args.read):
+            print(line)
+    sock.close()
+    return 0
+
+
+def cmd_probe(args):
+    sock = connect(args.addr, args.retry)
+    sock.sendall(f"GET {args.path} HTTP/1.0\r\n".encode())
+    sock.settimeout(30.0)
+    response = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        response += chunk
+    head, _, body = response.partition(b"\r\n\r\n")
+    sys.stdout.write(body.decode())
+    return 0 if b" 200 " in head.split(b"\r\n")[0] + b" " else 1
+
+
+def cmd_wait_idle(args):
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        jobs, _, pending = journal_state(args.journal)
+        if len(jobs) >= args.jobs and not pending:
+            return 0
+        time.sleep(0.2)
+    print(f"timeout: {len(pending)} pending of {len(jobs)} jobs",
+          file=sys.stderr)
+    return 1
+
+
+def cmd_verify(args):
+    _, done, pending = journal_state(args.journal)
+    if pending:
+        print(f"still pending: {pending}", file=sys.stderr)
+        return 1
+    reference = {}
+    for line in open(args.reference).read().split("\n"):
+        if line:
+            reference[json.loads(line)["id"]] = line
+    if set(done) != set(reference):
+        print(f"id mismatch: journal {sorted(done)} vs reference "
+              f"{sorted(reference)}", file=sys.stderr)
+        return 1
+    for job_id, result in sorted(done.items()):
+        if result != reference[job_id]:
+            print(f"{job_id}: replayed result differs from the "
+                  f"uninterrupted run\n  replay: {result}\n  "
+                  f"reference: {reference[job_id]}", file=sys.stderr)
+            return 1
+    print(f"verified {len(done)} jobs byte-identical")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("send")
+    p.add_argument("addr")
+    p.add_argument("requests")
+    p.add_argument("--read", type=int, default=0)
+    p.add_argument("--retry", type=float, default=10.0)
+    p.set_defaults(run=cmd_send)
+
+    p = sub.add_parser("probe")
+    p.add_argument("addr")
+    p.add_argument("path")
+    p.add_argument("--retry", type=float, default=10.0)
+    p.set_defaults(run=cmd_probe)
+
+    p = sub.add_parser("wait-idle")
+    p.add_argument("journal")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.set_defaults(run=cmd_wait_idle)
+
+    p = sub.add_parser("verify")
+    p.add_argument("journal")
+    p.add_argument("reference")
+    p.set_defaults(run=cmd_verify)
+
+    args = parser.parse_args()
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

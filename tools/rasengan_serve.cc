@@ -34,9 +34,14 @@
  *
  * Exit status: 0 when every admitted job succeeded, 1 on usage or I/O
  * errors, 2 when some admitted job failed (rejections alone do not
- * fail the batch: they are reported outcomes, not errors).
+ * fail the batch: they are reported outcomes, not errors), 3 when
+ * SIGTERM/SIGINT interrupted the batch -- jobs already running finish,
+ * results/telemetry/metrics are still written, and jobs that never
+ * started are reported as accepted-but-interrupted failures.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,12 +51,22 @@
 
 #include "obs_cli.h"
 #include "serve/job.h"
+#include "serve/jsonl.h"
 #include "serve/scheduler.h"
 #include "serve/workload.h"
 
 using namespace rasengan;
 
 namespace {
+
+/** SIGTERM/SIGINT trip this; the scheduler polls it between jobs. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
 
 struct Args
 {
@@ -164,22 +179,29 @@ main(int argc, char **argv)
                          args.requests.c_str());
             return 1;
         }
-        std::string line;
-        int lineNo = 0;
-        while (std::getline(in, line)) {
-            ++lineNo;
-            if (line.empty())
-                continue;
+        serve::LineReader reader(in);
+        serve::LineReader::Line line;
+        while (reader.next(line)) {
+            // Request files are operator input: a defective line is an
+            // error, not something to skip silently.
+            if (!line.ok) {
+                std::fprintf(stderr, "%s:%zu: %s\n",
+                             args.requests.c_str(), line.number,
+                             line.oversized
+                                 ? "request line exceeds the length cap"
+                                 : "truncated final line (no newline)");
+                return 1;
+            }
             serve::RequestParseResult parsed =
-                serve::parseRequest(line);
+                serve::parseRequest(line.text);
             if (!parsed.ok) {
-                std::fprintf(stderr, "%s:%d: %s\n",
-                             args.requests.c_str(), lineNo,
+                std::fprintf(stderr, "%s:%zu: %s\n",
+                             args.requests.c_str(), line.number,
                              parsed.error.c_str());
                 return 1;
             }
             if (parsed.request.id.empty())
-                parsed.request.id = "line-" + std::to_string(lineNo);
+                parsed.request.id = "line-" + std::to_string(line.number);
             requests.push_back(std::move(parsed.request));
         }
     } else {
@@ -207,6 +229,12 @@ main(int argc, char **argv)
             static_cast<uint64_t>(args.maxShots);
     if (args.maxCost >= 0.0)
         options.limits.maxJobCostUnits = args.maxCost;
+
+    // Graceful interruption: finish running jobs, skip unstarted ones,
+    // and still write every output stream before exiting with code 3.
+    options.stopFlag = &g_stop;
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
 
     tools::obsCliStart(args.obs);
     serve::BatchScheduler scheduler(options);
@@ -253,9 +281,12 @@ main(int argc, char **argv)
             ++accepted;
     }
     serve::ArtifactCache::Stats cache = scheduler.cache().stats();
+    const size_t interrupted = scheduler.interruptedJobs();
     std::fprintf(stderr,
-                 "batch: %zu jobs (%zu ok, %zu failed, %zu rejected)\n",
-                 scheduler.results().size(), accepted, failed, rejected);
+                 "batch: %zu jobs (%zu ok, %zu failed, %zu rejected, "
+                 "%zu interrupted)\n",
+                 scheduler.results().size(), accepted, failed, rejected,
+                 interrupted);
     std::fprintf(stderr,
                  "cache: %llu hits, %llu misses (%.1f%% hit rate), "
                  "%llu evictions, %llu bytes in %zu entries\n",
@@ -270,5 +301,7 @@ main(int argc, char **argv)
 
     if (!tools::obsCliFinish(args.obs))
         return 1;
+    if (g_stop.load(std::memory_order_relaxed))
+        return 3;
     return failed > 0 ? 2 : 0;
 }
