@@ -35,6 +35,7 @@
 #include "problems/suite.h"
 #include "qsim/counts.h"
 #include "qsim/noise.h"
+#include "qsim/simd.h"
 #include "qsim/statevector.h"
 
 namespace {
@@ -148,67 +149,81 @@ void
 benchGateKernels(const std::vector<int> &sweep, int n, int repeats)
 {
     bench::banner("dense gate kernels");
-    bench::Table table({"kernel", "threads", "median_ms"});
+    bench::Table table({"kernel", "isa", "threads", "median_ms"});
     table.printHeader();
 
     qsim::Mat2 h = qsim::gateMatrix(circuit::GateKind::H, 0.0);
     qsim::Mat2 x = qsim::gateMatrix(circuit::GateKind::X, 0.0);
     qsim::Statevector sv(n);
 
-    for (int tc : sweep) {
-        parallel::setThreadCount(tc);
-        Record &r1 = timeKernel(
-            "apply1q_hadamard_layer", "threads=" + std::to_string(tc), tc,
-            repeats, [] {},
-            [&] {
-                for (int q = 0; q < n; ++q)
-                    sv.apply1q(q, h);
-            });
-        r1.extra.emplace_back("qubits", n);
-        table.cell("h_layer");
-        table.cell(tc);
-        table.cell(r1.medianMs);
-        table.endRow();
+    // ISA x thread sweep: scalar is always present; the best vector ISA
+    // adds a second column when the CPU has one.
+    std::vector<qsim::SimdIsa> isas = {qsim::SimdIsa::Scalar};
+    if (qsim::simdBestIsa() != qsim::SimdIsa::Scalar)
+        isas.push_back(qsim::simdBestIsa());
 
-        Record &r2 = timeKernel(
-            "cx_chain", "threads=" + std::to_string(tc), tc, repeats,
-            [] {},
-            [&] {
-                for (int q = 0; q + 1 < n; ++q)
-                    sv.applyControlled1q({q}, q + 1, x);
-            });
-        r2.extra.emplace_back("qubits", n);
-        table.cell("cx_chain");
-        table.cell(tc);
-        table.cell(r2.medianMs);
-        table.endRow();
+    for (qsim::SimdIsa isa : isas) {
+        if (!qsim::setSimdIsa(isa))
+            continue;
+        const std::string isa_name = qsim::simdIsaName(isa);
+        for (int tc : sweep) {
+            parallel::setThreadCount(tc);
+            const std::string variant =
+                "threads=" + std::to_string(tc) + ",isa=" + isa_name;
+            Record &r1 = timeKernel(
+                "apply1q_hadamard_layer", variant, tc, repeats, [] {},
+                [&] {
+                    for (int q = 0; q < n; ++q)
+                        sv.apply1q(q, h);
+                });
+            r1.extra.emplace_back("qubits", n);
+            table.cell("h_layer");
+            table.cell(isa_name);
+            table.cell(tc);
+            table.cell(r1.medianMs);
+            table.endRow();
 
-        std::vector<double> values(sv.dimension());
-        for (size_t i = 0; i < values.size(); ++i)
-            values[i] = 1e-3 * static_cast<double>(i % 97);
-        Record &r3 = timeKernel(
-            "diagonal_evolution", "threads=" + std::to_string(tc), tc,
-            repeats, [] {},
-            [&] { sv.applyDiagonalEvolution(values, 0.25); });
-        r3.extra.emplace_back("qubits", n);
-        table.cell("diag_evo");
-        table.cell(tc);
-        table.cell(r3.medianMs);
-        table.endRow();
+            Record &r2 = timeKernel(
+                "cx_chain", variant, tc, repeats, [] {},
+                [&] {
+                    for (int q = 0; q + 1 < n; ++q)
+                        sv.applyControlled1q({q}, q + 1, x);
+                });
+            r2.extra.emplace_back("qubits", n);
+            table.cell("cx_chain");
+            table.cell(isa_name);
+            table.cell(tc);
+            table.cell(r2.medianMs);
+            table.endRow();
 
-        Record &r4 = timeKernel(
-            "norm_reduction", "threads=" + std::to_string(tc), tc, repeats,
-            [] {},
-            [&] {
-                volatile double sink = sv.normSquared();
-                (void)sink;
-            });
-        r4.extra.emplace_back("qubits", n);
-        table.cell("norm");
-        table.cell(tc);
-        table.cell(r4.medianMs);
-        table.endRow();
+            std::vector<double> values(sv.dimension());
+            for (size_t i = 0; i < values.size(); ++i)
+                values[i] = 1e-3 * static_cast<double>(i % 97);
+            Record &r3 = timeKernel(
+                "diagonal_evolution", variant, tc, repeats, [] {},
+                [&] { sv.applyDiagonalEvolution(values, 0.25); });
+            r3.extra.emplace_back("qubits", n);
+            table.cell("diag_evo");
+            table.cell(isa_name);
+            table.cell(tc);
+            table.cell(r3.medianMs);
+            table.endRow();
+
+            Record &r4 = timeKernel(
+                "norm_reduction", variant, tc, repeats, [] {},
+                [&] {
+                    volatile double sink = sv.normSquared();
+                    (void)sink;
+                });
+            r4.extra.emplace_back("qubits", n);
+            table.cell("norm");
+            table.cell(isa_name);
+            table.cell(tc);
+            table.cell(r4.medianMs);
+            table.endRow();
+        }
     }
+    qsim::setSimdIsa(qsim::simdBestIsa());
 }
 
 void

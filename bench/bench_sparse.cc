@@ -2,9 +2,10 @@
  * @file
  * A/B benchmark for the sparse simulation engine overhaul: the seed
  * hash-map engine (bench/legacy_sparsestate.h, preserved verbatim)
- * against the flat structure-of-arrays engine (qsim/sparsestate.h),
- * plus a thread sweep over the new parallel kernels and the
- * rotation-plan cache's replay-vs-direct timing and hit rate.
+ * against the flat structure-of-arrays engine (qsim/sparsestate.h) --
+ * run both scalar and, when the CPU has one, under the best vector ISA
+ * (qsim/simd.h) -- plus a thread sweep over the new parallel kernels
+ * and the rotation-plan cache's replay-vs-direct timing and hit rate.
  *
  * Workload: the full pruned transition chain of the Figure-10
  * scalability FLP instances (up to 105 variables, maxTrackedStates
@@ -34,6 +35,7 @@
 #include "core/rasengan.h"
 #include "legacy_sparsestate.h"
 #include "problems/suite.h"
+#include "qsim/simd.h"
 #include "qsim/sparseplan.h"
 #include "qsim/sparsestate.h"
 
@@ -44,7 +46,7 @@ using namespace rasengan;
 struct Record
 {
     std::string kernel;
-    std::string variant; ///< "legacy", "soa", "threads=N", "plan_*"
+    std::string variant; ///< "legacy", "soa", "soa_simd", "threads=N", ...
     int threads = 1;
     int repeats = 0;
     double medianMs = 0.0;
@@ -189,16 +191,32 @@ benchEngineAB(const std::vector<int> &sizes, int repeats)
 {
     bench::banner("legacy hash-map vs flat SoA (single thread)");
     bench::Table table({"vars", "chain", "support", "legacy_ms", "soa_ms",
-                        "speedup", "max_diff"});
+                        "simd_ms", "speedup", "max_diff"});
     table.printHeader();
     parallel::setThreadCount(1);
+
+    // The legacy engine and the "soa" record form the stable scalar
+    // reference pair; "soa_simd" re-runs the SoA engine under the best
+    // vector ISA (when the CPU has one) and must agree bit-for-bit.
+    const bool have_simd = qsim::simdBestIsa() != qsim::SimdIsa::Scalar;
 
     for (int v : sizes) {
         ChainCase c = makeChainCase(v);
 
+        qsim::setSimdIsa(qsim::SimdIsa::Scalar);
         bench::LegacySparseState legacy_final = runLegacy(c);
         qsim::SparseState soa_final = runSoa(c);
         const double max_diff = maxAmplitudeDiff(legacy_final, soa_final);
+
+        // NOTE: timeKernel's Record& is only valid until the next call
+        // pushes into g_records -- attach extras before re-entering.
+        auto commonExtras = [&](Record &r, size_t support) {
+            r.extra.emplace_back("vars", v);
+            r.extra.emplace_back("chain_steps",
+                                 static_cast<double>(c.steps.size()));
+            r.extra.emplace_back("support",
+                                 static_cast<double>(support));
+        };
 
         Record &old_rec =
             timeKernel("chain_evolution_" + std::to_string(v), "legacy", 1,
@@ -207,6 +225,10 @@ benchEngineAB(const std::vector<int> &sizes, int repeats)
                            volatile size_t sink = s.supportSize();
                            (void)sink;
                        });
+        commonExtras(old_rec, soa_final.supportSize());
+        old_rec.extra.emplace_back("max_abs_diff", max_diff);
+        const double legacy_ms = old_rec.medianMs;
+
         Record &new_rec =
             timeKernel("chain_evolution_" + std::to_string(v), "soa", 1,
                        repeats, [&] {
@@ -214,29 +236,48 @@ benchEngineAB(const std::vector<int> &sizes, int repeats)
                            volatile size_t sink = s.supportSize();
                            (void)sink;
                        });
+        const double soa_ms = new_rec.medianMs;
         const double speedup =
-            new_rec.medianMs > 0.0 ? old_rec.medianMs / new_rec.medianMs
-                                   : 0.0;
-        for (Record *r : {&old_rec, &new_rec}) {
-            r->extra.emplace_back("vars", v);
-            r->extra.emplace_back("chain_steps",
-                                  static_cast<double>(c.steps.size()));
-            r->extra.emplace_back("support",
-                                  static_cast<double>(
-                                      soa_final.supportSize()));
-            r->extra.emplace_back("max_abs_diff", max_diff);
-        }
+            soa_ms > 0.0 ? legacy_ms / soa_ms : 0.0;
+        commonExtras(new_rec, soa_final.supportSize());
+        new_rec.extra.emplace_back("max_abs_diff", max_diff);
         new_rec.extra.emplace_back("speedup_vs_legacy", speedup);
+
+        double simd_ms = 0.0;
+        if (have_simd && qsim::setSimdIsa(qsim::simdBestIsa())) {
+            qsim::SparseState simd_final = runSoa(c);
+            // The SIMD kernels are bit-identical to scalar; the recorded
+            // diff is still measured against the legacy engine so the CI
+            // gate applies uniformly to every variant.
+            const double simd_diff =
+                maxAmplitudeDiff(legacy_final, simd_final);
+            Record &simd_rec = timeKernel(
+                "chain_evolution_" + std::to_string(v), "soa_simd", 1,
+                repeats, [&] {
+                    qsim::SparseState s = runSoa(c);
+                    volatile size_t sink = s.supportSize();
+                    (void)sink;
+                });
+            simd_ms = simd_rec.medianMs;
+            commonExtras(simd_rec, simd_final.supportSize());
+            simd_rec.extra.emplace_back("max_abs_diff", simd_diff);
+            simd_rec.extra.emplace_back(
+                "speedup_vs_soa_scalar",
+                simd_ms > 0.0 ? soa_ms / simd_ms : 0.0);
+            qsim::setSimdIsa(qsim::SimdIsa::Scalar);
+        }
 
         table.cell(v);
         table.cell(static_cast<int>(c.steps.size()));
         table.cell(static_cast<int>(soa_final.supportSize()));
-        table.cell(old_rec.medianMs);
-        table.cell(new_rec.medianMs);
+        table.cell(legacy_ms);
+        table.cell(soa_ms);
+        table.cell(simd_ms);
         table.cell(speedup, "%.2f");
         table.cell(max_diff, "%.2e");
         table.endRow();
     }
+    qsim::setSimdIsa(qsim::simdBestIsa());
 }
 
 void
@@ -391,9 +432,15 @@ benchPlanCache(int num_vars, int iterations, int repeats)
     };
 
     core::PlanStats stats_off, stats_on;
+    // timeKernel's Record& dangles once the next call pushes into
+    // g_records: finish each record before timing the next variant.
     Record &off = timeKernel("optimizer_loop_" + std::to_string(num_vars),
                              "plan_cache_off", 1, repeats,
                              [&] { stats_off = loop(false); });
+    off.extra.emplace_back("vars", num_vars);
+    off.extra.emplace_back("iterations", iterations);
+    const double off_ms = off.medianMs;
+
     Record &on = timeKernel("optimizer_loop_" + std::to_string(num_vars),
                             "plan_cache_on", 1, repeats,
                             [&] { stats_on = loop(true); });
@@ -402,10 +449,8 @@ benchPlanCache(int num_vars, int iterations, int repeats)
         static_cast<double>(stats_on.hits() + stats_on.misses());
     const double hit_rate =
         lookups > 0.0 ? static_cast<double>(stats_on.hits()) / lookups : 0.0;
-    for (Record *r : {&off, &on}) {
-        r->extra.emplace_back("vars", num_vars);
-        r->extra.emplace_back("iterations", iterations);
-    }
+    on.extra.emplace_back("vars", num_vars);
+    on.extra.emplace_back("iterations", iterations);
     on.extra.emplace_back("plan_hit_rate", hit_rate);
     on.extra.emplace_back("plans_recorded",
                           static_cast<double>(stats_on.recorded));
@@ -414,12 +459,12 @@ benchPlanCache(int num_vars, int iterations, int repeats)
     on.extra.emplace_back("plans_aborted",
                           static_cast<double>(stats_on.aborted));
     on.extra.emplace_back("speedup_vs_uncached",
-                          on.medianMs > 0.0 ? off.medianMs / on.medianMs
+                          on.medianMs > 0.0 ? off_ms / on.medianMs
                                             : 0.0);
 
     table.cell(num_vars);
     table.cell("off");
-    table.cell(off.medianMs);
+    table.cell(off_ms);
     table.cell("-");
     table.endRow();
     table.cell(num_vars);

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "qsim/simd.h"
 
 namespace rasengan::qsim {
 
@@ -51,16 +52,12 @@ replaySegmentPlan(const SparseSegmentPlan &plan, const double *times,
                                                    : cur[src];
                 }
             });
+        const SimdKernels &kern = simdKernels();
         parallel::parallelFor(
             0, sp.pairs.size(), parallel::kDefaultGrain,
             [&](uint64_t b, uint64_t e) {
-                for (uint64_t p = b; p < e; ++p) {
-                    auto [ip, im] = sp.pairs[p];
-                    Complex ap = next[ip];
-                    Complex am = next[im];
-                    next[ip] = c * ap + ms * am;
-                    next[im] = c * am + ms * ap;
-                }
+                kern.sparsePairRotate(next.data(), sp.pairs.data(), b, e,
+                                      c, ms);
             });
         cur.swap(next);
         if (prune_threshold > 0.0) {

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "obs/prof.h"
+#include "qsim/simd.h"
 #include "qsim/sparseplan.h"
 
 namespace rasengan::qsim {
@@ -16,6 +17,12 @@ constexpr uint32_t kAbsent = UINT32_MAX;
 
 /** Roles of a populated state under one transition. */
 enum Role : uint8_t { kDark = 0, kPlus = 1, kMinus = 2 };
+
+// The SIMD classify kernel writes these values directly.
+static_assert(uint8_t{kDark} == uint8_t{kSimdRoleDark} &&
+              uint8_t{kPlus} == uint8_t{kSimdRolePlus} &&
+              uint8_t{kMinus} == uint8_t{kSimdRoleMinus});
+static_assert(kAbsent == kSimdAbsent);
 
 } // namespace
 
@@ -148,21 +155,12 @@ SparseState::applyPairRotation(const BitVec &mask,
     std::vector<uint32_t> &partner = scratch_.partnerIdx;
     role.resize(n);
     partner.resize(n);
+    const SimdKernels &kern = simdKernels();
     parallel::parallelFor(
         0, n, parallel::kDefaultGrain, [&](uint64_t b, uint64_t e) {
-            for (uint64_t i = b; i < e; ++i) {
-                BitVec restricted = keys_[i] & mask;
-                if (restricted == pattern_plus)
-                    role[i] = kPlus;
-                else if (restricted == pattern_minus)
-                    role[i] = kMinus;
-                else {
-                    role[i] = kDark; // H^tau annihilates it.
-                    continue;
-                }
-                size_t j = findKey(keys_[i] ^ mask);
-                partner[i] = j == n ? kAbsent : static_cast<uint32_t>(j);
-            }
+            kern.sparseClassify(keys_.data(), n, b, e, mask,
+                                pattern_plus, pattern_minus, role.data(),
+                                partner.data());
         });
 
     // Pass 2 (serial, index order): enumerate each unordered pair once
@@ -278,13 +276,8 @@ SparseState::applyPairRotation(const BitVec &mask,
     parallel::parallelFor(
         0, pairs.size(), parallel::kDefaultGrain,
         [&](uint64_t b, uint64_t e) {
-            for (uint64_t p = b; p < e; ++p) {
-                auto [ip, im] = pairs[p];
-                Complex ap = next_amps[ip];
-                Complex am = next_amps[im];
-                next_amps[ip] = c * ap + ms * am;
-                next_amps[im] = c * am + ms * ap;
-            }
+            kern.sparsePairRotate(next_amps.data(), pairs.data(), b, e,
+                                  c, ms);
         });
 
     if (record)

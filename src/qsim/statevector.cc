@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "obs/prof.h"
+#include "qsim/simd.h"
 
 namespace rasengan::qsim {
 
@@ -104,14 +105,26 @@ Statevector::apply1q(int target, const Mat2 &u)
     const uint64_t bit = uint64_t{1} << target;
     const uint64_t low = bit - 1;
     const uint64_t pairs = amps_.size() >> 1;
+    const SimdKernels &kern = simdKernels();
+    if (target == 0) {
+        // Pairs (2h, 2h+1) are adjacent in memory.
+        parallel::parallelFor(0, pairs, kGateGrain,
+                              [&](uint64_t h0, uint64_t h1) {
+            kern.pairRotateAdjacent(amps_.data(), h0, h1, u);
+        });
+        return;
+    }
+    // The compact pair space decomposes into runs of 2^target
+    // consecutive h mapping to consecutive bases; feed each run
+    // (clipped to the chunk) to the strided kernel.
     parallel::parallelFor(0, pairs, kGateGrain,
                           [&](uint64_t h0, uint64_t h1) {
-        for (uint64_t h = h0; h < h1; ++h) {
-            uint64_t base = expandIndex(h, low);
-            Complex a0 = amps_[base];
-            Complex a1 = amps_[base | bit];
-            amps_[base] = u.m00 * a0 + u.m01 * a1;
-            amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
+        uint64_t h = h0;
+        while (h < h1) {
+            const uint64_t run_end = std::min(h1, (h | low) + 1);
+            kern.pairRotateStrided(amps_.data(), expandIndex(h, low),
+                                   run_end - h, bit, u);
+            h = run_end;
         }
     });
 }
@@ -134,17 +147,35 @@ Statevector::applyControlled1q(const std::vector<int> &controls, int target,
     const uint64_t bit = uint64_t{1} << target;
     const uint64_t low = bit - 1;
     const uint64_t pairs = amps_.size() >> 1;
+    const SimdKernels &kern = simdKernels();
+    // Accumulate maximal contiguous control-satisfying base segments
+    // (contiguity breaks at run boundaries, where bases jump) and hand
+    // each to the strided kernel.
     parallel::parallelFor(0, pairs, kGateGrain,
                           [&](uint64_t h0, uint64_t h1) {
+        uint64_t seg_base = 0;
+        uint64_t seg_len = 0;
+        auto flush = [&]() {
+            if (seg_len != 0)
+                kern.pairRotateStrided(amps_.data(), seg_base, seg_len,
+                                       bit, u);
+            seg_len = 0;
+        };
         for (uint64_t h = h0; h < h1; ++h) {
             uint64_t base = expandIndex(h, low);
-            if ((base & cmask) != cmask)
+            if ((base & cmask) != cmask) {
+                flush();
                 continue;
-            Complex a0 = amps_[base];
-            Complex a1 = amps_[base | bit];
-            amps_[base] = u.m00 * a0 + u.m01 * a1;
-            amps_[base | bit] = u.m10 * a0 + u.m11 * a1;
+            }
+            if (seg_len != 0 && base == seg_base + seg_len) {
+                ++seg_len;
+            } else {
+                flush();
+                seg_base = base;
+                seg_len = 1;
+            }
         }
+        flush();
     });
 }
 
@@ -244,17 +275,11 @@ Statevector::applyDiagonalTerms(const std::vector<circuit::DiagTerm> &terms)
 {
     if (terms.empty())
         return;
+    const SimdKernels &kern = simdKernels();
     parallel::parallelFor(0, amps_.size(), kGateGrain,
                           [&](uint64_t i0, uint64_t i1) {
-        for (uint64_t i = i0; i < i1; ++i) {
-            double angle = 0.0;
-            for (const circuit::DiagTerm &t : terms) {
-                if ((i & t.controlMask) == t.controlMask)
-                    angle += (i & t.targetBit) ? t.phase1 : t.phase0;
-            }
-            if (angle != 0.0)
-                amps_[i] *= std::exp(kI * angle);
-        }
+        kern.diagonalTerms(amps_.data(), terms.data(), terms.size(), i0,
+                           i1);
     });
 }
 
@@ -289,10 +314,11 @@ Statevector::applyDiagonalEvolution(const std::vector<double> &values,
     fatal_if(values.size() != amps_.size(),
              "diagonal has {} entries, state has {}", values.size(),
              amps_.size());
+    const SimdKernels &kern = simdKernels();
     parallel::parallelFor(0, amps_.size(), kGateGrain,
                           [&](uint64_t i0, uint64_t i1) {
-        for (uint64_t i = i0; i < i1; ++i)
-            amps_[i] *= std::exp(kI * (-scale * values[i]));
+        kern.diagonalEvolution(amps_.data(), values.data(), scale, i0,
+                               i1);
     });
 }
 

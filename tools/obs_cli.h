@@ -1,12 +1,18 @@
 /**
  * @file
- * Shared --trace/--metrics plumbing for the CLI tools.
+ * Shared --trace/--metrics/--simd plumbing for the CLI tools.
  *
  * Usage: call obsCliStart() once flags are parsed (enables tracing when
  * a trace path was given) and obsCliFinish() before exit (writes the
  * Chrome trace JSON and the metrics exposition).  A metrics path ending
  * in ".json" selects the flat JSON export; anything else gets
  * Prometheus text.
+ *
+ * obsCliStart() also pins the SIMD kernel tier: it resolves the active
+ * ISA (registering the simd_isa_info gauge before any export can run)
+ * and, when tracing, records the ISA as an instant event so every
+ * trace artifact carries the kernel configuration it was produced
+ * under.  applySimdFlag() is the shared --simd ISA handler.
  */
 
 #ifndef RASENGAN_TOOLS_OBS_CLI_H
@@ -17,6 +23,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qsim/simd.h"
 
 namespace rasengan::tools {
 
@@ -26,12 +33,35 @@ struct ObsCliOptions
     std::string metricsPath;
 };
 
+/**
+ * Apply a --simd spec ("auto"|"avx2"|"neon"|"scalar"); empty means
+ * leave the RASENGAN_SIMD / auto default in place.  Returns false
+ * after printing a diagnostic when the spec is unknown or the ISA is
+ * unavailable on this build/CPU.
+ */
+inline bool
+applySimdFlag(const std::string &spec)
+{
+    if (spec.empty())
+        return true;
+    std::string error;
+    if (!qsim::selectSimdIsa(spec, &error)) {
+        std::fprintf(stderr, "--simd: %s\n", error.c_str());
+        return false;
+    }
+    return true;
+}
+
 inline void
 obsCliStart(const ObsCliOptions &opts)
 {
+    // Resolving the active ISA here registers the simd_isa_info gauge
+    // before any metrics export can run.
+    const char *isa = qsim::simdIsaName(qsim::simdActiveIsa());
     if (!opts.tracePath.empty()) {
         obs::clearTrace();
         obs::startTracing();
+        obs::instantEvent("qsim", "simd_isa", isa);
     }
 }
 

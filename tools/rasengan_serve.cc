@@ -28,6 +28,8 @@
  *   --max-shots N        admission: max shots per job
  *   --max-cost UNITS     admission: per-job cost ceiling
  *   --dump-workload      print the generated workload requests and exit
+ *   --simd ISA           amplitude kernel ISA: auto|avx2|neon|scalar
+ *                        (default: RASENGAN_SIMD env, then auto)
  *   --trace FILE         write a Chrome trace-event JSON of the batch
  *   --metrics FILE       write the metrics registry; Prometheus text,
  *                        or flat JSON when FILE ends in .json
@@ -83,6 +85,7 @@ struct Args
     long maxShots = -1;
     double maxCost = -1.0;
     bool dumpWorkload = false;
+    std::string simd;
     tools::ObsCliOptions obs;
 };
 
@@ -97,7 +100,8 @@ usage()
                  "  [--cache-mb M] [--max-queue N] [--max-qubits N] "
                  "[--max-shots N]\n"
                  "  [--max-cost UNITS] [--dump-workload]\n"
-                 "  [--trace FILE] [--metrics FILE]\n");
+                 "  [--simd auto|avx2|neon|scalar] [--trace FILE] "
+                 "[--metrics FILE]\n");
 }
 
 bool
@@ -133,6 +137,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.maxShots = std::strtol(v, nullptr, 10);
         else if (flag == "--max-cost" && (v = next()))
             args.maxCost = std::strtod(v, nullptr);
+        else if (flag == "--simd" && (v = next()))
+            args.simd = v;
         else if (flag == "--trace" && (v = next()))
             args.obs.tracePath = v;
         else if (flag == "--metrics" && (v = next()))
@@ -236,6 +242,8 @@ main(int argc, char **argv)
     std::signal(SIGTERM, onStopSignal);
     std::signal(SIGINT, onStopSignal);
 
+    if (!tools::applySimdFlag(args.simd))
+        return 1;
     tools::obsCliStart(args.obs);
     serve::BatchScheduler scheduler(options);
     for (const auto &req : requests)

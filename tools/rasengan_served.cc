@@ -37,6 +37,10 @@
  *                        (calibrates the deadline-miss predictor)
  *   --shed-margin F      SLO: fraction of a deadline kept as safety
  *                        margin before shedding (default 0.1)
+ *   --simd ISA           amplitude kernel ISA: auto|avx2|neon|scalar
+ *                        (default: RASENGAN_SIMD env, then auto); the
+ *                        active ISA is logged at startup and exported
+ *                        as the simd_isa_info gauge on /metrics.json
  *
  * Exit status: 0 after a clean drain, 1 on startup failure.
  */
@@ -47,6 +51,7 @@
 #include <cstring>
 #include <string>
 
+#include "qsim/simd.h"
 #include "serve/daemon.h"
 
 using namespace rasengan;
@@ -72,7 +77,8 @@ usage()
         "  [--threads N] [--batch-seed S] [--cache-mb M]\n"
         "  [--max-queue N] [--max-qubits N] [--max-shots N] "
         "[--max-cost UNITS]\n"
-        "  [--cost-rate UNITS_PER_S] [--shed-margin FRACTION]\n");
+        "  [--cost-rate UNITS_PER_S] [--shed-margin FRACTION]\n"
+        "  [--simd auto|avx2|neon|scalar]\n");
 }
 
 } // namespace
@@ -83,6 +89,7 @@ main(int argc, char **argv)
     serve::DaemonOptions options;
     options.listen.clear();
     long cacheMb = 64;
+    std::string simdSpec;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -120,6 +127,8 @@ main(int argc, char **argv)
             options.slo.costUnitsPerSecond = std::strtod(v, nullptr);
         else if (flag == "--shed-margin" && (v = next()))
             options.slo.shedMargin = std::strtod(v, nullptr);
+        else if (flag == "--simd" && (v = next()))
+            simdSpec = v;
         else {
             std::fprintf(stderr, "unknown or incomplete flag: %s\n",
                          flag.c_str());
@@ -137,6 +146,19 @@ main(int argc, char **argv)
     }
     options.cacheBudgetBytes = static_cast<uint64_t>(cacheMb) << 20;
 
+    // Pin the amplitude kernel tier before the daemon starts serving:
+    // this also registers the simd_isa_info gauge, so the very first
+    // /metrics.json probe already reports the active ISA.
+    if (!simdSpec.empty()) {
+        std::string simdError;
+        if (!qsim::selectSimdIsa(simdSpec, &simdError)) {
+            std::fprintf(stderr, "rasengan_served: --simd: %s\n",
+                         simdError.c_str());
+            return 1;
+        }
+    }
+    const char *simdIsa = qsim::simdIsaName(qsim::simdActiveIsa());
+
     serve::Daemon daemon(options);
     std::string error;
     if (!daemon.start(&error)) {
@@ -150,10 +172,11 @@ main(int argc, char **argv)
     std::signal(SIGHUP, onSignal);
     std::signal(SIGPIPE, SIG_IGN); // client hangups are routine
 
-    std::fprintf(stderr, "rasengan_served: listening on %s%s\n",
+    std::fprintf(stderr, "rasengan_served: listening on %s%s (simd %s)\n",
                  options.listen.c_str(),
                  options.journalPath.empty() ? ""
-                                             : " (journaled)");
+                                             : " (journaled)",
+                 simdIsa);
     daemon.wait();
     g_daemon = nullptr;
 

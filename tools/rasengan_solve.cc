@@ -21,6 +21,9 @@
  *   --threads N      simulation threads (default: RASENGAN_THREADS env,
  *                    then hardware concurrency); results are
  *                    bit-identical at every setting
+ *   --simd ISA       amplitude kernel ISA: auto|avx2|neon|scalar
+ *                    (default: RASENGAN_SIMD env, then auto); results
+ *                    are bit-identical for every choice
  *   --trace PATH     write a Chrome trace-event JSON of the solve
  *                    (load in Perfetto or chrome://tracing)
  *   --metrics PATH   write the metrics registry; Prometheus text, or
@@ -66,6 +69,7 @@ struct Args
     int retries = 5;
     std::string checkpoint;
     int threads = 0;
+    std::string simd;
     tools::ObsCliOptions obs;
 };
 
@@ -81,7 +85,8 @@ usage()
                  "[--optimizer cobyla|nelder-mead|spsa|adam-spsa]\n"
                  "  [--draw] [--qasm]\n"
                  "  [--faults RATE] [--retries N] [--checkpoint PATH]\n"
-                 "  [--threads N] [--trace PATH] [--metrics PATH]\n");
+                 "  [--threads N] [--simd auto|avx2|neon|scalar]\n"
+                 "  [--trace PATH] [--metrics PATH]\n");
 }
 
 bool
@@ -166,6 +171,11 @@ parseArgs(int argc, char **argv, Args &args)
                 std::fprintf(stderr, "--threads needs a count >= 1\n");
                 return false;
             }
+        } else if (flag == "--simd") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.simd = v;
         } else if (flag == "--trace") {
             const char *v = next();
             if (!v)
@@ -366,6 +376,8 @@ main(int argc, char **argv)
     }
     if (args.threads > 0)
         parallel::setThreadCount(args.threads);
+    if (!tools::applySimdFlag(args.simd))
+        return 1;
     tools::obsCliStart(args.obs);
 
     if (!args.dump.empty()) {
@@ -422,9 +434,12 @@ main(int argc, char **argv)
                 problem->numVars(), problem->numConstraints());
     if (problem->enumerationEnabled())
         std::printf(", %zu feasible", problem->feasibleCount());
-    std::printf("\nalgorithm %s, optimizer %s, noise %s, %d iterations\n\n",
+    std::printf("\nalgorithm %s, optimizer %s, noise %s, simd %s, "
+                "%d iterations\n\n",
                 args.algorithm.c_str(), args.optimizer.c_str(),
-                args.noise.c_str(), args.iterations);
+                args.noise.c_str(),
+                qsim::simdIsaName(qsim::simdActiveIsa()),
+                args.iterations);
 
     int rc = -1;
     if (args.algorithm == "rasengan") {
