@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Distributed solve cluster benchmark (BENCH_cluster.json): jobs/second
+ * through the coordinator + forked-worker path at 1, 2 and 4 workers,
+ * against the single-process BatchScheduler on the same workload.
+ *
+ * Phases:
+ *
+ *  - "cluster-1w/2w/4w": end-to-end batch throughput with N forked
+ *    workers over unix socketpairs -- framing, screening, placement,
+ *    per-job result streaming, and the deterministic merge included.
+ *
+ *  - "single-process": the same workload through BatchScheduler in this
+ *    process, the baseline the cluster must reproduce byte-for-byte.
+ *
+ *  - "merge-overhead": cluster-at-1-worker seconds minus single-process
+ *    seconds.  One worker does the same simulation work as the
+ *    baseline, so the difference is the coordinator tax: wire framing,
+ *    screening, placement bookkeeping, and ordered merge.
+ *
+ * Every cluster phase's merged result lines are asserted byte-identical
+ * to the single-process run -- a perf run that drifted bytes would be
+ * measuring a different computation.
+ *
+ * Workers are forked BEFORE the in-process baseline runs: fork after
+ * thread-pool or SIMD-dispatch initialization would duplicate live
+ * threads' state into the children.
+ *
+ * Knobs: RASENGAN_BENCH_FAST=1 shrinks the batch for CI;
+ * RASENGAN_BENCH_JSON overrides the output path.
+ */
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "serve/job.h"
+#include "serve/scheduler.h"
+#include "serve/workload.h"
+
+namespace {
+
+using namespace rasengan;
+using bench::fastMode;
+
+constexpr uint64_t kBatchSeed = 9;
+
+struct Record
+{
+    std::string phase;
+    size_t ops = 0;
+    double seconds = 0.0;
+    double opsPerSec = 0.0;
+};
+
+std::vector<Record> g_records;
+
+void
+record(const std::string &phase, size_t ops, double seconds)
+{
+    Record r;
+    r.phase = phase;
+    r.ops = ops;
+    r.seconds = seconds;
+    r.opsPerSec = seconds > 0.0 ? static_cast<double>(ops) / seconds
+                                : 0.0;
+    g_records.push_back(r);
+    std::printf("%-16s %8zu jobs  %9.4f s  %10.1f jobs/s\n",
+                phase.c_str(), ops, seconds, r.opsPerSec);
+}
+
+void
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"records\": [\n");
+    for (size_t i = 0; i < g_records.size(); ++i) {
+        const Record &r = g_records[i];
+        std::fprintf(f,
+                     "    {\"phase\": \"%s\", \"ops\": %zu, "
+                     "\"seconds\": %.6f, \"ops_per_sec\": %.2f}%s\n",
+                     r.phase.c_str(), r.ops, r.seconds, r.opsPerSec,
+                     i + 1 < g_records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", g_records.size(),
+                path.c_str());
+}
+
+/** Fork @p count workers; returns the coordinator-side fds. */
+std::vector<int>
+forkWorkers(int count, std::vector<pid_t> &children)
+{
+    std::vector<int> coordinatorFds;
+    for (int w = 0; w < count; ++w) {
+        int pair[2];
+        panic_if(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0,
+                 "socketpair failed");
+        pid_t pid = ::fork();
+        panic_if(pid < 0, "fork failed");
+        if (pid == 0) {
+            ::close(pair[0]);
+            // Fds of earlier workers belong to the coordinator alone; a
+            // stray duplicate here would defeat its EOF death tracking.
+            for (int fd : coordinatorFds)
+                ::close(fd);
+            cluster::WorkerOutcome outcome = cluster::runWorker(pair[1]);
+            ::_exit(outcome.ok ? 0 : 1);
+        }
+        ::close(pair[1]);
+        coordinatorFds.push_back(pair[0]);
+        children.push_back(pid);
+    }
+    return coordinatorFds;
+}
+
+/** One cluster run; returns merged result lines and records timing. */
+std::vector<std::string>
+runCluster(const std::vector<serve::JobRequest> &requests, int workers,
+           double *secondsOut)
+{
+    std::vector<pid_t> children;
+    std::vector<int> fds = forkWorkers(workers, children);
+
+    // One compute thread per process: the phases then measure
+    // process-level scaling (and on a single-core box, purely the
+    // coordinator tax), not pool oversubscription.
+    cluster::CoordinatorOptions options;
+    options.batchSeed = kBatchSeed;
+    options.threads = 1;
+    cluster::Coordinator coordinator(options, std::move(fds));
+
+    Stopwatch sw;
+    sw.start();
+    for (const auto &req : requests)
+        coordinator.submit(req);
+    std::string error;
+    panic_if(!coordinator.runAll(&error), "cluster run failed: {}",
+             error);
+    sw.stop();
+
+    for (pid_t pid : children) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+    *secondsOut = sw.seconds();
+    record("cluster-" + std::to_string(workers) + "w", requests.size(),
+           sw.seconds());
+    return coordinator.resultLines();
+}
+
+} // namespace
+
+int
+main()
+{
+    const size_t jobs = fastMode() ? 12 : 64;
+    std::vector<serve::JobRequest> requests =
+        serve::generateWorkload(jobs, 5);
+    // Deepen the jobs so per-job simulation dominates the tiny
+    // workload's fixed costs; otherwise every phase measures process
+    // startup instead of scaling.
+    for (auto &req : requests)
+        req.iterations = fastMode() ? 10 : 60;
+
+    // All fork-based phases run before the in-process baseline touches
+    // the simulation pool (see the file comment).
+    double oneWorkerSeconds = 0.0;
+    std::vector<std::string> merged1 =
+        runCluster(requests, 1, &oneWorkerSeconds);
+    double ignored = 0.0;
+    std::vector<std::string> merged2 = runCluster(requests, 2, &ignored);
+    std::vector<std::string> merged4 = runCluster(requests, 4, &ignored);
+
+    serve::ServeOptions serveOptions;
+    serveOptions.batchSeed = kBatchSeed;
+    serveOptions.threads = 1;
+    serve::BatchScheduler scheduler(serveOptions);
+    Stopwatch sw;
+    sw.start();
+    for (const auto &req : requests)
+        scheduler.submit(req);
+    scheduler.runAll();
+    sw.stop();
+    record("single-process", requests.size(), sw.seconds());
+
+    std::vector<std::string> baseline;
+    for (const auto &result : scheduler.results())
+        baseline.push_back(serve::writeResult(result));
+
+    panic_if(merged1 != baseline, "1-worker merge diverged");
+    panic_if(merged2 != baseline, "2-worker merge diverged");
+    panic_if(merged4 != baseline, "4-worker merge diverged");
+    std::printf("merged output byte-identical at 1/2/4 workers\n");
+
+    double overhead = oneWorkerSeconds - sw.seconds();
+    if (overhead < 0.0)
+        overhead = 0.0;
+    record("merge-overhead", requests.size(), overhead);
+
+    const char *jsonPath = std::getenv("RASENGAN_BENCH_JSON");
+    writeJson(jsonPath && *jsonPath ? jsonPath : "BENCH_cluster.json");
+    return 0;
+}

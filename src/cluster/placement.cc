@@ -1,0 +1,52 @@
+#include "cluster/placement.h"
+
+namespace rasengan::cluster {
+
+Placer::Placer(size_t workers)
+    : alive_(workers, true), load_(workers, 0.0), aliveCount_(workers)
+{
+}
+
+int
+Placer::place(double costUnits)
+{
+    int best = -1;
+    for (size_t w = 0; w < alive_.size(); ++w) {
+        if (!alive_[w])
+            continue;
+        // Strict < keeps the tie on the lowest index.
+        if (best < 0 || load_[w] < load_[static_cast<size_t>(best)])
+            best = static_cast<int>(w);
+    }
+    if (best >= 0)
+        load_[static_cast<size_t>(best)] += costUnits;
+    return best;
+}
+
+void
+Placer::markDead(int worker)
+{
+    if (worker < 0 || static_cast<size_t>(worker) >= alive_.size())
+        return;
+    if (alive_[static_cast<size_t>(worker)]) {
+        alive_[static_cast<size_t>(worker)] = false;
+        --aliveCount_;
+    }
+}
+
+bool
+Placer::alive(int worker) const
+{
+    return worker >= 0 && static_cast<size_t>(worker) < alive_.size() &&
+           alive_[static_cast<size_t>(worker)];
+}
+
+double
+Placer::loadOf(int worker) const
+{
+    if (worker < 0 || static_cast<size_t>(worker) >= load_.size())
+        return 0.0;
+    return load_[static_cast<size_t>(worker)];
+}
+
+} // namespace rasengan::cluster

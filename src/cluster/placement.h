@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic job placement for the cluster coordinator.
+ *
+ * Jobs are assigned to the worker with the least accumulated estimated
+ * cost (the same AdmissionController estimate used for screening), ties
+ * broken by lowest worker index.  Because the estimates are pure
+ * functions of the request and jobs are placed in submission order, the
+ * assignment is a deterministic function of (batch, live worker set) --
+ * the same inputs place identically on every run, which is what the
+ * placement-determinism test pins down.
+ *
+ * Worker death removes the worker; its unfinished jobs are re-placed
+ * across the survivors by the same rule.  Cost bookkeeping is left
+ * untouched on death deliberately: the survivors' loads still reflect
+ * work actually placed on them.
+ */
+
+#ifndef RASENGAN_CLUSTER_PLACEMENT_H
+#define RASENGAN_CLUSTER_PLACEMENT_H
+
+#include <cstddef>
+#include <vector>
+
+namespace rasengan::cluster {
+
+class Placer
+{
+  public:
+    explicit Placer(size_t workers);
+
+    /** Place one job of @p costUnits; returns the worker index, or -1
+     *  when no workers are alive. */
+    int place(double costUnits);
+
+    /** Mark a worker dead; it will never be chosen again. */
+    void markDead(int worker);
+
+    bool alive(int worker) const;
+    size_t aliveCount() const { return aliveCount_; }
+
+    /** Accumulated estimated cost placed on @p worker so far. */
+    double loadOf(int worker) const;
+
+  private:
+    std::vector<bool> alive_;
+    std::vector<double> load_;
+    size_t aliveCount_;
+};
+
+} // namespace rasengan::cluster
+
+#endif // RASENGAN_CLUSTER_PLACEMENT_H

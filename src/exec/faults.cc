@@ -9,6 +9,59 @@
 
 namespace rasengan::exec {
 
+ProcessFaultParseResult
+parseProcessFaultPlan(const std::string &spec)
+{
+    ProcessFaultParseResult out;
+    if (spec.empty() || spec == "none") {
+        out.ok = true;
+        return out;
+    }
+    ProcessFaultPlan::Action action;
+    std::string rest;
+    const std::string kKill = "kill-after:";
+    const std::string kDisconnect = "disconnect-after:";
+    if (spec.rfind(kKill, 0) == 0) {
+        action = ProcessFaultPlan::Action::Kill;
+        rest = spec.substr(kKill.size());
+    } else if (spec.rfind(kDisconnect, 0) == 0) {
+        action = ProcessFaultPlan::Action::Disconnect;
+        rest = spec.substr(kDisconnect.size());
+    } else {
+        out.error = "bad fault spec \"" + spec +
+                    "\": expected none, kill-after:N, or "
+                    "disconnect-after:N";
+        return out;
+    }
+    if (rest.empty()) {
+        out.error = "fault spec \"" + spec + "\" is missing the count";
+        return out;
+    }
+    uint64_t n = 0;
+    for (char c : rest) {
+        if (c < '0' || c > '9') {
+            out.error = "bad fault count \"" + rest + "\"";
+            return out;
+        }
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    out.plan.action = action;
+    out.plan.afterEvents = n;
+    out.ok = true;
+    return out;
+}
+
+const char *
+processFaultActionName(ProcessFaultPlan::Action action)
+{
+    switch (action) {
+      case ProcessFaultPlan::Action::None: return "none";
+      case ProcessFaultPlan::Action::Kill: return "kill";
+      case ProcessFaultPlan::Action::Disconnect: return "disconnect";
+    }
+    return "unknown";
+}
+
 namespace {
 
 /** Registry mirrors of FaultStats, labeled by fault kind. */

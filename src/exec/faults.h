@@ -20,11 +20,61 @@
 #define RASENGAN_EXEC_FAULTS_H
 
 #include <cstdint>
+#include <string>
 
 #include "exec/backend.h"
 #include "exec/clock.h"
 
 namespace rasengan::exec {
+
+/**
+ * Process-level fault plan: deterministic injectable death of a worker
+ * PROCESS, the distributed-cluster counterpart of the per-attempt
+ * backend faults below.  The trigger is an event count (for a cluster
+ * worker: results streamed), so the fault fires at the same point in
+ * the workload regardless of timing -- which is what lets CI kill a
+ * worker "mid-batch" reproducibly.
+ */
+struct ProcessFaultPlan
+{
+    enum class Action
+    {
+        None,       ///< no injected fault
+        Kill,       ///< raise(SIGKILL): abrupt process death
+        Disconnect, ///< close the coordinator link, stay alive
+    };
+
+    Action action = Action::None;
+    uint64_t afterEvents = 0; ///< fire after this many events
+
+    bool enabled() const { return action != Action::None; }
+
+    /**
+     * True exactly once: on the call where the event count crosses the
+     * threshold.  @p events is the pre-increment count.
+     */
+    bool
+    triggers(uint64_t events) const
+    {
+        return enabled() && events == afterEvents;
+    }
+};
+
+struct ProcessFaultParseResult
+{
+    bool ok = false;
+    std::string error;
+    ProcessFaultPlan plan;
+};
+
+/**
+ * Parse a plan spec: "none" (or empty) | "kill-after:N" |
+ * "disconnect-after:N".  N is the number of events the process
+ * survives before the fault fires.
+ */
+ProcessFaultParseResult parseProcessFaultPlan(const std::string &spec);
+
+const char *processFaultActionName(ProcessFaultPlan::Action action);
 
 struct FaultProfile
 {

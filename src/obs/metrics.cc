@@ -321,6 +321,89 @@ Registry::resetAllForTest()
     }
 }
 
+size_t
+Registry::importFlat(const std::map<std::string, double> &values,
+                     const std::string &prefix, const Labels &extra,
+                     const std::string &help)
+{
+    size_t imported = 0;
+    for (const auto &[key, value] : values) {
+        std::string name;
+        Labels labels;
+        if (!parseInstrumentKey(key, &name, &labels))
+            continue;
+        for (const auto &[k, v] : extra)
+            labels[k] = v;
+        gauge(prefix + name, help, std::move(labels)).set(value);
+        ++imported;
+    }
+    return imported;
+}
+
+bool
+parseInstrumentKey(const std::string &key, std::string *name,
+                   Labels *labels)
+{
+    size_t brace = key.find('{');
+    if (brace == std::string::npos) {
+        if (key.empty())
+            return false;
+        *name = key;
+        labels->clear();
+        return true;
+    }
+    if (brace == 0 || key.back() != '}')
+        return false;
+    Labels parsed;
+    size_t pos = brace + 1;
+    const size_t end = key.size() - 1;
+    while (pos < end) {
+        size_t eq = key.find('=', pos);
+        if (eq == std::string::npos || eq >= end ||
+            eq + 1 >= key.size() || key[eq + 1] != '"')
+            return false;
+        std::string labelName = key.substr(pos, eq - pos);
+        if (labelName.empty())
+            return false;
+        // Un-escape the promEscapeLabelValue rendering.
+        std::string value;
+        size_t i = eq + 2;
+        bool closed = false;
+        for (; i < end; ++i) {
+            char c = key[i];
+            if (c == '\\') {
+                if (i + 1 >= end)
+                    return false;
+                char e = key[++i];
+                if (e == 'n')
+                    value.push_back('\n');
+                else if (e == '\\' || e == '"')
+                    value.push_back(e);
+                else
+                    return false;
+            } else if (c == '"') {
+                closed = true;
+                ++i;
+                break;
+            } else {
+                value.push_back(c);
+            }
+        }
+        if (!closed)
+            return false;
+        parsed[labelName] = std::move(value);
+        if (i < end) {
+            if (key[i] != ',')
+                return false;
+            ++i;
+        }
+        pos = i;
+    }
+    *name = key.substr(0, brace);
+    *labels = std::move(parsed);
+    return true;
+}
+
 std::string
 promEscapeLabelValue(const std::string &raw)
 {

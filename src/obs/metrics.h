@@ -176,6 +176,22 @@ class Registry
     /** Zero every instrument; references stay valid. */
     void resetAllForTest();
 
+    /**
+     * Import a snapshot of another process's registry -- the merged-
+     * export path for the cluster coordinator.  @p values holds parsed
+     * jsonText() entries: rendered series key ("name" or
+     * "name{k=\"v\"}") -> value.  Each series is re-registered here as
+     * a GAUGE named @p prefix + name with @p extra merged over its
+     * labels (extra wins on collision, so the coordinator's
+     * worker="N" tag cannot be spoofed by the snapshot).  Counters
+     * arrive as gauges deliberately: an imported value is a snapshot,
+     * not a live monotone stream.  Returns the number of series
+     * imported; malformed keys are skipped.
+     */
+    size_t importFlat(const std::map<std::string, double> &values,
+                      const std::string &prefix, const Labels &extra,
+                      const std::string &help = "");
+
   private:
     enum class Kind { Counter, Gauge, Histogram };
 
@@ -202,6 +218,15 @@ class Registry
 
 /** Escape a Prometheus label value (backslash, quote, newline). */
 std::string promEscapeLabelValue(const std::string &raw);
+
+/**
+ * Parse a rendered series key -- `name` or `name{k="v",k2="v2"}`, the
+ * format promText/jsonText emit -- back into name + labels (the inverse
+ * of the registry's own rendering, escapes included).  Returns false on
+ * malformed keys, leaving the outputs untouched.
+ */
+bool parseInstrumentKey(const std::string &key, std::string *name,
+                        Labels *labels);
 
 /** Escape a Prometheus HELP text (backslash, newline). */
 std::string promEscapeHelp(const std::string &raw);

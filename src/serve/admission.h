@@ -32,6 +32,14 @@ struct AdmissionLimits
     int maxIterationsPerJob = 5000;
     double maxJobCostUnits = 5e7;   ///< single-job ceiling
     double maxBatchCostUnits = 5e8; ///< sum over admitted jobs
+
+    /**
+     * Effectively-infinite limits for execution contexts that must not
+     * re-screen: a cluster worker runs only jobs its coordinator already
+     * admitted, so a second (stateful) admission pass would double-count
+     * the batch budget and break the byte-identity contract.
+     */
+    static AdmissionLimits unlimited();
 };
 
 /**
@@ -64,6 +72,14 @@ class AdmissionController
 
     /** Decide on @p req; admission reserves queue + cost capacity. */
     AdmissionDecision admit(const JobRequest &req, int num_vars);
+
+    /**
+     * Swap the limits (daemon SIGHUP policy reload).  Must be called
+     * from the thread that calls admit() -- in the daemon both run on
+     * the IO thread -- because limits_ is read without a lock there.
+     * Committed batch cost and queue occupancy carry over unchanged.
+     */
+    void updateLimits(const AdmissionLimits &limits) { limits_ = limits; }
 
     /** Release one queue slot (job finished); cost stays reserved. */
     void release();

@@ -41,12 +41,15 @@ ArtifactCache::ArtifactCache(uint64_t byte_budget)
 }
 
 std::shared_ptr<const void>
-ArtifactCache::find(const CacheKey &key, LookupCounters *counters)
+ArtifactCache::find(const CacheKey &key, LookupCounters *counters,
+                    const char *domain)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    DomainStats &dom = stats_.domains[domain];
     auto it = index_.find(key);
     if (it == index_.end()) {
         ++stats_.misses;
+        ++dom.misses;
         cacheCounters().misses.inc();
         if (counters)
             ++counters->misses;
@@ -54,6 +57,7 @@ ArtifactCache::find(const CacheKey &key, LookupCounters *counters)
     }
     lru_.splice(lru_.begin(), lru_, it->second); // touch
     ++stats_.hits;
+    ++dom.hits;
     cacheCounters().hits.inc();
     if (counters)
         ++counters->hits;
@@ -62,7 +66,8 @@ ArtifactCache::find(const CacheKey &key, LookupCounters *counters)
 
 std::shared_ptr<const void>
 ArtifactCache::publish(const CacheKey &key,
-                       std::shared_ptr<const void> value, uint64_t bytes)
+                       std::shared_ptr<const void> value, uint64_t bytes,
+                       const char *domain)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
@@ -78,13 +83,24 @@ ArtifactCache::publish(const CacheKey &key,
         cacheCounters().uncacheable.inc();
         return value;
     }
-    lru_.push_front(Entry{key, std::move(value), bytes});
+    DomainStats &dom = stats_.domains[domain];
+    lru_.push_front(Entry{key, std::move(value), bytes, domain});
     index_[key] = lru_.begin();
     stats_.bytesInUse += bytes;
+    dom.bytesInUse += bytes;
+    ++dom.entries;
     ++stats_.insertions;
+    ++dom.insertions;
     cacheCounters().insertions.inc();
     while (stats_.bytesInUse > stats_.byteBudget && lru_.size() > 1) {
         const Entry &victim = lru_.back();
+        // Attribute the eviction to the VICTIM's domain: that is the
+        // cross-domain pressure signal (domain A inserting can show up
+        // here as domain B losing entries).
+        DomainStats &vdom = stats_.domains[victim.domain];
+        ++vdom.evictions;
+        vdom.bytesInUse -= victim.bytes;
+        --vdom.entries;
         stats_.bytesInUse -= victim.bytes;
         index_.erase(victim.key);
         lru_.pop_back();
@@ -113,6 +129,10 @@ ArtifactCache::clear()
     index_.clear();
     stats_.bytesInUse = 0;
     stats_.entries = 0;
+    for (auto &[domain, dom] : stats_.domains) {
+        dom.bytesInUse = 0;
+        dom.entries = 0;
+    }
     cacheCounters().bytesInUse.set(0.0);
     cacheCounters().entries.set(0.0);
 }

@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -40,6 +42,24 @@ namespace rasengan::serve {
 class ArtifactCache
 {
   public:
+    /**
+     * Per-domain slice of the counters.  The LRU budget is shared
+     * across domains, so one domain's working set can evict another's
+     * entries; these counters attribute hits, misses, and evictions to
+     * the domain that OWNED the entry (for evictions: the victim's
+     * domain, regardless of which domain's insert forced it out) --
+     * exactly the signal needed to spot cross-domain cache pressure.
+     */
+    struct DomainStats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        uint64_t bytesInUse = 0;
+        size_t entries = 0;
+    };
+
     struct Stats
     {
         uint64_t hits = 0;
@@ -50,6 +70,9 @@ class ArtifactCache
         uint64_t bytesInUse = 0;
         uint64_t byteBudget = 0;
         size_t entries = 0;
+        /** Keyed by the domain string passed to getOrCompute ("" for
+         *  untagged lookups). */
+        std::map<std::string, DomainStats> domains;
 
         double
         hitRate() const
@@ -76,19 +99,25 @@ class ArtifactCache
      * Return the artifact for @p key, computing it with @p make on a
      * miss.  @p make returns {value, approximate bytes}.  The hit/miss
      * is counted in the global stats and, when given, in @p counters.
+     * @p domain attributes the lookup (and any resulting entry) to a
+     * DomainStats slice; the CacheKey already encodes it, so passing
+     * the same domain string used in makeKey keeps the attribution
+     * honest.
      */
     template <typename T>
     std::shared_ptr<const T>
     getOrCompute(const CacheKey &key,
                  const std::function<std::pair<std::shared_ptr<const T>,
                                                uint64_t>()> &make,
-                 LookupCounters *counters = nullptr)
+                 LookupCounters *counters = nullptr,
+                 const char *domain = "")
     {
-        if (std::shared_ptr<const void> found = find(key, counters))
+        if (std::shared_ptr<const void> found =
+                find(key, counters, domain))
             return std::static_pointer_cast<const T>(found);
         auto [value, bytes] = make();
         return std::static_pointer_cast<const T>(
-            publish(key, value, bytes));
+            publish(key, value, bytes, domain));
     }
 
     /** Snapshot of the counters (copied under the lock). */
@@ -99,16 +128,19 @@ class ArtifactCache
 
   private:
     std::shared_ptr<const void> find(const CacheKey &key,
-                                     LookupCounters *counters);
+                                     LookupCounters *counters,
+                                     const char *domain);
     std::shared_ptr<const void> publish(const CacheKey &key,
                                         std::shared_ptr<const void> value,
-                                        uint64_t bytes);
+                                        uint64_t bytes,
+                                        const char *domain);
 
     struct Entry
     {
         CacheKey key;
         std::shared_ptr<const void> value;
         uint64_t bytes = 0;
+        std::string domain; ///< eviction attribution
     };
 
     mutable std::mutex mutex_;

@@ -166,6 +166,7 @@ Daemon::Daemon(DaemonOptions options)
       runner_(RunnerOptions{options_.batchSeed, options_.checkpointDir},
               std::make_shared<ArtifactCache>(options_.cacheBudgetBytes)),
       admission_(options_.limits),
+      policy_{options_.limits, options_.slo},
       epoch_(std::chrono::steady_clock::now())
 {
 }
@@ -259,6 +260,20 @@ bool
 Daemon::start(std::string *error)
 {
     panic_if(running(), "Daemon::start called twice");
+
+    if (!options_.policyPath.empty()) {
+        // A bad policy file at start is fatal (the operator asked for
+        // those limits); a bad file at SIGHUP keeps the running policy.
+        PolicyParseResult parsed =
+            loadPolicyFile(options_.policyPath, policy_);
+        if (!parsed.ok) {
+            if (error != nullptr)
+                *error = parsed.error;
+            return false;
+        }
+        policy_ = parsed.policy;
+        admission_.updateLimits(policy_.limits);
+    }
 
     if (!options_.checkpointDir.empty()) {
         if (::mkdir(options_.checkpointDir.c_str(), 0755) != 0 &&
@@ -523,8 +538,10 @@ Daemon::drainControlPipe()
             // their payloads travel via completions_ / workerDone_.
         }
     }
-    if (reload && !draining_.load(std::memory_order_acquire))
+    if (reload && !draining_.load(std::memory_order_acquire)) {
         compactJournal();
+        reloadPolicy();
+    }
     if (drain)
         beginDrain();
 }
@@ -580,6 +597,38 @@ Daemon::compactJournal()
 }
 
 void
+Daemon::reloadPolicy()
+{
+    // IO thread only: admission and shed prediction read the policy on
+    // this thread, so swapping it here is race-free for them; the mutex
+    // covers policySnapshot() readers on other threads.
+    if (options_.policyPath.empty())
+        return;
+    PolicyParseResult parsed =
+        loadPolicyFile(options_.policyPath, policySnapshot());
+    if (!parsed.ok) {
+        // Keep serving under the current policy: a half-written file
+        // during a config push must not take the daemon down.
+        obs::instantEvent("daemon", "policy-reload-failed", parsed.error);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(policyMutex_);
+        policy_ = parsed.policy;
+    }
+    admission_.updateLimits(parsed.policy.limits);
+    statPolicyReloads_.fetch_add(1, std::memory_order_relaxed);
+    obs::instantEvent("daemon", "policy-reloaded", options_.policyPath);
+}
+
+DaemonPolicy
+Daemon::policySnapshot() const
+{
+    std::lock_guard<std::mutex> lock(policyMutex_);
+    return policy_;
+}
+
+void
 Daemon::acceptClients()
 {
     while (true) {
@@ -613,12 +662,19 @@ Daemon::readClient(Conn &conn)
         for (ssize_t i = 0; i < n; ++i) {
             char c = buf[i];
             if (c == '\n') {
-                if (conn.skippingLongLine) {
-                    conn.skippingLongLine = false;
+                if (conn.skippingLongLine || conn.lineHasNul) {
+                    // Same uniform defect handling as LineReader:
+                    // oversized or NUL-bearing lines are rejected whole,
+                    // never parsed.
                     JobResult r;
                     r.rejectReason =
-                        "request line exceeds " +
-                        std::to_string(options_.maxLineBytes) + " bytes";
+                        conn.lineHasNul
+                            ? "request line contains a NUL byte"
+                            : "request line exceeds " +
+                                  std::to_string(options_.maxLineBytes) +
+                                  " bytes";
+                    conn.skippingLongLine = false;
+                    conn.lineHasNul = false;
                     r.rejectCode = "validation";
                     statRejected_.fetch_add(1,
                                             std::memory_order_relaxed);
@@ -631,7 +687,10 @@ Daemon::readClient(Conn &conn)
                         handleLine(conn, line);
                 }
                 conn.inBuffer.clear();
-            } else if (!conn.skippingLongLine) {
+            } else if (c == '\0') {
+                conn.inBuffer.clear();
+                conn.lineHasNul = true;
+            } else if (!conn.skippingLongLine && !conn.lineHasNul) {
                 conn.inBuffer.push_back(c);
                 if (conn.inBuffer.size() > options_.maxLineBytes) {
                     conn.inBuffer.clear();
@@ -726,8 +785,10 @@ Daemon::handleSubmit(Conn &conn, const std::string &line)
         backlogCost = queue_.backlogCostUnits();
         runningCost = runningCostUnits_;
     }
+    // policy_.slo (not options_.slo): SIGHUP may have replaced it.
+    // Written only by this thread, so the unlocked read is safe.
     ShedDecision shedded =
-        shedDecision(slo, backlogCost, runningCost, options_.slo);
+        shedDecision(slo, backlogCost, runningCost, policy_.slo);
     if (shedded.shed) {
         statShed_.fetch_add(1, std::memory_order_relaxed);
         daemonCounters().shed.inc();

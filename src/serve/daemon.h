@@ -64,6 +64,7 @@
 #include "serve/admission.h"
 #include "serve/journal.h"
 #include "serve/jsonl.h"
+#include "serve/policy.h"
 #include "serve/runner.h"
 #include "serve/slo.h"
 
@@ -86,6 +87,14 @@ struct DaemonOptions
     uint64_t cacheBudgetBytes = 64ull << 20;
     AdmissionLimits limits;
     SloPolicy slo;
+    /**
+     * Admission/SLO policy file (serve/policy format).  When set, the
+     * file is loaded at start() -- overriding `limits`/`slo` -- and
+     * re-read on SIGHUP, so operators retune the daemon live.  A
+     * defective file fails start(); a defective reload keeps the
+     * current policy and logs the error.
+     */
+    std::string policyPath;
     size_t maxLineBytes = LineReader::kDefaultMaxLineBytes;
 };
 
@@ -146,6 +155,15 @@ class Daemon
 
     const DaemonOptions &options() const { return options_; }
 
+    /** The live admission/SLO policy (post-reload; any thread). */
+    DaemonPolicy policySnapshot() const;
+
+    /** SIGHUP reloads so far that parsed and applied cleanly. */
+    uint64_t policyReloads() const
+    {
+        return statPolicyReloads_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Conn
     {
@@ -154,6 +172,7 @@ class Daemon
         std::string inBuffer;   ///< unframed request bytes
         std::string outBuffer;  ///< unsent response bytes
         bool skippingLongLine = false;
+        bool lineHasNul = false; ///< current line carries a NUL byte
         bool closeAfterFlush = false; ///< HTTP probe connections
     };
 
@@ -187,6 +206,7 @@ class Daemon
     void drainCompletions();
     void beginDrain();
     void compactJournal();
+    void reloadPolicy();
 
     // -- worker thread ---------------------------------------------
     void workerLoop();
@@ -203,6 +223,11 @@ class Daemon
     DaemonOptions options_;
     JobRunner runner_;
     AdmissionController admission_;
+    /** Guards policy_ for cross-thread snapshots; the IO thread is the
+     *  only writer (SIGHUP reload) and the only policy *consumer*
+     *  (admission + shed prediction), so its reads are uncontended. */
+    mutable std::mutex policyMutex_;
+    DaemonPolicy policy_;
     Journal journal_;
     std::mutex journalMutex_; ///< serializes appends vs. compaction
 
@@ -240,6 +265,7 @@ class Daemon
     std::atomic<uint64_t> statCompleted_{0};
     std::atomic<uint64_t> statReplayed_{0};
     std::atomic<uint64_t> statDrainCancelled_{0};
+    std::atomic<uint64_t> statPolicyReloads_{0};
 
     std::thread ioThread_;
     std::thread workerThread_;

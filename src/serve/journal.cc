@@ -192,6 +192,8 @@ Journal::replay(const std::string &path)
         if (!line.ok) {
             if (line.oversized)
                 ++replay.oversizedLines;
+            else if (line.hasNul)
+                ++replay.malformedLines; // zero-filled crash debris
             else
                 ++replay.truncatedLines;
             journalCounters().replayMalformed.inc();

@@ -218,6 +218,7 @@ LineReader::next(Line &out)
         std::string text;
         bool sawNewline = false;
         bool oversized = false;
+        bool sawNul = false;
         int c;
         while ((c = in_.get()) != std::char_traits<char>::eof()) {
             if (c == '\n') {
@@ -226,7 +227,17 @@ LineReader::next(Line &out)
             }
             if (c == '\r')
                 continue; // tolerate CRLF streams
-            if (!oversized) {
+            if (c == '\0') {
+                // NUL cannot appear in a valid JSONL record; drop the
+                // text now so a zero-filled journal block cannot smuggle
+                // a prefix past the parser, but keep draining to the
+                // newline so the stream stays framed.
+                sawNul = true;
+                text.clear();
+                text.shrink_to_fit();
+                continue;
+            }
+            if (!oversized && !sawNul) {
                 text.push_back(static_cast<char>(c));
                 if (text.size() > maxLineBytes_) {
                     oversized = true;
@@ -235,13 +246,22 @@ LineReader::next(Line &out)
                 }
             }
         }
-        if (!sawNewline && text.empty() && !oversized)
+        if (!sawNewline && text.empty() && !oversized && !sawNul)
             return false; // clean end of stream
 
         ++lineNumber_;
         ++linesRead_;
         out.number = lineNumber_;
 
+        if (sawNul) {
+            ++nulLines_;
+            out.hasNul = true;
+            if (!sawNewline) {
+                ++truncatedLines_;
+                out.truncated = true;
+            }
+            return true;
+        }
         if (oversized) {
             ++oversizedLines_;
             out.oversized = true;

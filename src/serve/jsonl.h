@@ -59,6 +59,10 @@ JsonParseResult parseFlatJson(const std::string &line);
  *  - a final line with no trailing newline -- the classic torn
  *    partial write -- is surfaced with `truncated = true` so replay
  *    can skip-and-count it instead of parsing half a record;
+ *  - a line containing a NUL byte -- binary garbage, or a journal
+ *    block zero-filled by a crash mid-fsync -- is reported with
+ *    `hasNul = true` and never parsed (embedded NULs silently shorten
+ *    C-string views of the text and mask trailing bytes);
  *  - empty lines are skipped and counted.
  *
  * The reader never throws and never aborts the stream early: callers
@@ -85,6 +89,7 @@ class LineReader
         bool ok = false;        ///< a usable, complete line
         bool oversized = false; ///< exceeded maxLineBytes; text dropped
         bool truncated = false; ///< no trailing newline (torn write)
+        bool hasNul = false;    ///< contains a NUL byte; text dropped
     };
 
     /**
@@ -98,6 +103,7 @@ class LineReader
     size_t emptyLines() const { return emptyLines_; }
     size_t oversizedLines() const { return oversizedLines_; }
     size_t truncatedLines() const { return truncatedLines_; }
+    size_t nulLines() const { return nulLines_; }
 
   private:
     std::istream &in_;
@@ -107,6 +113,7 @@ class LineReader
     size_t emptyLines_ = 0;
     size_t oversizedLines_ = 0;
     size_t truncatedLines_ = 0;
+    size_t nulLines_ = 0;
 };
 
 /** JSON string escaping (quotes not included). */

@@ -1,0 +1,121 @@
+#include "serve/policy.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "serve/jsonl.h"
+
+namespace rasengan::serve {
+
+namespace {
+
+PolicyParseResult
+fail(const std::string &why)
+{
+    PolicyParseResult r;
+    r.error = why;
+    return r;
+}
+
+bool
+numberField(const JsonValue &value, double *out)
+{
+    if (value.kind != JsonValue::Kind::Number)
+        return false;
+    *out = value.num;
+    return true;
+}
+
+} // namespace
+
+PolicyParseResult
+parsePolicyText(const std::string &line, const DaemonPolicy &base)
+{
+    JsonParseResult parsed = parseFlatJson(line);
+    if (!parsed.ok)
+        return fail("policy parse error at byte " +
+                    std::to_string(parsed.errorOffset) + ": " +
+                    parsed.error);
+
+    PolicyParseResult out;
+    out.policy = base;
+    for (const auto &[key, value] : parsed.object) {
+        double num = 0.0;
+        if (!numberField(value, &num))
+            return fail("policy key \"" + key + "\" must be a number");
+        if (key == "max_queue") {
+            if (num < 0.0)
+                return fail("max_queue must be >= 0");
+            out.policy.limits.maxQueuedJobs = static_cast<size_t>(num);
+        } else if (key == "max_qubits") {
+            if (num < 1.0)
+                return fail("max_qubits must be >= 1");
+            out.policy.limits.maxQubits = static_cast<int>(num);
+        } else if (key == "max_shots") {
+            if (num < 0.0)
+                return fail("max_shots must be >= 0");
+            out.policy.limits.maxShotsPerJob =
+                static_cast<uint64_t>(num);
+        } else if (key == "max_iterations") {
+            if (num < 1.0)
+                return fail("max_iterations must be >= 1");
+            out.policy.limits.maxIterationsPerJob =
+                static_cast<int>(num);
+        } else if (key == "max_job_cost") {
+            if (!(num > 0.0))
+                return fail("max_job_cost must be > 0");
+            out.policy.limits.maxJobCostUnits = num;
+        } else if (key == "max_batch_cost") {
+            if (!(num > 0.0))
+                return fail("max_batch_cost must be > 0");
+            out.policy.limits.maxBatchCostUnits = num;
+        } else if (key == "cost_rate") {
+            if (!(num > 0.0))
+                return fail("cost_rate must be > 0");
+            out.policy.slo.costUnitsPerSecond = num;
+        } else if (key == "shed_margin") {
+            if (num < 0.0 || num >= 1.0)
+                return fail("shed_margin must be in [0, 1)");
+            out.policy.slo.shedMargin = num;
+        } else {
+            // Unknown keys are an error, like parseRequest: a typo that
+            // silently kept the old limit would defeat the reload.
+            return fail("unknown policy key \"" + key + "\"");
+        }
+    }
+    out.ok = true;
+    return out;
+}
+
+PolicyParseResult
+loadPolicyFile(const std::string &path, const DaemonPolicy &base)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return fail("cannot open policy file " + path);
+
+    LineReader reader(in);
+    LineReader::Line line;
+    std::string text;
+    bool found = false;
+    while (reader.next(line)) {
+        if (!line.ok) {
+            const char *why = line.hasNul ? "contains a NUL byte"
+                              : line.oversized
+                                  ? "exceeds the line-length cap"
+                                  : "is truncated (no newline)";
+            return fail("policy file " + path + " line " +
+                        std::to_string(line.number) + " " + why);
+        }
+        if (found)
+            return fail("policy file " + path +
+                        " must contain exactly one object line");
+        text = line.text;
+        found = true;
+    }
+    if (!found)
+        return fail("policy file " + path + " is empty");
+    return parsePolicyText(text, base);
+}
+
+} // namespace rasengan::serve

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Admission/SLO policy file for the serve daemon.
+ *
+ * One flat JSON object on a single line (the serve/jsonl dialect), all
+ * keys optional -- absent keys keep the baseline value the daemon was
+ * started with, unknown keys are an error (typo guard, mirroring
+ * parseRequest):
+ *
+ *   {"max_queue":64,"max_qubits":22,"max_shots":100000,
+ *    "max_iterations":2000,"max_job_cost":1e6,"max_batch_cost":1e8,
+ *    "cost_rate":2e6,"shed_margin":0.2}
+ *
+ * The daemon loads the file at start (when --policy is given) and
+ * re-reads it on SIGHUP, so operators retune admission limits and the
+ * shed predictor without dropping connections or losing the journal.
+ * The file is read through LineReader, so oversized or NUL-bearing
+ * policy files are rejected like any other defective line.
+ */
+
+#ifndef RASENGAN_SERVE_POLICY_H
+#define RASENGAN_SERVE_POLICY_H
+
+#include <string>
+
+#include "serve/admission.h"
+#include "serve/slo.h"
+
+namespace rasengan::serve {
+
+struct DaemonPolicy
+{
+    AdmissionLimits limits;
+    SloPolicy slo;
+};
+
+struct PolicyParseResult
+{
+    bool ok = false;
+    std::string error; ///< set when !ok
+    DaemonPolicy policy;
+};
+
+/**
+ * Parse one policy object line; fields start from @p base so a partial
+ * file only overrides what it names.
+ */
+PolicyParseResult parsePolicyText(const std::string &line,
+                                  const DaemonPolicy &base);
+
+/**
+ * Read @p path (first and only non-empty line) and parse it.  A
+ * missing or unreadable file is an error: a reload must never silently
+ * keep stale limits the operator believes were replaced.
+ */
+PolicyParseResult loadPolicyFile(const std::string &path,
+                                 const DaemonPolicy &base);
+
+} // namespace rasengan::serve
+
+#endif // RASENGAN_SERVE_POLICY_H

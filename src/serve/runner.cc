@@ -253,7 +253,7 @@ JobRunner::solveRasengan(const PreparedJob &job,
                     uint64_t bytes = estimatePipelineBytes(*built);
                     return {built, bytes};
                 },
-                &counters);
+                &counters, "pipeline");
     }
 
     // Transpiled segment circuits: content-addressed by the input
@@ -281,7 +281,7 @@ JobRunner::solveRasengan(const PreparedJob &job,
                             circuit::transpile(circ, topts));
                         return {built, estimateCircuitBytes(*built)};
                     },
-                    ctr);
+                    ctr, "circuit");
                 return *lowered;
             };
     }
@@ -315,7 +315,7 @@ JobRunner::solveRasengan(const PreparedJob &job,
                         auto built = make();
                         return {built, built->approxBytes()};
                     },
-                    ctr);
+                    ctr, "spplan");
             };
     }
 

@@ -19,36 +19,56 @@ BatchScheduler::BatchScheduler(ServeOptions options,
 {
 }
 
+ScreenedJob
+screenRequest(const JobRunner &runner, AdmissionController &admission,
+              const JobRequest &req)
+{
+    ScreenedJob out;
+    out.rejection.id = req.id;
+
+    PrepareOutcome prepared = runner.prepare(req);
+    if (!prepared.ok) {
+        out.rejection.accepted = false;
+        out.rejection.rejectReason = prepared.error;
+        out.rejection.rejectCode = "validation";
+        return out;
+    }
+
+    AdmissionDecision decision =
+        admission.admit(req, prepared.job.problem->numVars());
+    out.costUnits = decision.costUnits;
+    out.rejection.costUnits = decision.costUnits;
+    if (!decision.admitted) {
+        out.rejection.accepted = false;
+        out.rejection.rejectReason = decision.reason;
+        out.rejection.rejectCode = "admission";
+        return out;
+    }
+
+    out.admitted = true;
+    out.prepared = std::move(prepared.job);
+    return out;
+}
+
 size_t
 BatchScheduler::submit(const JobRequest &req)
 {
     panic_if(ran_, "BatchScheduler::submit after runAll");
     size_t index = results_.size();
+    ScreenedJob screened = screenRequest(runner_, admission_, req);
+    if (!screened.admitted) {
+        results_.push_back(std::move(screened.rejection));
+        return index;
+    }
+
     results_.emplace_back();
     JobResult &slot = results_.back();
     slot.id = req.id;
-
-    auto reject = [&](const std::string &why, const char *code) {
-        slot.accepted = false;
-        slot.rejectReason = why;
-        slot.rejectCode = code;
-        return index;
-    };
-
-    PrepareOutcome prepared = runner_.prepare(req);
-    if (!prepared.ok)
-        return reject(prepared.error, "validation");
-
-    AdmissionDecision decision =
-        admission_.admit(req, prepared.job.problem->numVars());
-    slot.costUnits = decision.costUnits;
-    if (!decision.admitted)
-        return reject(decision.reason, "admission");
-
+    slot.costUnits = screened.costUnits;
     slot.accepted = true;
     obs::instantEvent("serve", "job-queued", req.id);
-    pending_.push_back(PendingJob{std::move(prepared.job),
-                                  decision.costUnits, index,
+    pending_.push_back(PendingJob{std::move(screened.prepared),
+                                  screened.costUnits, index,
                                   obs::nowNanos()});
     return index;
 }
@@ -126,6 +146,8 @@ BatchScheduler::runJob(PendingJob &job, obs::SpanId batch_span)
 
     results_[job.resultIndex] = std::move(result);
     admission_.release();
+    if (options_.onJobComplete)
+        options_.onJobComplete(job.resultIndex, results_[job.resultIndex]);
 }
 
 } // namespace rasengan::serve

@@ -28,6 +28,7 @@
 #define RASENGAN_SERVE_SCHEDULER_H
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,7 +62,36 @@ struct ServeOptions
      * interrupted failures instead of executing.  nullptr disables.
      */
     const std::atomic<bool> *stopFlag = nullptr;
+    /**
+     * Invoked from the pool thread that finished a job, right after its
+     * result slot is written, with the slot index and the final result.
+     * Callbacks for different jobs run CONCURRENTLY; the callee
+     * serializes its own side effects (a cluster worker streams result
+     * frames under a socket mutex).  Rejected submissions never reach
+     * this hook -- their slots complete inside submit().
+     */
+    std::function<void(size_t, const JobResult &)> onJobComplete;
 };
+
+/**
+ * The serial submit-phase decision for one request: validate + prepare,
+ * then cost + admit against @p admission.  Shared by BatchScheduler and
+ * the cluster coordinator so both produce byte-identical rejection
+ * result lines for the same request stream (admission is stateful and
+ * order-dependent, so callers must screen in submission order).
+ */
+struct ScreenedJob
+{
+    bool admitted = false;
+    /** Completed rejection result (id/reason/code/cost) when !admitted. */
+    JobResult rejection;
+    PreparedJob prepared; ///< valid when admitted
+    double costUnits = 0.0;
+};
+
+ScreenedJob screenRequest(const JobRunner &runner,
+                          AdmissionController &admission,
+                          const JobRequest &req);
 
 class BatchScheduler
 {

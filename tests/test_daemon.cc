@@ -510,3 +510,120 @@ TEST(Daemon, DrainUnderLoadResumesFromTheJournal)
     ASSERT_TRUE(after.ok);
     EXPECT_TRUE(after.pending().empty());
 }
+
+// ---------------------------------------------------------------------
+// Admission/SLO policy files
+// ---------------------------------------------------------------------
+
+TEST(Policy, PartialFileOverridesOnlyNamedKeys)
+{
+    DaemonPolicy base;
+    base.limits.maxQubits = 20;
+    base.limits.maxShotsPerJob = 4096;
+    base.slo.costUnitsPerSecond = 2e6;
+
+    PolicyParseResult parsed = parsePolicyText(
+        "{\"max_qubits\":12,\"cost_rate\":5e5,\"shed_margin\":0.25}",
+        base);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.policy.limits.maxQubits, 12);
+    EXPECT_DOUBLE_EQ(parsed.policy.slo.costUnitsPerSecond, 5e5);
+    EXPECT_DOUBLE_EQ(parsed.policy.slo.shedMargin, 0.25);
+    // Unnamed keys keep the baseline.
+    EXPECT_EQ(parsed.policy.limits.maxShotsPerJob, 4096u);
+}
+
+TEST(Policy, RejectsUnknownKeysBadTypesAndBadFiles)
+{
+    DaemonPolicy base;
+    EXPECT_FALSE(parsePolicyText("{\"max_qubitz\":12}", base).ok);
+    EXPECT_FALSE(parsePolicyText("{\"max_qubits\":\"ten\"}", base).ok);
+    EXPECT_FALSE(parsePolicyText("{\"max_shots\":-1}", base).ok);
+    EXPECT_FALSE(parsePolicyText("not json", base).ok);
+
+    // A missing file is an error, never a silent no-op.
+    PolicyParseResult missing =
+        loadPolicyFile("/nonexistent/rasengan-policy.json", base);
+    EXPECT_FALSE(missing.ok);
+
+    const std::string dir = uniqueDir("policy");
+    {
+        std::ofstream out(dir + "/p.json");
+        out << "{\"max_qubits\":15}\n";
+    }
+    PolicyParseResult loaded = loadPolicyFile(dir + "/p.json", base);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    EXPECT_EQ(loaded.policy.limits.maxQubits, 15);
+}
+
+TEST(Daemon, ReloadAppliesPolicyFileAndSurvivesDefectiveOne)
+{
+    const std::string dir = uniqueDir("reload");
+    const std::string policyPath = dir + "/policy.json";
+    {
+        std::ofstream out(policyPath);
+        out << "{\"max_qubits\":12,\"max_shots\":2048}\n";
+    }
+
+    DaemonOptions options;
+    options.listen = "unix:" + dir + "/d.sock";
+    options.policyPath = policyPath;
+    Daemon daemon(options);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    // The start-time load applied the file without counting a reload.
+    EXPECT_EQ(daemon.policySnapshot().limits.maxQubits, 12);
+    EXPECT_EQ(daemon.policySnapshot().limits.maxShotsPerJob, 2048u);
+    EXPECT_EQ(daemon.policyReloads(), 0u);
+
+    // Retune: only the named key moves, reload-derived keys persist.
+    {
+        std::ofstream out(policyPath);
+        out << "{\"max_qubits\":14,\"cost_rate\":7e5}\n";
+    }
+    daemon.requestReload();
+    ASSERT_TRUE(waitFor([&] { return daemon.policyReloads() == 1; }));
+    DaemonPolicy live = daemon.policySnapshot();
+    EXPECT_EQ(live.limits.maxQubits, 14);
+    EXPECT_EQ(live.limits.maxShotsPerJob, 2048u); // kept from start
+    EXPECT_DOUBLE_EQ(live.slo.costUnitsPerSecond, 7e5);
+
+    // A defective file at reload time must keep the running policy.
+    {
+        std::ofstream out(policyPath);
+        out << "{\"max_qubits\":\"garbage\"\n";
+    }
+    daemon.requestReload();
+    // The reload is processed on the IO thread before it serves the
+    // next request, so a job round trip bounds the wait.
+    UnixClient client(dir + "/d.sock");
+    ASSERT_TRUE(client.connected());
+    std::string line;
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(
+            client.sendLine(writeRequest(makeRequest("p-" +
+                                                     std::to_string(i)))));
+        ASSERT_TRUE(client.recvLine(line));
+    }
+    EXPECT_EQ(daemon.policyReloads(), 1u); // failed reload not counted
+    live = daemon.policySnapshot();
+    EXPECT_EQ(live.limits.maxQubits, 14); // unchanged
+    EXPECT_DOUBLE_EQ(live.slo.costUnitsPerSecond, 7e5);
+
+    // The live policy actually gates admission: a job over the shots
+    // cap carried through both reloads is rejected.
+    JobRequest big = makeRequest("too-big");
+    big.shots = 4096;
+    big.execution = "sampled";
+    ASSERT_TRUE(client.sendLine(writeRequest(big)));
+    ASSERT_TRUE(client.recvLine(line));
+    EXPECT_NE(line.find("\"accepted\":false"), std::string::npos);
+
+    daemon.stop();
+
+    // A daemon started on the defective file refuses to come up.
+    Daemon broken(options);
+    EXPECT_FALSE(broken.start(&error));
+    EXPECT_FALSE(error.empty());
+}

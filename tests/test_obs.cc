@@ -27,6 +27,7 @@
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "problems/suite.h"
+#include "serve/jsonl.h"
 #include "serve/scheduler.h"
 
 namespace rasengan {
@@ -518,6 +519,100 @@ TEST(ServeTelemetry, AdmissionCountersMirrorDecisions)
     EXPECT_EQ(reg.gauge("serve_admission_queued_jobs").value(), 1.0);
     ctrl.release();
     EXPECT_EQ(reg.gauge("serve_admission_queued_jobs").value(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot import (cluster merge path)
+// ---------------------------------------------------------------------
+
+TEST(Metrics, ParseInstrumentKeyInvertsTheRenderedKey)
+{
+    std::string name;
+    obs::Labels labels;
+
+    ASSERT_TRUE(obs::parseInstrumentKey("jobs_total", &name, &labels));
+    EXPECT_EQ(name, "jobs_total");
+    EXPECT_TRUE(labels.empty());
+
+    ASSERT_TRUE(obs::parseInstrumentKey(
+        "depth{queue=\"slow\",worker=\"3\"}", &name, &labels));
+    EXPECT_EQ(name, "depth");
+    EXPECT_EQ(labels.at("queue"), "slow");
+    EXPECT_EQ(labels.at("worker"), "3");
+
+    // Escapes round-trip through the registry's own rendering.
+    obs::Registry reg;
+    const std::string awkward = "a\"b\\c\nd";
+    reg.gauge("g", "", {{"path", awkward}}).set(1.0);
+    std::string json = reg.jsonText();
+    const std::string::size_type start = json.find("\"g{");
+    ASSERT_NE(start, std::string::npos);
+    // The rendered series key is itself a JSON string: unescape the
+    // JSON layer first, then parse the prom-style key inside it.
+    serve::JsonParseResult parsed = serve::parseFlatJson(json);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    bool found = false;
+    for (const auto &[key, value] : parsed.object) {
+        if (key.rfind("g{", 0) != 0)
+            continue;
+        found = true;
+        ASSERT_TRUE(obs::parseInstrumentKey(key, &name, &labels));
+        EXPECT_EQ(name, "g");
+        EXPECT_EQ(labels.at("path"), awkward);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Metrics, ParseInstrumentKeyRejectsMalformedKeysUntouched)
+{
+    std::string name = "sentinel";
+    obs::Labels labels = {{"keep", "me"}};
+    for (const char *bad :
+         {"", "x{", "x{k=v}", "x{k=\"v\"", "x{k=\"v\"}trail",
+          "{k=\"v\"}", "x{=\"v\"}", "x{k=\"v\\\"}"}) {
+        EXPECT_FALSE(obs::parseInstrumentKey(bad, &name, &labels))
+            << bad;
+        EXPECT_EQ(name, "sentinel") << bad;
+        EXPECT_EQ(labels.at("keep"), "me") << bad;
+    }
+}
+
+TEST(Metrics, ImportFlatPrefixesSeriesAndPinsExtraLabels)
+{
+    obs::Registry reg;
+    std::map<std::string, double> snapshot = {
+        {"serve_jobs_total", 9.0},
+        // worker="spoof" must lose to the coordinator's own tag.
+        {"depth{queue=\"slow\",worker=\"spoof\"}", 2.5},
+        {"mangled{oops", 1.0},
+    };
+    size_t imported = reg.importFlat(snapshot, "cluster_worker_",
+                                     {{"worker", "3"}}, "imported");
+    EXPECT_EQ(imported, 2u); // the malformed key is skipped
+
+    EXPECT_EQ(reg.gauge("cluster_worker_serve_jobs_total", "",
+                        {{"worker", "3"}})
+                  .value(),
+              9.0);
+    EXPECT_EQ(reg.gauge("cluster_worker_depth", "",
+                        {{"queue", "slow"}, {"worker", "3"}})
+                  .value(),
+              2.5);
+
+    // Counters import as gauges: a snapshot is a point, not a stream.
+    std::string prom = reg.promText();
+    EXPECT_NE(
+        prom.find("# TYPE cluster_worker_serve_jobs_total gauge"),
+        std::string::npos);
+    EXPECT_EQ(prom.find("spoof"), std::string::npos);
+
+    // Importing a newer snapshot overwrites in place, no new series.
+    snapshot["serve_jobs_total"] = 12.0;
+    reg.importFlat(snapshot, "cluster_worker_", {{"worker", "3"}});
+    EXPECT_EQ(reg.gauge("cluster_worker_serve_jobs_total", "",
+                        {{"worker", "3"}})
+                  .value(),
+              12.0);
 }
 
 } // namespace

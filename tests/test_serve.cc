@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "serve/cachekey.h"
 #include "serve/job.h"
 #include "serve/jsonl.h"
+#include "serve/runner.h"
 #include "serve/scheduler.h"
 #include "serve/workload.h"
 
@@ -205,6 +207,94 @@ TEST(ArtifactCache, OversizedArtifactIsReturnedButNotInserted)
     ArtifactCache::Stats stats = cache.stats();
     EXPECT_EQ(stats.uncacheable, 1u);
     EXPECT_EQ(stats.bytesInUse, 0u);
+}
+
+TEST(ArtifactCache, CrossDomainEvictionsAttributedToVictimDomain)
+{
+    // The byte budget is shared across domains: pressure from domain
+    // "B" can evict "A"'s entries, and the eviction must be charged to
+    // the victim's domain, not the inserter's.
+    ArtifactCache cache(250);
+    cache.getOrCompute<int>(makeKey("A", "a1"),
+                            [] { return makeInt(1, 100); }, nullptr, "A");
+    cache.getOrCompute<int>(makeKey("A", "a2"),
+                            [] { return makeInt(2, 100); }, nullptr, "A");
+    cache.getOrCompute<int>(makeKey("B", "b1"),
+                            [] { return makeInt(3, 100); }, nullptr, "B");
+
+    ArtifactCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    ASSERT_EQ(stats.domains.count("A"), 1u);
+    ASSERT_EQ(stats.domains.count("B"), 1u);
+    EXPECT_EQ(stats.domains.at("A").evictions, 1u);
+    EXPECT_EQ(stats.domains.at("B").evictions, 0u);
+    EXPECT_EQ(stats.domains.at("A").misses, 2u);
+    EXPECT_EQ(stats.domains.at("B").misses, 1u);
+
+    // More pressure from B evicts the remaining A entry and then B's
+    // own LRU; each eviction lands on its owner.
+    cache.getOrCompute<int>(makeKey("B", "b2"),
+                            [] { return makeInt(4, 100); }, nullptr, "B");
+    cache.getOrCompute<int>(makeKey("B", "b3"),
+                            [] { return makeInt(5, 100); }, nullptr, "B");
+    stats = cache.stats();
+    EXPECT_EQ(stats.domains.at("A").evictions, 2u);
+    EXPECT_EQ(stats.domains.at("B").evictions, 1u);
+    EXPECT_EQ(stats.evictions, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Child seeds
+// ---------------------------------------------------------------------
+
+TEST(Runner, ChildSeedDerivesFromContentAndBatchSeedOnly)
+{
+    auto cache = std::make_shared<ArtifactCache>(0);
+    JobRunner runner(RunnerOptions{42, ""}, cache);
+
+    std::vector<JobRequest> requests = generateWorkload(1, 9);
+    JobRequest renamed = requests[0];
+    renamed.id = "a-completely-different-id";
+
+    PrepareOutcome base = runner.prepare(requests[0]);
+    PrepareOutcome other = runner.prepare(renamed);
+    ASSERT_TRUE(base.ok) << base.error;
+    ASSERT_TRUE(other.ok) << other.error;
+    // The id is presentation metadata: it must not perturb the seed, or
+    // "same job, new label" would stop reproducing.
+    EXPECT_EQ(base.job.childSeed, other.job.childSeed);
+
+    // Content changes must perturb it.
+    JobRequest changed = requests[0];
+    changed.iterations = requests[0].iterations + 1;
+    PrepareOutcome prepared = runner.prepare(changed);
+    ASSERT_TRUE(prepared.ok) << prepared.error;
+    EXPECT_NE(prepared.job.childSeed, base.job.childSeed);
+
+    // And so must the batch seed.
+    JobRunner reseeded(RunnerOptions{43, ""}, cache);
+    PrepareOutcome shifted = reseeded.prepare(requests[0]);
+    ASSERT_TRUE(shifted.ok) << shifted.error;
+    EXPECT_NE(shifted.job.childSeed, base.job.childSeed);
+}
+
+TEST(Runner, ChildSeedIsStableAcrossRunnerInstances)
+{
+    // Two runners over different caches with the same batch seed agree:
+    // the derivation is pure content, no per-process state -- this is
+    // what lets cluster workers re-derive seeds the single-process run
+    // would have used.
+    std::vector<JobRequest> requests = generateWorkload(5, 3);
+    JobRunner first(RunnerOptions{7, ""},
+                    std::make_shared<ArtifactCache>(0));
+    JobRunner second(RunnerOptions{7, ""},
+                     std::make_shared<ArtifactCache>(1 << 20));
+    for (const auto &req : requests) {
+        PrepareOutcome a = first.prepare(req);
+        PrepareOutcome b = second.prepare(req);
+        ASSERT_TRUE(a.ok && b.ok);
+        EXPECT_EQ(a.job.childSeed, b.job.childSeed);
+    }
 }
 
 // ---------------------------------------------------------------------

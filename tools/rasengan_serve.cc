@@ -191,11 +191,13 @@ main(int argc, char **argv)
             // Request files are operator input: a defective line is an
             // error, not something to skip silently.
             if (!line.ok) {
+                const char *why =
+                    line.hasNul ? "request line contains a NUL byte"
+                    : line.oversized
+                        ? "request line exceeds the length cap"
+                        : "truncated final line (no newline)";
                 std::fprintf(stderr, "%s:%zu: %s\n",
-                             args.requests.c_str(), line.number,
-                             line.oversized
-                                 ? "request line exceeds the length cap"
-                                 : "truncated final line (no newline)");
+                             args.requests.c_str(), line.number, why);
                 return 1;
             }
             serve::RequestParseResult parsed =

@@ -16,7 +16,8 @@
  *
  * Signals: SIGTERM/SIGINT drain gracefully -- stop accepting, finish
  * or checkpoint the in-flight job, flush the journal, exit 0.  SIGHUP
- * compacts the journal in place.
+ * compacts the journal in place and, with --policy, re-reads the
+ * admission/SLO policy file.
  *
  * Usage:
  *   rasengan_served --listen unix:/tmp/rasengan.sock [options]
@@ -26,6 +27,8 @@
  *   --journal FILE       write-ahead job journal (crash recovery)
  *   --results FILE       append every result line (audit mirror)
  *   --checkpoint-dir DIR segment checkpoints for drain/crash resume
+ *   --policy FILE        admission/SLO policy file (serve/policy flat
+ *                        JSON); loaded at start, re-read on SIGHUP
  *   --threads N          simulation pool threads (0 = current config)
  *   --batch-seed S       mixed into every job's child seed (default 0)
  *   --cache-mb M         artifact cache budget in MiB (default 64)
@@ -74,6 +77,7 @@ usage()
         stderr,
         "usage: rasengan_served --listen (unix:PATH | tcp:[HOST:]PORT)\n"
         "  [--journal FILE] [--results FILE] [--checkpoint-dir DIR]\n"
+        "  [--policy FILE]\n"
         "  [--threads N] [--batch-seed S] [--cache-mb M]\n"
         "  [--max-queue N] [--max-qubits N] [--max-shots N] "
         "[--max-cost UNITS]\n"
@@ -105,6 +109,8 @@ main(int argc, char **argv)
             options.resultsPath = v;
         else if (flag == "--checkpoint-dir" && (v = next()))
             options.checkpointDir = v;
+        else if (flag == "--policy" && (v = next()))
+            options.policyPath = v;
         else if (flag == "--threads" && (v = next()))
             options.threads =
                 static_cast<int>(std::strtol(v, nullptr, 10));
