@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Adaptive-execution benchmark (BENCH_tune.json): fixed defaults vs a
+ * warm cost model steering the per-job result-invariant knobs.
+ *
+ * For each workload class the harness runs the same request batch three
+ * ways:
+ *
+ *  - "fixed": tune off -- today's defaults, the baseline every tuned
+ *    run must reproduce byte-for-byte;
+ *  - training rounds (unreported): tune auto against an initially empty
+ *    cost model.  The tuner explores one knob arm at a time and journals
+ *    a measurement per job; decisions take effect in FUTURE runs only,
+ *    so training is what "warm" means here;
+ *  - "tuned": tune auto against the warmed model, measured and compared
+ *    against the fixed run.
+ *
+ * Every tuned job's deterministic result line is asserted byte-identical
+ * to the fixed-default run -- an improvement that changed results would
+ * be measuring a different computation.  The batch scheduler runs jobs
+ * concurrently, so the tuner is wired exactly like rasengan_serve: per-
+ * job knobs only (engine, plans), process knobs pinned.
+ *
+ * Knobs: RASENGAN_BENCH_FAST=1 shrinks the batches for CI;
+ * RASENGAN_BENCH_JSON overrides the output path.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "serve/job.h"
+#include "serve/scheduler.h"
+#include "serve/workload.h"
+#include "tune/tuner.h"
+
+namespace {
+
+using namespace rasengan;
+using bench::fastMode;
+
+constexpr uint64_t kBatchSeed = 17;
+constexpr const char *kModelPath = "bench_tune_model.jsonl";
+
+struct ClassResult
+{
+    std::string name;
+    size_t jobs = 0;
+    double fixedSeconds = 0.0;
+    double tunedSeconds = 0.0;
+    bool identical = false;
+    double speedup() const
+    {
+        return tunedSeconds > 0.0 ? fixedSeconds / tunedSeconds : 0.0;
+    }
+};
+
+std::vector<ClassResult> g_results;
+
+/** One workload class: a fixed request batch, repeated verbatim. */
+std::vector<serve::JobRequest>
+classRequests(const std::string &name)
+{
+    std::vector<serve::JobRequest> requests;
+    auto push = [&](const std::string &benchmark, uint64_t case_index,
+                    const std::string &execution, int iterations) {
+        serve::JobRequest req;
+        req.id = name + "-" + std::to_string(requests.size());
+        req.benchmark = benchmark;
+        req.caseIndex = case_index;
+        req.execution = execution;
+        req.iterations = iterations;
+        requests.push_back(req);
+    };
+    const int reps = fastMode() ? 8 : 10;
+    if (name == "exact-mid") {
+        // One mid-size shape repeated: a single fingerprint bucket, so
+        // the explore schedule completes within one training round and
+        // the tuned run exploits for every job.
+        for (int i = 0; i < reps; ++i)
+            push("F4", static_cast<uint64_t>(i % 3), "exact",
+                 bench::budget(20));
+    } else if (name == "sampled-mid") {
+        for (int i = 0; i < reps; ++i)
+            push(i % 2 == 0 ? "K3" : "G4",
+                 static_cast<uint64_t>(i % 3), "sampled",
+                 bench::budget(20));
+    } else if (name == "mixed") {
+        return serve::generateWorkload(fastMode() ? 10 : 14, 5);
+    } else {
+        fatal("unknown workload class '{}'", name);
+    }
+    return requests;
+}
+
+/** Run @p requests through a fresh scheduler; returns result lines. */
+std::vector<std::string>
+runBatch(const std::vector<serve::JobRequest> &requests,
+         tune::Tuner *tuner, double *seconds)
+{
+    serve::ServeOptions options;
+    options.batchSeed = kBatchSeed;
+    if (tuner != nullptr && tuner->mode() != tune::TuneMode::Off) {
+        options.onJobPrepared = [tuner](serve::PreparedJob &job) {
+            tune::TuneDecision d =
+                tuner->decide(tune::fingerprintForJob(job));
+            job.tuning.denseLookup = d.denseLookup();
+            job.tuning.cachePlans = d.cachePlans();
+            job.tuning.bucket = d.bucket;
+            job.tuning.decision = tune::renderArms(d.arms);
+            job.tuning.source = d.source;
+        };
+        options.onJobComplete = [tuner](size_t,
+                                        const serve::JobResult &result) {
+            tune::Measurement m;
+            if (tune::measurementForResult(result, &m))
+                tuner->record(m);
+        };
+    }
+    serve::BatchScheduler scheduler(options);
+    for (const serve::JobRequest &req : requests)
+        scheduler.submit(req);
+
+    Stopwatch watch;
+    watch.start();
+    scheduler.runAll();
+    watch.stop();
+    if (seconds != nullptr)
+        *seconds = watch.seconds();
+
+    std::vector<std::string> lines;
+    lines.reserve(scheduler.results().size());
+    for (const serve::JobResult &result : scheduler.results())
+        lines.push_back(serve::writeResult(result));
+    return lines;
+}
+
+tune::Tuner
+makeTuner(tune::TuneMode mode)
+{
+    tune::TunerOptions opts;
+    opts.mode = mode;
+    opts.modelPath = kModelPath;
+    // The batch scheduler runs jobs concurrently: per-job knobs only,
+    // exactly as rasengan_serve wires it.
+    opts.processKnobs = false;
+    return tune::Tuner(opts);
+}
+
+void
+runClass(const std::string &name)
+{
+    const std::vector<serve::JobRequest> requests = classRequests(name);
+    std::remove(kModelPath); // each class trains its own model
+
+    ClassResult r;
+    r.name = name;
+    r.jobs = requests.size();
+
+    const std::vector<std::string> fixed =
+        runBatch(requests, nullptr, &r.fixedSeconds);
+
+    // Training: explore arms and warm the journal.  Decisions take
+    // effect next run, so each round gets a fresh tuner on the
+    // accumulated model.
+    const int trainingRounds = fastMode() ? 2 : 3;
+    for (int round = 0; round < trainingRounds; ++round) {
+        tune::Tuner tuner = makeTuner(tune::TuneMode::Auto);
+        tuner.load();
+        double ignored = 0.0;
+        std::vector<std::string> lines =
+            runBatch(requests, &tuner, &ignored);
+        panic_if(lines != fixed,
+                 "training round drifted result bytes");
+    }
+
+    tune::Tuner tuner = makeTuner(tune::TuneMode::Auto);
+    tuner.load();
+    const std::vector<std::string> tuned =
+        runBatch(requests, &tuner, &r.tunedSeconds);
+    r.identical = tuned == fixed;
+    panic_if(!r.identical, "tuned run drifted result bytes");
+
+    tune::Tuner::Stats stats = tuner.stats();
+    g_results.push_back(r);
+    std::printf("%-12s %4zu jobs  fixed %8.3f s  tuned %8.3f s  "
+                "speedup %5.2fx  (%llu model, %llu explore)\n",
+                name.c_str(), r.jobs, r.fixedSeconds, r.tunedSeconds,
+                r.speedup(),
+                static_cast<unsigned long long>(stats.exploited),
+                static_cast<unsigned long long>(stats.explored));
+}
+
+void
+writeJson(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"records\": [\n");
+    for (size_t i = 0; i < g_results.size(); ++i) {
+        const ClassResult &r = g_results[i];
+        std::fprintf(f,
+                     "    {\"class\": \"%s\", \"jobs\": %zu, "
+                     "\"fixed_seconds\": %.6f, \"tuned_seconds\": %.6f, "
+                     "\"speedup\": %.4f, \"identical\": %s}%s\n",
+                     r.name.c_str(), r.jobs, r.fixedSeconds,
+                     r.tunedSeconds, r.speedup(),
+                     r.identical ? "true" : "false",
+                     i + 1 < g_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %zu records to %s\n", g_results.size(),
+                path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    runClass("exact-mid");
+    runClass("sampled-mid");
+    runClass("mixed");
+    std::remove(kModelPath);
+
+    const char *jsonPath = std::getenv("RASENGAN_BENCH_JSON");
+    writeJson(jsonPath && *jsonPath ? jsonPath : "BENCH_tune.json");
+
+    bool improved = false;
+    for (const ClassResult &r : g_results)
+        improved = improved || r.speedup() > 1.0;
+    if (!improved)
+        std::fprintf(stderr, "warning: no class improved under tuning "
+                             "on this host\n");
+    return 0;
+}

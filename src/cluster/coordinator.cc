@@ -30,6 +30,15 @@ setNonBlocking(int fd)
         ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/** Worker schedulers run jobs concurrently, so the coordinator can
+ *  never hand out process-wide knobs regardless of what the CLI set. */
+tune::TunerOptions
+coordinatorTune(tune::TunerOptions t)
+{
+    t.processKnobs = false;
+    return t;
+}
+
 } // namespace
 
 Coordinator::Coordinator(CoordinatorOptions options,
@@ -39,9 +48,11 @@ Coordinator::Coordinator(CoordinatorOptions options,
       // artifacts (jobs execute on workers, not here).
       runner_(serve::RunnerOptions{options_.batchSeed, ""},
               std::make_shared<serve::ArtifactCache>(0)),
-      admission_(options_.limits), placer_(workerFds.size()),
+      admission_(options_.limits),
+      tuner_(coordinatorTune(options_.tune)), placer_(workerFds.size()),
       rng_(options_.batchSeed ^ 0xC0DA117Aull)
 {
+    tuner_.load();
     stats_.workers = workerFds.size();
     conns_.reserve(workerFds.size());
     for (int fd : workerFds) {
@@ -75,6 +86,15 @@ Coordinator::submit(const serve::JobRequest &req)
         return slot;
     }
     ++remaining_;
+    if (tuner_.mode() != tune::TuneMode::Off) {
+        // Decide here, at the serial submission point, so the decision
+        // sequence is a pure function of the request stream -- the hint
+        // rides the forwarded request line (excluded from its canonical
+        // hash, so child seeds and result bytes are unaffected).
+        tune::TuneDecision d =
+            tuner_.decide(tune::fingerprintForJob(screened.prepared));
+        screened.prepared.req.tuneHint = tune::renderHint(d);
+    }
     AdmittedJob job;
     job.slot = slot;
     job.id = screened.prepared.req.id;
@@ -196,6 +216,8 @@ Coordinator::handleFrame(int w, const Message &msg)
     if (msg.type == "batch_done") {
         conn.lastDone = msg;
         conn.haveDone = true;
+        if (!msg.tuneRecords.empty())
+            tuner_.absorbLines(msg.tuneRecords);
         if (options_.importMetrics && !msg.metrics.empty()) {
             std::string text = msg.metrics;
             while (!text.empty() &&

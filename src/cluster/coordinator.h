@@ -51,6 +51,7 @@
 #include "exec/retry.h"
 #include "serve/admission.h"
 #include "serve/runner.h"
+#include "tune/tuner.h"
 
 namespace rasengan::cluster {
 
@@ -73,6 +74,18 @@ struct CoordinatorOptions
      *  registry as <metricsPrefix><name>{worker="N",...} gauges. */
     bool importMetrics = true;
     std::string metricsPrefix = "cluster_worker_";
+    /**
+     * Adaptive-tuner configuration (mode Off disables all tune
+     * traffic).  The coordinator decides per-job knob hints at the
+     * serial submit point -- so the decision sequence matches a
+     * single-process run over the same request stream -- and ships
+     * each hint inside the forwarded request line; workers report
+     * measurements back in batch_done and the coordinator journals
+     * them for FUTURE runs.  processKnobs is forced off: worker
+     * schedulers run jobs concurrently and cannot honor process-wide
+     * knob changes.
+     */
+    tune::TunerOptions tune;
 };
 
 struct CoordinatorStats
@@ -123,6 +136,9 @@ class Coordinator
 
     const CoordinatorStats &stats() const { return stats_; }
 
+    /** The coordinator's tuner (decision/absorb stats for tests/CLI). */
+    const tune::Tuner &tuner() const { return tuner_; }
+
   private:
     struct AdmittedJob
     {
@@ -165,6 +181,7 @@ class Coordinator
     CoordinatorOptions options_;
     serve::JobRunner runner_; ///< prepare-only (cache budget 0)
     serve::AdmissionController admission_;
+    tune::Tuner tuner_;
     Placer placer_;
     Rng rng_; ///< backoff jitter stream (seeded from the batch seed)
 

@@ -196,6 +196,8 @@ encodeMessage(const Message &msg)
         w.field("cache_bytes_in_use", msg.cacheBytesInUse);
         if (!msg.metrics.empty())
             w.field("metrics", msg.metrics);
+        if (!msg.tuneRecords.empty())
+            w.field("tune_records", msg.tuneRecords);
     }
     // "drain" and "bye" carry only the type.
     return w.str();
@@ -246,6 +248,7 @@ parseMessage(const std::string &payload)
         u64Field(obj, "cache_evictions", &msg.cacheEvictions);
         u64Field(obj, "cache_bytes_in_use", &msg.cacheBytesInUse);
         strField(obj, "metrics", &msg.metrics);
+        strField(obj, "tune_records", &msg.tuneRecords);
     } else if (msg.type == "drain" || msg.type == "bye") {
         // type-only messages
     } else {

@@ -122,6 +122,7 @@ RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
 
     auto direct = [&](qsim::SparseSegmentPlan *plan) {
         qsim::SparseState sim(n, init);
+        sim.setDenseLookup(options_.denseIndexLookup);
         const uint64_t epoch0 = sim.supportEpoch();
         for (int k = 0; k < seg.stepCount; ++k) {
             qsim::SparseStepPlan *step = nullptr;
@@ -141,6 +142,8 @@ RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
             else
                 plan->finalKeys = sim.keys();
         }
+        if (sim.supportSize() > maxObservedSupport_)
+            maxObservedSupport_ = sim.supportSize();
         return sim;
     };
 
@@ -208,6 +211,8 @@ RasenganSolver::evolveSegment(int seg_index, const BitVec &init,
         if (replayed.has_value()) {
             ++planStats_.replayed;
             planCounters().replayed.inc();
+            if (replayed->supportSize() > maxObservedSupport_)
+                maxObservedSupport_ = replayed->supportSize();
             return std::move(*replayed);
         }
         // These angles rotate some state below the prune threshold; the

@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/logging.h"
+
 namespace rasengan::obs {
 
 namespace {
@@ -164,8 +166,15 @@ Registry::findOrCreate(Kind kind, const std::string &name,
     std::lock_guard<std::mutex> lock(mutex_);
     InstrumentKey key{name, renderLabels(labels)};
     auto it = instruments_.find(key);
-    if (it != instruments_.end())
+    if (it != instruments_.end()) {
+        // A (name, labels) pair is bound to one kind for the process
+        // lifetime.  Dereferencing the wrong member would be a null
+        // unique_ptr; make the programming error loud instead.
+        panic_if(it->second->kind != kind,
+                 "metric \"{}\" re-registered with a different kind",
+                 name);
         return *it->second;
+    }
     auto inst = std::make_unique<Instrument>();
     inst->kind = kind;
     inst->name = name;
@@ -327,17 +336,62 @@ Registry::importFlat(const std::map<std::string, double> &values,
                      const std::string &help)
 {
     size_t imported = 0;
+    size_t malformed = 0, collisions = 0;
     for (const auto &[key, value] : values) {
         std::string name;
         Labels labels;
-        if (!parseInstrumentKey(key, &name, &labels))
+        if (!parseInstrumentKey(key, &name, &labels)) {
+            ++malformed;
             continue;
+        }
         for (const auto &[k, v] : extra)
             labels[k] = v;
-        gauge(prefix + name, help, std::move(labels)).set(value);
+        Gauge *g = tryGauge(prefix + name, help, std::move(labels));
+        if (g == nullptr) {
+            // The series name is already registered locally as a
+            // counter or histogram; snapshots come from another
+            // process and must not be able to crash (or retype) this
+            // registry, so the series is dropped and counted.
+            ++collisions;
+            continue;
+        }
+        g->set(value);
         ++imported;
     }
+    if (malformed + collisions > 0) {
+        counter("cluster_import_skipped_total",
+                "Imported metric series dropped (malformed key or kind "
+                "collision with a local instrument)")
+            .inc(malformed + collisions);
+        warn(LogTail()
+                 .kv("prefix", prefix)
+                 .kv("malformed", malformed)
+                 .kv("kind_collisions", collisions)
+                 .kv("imported", imported),
+             "obs: dropped metric series on snapshot import");
+    }
     return imported;
+}
+
+Gauge *
+Registry::tryGauge(const std::string &name, const std::string &help,
+                   Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    InstrumentKey key{name, renderLabels(labels)};
+    auto it = instruments_.find(key);
+    if (it != instruments_.end())
+        return it->second->kind == Kind::Gauge ? it->second->gauge.get()
+                                               : nullptr;
+    auto inst = std::make_unique<Instrument>();
+    inst->kind = Kind::Gauge;
+    inst->name = name;
+    inst->help = help;
+    inst->labels = std::move(labels);
+    inst->gauge = std::make_unique<Gauge>();
+    auto [pos, inserted] = instruments_.emplace(key, std::move(inst));
+    (void)inserted;
+    return pos->second->gauge.get();
 }
 
 bool

@@ -186,7 +186,10 @@ class Registry
      * worker="N" tag cannot be spoofed by the snapshot).  Counters
      * arrive as gauges deliberately: an imported value is a snapshot,
      * not a live monotone stream.  Returns the number of series
-     * imported; malformed keys are skipped.
+     * imported.  Malformed keys and series whose prefixed name is
+     * already registered locally as a NON-gauge are dropped with a
+     * structured warning and counted in cluster_import_skipped_total
+     * (never a crash: the snapshot is another process's data).
      */
     size_t importFlat(const std::map<std::string, double> &values,
                       const std::string &prefix, const Labels &extra,
@@ -210,6 +213,15 @@ class Registry
 
     Instrument &findOrCreate(Kind kind, const std::string &name,
                              const std::string &help, Labels labels);
+
+    /**
+     * Gauge lookup that refuses kind collisions instead of panicking:
+     * returns nullptr when (name, labels) is already registered as a
+     * different kind.  Used by importFlat, whose series names come from
+     * another process and must not be able to take this one down.
+     */
+    Gauge *tryGauge(const std::string &name, const std::string &help,
+                    Labels labels);
 
     mutable std::mutex mutex_;
     /** Keyed by (name, rendered labels); map keeps export order sorted. */

@@ -33,6 +33,53 @@ cacheCounters()
     return counters;
 }
 
+/**
+ * Labeled per-domain registry mirrors ({domain="pipeline"} etc.) -- the
+ * global totals above hide WHICH layer of reuse is working.  Memoized
+ * per domain string so the registry mutex is only taken on first sight
+ * of a domain.
+ */
+struct DomainCounters
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &insertions;
+    obs::Counter &evictions;
+};
+
+DomainCounters &
+domainCounters(const std::string &domain)
+{
+    static std::mutex mutex;
+    static std::map<std::string, DomainCounters> memo;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = memo.find(domain);
+    if (it == memo.end()) {
+        obs::Registry &reg = obs::Registry::global();
+        obs::Labels labels{
+            {"domain", domain.empty() ? "untagged" : domain}};
+        it = memo.emplace(
+                     domain,
+                     DomainCounters{
+                         reg.counter("serve_cache_domain_hits_total",
+                                     "Artifact cache hits by domain",
+                                     labels),
+                         reg.counter("serve_cache_domain_misses_total",
+                                     "Artifact cache misses by domain",
+                                     labels),
+                         reg.counter(
+                             "serve_cache_domain_insertions_total",
+                             "Artifacts inserted by domain", labels),
+                         reg.counter(
+                             "serve_cache_domain_evictions_total",
+                             "Artifacts evicted, attributed to the "
+                             "victim's domain",
+                             labels)})
+                 .first;
+    }
+    return it->second;
+}
+
 } // namespace
 
 ArtifactCache::ArtifactCache(uint64_t byte_budget)
@@ -51,16 +98,22 @@ ArtifactCache::find(const CacheKey &key, LookupCounters *counters,
         ++stats_.misses;
         ++dom.misses;
         cacheCounters().misses.inc();
-        if (counters)
+        domainCounters(domain).misses.inc();
+        if (counters) {
             ++counters->misses;
+            ++counters->domains[domain].misses;
+        }
         return nullptr;
     }
     lru_.splice(lru_.begin(), lru_, it->second); // touch
     ++stats_.hits;
     ++dom.hits;
     cacheCounters().hits.inc();
-    if (counters)
+    domainCounters(domain).hits.inc();
+    if (counters) {
         ++counters->hits;
+        ++counters->domains[domain].hits;
+    }
     return it->second->value;
 }
 
@@ -92,6 +145,7 @@ ArtifactCache::publish(const CacheKey &key,
     ++stats_.insertions;
     ++dom.insertions;
     cacheCounters().insertions.inc();
+    domainCounters(domain).insertions.inc();
     while (stats_.bytesInUse > stats_.byteBudget && lru_.size() > 1) {
         const Entry &victim = lru_.back();
         // Attribute the eviction to the VICTIM's domain: that is the
@@ -99,6 +153,7 @@ ArtifactCache::publish(const CacheKey &key,
         // here as domain B losing entries).
         DomainStats &vdom = stats_.domains[victim.domain];
         ++vdom.evictions;
+        domainCounters(victim.domain).evictions.inc();
         vdom.bytesInUse -= victim.bytes;
         --vdom.entries;
         stats_.bytesInUse -= victim.bytes;

@@ -88,8 +88,17 @@ class ArtifactCache
     /** Per-job hit/miss attribution (telemetry). */
     struct LookupCounters
     {
+        struct DomainLookup
+        {
+            uint64_t hits = 0;
+            uint64_t misses = 0;
+        };
+
         uint64_t hits = 0;
         uint64_t misses = 0;
+        /** The same lookups split by the domain string passed to
+         *  getOrCompute -- per-job counterpart of Stats::domains. */
+        std::map<std::string, DomainLookup> domains;
     };
 
     /** @p byte_budget 0 disables caching (every lookup misses). */

@@ -962,6 +962,11 @@ Daemon::runOne(QueuedJob job)
         runningCostUnits_ = job.slo.costUnits;
     }
 
+    // Worker thread, strictly serial: the tuner hook may set per-job
+    // tuning fields and apply process-wide knobs for this job.
+    if (options_.onJobPrepared)
+        options_.onJobPrepared(job.prepared);
+
     obs::Span span("daemon", "job", req.id);
     const double startMs = nowMs();
     // The token is passed even when unarmed so a drain can still
@@ -971,6 +976,8 @@ Daemon::runOne(QueuedJob job)
     result.costUnits = job.slo.costUnits;
     result.telemetry.queueWaitMs = std::max(startMs - job.acceptMs, 0.0);
     result.telemetry.wallMs = endMs - startMs;
+    if (options_.onJobComplete)
+        options_.onJobComplete(job.prepared, result);
 
     bool drainCancelled;
     {

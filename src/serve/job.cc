@@ -27,7 +27,7 @@ const std::set<std::string> kKnownKeys = {
     "execution",  "noise",      "shots",      "transitions_per_segment",
     "simplify",   "prune",      "purify",     "shot_growth",
     "penalty_lambda", "layers", "fault_rate", "max_attempts",
-    "priority",   "deadline_ms", "timeout_ms",
+    "priority",   "deadline_ms", "timeout_ms", "tune",
 };
 
 bool
@@ -178,7 +178,8 @@ parseRequest(const std::string &line)
         return result;
     if (!getString(parsed.object, "priority", req.priority, err) ||
         !getNumber(parsed.object, "deadline_ms", req.deadlineMs, err) ||
-        !getNumber(parsed.object, "timeout_ms", req.timeoutMs, err))
+        !getNumber(parsed.object, "timeout_ms", req.timeoutMs, err) ||
+        !getString(parsed.object, "tune", req.tuneHint, err))
         return result;
 
     result.ok = true;
@@ -220,6 +221,10 @@ writeRequest(const JobRequest &req)
         w.field("deadline_ms", req.deadlineMs);
     if (req.timeoutMs > 0.0)
         w.field("timeout_ms", req.timeoutMs);
+    // Tuning hint: result-invariant (never hashed), omitted when empty
+    // so untuned request files round-trip byte-identically.
+    if (!req.tuneHint.empty())
+        w.field("tune", req.tuneHint);
     return w.str();
 }
 
@@ -340,6 +345,25 @@ writeTelemetry(const JobResult &result)
         .field("degradation", result.telemetry.degradation)
         .field("priority", result.telemetry.priority);
     w.boolean("deadline_hit", result.telemetry.deadlineHit);
+    // Per-domain cache attribution (global hits/misses above persist
+    // for compatibility; these split them by artifact domain).
+    w.field("cache_pipeline_hits", result.telemetry.cachePipelineHits)
+        .field("cache_pipeline_misses", result.telemetry.cachePipelineMisses)
+        .field("cache_circuit_hits", result.telemetry.cacheCircuitHits)
+        .field("cache_circuit_misses", result.telemetry.cacheCircuitMisses)
+        .field("cache_spplan_hits", result.telemetry.cacheSpplanHits)
+        .field("cache_spplan_misses", result.telemetry.cacheSpplanMisses);
+    w.field("plan_recorded", result.telemetry.planRecorded)
+        .field("plan_replayed", result.telemetry.planReplayed)
+        .field("plan_aborted", result.telemetry.planAborted)
+        .field("plan_invalidated", result.telemetry.planInvalidated)
+        .field("support_max", result.telemetry.supportMax);
+    if (!result.telemetry.tuneBucket.empty())
+        w.field("tune_bucket", result.telemetry.tuneBucket);
+    if (!result.telemetry.tuneDecision.empty())
+        w.field("tune_decision", result.telemetry.tuneDecision);
+    if (!result.telemetry.tuneSource.empty())
+        w.field("tune_source", result.telemetry.tuneSource);
     return w.str();
 }
 

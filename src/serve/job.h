@@ -82,6 +82,18 @@ struct JobRequest
     double deadlineMs = 0.0; ///< accept-to-done SLO target; 0 = none
     double timeoutMs = 0.0;  ///< per-job wall-clock cap; 0 = none
     /// @}
+
+    /// @name Adaptive-execution hint (cluster coordinator -> worker)
+    ///
+    /// A rendered tune::TuneDecision ("bucket=...;engine=dense;...").
+    /// Like the scheduling metadata it is EXCLUDED from
+    /// canonicalRequestText: every arm of every tuned knob is
+    /// result-invariant, so the hint shapes how a job runs, never what
+    /// it computes -- the child seed and result bytes cannot depend on
+    /// it.  Empty = no hint (local policy decides).
+    /// @{
+    std::string tuneHint;
+    /// @}
 };
 
 struct JobTelemetry
@@ -95,6 +107,36 @@ struct JobTelemetry
     std::string degradation = "Full";
     bool deadlineHit = false; ///< stopped by the wall-clock timeout
     std::string priority = "batch";
+
+    /// @name Per-domain artifact-cache attribution
+    ///
+    /// Hits/misses split by cache domain (pipeline/circuit/spplan), the
+    /// per-job counterpart of the registry's labeled domain counters --
+    /// the global hit rate hides which layer of reuse a job exercised.
+    /// @{
+    uint64_t cachePipelineHits = 0, cachePipelineMisses = 0;
+    uint64_t cacheCircuitHits = 0, cacheCircuitMisses = 0;
+    uint64_t cacheSpplanHits = 0, cacheSpplanMisses = 0;
+    /// @}
+
+    /// @name Rotation-plan cache outcome (rasengan jobs)
+    /// @{
+    uint64_t planRecorded = 0;
+    uint64_t planReplayed = 0;
+    uint64_t planAborted = 0;
+    uint64_t planInvalidated = 0;
+    /// @}
+
+    /** Peak sparse-simulator support observed (support-growth summary
+     *  that feeds the adaptive tuner's measurement records). */
+    uint64_t supportMax = 0;
+
+    /// @name Adaptive-execution decision (empty when tuning is off)
+    /// @{
+    std::string tuneBucket;
+    std::string tuneDecision; ///< renderArms() of the applied knobs
+    std::string tuneSource;   ///< default|explore:...|model|hint
+    /// @}
 };
 
 struct JobResult

@@ -96,6 +96,44 @@ hashResult(const JobResult &r)
     return hex16(fnv1a64(s.str()));
 }
 
+/**
+ * Parse a coordinator tune hint ("bucket=...;engine=dense;plans=off")
+ * into per-job tuning fields.  Serve deliberately does not link the
+ * tune library, so this accepts only the per-job keys the runner can
+ * honor; unknown keys (threads/fusion/isa, applied process-wide by the
+ * hint's SENDER) and malformed clauses are ignored -- a bad hint can
+ * only cost performance, never correctness.
+ */
+JobTuning
+parseTuneHint(const std::string &hint)
+{
+    JobTuning tuning;
+    tuning.source = "hint";
+    size_t pos = 0;
+    while (pos < hint.size()) {
+        size_t end = hint.find(';', pos);
+        if (end == std::string::npos)
+            end = hint.size();
+        const std::string clause = hint.substr(pos, end - pos);
+        pos = end + 1;
+        const size_t eq = clause.find('=');
+        if (eq == std::string::npos)
+            continue;
+        const std::string key = clause.substr(0, eq);
+        const std::string value = clause.substr(eq + 1);
+        if (key == "bucket")
+            tuning.bucket = value;
+        else if (key == "engine")
+            tuning.denseLookup = value == "dense";
+        else if (key == "plans")
+            tuning.cachePlans = value != "off";
+        else if (key == "source")
+            tuning.source = value;
+    }
+    tuning.decision = hint;
+    return tuning;
+}
+
 exec::ResilienceOptions
 makeResilience(const JobRequest &req, uint64_t child_seed,
                const exec::CancelToken *cancel)
@@ -166,6 +204,10 @@ JobRunner::prepare(const JobRequest &req) const
         fnv1a64(canonicalRequestText(req, out.job.canonicalProblem));
     out.job.childSeed = mixSeed(contentHash ^ options_.batchSeed);
     out.job.fingerprint = hex16(contentHash);
+    // The hint is NOT part of contentHash/childSeed (every tuned knob
+    // is result-invariant); it only pre-loads the job's tuning fields.
+    if (!req.tuneHint.empty())
+        out.job.tuning = parseTuneHint(req.tuneHint);
     out.ok = true;
     return out;
 }
@@ -186,7 +228,23 @@ JobRunner::run(const PreparedJob &job,
     result.resultHash = hashResult(result);
     result.telemetry.cacheHits = counters.hits;
     result.telemetry.cacheMisses = counters.misses;
+    auto domain = [&counters](const char *name)
+        -> ArtifactCache::LookupCounters::DomainLookup {
+        auto it = counters.domains.find(name);
+        return it == counters.domains.end()
+                   ? ArtifactCache::LookupCounters::DomainLookup{}
+                   : it->second;
+    };
+    result.telemetry.cachePipelineHits = domain("pipeline").hits;
+    result.telemetry.cachePipelineMisses = domain("pipeline").misses;
+    result.telemetry.cacheCircuitHits = domain("circuit").hits;
+    result.telemetry.cacheCircuitMisses = domain("circuit").misses;
+    result.telemetry.cacheSpplanHits = domain("spplan").hits;
+    result.telemetry.cacheSpplanMisses = domain("spplan").misses;
     result.telemetry.priority = job.req.priority;
+    result.telemetry.tuneBucket = job.tuning.bucket;
+    result.telemetry.tuneDecision = job.tuning.decision;
+    result.telemetry.tuneSource = job.tuning.source;
     return result;
 }
 
@@ -207,6 +265,11 @@ JobRunner::solveRasengan(const PreparedJob &job,
     opts.shotsPerSegment = req.shots;
     opts.shotGrowth = req.shotGrowth;
     opts.noise = parseNoiseModel(req.noise);
+    // Adaptive-tuner per-job knobs; both are result-invariant (see
+    // RasenganOptions), so applying them here cannot change the bytes
+    // of the result line.
+    opts.denseIndexLookup = job.tuning.denseLookup;
+    opts.cacheRotationPlans = job.tuning.cachePlans;
     opts.resilience = makeResilience(req, job.childSeed, cancel);
     if (!options_.checkpointDir.empty())
         opts.checkpointPath = options_.checkpointDir + "/job-" +
@@ -343,6 +406,11 @@ JobRunner::solveRasengan(const PreparedJob &job,
     out.telemetry.deadlineHit = r.deadlineHit;
     out.telemetry.degradation =
         exec::degradationLevelName(r.degradation);
+    out.telemetry.planRecorded = solver.planStats().recorded;
+    out.telemetry.planReplayed = solver.planStats().replayed;
+    out.telemetry.planAborted = solver.planStats().aborted;
+    out.telemetry.planInvalidated = solver.planStats().invalidated;
+    out.telemetry.supportMax = solver.maxObservedSupport();
     if (out.ok && !opts.checkpointPath.empty()) {
         // The job is done; a stale checkpoint would only confuse the
         // next crash-replay of the same content.

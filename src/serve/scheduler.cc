@@ -66,6 +66,10 @@ BatchScheduler::submit(const JobRequest &req)
     slot.id = req.id;
     slot.costUnits = screened.costUnits;
     slot.accepted = true;
+    // Serial, submission-ordered: tuner decisions made here are a pure
+    // function of the request stream, independent of thread count.
+    if (options_.onJobPrepared)
+        options_.onJobPrepared(screened.prepared);
     obs::instantEvent("serve", "job-queued", req.id);
     pending_.push_back(PendingJob{std::move(screened.prepared),
                                   screened.costUnits, index,

@@ -1,0 +1,187 @@
+#include "tune/costmodel.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.h"
+#include "serve/jsonl.h"
+
+namespace rasengan::tune {
+
+std::string
+renderArms(const ArmAssignment &arms)
+{
+    std::string out;
+    for (const auto &[knob, arm] : arms) {
+        if (!out.empty())
+            out += ';';
+        out += knob;
+        out += '=';
+        out += arm;
+    }
+    return out;
+}
+
+bool
+parseArms(const std::string &text, ArmAssignment *out, std::string *bucket,
+          std::string *source)
+{
+    out->clear();
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t end = text.find(';', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string clause = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (clause.empty())
+            continue;
+        const size_t eq = clause.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = clause.substr(0, eq);
+        const std::string value = clause.substr(eq + 1);
+        if (key == "bucket") {
+            if (bucket)
+                *bucket = value;
+        } else if (key == "source") {
+            if (source)
+                *source = value;
+        } else if (key == kKnobEngine || key == kKnobPlans ||
+                   key == kKnobFusion || key == kKnobThreads ||
+                   key == kKnobIsa) {
+            (*out)[key] = value;
+        }
+        // Unknown keys: ignored, so newer writers stay readable.
+    }
+    return true;
+}
+
+std::string
+encodeMeasurement(const Measurement &m)
+{
+    serve::JsonWriter w;
+    w.field("bucket", m.bucket);
+    for (const auto &[knob, arm] : m.arms)
+        w.field(knob, arm);
+    w.field("wall_ms", m.wallMs);
+    w.field("source", m.source);
+    if (m.supportMax)
+        w.field("support_max", m.supportMax);
+    if (m.planRecorded)
+        w.field("plan_recorded", m.planRecorded);
+    if (m.planReplayed)
+        w.field("plan_replayed", m.planReplayed);
+    return w.str();
+}
+
+bool
+parseMeasurement(const std::string &line, Measurement *out)
+{
+    const serve::JsonParseResult parsed = serve::parseFlatJson(line);
+    if (!parsed.ok)
+        return false;
+    *out = Measurement{};
+    auto str = [&](const char *key, std::string *dst) {
+        auto it = parsed.object.find(key);
+        if (it != parsed.object.end() &&
+            it->second.kind == serve::JsonValue::Kind::String)
+            *dst = it->second.str;
+    };
+    auto num = [&](const char *key, double *dst) -> bool {
+        auto it = parsed.object.find(key);
+        if (it == parsed.object.end() ||
+            it->second.kind != serve::JsonValue::Kind::Number)
+            return false;
+        *dst = it->second.num;
+        return true;
+    };
+    str("bucket", &out->bucket);
+    str("source", &out->source);
+    for (const char *knob :
+         {kKnobEngine, kKnobPlans, kKnobFusion, kKnobThreads, kKnobIsa}) {
+        auto it = parsed.object.find(knob);
+        if (it != parsed.object.end() &&
+            it->second.kind == serve::JsonValue::Kind::String)
+            out->arms[knob] = it->second.str;
+    }
+    if (!num("wall_ms", &out->wallMs))
+        return false;
+    double v = 0.0;
+    if (num("support_max", &v) && v >= 0.0)
+        out->supportMax = static_cast<uint64_t>(v);
+    if (num("plan_recorded", &v) && v >= 0.0)
+        out->planRecorded = static_cast<uint64_t>(v);
+    if (num("plan_replayed", &v) && v >= 0.0)
+        out->planReplayed = static_cast<uint64_t>(v);
+    return !out->bucket.empty() && std::isfinite(out->wallMs) &&
+           out->wallMs >= 0.0 && !out->arms.empty();
+}
+
+void
+CostModel::add(const Measurement &m)
+{
+    KnobTable &knobs = table_[m.bucket];
+    for (const auto &[knob, arm] : m.arms) {
+        ArmStats &cell = knobs[knob][arm];
+        ++cell.count;
+        cell.totalMs += m.wallMs;
+    }
+}
+
+CostModel::LoadStats
+CostModel::loadFile(const std::string &path)
+{
+    LoadStats stats;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        stats.fileMissing = true;
+        return stats;
+    }
+    serve::LineReader reader(in);
+    serve::LineReader::Line line;
+    while (reader.next(line)) {
+        if (!line.ok) {
+            ++stats.debris;
+            continue;
+        }
+        Measurement m;
+        if (!parseMeasurement(line.text, &m)) {
+            ++stats.debris;
+            continue;
+        }
+        add(m);
+        ++stats.records;
+    }
+    if (stats.debris > 0)
+        warn(LogTail()
+                 .kv("path", path)
+                 .kv("records", stats.records)
+                 .kv("debris", stats.debris),
+             "tune: skipped defective cost-model lines");
+    return stats;
+}
+
+uint64_t
+CostModel::samples(const std::string &bucket, const std::string &knob,
+                   const std::string &arm) const
+{
+    const ArmStats *cell = stats(bucket, knob, arm);
+    return cell ? cell->count : 0;
+}
+
+const CostModel::ArmStats *
+CostModel::stats(const std::string &bucket, const std::string &knob,
+                 const std::string &arm) const
+{
+    auto b = table_.find(bucket);
+    if (b == table_.end())
+        return nullptr;
+    auto k = b->second.find(knob);
+    if (k == b->second.end())
+        return nullptr;
+    auto a = k->second.find(arm);
+    return a == k->second.end() ? nullptr : &a->second;
+}
+
+} // namespace rasengan::tune

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Persisted cost model for the adaptive tuner.
+ *
+ * The model is a nested table
+ *
+ *     fingerprint bucket -> knob -> arm -> (sample count, total wall ms)
+ *
+ * fed by Measurement records: one record per completed job, carrying the
+ * job's bucket, the FULL knob assignment it ran under, the measured
+ * wall-clock, and observed-shape extras (peak sparse support, plan-cache
+ * replay counts) that explain the timing.  A record credits its wall
+ * time to every (knob, arm) pair of its assignment -- the model
+ * marginalizes over the other knobs, which keeps it tiny and keeps
+ * decisions cheap, at the cost of ignoring knob interactions (acceptable
+ * for the result-invariant knobs tuned here: their effects are close to
+ * independent).
+ *
+ * On disk the model is an append-only journal of flat JSON lines (the
+ * serve jsonl dialect), stored next to the artifact cache.  Loading
+ * follows the journal debris-tolerance rules: torn trailing writes,
+ * oversized lines, NUL-bearing blocks, and unparseable records are
+ * skipped and counted, never fatal -- a corrupt model file degrades to
+ * cold start, it cannot take the process down or poison decisions with
+ * half-parsed numbers.
+ */
+
+#ifndef RASENGAN_TUNE_COSTMODEL_H
+#define RASENGAN_TUNE_COSTMODEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rasengan::tune {
+
+/** Knob names, in fixed decision order. */
+inline constexpr const char *kKnobEngine = "engine";   ///< search|dense
+inline constexpr const char *kKnobPlans = "plans";     ///< on|off
+inline constexpr const char *kKnobFusion = "fusion";   ///< on|off
+inline constexpr const char *kKnobThreads = "threads"; ///< "1","2",...
+inline constexpr const char *kKnobIsa = "isa";  ///< scalar|avx2|neon
+
+/** Knob assignment: knob name -> arm name (std::map: sorted render). */
+using ArmAssignment = std::map<std::string, std::string>;
+
+/** One completed job's timing under a concrete knob assignment. */
+struct Measurement
+{
+    std::string bucket;
+    ArmAssignment arms;
+    double wallMs = 0.0;
+    /** Where the assignment came from: default|explore:<knob>=<arm>|
+     *  model|hint.  Informational; not used by decisions. */
+    std::string source = "default";
+    // Observed workload shape (diagnostic; not part of the bucket key).
+    uint64_t supportMax = 0;
+    uint64_t planRecorded = 0;
+    uint64_t planReplayed = 0;
+};
+
+/** Render an assignment as "engine=dense;plans=on;..." (sorted keys). */
+std::string renderArms(const ArmAssignment &arms);
+
+/**
+ * Parse renderArms() output (also accepts extra "bucket="/"source="
+ * pairs, returned via the optional out-params).  Unknown keys are
+ * ignored; empty input yields an empty assignment.  Returns false only
+ * on structurally broken input (a clause with no '=').
+ */
+bool parseArms(const std::string &text, ArmAssignment *out,
+               std::string *bucket = nullptr, std::string *source = nullptr);
+
+/** Serialize @p m as one flat JSON line (no trailing newline). */
+std::string encodeMeasurement(const Measurement &m);
+
+/**
+ * Parse one journal line.  Returns false (and leaves @p out unspecified)
+ * when the line is not a usable measurement: parse error, missing
+ * bucket/wall_ms, or a non-finite/negative wall time.
+ */
+bool parseMeasurement(const std::string &line, Measurement *out);
+
+class CostModel
+{
+  public:
+    struct ArmStats
+    {
+        uint64_t count = 0;
+        double totalMs = 0.0;
+        double meanMs() const { return count ? totalMs / count : 0.0; }
+    };
+
+    struct LoadStats
+    {
+        bool fileMissing = false;
+        size_t records = 0; ///< measurements absorbed
+        size_t debris = 0;  ///< torn/oversized/NUL/unparseable lines
+    };
+
+    /** Credit @p m.wallMs to every (knob, arm) pair of its assignment. */
+    void add(const Measurement &m);
+
+    /**
+     * Absorb a journal file.  Missing file = clean cold start; any
+     * defective line is counted in debris and skipped (one structured
+     * warning summarizes the damage).  Never throws, never fatals.
+     */
+    LoadStats loadFile(const std::string &path);
+
+    uint64_t samples(const std::string &bucket, const std::string &knob,
+                     const std::string &arm) const;
+
+    /** nullptr when the (bucket, knob, arm) cell has no samples. */
+    const ArmStats *stats(const std::string &bucket, const std::string &knob,
+                          const std::string &arm) const;
+
+    size_t bucketCount() const { return table_.size(); }
+
+  private:
+    using ArmTable = std::map<std::string, ArmStats>;
+    using KnobTable = std::map<std::string, ArmTable>;
+    std::map<std::string, KnobTable> table_;
+};
+
+} // namespace rasengan::tune
+
+#endif // RASENGAN_TUNE_COSTMODEL_H

@@ -1,0 +1,78 @@
+#include "tune/fingerprint.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace rasengan::tune {
+
+namespace {
+
+/**
+ * Sanitize a free-form token (algorithm / execution names) into the
+ * bucket charset [a-z0-9_-]; anything else becomes '_' so a hostile
+ * request string cannot smuggle separators into label values or hints.
+ */
+std::string
+safeToken(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (std::isalnum(u))
+            out.push_back(
+                static_cast<char>(std::tolower(u)));
+        else if (c == '-' || c == '_')
+            out.push_back(c);
+        else
+            out.push_back('_');
+    }
+    return out.empty() ? std::string("none") : out;
+}
+
+} // namespace
+
+uint64_t
+log2Bucket(uint64_t v)
+{
+    if (v <= 1)
+        return v;
+    uint64_t b = 1;
+    while ((b << 1) <= v && (b << 1) != 0)
+        b <<= 1;
+    return b;
+}
+
+std::string
+fingerprintBucket(const WorkloadFingerprint &fp)
+{
+    char buf[160];
+    std::snprintf(
+        buf, sizeof buf, "q%llu.c%llu.alg-%s.ex-%s.tps-%d.it-%llu.sh-%llu",
+        static_cast<unsigned long long>(
+            log2Bucket(fp.numVars > 0 ? static_cast<uint64_t>(fp.numVars)
+                                      : 0)),
+        static_cast<unsigned long long>(log2Bucket(
+            fp.numConstraints > 0 ? static_cast<uint64_t>(fp.numConstraints)
+                                  : 0)),
+        safeToken(fp.algorithm).c_str(), safeToken(fp.execution).c_str(),
+        fp.transitionsPerSegment,
+        static_cast<unsigned long long>(log2Bucket(
+            fp.iterations > 0 ? static_cast<uint64_t>(fp.iterations) : 0)),
+        static_cast<unsigned long long>(log2Bucket(fp.shots)));
+    std::string bucket(buf);
+    if (fp.pruneThreshold >= 0.0) {
+        // Non-default prune threshold: fence these measurements off from
+        // default-pruned traffic (the knob changes results, so it also
+        // changes support growth and therefore timings).
+        char pt[48];
+        std::snprintf(pt, sizeof pt, ".pt-%.6g", fp.pruneThreshold);
+        for (char &c : pt)
+            if (c == '+')
+                c = 'p'; // "%g" exponent '+' is outside the charset
+        bucket += pt;
+    }
+    return bucket;
+}
+
+} // namespace rasengan::tune

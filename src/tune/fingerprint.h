@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Workload fingerprinting for profile-guided adaptive execution.
+ *
+ * A WorkloadFingerprint captures the PRE-RUN features that decide which
+ * hot path a job exercises: problem size (qubit/variable count,
+ * constraint count), solver configuration (algorithm, execution
+ * backend, segment shape, iteration/shot budget), and any
+ * result-AFFECTING knob that deviates from its default (the prune
+ * threshold) -- the last so tuned and untuned traffic never pool their
+ * measurements.  fingerprintBucket() renders the fingerprint into a
+ * coarse, deterministic bucket string (log-2 size buckets) that keys
+ * the persisted cost model: jobs in one bucket are assumed to respond
+ * to the tunable knobs the same way.
+ *
+ * OBSERVED shape (peak sparse support, plan-cache hit counts) is
+ * deliberately not part of the bucket: it is unknown at decision time.
+ * It rides the measurement records and per-job telemetry instead, where
+ * it explains WHY a bucket's timings look the way they do.
+ *
+ * Bucket strings use only [a-z0-9._-] so they are safe as metric label
+ * values, JSONL fields, and cluster hint payloads.
+ */
+
+#ifndef RASENGAN_TUNE_FINGERPRINT_H
+#define RASENGAN_TUNE_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace rasengan::tune {
+
+struct WorkloadFingerprint
+{
+    int numVars = 0;
+    int numConstraints = 0;
+    std::string algorithm = "rasengan";
+    std::string execution = "exact"; ///< exact|sampled|noisy|gate
+    int transitionsPerSegment = 3;
+    int iterations = 60;
+    uint64_t shots = 1024;
+    /**
+     * Result-affecting knob carried in the bucket when non-default
+     * (< 0 = engine default).  The tuner never CHANGES this -- it only
+     * keeps measurements from differently-pruned jobs apart.
+     */
+    double pruneThreshold = -1.0;
+};
+
+/**
+ * Lower bound of the log-2 bucket containing @p v: 0, 1, 2, 4, 8, ...
+ * (0 and 1 are their own buckets; sizes inside one power-of-two decade
+ * share timings closely enough to pool).
+ */
+uint64_t log2Bucket(uint64_t v);
+
+/**
+ * Deterministic bucket key for the cost model, e.g.
+ * "q16.c4.alg-rasengan.ex-exact.tps-3.it-32.sh-1024".  Equal
+ * fingerprints always render equal buckets; the rendering never
+ * depends on host state.
+ */
+std::string fingerprintBucket(const WorkloadFingerprint &fp);
+
+} // namespace rasengan::tune
+
+#endif // RASENGAN_TUNE_FINGERPRINT_H

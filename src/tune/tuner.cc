@@ -1,0 +1,388 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "serve/runner.h"
+
+namespace rasengan::tune {
+
+namespace {
+
+obs::Counter &
+decisionCounter(const char *source)
+{
+    return obs::Registry::global().counter(
+        "tune_decisions_total", "Tuner knob decisions by source",
+        {{"source", source}});
+}
+
+} // namespace
+
+bool
+parseTuneMode(const std::string &text, TuneMode *out)
+{
+    if (text == "off")
+        *out = TuneMode::Off;
+    else if (text == "observe")
+        *out = TuneMode::Observe;
+    else if (text == "auto")
+        *out = TuneMode::Auto;
+    else
+        return false;
+    return true;
+}
+
+const char *
+tuneModeName(TuneMode mode)
+{
+    switch (mode) {
+      case TuneMode::Off:
+        return "off";
+      case TuneMode::Observe:
+        return "observe";
+      case TuneMode::Auto:
+        return "auto";
+    }
+    return "off";
+}
+
+TuneMode
+envTuneMode(TuneMode fallback)
+{
+    const char *env = std::getenv("RASENGAN_TUNE");
+    if (!env || !*env)
+        return fallback;
+    TuneMode mode = fallback;
+    if (!parseTuneMode(env, &mode)) {
+        warn(LogTail().kv("value", env),
+             "tune: unrecognized RASENGAN_TUNE (want off|observe|auto)");
+        return fallback;
+    }
+    return mode;
+}
+
+std::string
+envTuneModel(const std::string &fallback)
+{
+    const char *env = std::getenv("RASENGAN_TUNE_MODEL");
+    return (env && *env) ? std::string(env) : fallback;
+}
+
+WorkloadFingerprint
+fingerprintForJob(const serve::PreparedJob &job)
+{
+    WorkloadFingerprint fp;
+    if (job.problem) {
+        fp.numVars = job.problem->numVars();
+        fp.numConstraints = job.problem->numConstraints();
+    }
+    fp.algorithm = job.req.algorithm;
+    fp.execution = job.req.execution;
+    fp.transitionsPerSegment = job.req.transitionsPerSegment;
+    fp.iterations = job.req.iterations;
+    fp.shots = job.req.shots;
+    // The request's prune toggle is result-AFFECTING: disabling it gets
+    // its own fingerprint fence so its timings never pool with default
+    // traffic.  The tuner itself never touches the toggle.
+    fp.pruneThreshold = job.req.prune ? -1.0 : 0.0;
+    return fp;
+}
+
+bool
+measurementForResult(const serve::JobResult &result, Measurement *out)
+{
+    const serve::JobTelemetry &t = result.telemetry;
+    if (!result.accepted || t.tuneBucket.empty())
+        return false;
+    out->bucket = t.tuneBucket;
+    out->arms.clear();
+    if (!t.tuneDecision.empty())
+        parseArms(t.tuneDecision, &out->arms);
+    out->wallMs = t.wallMs;
+    out->source = t.tuneSource.empty() ? "hint" : t.tuneSource;
+    out->supportMax = t.supportMax;
+    out->planRecorded = t.planRecorded;
+    out->planReplayed = t.planReplayed;
+    return true;
+}
+
+std::string
+renderHint(const TuneDecision &d)
+{
+    return "bucket=" + d.bucket + ";" + renderArms(d.arms) +
+           ";source=" + d.source;
+}
+
+const std::string &
+TuneDecision::arm(const std::string &knob) const
+{
+    static const std::string kEmpty;
+    auto it = arms.find(knob);
+    return it == arms.end() ? kEmpty : it->second;
+}
+
+int
+TuneDecision::threads() const
+{
+    const std::string &a = arm(kKnobThreads);
+    return a.empty() ? 0 : std::atoi(a.c_str());
+}
+
+Tuner::Tuner(TunerOptions options) : options_(std::move(options))
+{
+    // Knob specs, fixed decision order; arms[0] is the untuned default,
+    // so a cold model always reproduces today's fixed behavior.
+    knobs_.push_back({kKnobEngine, {"search", "dense"}});
+    knobs_.push_back({kKnobPlans, {"on", "off"}});
+
+    KnobSpec fusion{kKnobFusion, {"on"}};
+    if (options_.processKnobs)
+        fusion.arms.push_back("off");
+    knobs_.push_back(std::move(fusion));
+
+    KnobSpec threads{kKnobThreads, {}};
+    const int def =
+        options_.defaultThreads > 0 ? options_.defaultThreads : 1;
+    threads.arms.push_back(std::to_string(def));
+    if (options_.processKnobs) {
+        for (int t = 1; t <= options_.maxThreads; t *= 2)
+            if (t != def)
+                threads.arms.push_back(std::to_string(t));
+        if (options_.maxThreads > def &&
+            std::find(threads.arms.begin(), threads.arms.end(),
+                      std::to_string(options_.maxThreads)) ==
+                threads.arms.end())
+            threads.arms.push_back(std::to_string(options_.maxThreads));
+    }
+    knobs_.push_back(std::move(threads));
+
+    KnobSpec isa{kKnobIsa, {}};
+    isa.arms.push_back(options_.defaultIsa);
+    if (options_.processKnobs)
+        for (const std::string &name : options_.isas)
+            if (name != options_.defaultIsa)
+                isa.arms.push_back(name);
+    knobs_.push_back(std::move(isa));
+}
+
+CostModel::LoadStats
+Tuner::load()
+{
+    CostModel::LoadStats stats;
+    if (options_.modelPath.empty())
+        return stats;
+    stats = model_.loadFile(options_.modelPath);
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter("tune_model_records_total",
+                "Cost-model measurements loaded at startup")
+        .inc(stats.records);
+    reg.counter("tune_model_debris_total",
+                "Defective cost-model lines skipped at load")
+        .inc(stats.debris);
+    if (!stats.fileMissing)
+        inform(LogTail()
+                   .kv("path", options_.modelPath)
+                   .kv("records", stats.records)
+                   .kv("buckets", model_.bucketCount())
+                   .kv("debris", stats.debris),
+               "tune: cost model loaded");
+    return stats;
+}
+
+TuneDecision
+Tuner::defaults(const std::string &bucket) const
+{
+    TuneDecision d;
+    d.bucket = bucket;
+    for (const KnobSpec &knob : knobs_)
+        d.arms[knob.name] = knob.arms.front();
+    return d;
+}
+
+uint64_t
+Tuner::plannedSamples(const std::string &bucket, const std::string &knob,
+                      const std::string &arm) const
+{
+    uint64_t n = model_.samples(bucket, knob, arm);
+    auto b = planned_.find(bucket);
+    if (b != planned_.end()) {
+        auto k = b->second.find(knob);
+        if (k != b->second.end()) {
+            auto a = k->second.find(arm);
+            if (a != k->second.end())
+                n += a->second;
+        }
+    }
+    return n;
+}
+
+void
+Tuner::creditPlanned(const std::string &bucket, const ArmAssignment &arms)
+{
+    for (const auto &[knob, arm] : arms)
+        ++planned_[bucket][knob][arm];
+}
+
+TuneDecision
+Tuner::decide(const WorkloadFingerprint &fp)
+{
+    const std::string bucket = fingerprintBucket(fp);
+    TuneDecision d = defaults(bucket);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.decisions;
+    if (options_.mode != TuneMode::Auto) {
+        decisionCounter("default").inc();
+        return d;
+    }
+
+    // Explore: find the first undersampled (knob, arm) cell in fixed
+    // order and run it with every other knob at its default.  One knob
+    // deviates at a time, so each measurement cleanly credits the arm
+    // being probed.
+    for (const KnobSpec &knob : knobs_) {
+        for (const std::string &arm : knob.arms) {
+            if (plannedSamples(bucket, knob.name, arm) >=
+                options_.minSamplesPerArm)
+                continue;
+            d.arms[knob.name] = arm;
+            d.source = "explore:" + knob.name + "=" + arm;
+            d.tuned = arm != knob.arms.front();
+            creditPlanned(bucket, d.arms);
+            ++stats_.explored;
+            decisionCounter("explore").inc();
+            return d;
+        }
+    }
+
+    // Exploit: per knob, the minimum-mean arm -- but a non-default arm
+    // must beat the default's mean by exploitMarginPct so measurement
+    // noise cannot flip a knob for a negligible win.
+    bool deviated = false;
+    for (const KnobSpec &knob : knobs_) {
+        const std::string &defaultArm = knob.arms.front();
+        const CostModel::ArmStats *defStats =
+            model_.stats(bucket, knob.name, defaultArm);
+        if (!defStats || defStats->count == 0)
+            continue; // no default baseline: keep the default arm
+        const double defMean = defStats->meanMs();
+        const double bar = defMean * (1.0 - options_.exploitMarginPct / 100.0);
+        std::string best = defaultArm;
+        double bestMean = defMean;
+        for (const std::string &arm : knob.arms) {
+            if (arm == defaultArm)
+                continue;
+            const CostModel::ArmStats *s =
+                model_.stats(bucket, knob.name, arm);
+            if (!s || s->count == 0)
+                continue;
+            const double mean = s->meanMs();
+            if (mean < bestMean && mean < bar) {
+                best = arm;
+                bestMean = mean;
+            }
+        }
+        if (best != defaultArm) {
+            d.arms[knob.name] = best;
+            deviated = true;
+        }
+    }
+    d.tuned = deviated;
+    d.source = deviated ? "model" : "default";
+    creditPlanned(bucket, d.arms);
+    if (deviated) {
+        ++stats_.exploited;
+        decisionCounter("model").inc();
+    } else {
+        decisionCounter("default").inc();
+    }
+    return d;
+}
+
+bool
+Tuner::appendJournalLine(const std::string &line)
+{
+    if (options_.modelPath.empty())
+        return true;
+    std::ofstream out(options_.modelPath,
+                      std::ios::binary | std::ios::app);
+    if (!out.is_open()) {
+        warn(LogTail().kv("path", options_.modelPath),
+             "tune: cannot append to cost model");
+        return false;
+    }
+    out << line << '\n';
+    return out.good();
+}
+
+void
+Tuner::record(const Measurement &m)
+{
+    if (options_.mode == TuneMode::Off)
+        return;
+    const std::string line = encodeMeasurement(m);
+    std::lock_guard<std::mutex> lock(recordMutex_);
+    appendJournalLine(line);
+    pending_.push_back(line);
+    obs::Registry::global()
+        .counter("tune_measurements_total", "Job measurements recorded")
+        .inc();
+    std::lock_guard<std::mutex> slock(mutex_);
+    ++stats_.recorded;
+}
+
+std::vector<std::string>
+Tuner::drainRecords()
+{
+    std::lock_guard<std::mutex> lock(recordMutex_);
+    std::vector<std::string> out;
+    out.swap(pending_);
+    return out;
+}
+
+size_t
+Tuner::absorbLines(const std::string &text)
+{
+    size_t absorbed = 0, dropped = 0;
+    std::istringstream in(text);
+    std::string line;
+    {
+        std::lock_guard<std::mutex> lock(recordMutex_);
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            Measurement m;
+            if (!parseMeasurement(line, &m)) {
+                ++dropped;
+                continue;
+            }
+            appendJournalLine(line);
+            ++absorbed;
+        }
+    }
+    if (dropped)
+        warn(LogTail().kv("absorbed", absorbed).kv("dropped", dropped),
+             "tune: dropped unparseable worker measurements");
+    obs::Registry::global()
+        .counter("tune_absorbed_total",
+                 "Worker measurement lines absorbed into the model journal")
+        .inc(absorbed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.absorbed += absorbed;
+    stats_.absorbDropped += dropped;
+    return absorbed;
+}
+
+Tuner::Stats
+Tuner::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace rasengan::tune

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Adaptive execution tuner: deterministic per-job knob decisions driven
+ * by the persisted cost model.
+ *
+ * The tuner only ever adjusts RESULT-INVARIANT knobs -- the dense
+ * direct-index vs searched sparse classify engine, rotation-plan
+ * caching, gate fusion, thread count, and SIMD ISA.  Every arm of every
+ * knob produces bit-identical job results by construction, so the worst
+ * a bad decision can do is waste time.  Result-AFFECTING knobs (the
+ * prune threshold) are never touched; when a request sets one it is
+ * folded into the workload fingerprint instead so its measurements stay
+ * quarantined (see tune/fingerprint.h).
+ *
+ * Determinism contract: decide() is a pure function of (a) the cost
+ * model loaded at startup and (b) the sequence of earlier decide()
+ * calls this run.  It never consults wall clocks, live pool state, or
+ * in-flight measurements -- thread/ISA availability enter only through
+ * TunerOptions, and measurements recorded during a run are journaled
+ * for FUTURE runs rather than folded into the live model (folding them
+ * in would make decisions depend on job completion timing, which varies
+ * across thread counts).  Callers invoke decide() from serial,
+ * submission-ordered contexts (batch submit, daemon admission,
+ * coordinator placement), so the decision sequence for a given request
+ * stream is reproducible everywhere.
+ *
+ * Cold start: with no usable model file, Auto mode deterministically
+ * explores one knob arm at a time (all other knobs pinned to their
+ * defaults) until each arm has kMinSamplesPerArm observations, then
+ * exploits the per-bucket minimum-mean arm -- with a margin in favor of
+ * the default, so noise cannot flip a knob for a sub-percent win.
+ */
+
+#ifndef RASENGAN_TUNE_TUNER_H
+#define RASENGAN_TUNE_TUNER_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tune/costmodel.h"
+#include "tune/fingerprint.h"
+
+namespace rasengan::serve {
+struct PreparedJob;
+struct JobResult;
+}
+
+namespace rasengan::tune {
+
+enum class TuneMode
+{
+    Off,     ///< fixed defaults; no decisions, no recording
+    Observe, ///< fixed defaults; measurements recorded to the model
+    Auto,    ///< decisions from the model; measurements recorded
+};
+
+/** "off" / "observe" / "auto" (case-sensitive). */
+bool parseTuneMode(const std::string &text, TuneMode *out);
+const char *tuneModeName(TuneMode mode);
+
+/** RASENGAN_TUNE environment override, or @p fallback when unset/bad. */
+TuneMode envTuneMode(TuneMode fallback);
+
+/** RASENGAN_TUNE_MODEL environment override, or @p fallback when unset. */
+std::string envTuneModel(const std::string &fallback);
+
+/**
+ * Build the workload fingerprint for a prepared serve job -- the one
+ * mapping from request/problem fields to fingerprint features, shared
+ * by the batch tools, the daemon, and the cluster coordinator so every
+ * entry point buckets identical jobs identically.
+ */
+WorkloadFingerprint fingerprintForJob(const serve::PreparedJob &job);
+
+/**
+ * Build a measurement from a finished job's telemetry (the one mapping
+ * from telemetry fields to measurement records, shared by every
+ * recording site).  Returns false when the job carries no tune bucket
+ * (tuning off, or the job was rejected) -- @p out is unspecified then.
+ */
+bool measurementForResult(const serve::JobResult &result, Measurement *out);
+
+struct KnobSpec
+{
+    std::string name;
+    std::vector<std::string> arms; ///< arms[0] is the fixed default
+};
+
+struct TunerOptions
+{
+    TuneMode mode = TuneMode::Off;
+    /** Measurement journal path; empty = in-memory only (no persist). */
+    std::string modelPath;
+    /** Thread count the caller uses when untuned (the default arm). */
+    int defaultThreads = 0;
+    /** Upper bound for explored thread arms (e.g. hardware threads). */
+    int maxThreads = 1;
+    /** Active ISA when untuned (the default arm), e.g. "avx2". */
+    std::string defaultIsa = "scalar";
+    /** ISAs available on this host, e.g. {"scalar", "avx2"}. */
+    std::vector<std::string> isas = {"scalar"};
+    /**
+     * Whether this caller can honor PROCESS-WIDE knob changes (threads,
+     * fusion, SIMD ISA).  Serial executors (single solve, daemon
+     * worker) can; batch schedulers running jobs concurrently cannot,
+     * and with this false those knobs collapse to their default arm so
+     * the tuner never hands out an assignment the caller must ignore.
+     */
+    bool processKnobs = true;
+    /** Explore until every arm has this many (planned) samples. */
+    uint64_t minSamplesPerArm = 2;
+    /** A non-default arm must beat the default's mean by this much. */
+    double exploitMarginPct = 3.0;
+};
+
+struct TuneDecision
+{
+    std::string bucket;
+    ArmAssignment arms; ///< full assignment, every knob present
+    /** default | explore:<knob>=<arm> | model */
+    std::string source = "default";
+    /** True when any arm differs from its fixed default. */
+    bool tuned = false;
+
+    /** Arm accessor with fallback (knobs are always present). */
+    const std::string &arm(const std::string &knob) const;
+    bool denseLookup() const { return arm(kKnobEngine) == "dense"; }
+    bool cachePlans() const { return arm(kKnobPlans) != "off"; }
+    bool fusion() const { return arm(kKnobFusion) != "off"; }
+    int threads() const;
+    const std::string &isa() const { return arm(kKnobIsa); }
+};
+
+/**
+ * Render @p d as a request tune hint:
+ * "bucket=<bucket>;<sorted arms>;source=<source>".  The inverse lives
+ * in serve's parseTuneHint (per-job knobs) and parseArms (records).
+ */
+std::string renderHint(const TuneDecision &d);
+
+class Tuner
+{
+  public:
+    explicit Tuner(TunerOptions options);
+
+    TuneMode mode() const { return options_.mode; }
+    const TunerOptions &options() const { return options_; }
+    const std::vector<KnobSpec> &knobs() const { return knobs_; }
+
+    /** Load the persisted cost model (debris-tolerant; see CostModel). */
+    CostModel::LoadStats load();
+
+    /**
+     * Decide the knob assignment for one job.  Call from the serial
+     * admission path only (see file comment).  Off/Observe modes return
+     * the fixed defaults with source "default".
+     */
+    TuneDecision decide(const WorkloadFingerprint &fp);
+
+    /** Fixed-default assignment (what Off mode always runs). */
+    TuneDecision defaults(const std::string &bucket) const;
+
+    /**
+     * Record one completed job's measurement: appended to the model
+     * journal (when persisted) and retained for drainRecords().
+     * Thread-safe; a no-op in Off mode.
+     */
+    void record(const Measurement &m);
+
+    /**
+     * Take the measurement lines accumulated since the last drain
+     * (cluster workers ship these back in batch_done).  Thread-safe.
+     */
+    std::vector<std::string> drainRecords();
+
+    /**
+     * Append externally produced measurement lines (newline-separated,
+     * e.g. a worker's batch_done payload) to the model journal.  Lines
+     * that do not parse as measurements are dropped and counted.  The
+     * LIVE model is not updated -- absorbed lines take effect next run,
+     * keeping this run's decisions independent of worker timing.
+     * Returns the number of lines absorbed.
+     */
+    size_t absorbLines(const std::string &text);
+
+    struct Stats
+    {
+        uint64_t decisions = 0;
+        uint64_t explored = 0;
+        uint64_t exploited = 0; ///< source == "model" with a deviation
+        uint64_t recorded = 0;
+        uint64_t absorbed = 0;
+        uint64_t absorbDropped = 0;
+    };
+    Stats stats() const;
+
+  private:
+    void creditPlanned(const std::string &bucket, const ArmAssignment &arms);
+    uint64_t plannedSamples(const std::string &bucket,
+                            const std::string &knob,
+                            const std::string &arm) const;
+    bool appendJournalLine(const std::string &line);
+
+    TunerOptions options_;
+    std::vector<KnobSpec> knobs_;
+    CostModel model_; ///< frozen after load()
+
+    mutable std::mutex mutex_; ///< decide()/stats bookkeeping
+    /** bucket -> knob -> arm -> decisions handed out this run. */
+    std::map<std::string, std::map<std::string, std::map<std::string,
+        uint64_t>>> planned_;
+    Stats stats_;
+
+    std::mutex recordMutex_; ///< journal append + pending lines
+    std::vector<std::string> pending_;
+};
+
+} // namespace rasengan::tune
+
+#endif // RASENGAN_TUNE_TUNER_H

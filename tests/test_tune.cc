@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Tests for profile-guided adaptive execution: fingerprint bucketing,
+ * cost-model persistence (including debris tolerance for corrupt or
+ * torn model files), and the tuner's decision policy -- cold-start
+ * fallback must be byte-for-byte the fixed defaults, the decision
+ * sequence must be deterministic across pool thread counts and active
+ * SIMD ISAs, and exploit must only leave a default arm for a win that
+ * clears the noise margin.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "qsim/simd.h"
+#include "serve/job.h"
+#include "tune/costmodel.h"
+#include "tune/fingerprint.h"
+#include "tune/tuner.h"
+
+namespace rasengan::tune {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+/** Tuner options pinned so tests never depend on the host machine. */
+TunerOptions
+pinnedOptions(TuneMode mode, const std::string &modelPath)
+{
+    TunerOptions opts;
+    opts.mode = mode;
+    opts.modelPath = modelPath;
+    opts.defaultThreads = 1;
+    opts.maxThreads = 4;
+    opts.defaultIsa = "scalar";
+    opts.isas = {"scalar"};
+    opts.processKnobs = false;
+    opts.minSamplesPerArm = 2;
+    opts.exploitMarginPct = 3.0;
+    return opts;
+}
+
+WorkloadFingerprint
+sampleFingerprint()
+{
+    WorkloadFingerprint fp;
+    fp.numVars = 6;
+    fp.numConstraints = 2;
+    fp.execution = "exact";
+    fp.iterations = 12;
+    fp.shots = 1024;
+    return fp;
+}
+
+Measurement
+measurement(const ArmAssignment &arms, double wallMs,
+            const std::string &bucket)
+{
+    Measurement m;
+    m.bucket = bucket;
+    m.arms = arms;
+    m.wallMs = wallMs;
+    m.source = "default";
+    return m;
+}
+
+/** Full default assignment for pinnedOptions() tuners. */
+ArmAssignment
+defaultArms()
+{
+    return {{kKnobEngine, "search"},
+            {kKnobPlans, "on"},
+            {kKnobFusion, "on"},
+            {kKnobThreads, "1"},
+            {kKnobIsa, "scalar"}};
+}
+
+/** Render a decision sequence for equality comparison. */
+std::vector<std::string>
+decisionTrace(Tuner &tuner, const WorkloadFingerprint &fp, int n)
+{
+    std::vector<std::string> trace;
+    for (int i = 0; i < n; ++i) {
+        TuneDecision d = tuner.decide(fp);
+        trace.push_back(d.bucket + "|" + renderArms(d.arms) + "|" +
+                        d.source);
+    }
+    return trace;
+}
+
+TEST(TuneFingerprint, Log2BucketBoundaries)
+{
+    EXPECT_EQ(log2Bucket(0), 0u);
+    EXPECT_EQ(log2Bucket(1), 1u);
+    EXPECT_EQ(log2Bucket(2), 2u);
+    EXPECT_EQ(log2Bucket(3), 2u);
+    EXPECT_EQ(log2Bucket(4), 4u);
+    EXPECT_EQ(log2Bucket(1023), 512u);
+    EXPECT_EQ(log2Bucket(1024), 1024u);
+}
+
+TEST(TuneFingerprint, BucketDeterministicAndLabelSafe)
+{
+    const WorkloadFingerprint a = sampleFingerprint();
+    const WorkloadFingerprint b = sampleFingerprint();
+    const std::string bucket = fingerprintBucket(a);
+    EXPECT_EQ(bucket, fingerprintBucket(b));
+    EXPECT_FALSE(bucket.empty());
+    for (char c : bucket) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_' || c == '-';
+        EXPECT_TRUE(ok) << "bucket char '" << c << "' in " << bucket;
+    }
+}
+
+TEST(TuneFingerprint, PruneThresholdFencesBucket)
+{
+    // A result-AFFECTING knob is never tuned, but when a request sets
+    // one its measurements must not pool with default-pruned traffic.
+    WorkloadFingerprint def = sampleFingerprint();
+    WorkloadFingerprint pruned = sampleFingerprint();
+    pruned.pruneThreshold = 0.5;
+    WorkloadFingerprint unpruned = sampleFingerprint();
+    unpruned.pruneThreshold = 0.0;
+    EXPECT_NE(fingerprintBucket(def), fingerprintBucket(pruned));
+    EXPECT_NE(fingerprintBucket(def), fingerprintBucket(unpruned));
+    EXPECT_NE(fingerprintBucket(pruned), fingerprintBucket(unpruned));
+}
+
+TEST(TuneCostModel, ArmsRoundTrip)
+{
+    const ArmAssignment arms = defaultArms();
+    const std::string text = renderArms(arms);
+    ArmAssignment back;
+    ASSERT_TRUE(parseArms(text, &back));
+    EXPECT_EQ(arms, back);
+
+    // Extra bucket/source clauses ride the same syntax.
+    std::string bucket;
+    std::string source;
+    ASSERT_TRUE(parseArms("bucket=q4.c2;engine=dense;source=model",
+                          &back, &bucket, &source));
+    EXPECT_EQ(bucket, "q4.c2");
+    EXPECT_EQ(source, "model");
+    EXPECT_EQ(back[kKnobEngine], "dense");
+
+    EXPECT_TRUE(parseArms("", &back));
+    EXPECT_TRUE(back.empty());
+    EXPECT_FALSE(parseArms("engine=dense;broken", &back));
+}
+
+TEST(TuneCostModel, MeasurementRoundTrip)
+{
+    Measurement m = measurement(defaultArms(), 12.5, "q4.c2.x");
+    m.source = "explore:engine=dense";
+    m.supportMax = 64;
+    m.planRecorded = 3;
+    m.planReplayed = 9;
+
+    Measurement back;
+    ASSERT_TRUE(parseMeasurement(encodeMeasurement(m), &back));
+    EXPECT_EQ(back.bucket, m.bucket);
+    EXPECT_EQ(back.arms, m.arms);
+    EXPECT_DOUBLE_EQ(back.wallMs, m.wallMs);
+    EXPECT_EQ(back.source, m.source);
+    EXPECT_EQ(back.supportMax, 64u);
+    EXPECT_EQ(back.planRecorded, 3u);
+    EXPECT_EQ(back.planReplayed, 9u);
+}
+
+TEST(TuneCostModel, ParseMeasurementRejectsGarbage)
+{
+    Measurement out;
+    EXPECT_FALSE(parseMeasurement("not json at all", &out));
+    EXPECT_FALSE(parseMeasurement("{\"wall_ms\":1.0}", &out)); // no bucket
+    EXPECT_FALSE(parseMeasurement("{\"bucket\":\"b\"}", &out)); // no wall
+    EXPECT_FALSE(
+        parseMeasurement("{\"bucket\":\"b\",\"wall_ms\":-1.0}", &out));
+}
+
+TEST(TuneCostModel, MarginalCrediting)
+{
+    // One record credits its wall time to EVERY (knob, arm) pair of the
+    // assignment it ran under.
+    CostModel model;
+    ArmAssignment arms = defaultArms();
+    arms[kKnobEngine] = "dense";
+    model.add(measurement(arms, 10.0, "b"));
+    model.add(measurement(arms, 30.0, "b"));
+
+    EXPECT_EQ(model.samples("b", kKnobEngine, "dense"), 2u);
+    EXPECT_EQ(model.samples("b", kKnobEngine, "search"), 0u);
+    EXPECT_EQ(model.samples("b", kKnobPlans, "on"), 2u);
+    const CostModel::ArmStats *s = model.stats("b", kKnobEngine, "dense");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->meanMs(), 20.0);
+    EXPECT_EQ(model.stats("b", kKnobEngine, "search"), nullptr);
+    EXPECT_EQ(model.stats("other", kKnobEngine, "dense"), nullptr);
+}
+
+TEST(TuneCostModel, MissingFileIsCleanColdStart)
+{
+    CostModel model;
+    CostModel::LoadStats stats =
+        model.loadFile(tempPath("tune_missing_model.jsonl"));
+    EXPECT_TRUE(stats.fileMissing);
+    EXPECT_EQ(stats.records, 0u);
+    EXPECT_EQ(stats.debris, 0u);
+    EXPECT_EQ(model.bucketCount(), 0u);
+}
+
+TEST(TuneCostModel, CorruptAndTornFileTolerated)
+{
+    const std::string path = tempPath("tune_corrupt_model.jsonl");
+    const std::string good1 =
+        encodeMeasurement(measurement(defaultArms(), 5.0, "b"));
+    const std::string good2 =
+        encodeMeasurement(measurement(defaultArms(), 7.0, "b"));
+    std::string content;
+    content += good1 + "\n";
+    content += "this is not json\n";
+    content += "{\"bucket\":\"b\"}\n"; // parses, but no wall_ms
+    content += std::string("nul\0byte", 8) + "\n";
+    content += good2 + "\n";
+    content += good1.substr(0, good1.size() / 2); // torn trailing write
+    writeFile(path, content);
+
+    CostModel model;
+    CostModel::LoadStats stats = model.loadFile(path);
+    EXPECT_FALSE(stats.fileMissing);
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.debris, 4u);
+    EXPECT_EQ(model.samples("b", kKnobEngine, "search"), 2u);
+
+    // A tuner on the same damaged file must come up and decide.
+    Tuner tuner(pinnedOptions(TuneMode::Auto, path));
+    tuner.load();
+    TuneDecision d = tuner.decide(sampleFingerprint());
+    EXPECT_FALSE(d.arms.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TuneTuner, ColdStartFallbackIsFixedDefaults)
+{
+    // Off and Observe never deviate: decide() must be byte-for-byte the
+    // fixed-default assignment.
+    for (TuneMode mode : {TuneMode::Off, TuneMode::Observe}) {
+        Tuner tuner(pinnedOptions(mode, ""));
+        const WorkloadFingerprint fp = sampleFingerprint();
+        const TuneDecision defs =
+            tuner.defaults(fingerprintBucket(fp));
+        for (int i = 0; i < 5; ++i) {
+            TuneDecision d = tuner.decide(fp);
+            EXPECT_EQ(renderArms(d.arms), renderArms(defs.arms));
+            EXPECT_EQ(renderArms(d.arms), renderArms(defaultArms()));
+            EXPECT_EQ(d.source, "default");
+            EXPECT_FALSE(d.tuned);
+            EXPECT_FALSE(d.denseLookup());
+            EXPECT_TRUE(d.cachePlans());
+            EXPECT_TRUE(d.fusion());
+            EXPECT_EQ(d.threads(), 1);
+            EXPECT_EQ(d.isa(), "scalar");
+        }
+    }
+
+    // Auto with no model explores, but its FIRST arm per knob is the
+    // default, so the very first cold decision still runs the fixed
+    // defaults.
+    Tuner autoTuner(pinnedOptions(TuneMode::Auto, ""));
+    TuneDecision first = autoTuner.decide(sampleFingerprint());
+    EXPECT_EQ(renderArms(first.arms), renderArms(defaultArms()));
+    EXPECT_EQ(first.source, "explore:engine=search");
+}
+
+TEST(TuneTuner, ProcessKnobsCollapseWhenDisallowed)
+{
+    // A concurrent scheduler cannot honor process-wide knobs, so those
+    // knobs must collapse to a single default arm -- the tuner never
+    // hands out an assignment the caller would have to ignore.
+    Tuner tuner(pinnedOptions(TuneMode::Auto, ""));
+    for (const KnobSpec &knob : tuner.knobs()) {
+        const bool perJob =
+            knob.name == kKnobEngine || knob.name == kKnobPlans;
+        EXPECT_EQ(knob.arms.size(), perJob ? 2u : 1u) << knob.name;
+    }
+
+    TunerOptions serial = pinnedOptions(TuneMode::Auto, "");
+    serial.processKnobs = true;
+    serial.isas = {"scalar", "avx2"};
+    Tuner serialTuner(serial);
+    for (const KnobSpec &knob : serialTuner.knobs()) {
+        if (knob.name == kKnobIsa) {
+            EXPECT_EQ(knob.arms.size(), 2u);
+        }
+    }
+}
+
+TEST(TuneTuner, DecisionsDeterministicAcrossHostState)
+{
+    // decide() must be a pure function of the loaded model and the
+    // decision sequence -- never of live pool threads or the active
+    // SIMD ISA.  Same journal, same options => same decisions, no
+    // matter how the host is configured between runs.
+    const std::string path = tempPath("tune_det_model.jsonl");
+    std::string journal;
+    ArmAssignment dense = defaultArms();
+    dense[kKnobEngine] = "dense";
+    for (int i = 0; i < 2; ++i) {
+        journal +=
+            encodeMeasurement(measurement(defaultArms(), 40.0, "b")) +
+            "\n";
+        journal += encodeMeasurement(measurement(dense, 20.0, "b")) + "\n";
+    }
+    writeFile(path, journal);
+
+    const WorkloadFingerprint fp = sampleFingerprint();
+    const int savedThreads = parallel::threadCount();
+    const std::string savedIsa =
+        qsim::simdIsaName(qsim::simdActiveIsa());
+
+    std::vector<std::vector<std::string>> traces;
+    for (int threads : {1, 2, 7}) {
+        parallel::setThreadCount(threads);
+        for (qsim::SimdIsa isa : qsim::simdAvailableIsas()) {
+            qsim::selectSimdIsa(qsim::simdIsaName(isa), nullptr);
+            Tuner tuner(pinnedOptions(TuneMode::Auto, path));
+            tuner.load();
+            traces.push_back(decisionTrace(tuner, fp, 12));
+        }
+    }
+    parallel::setThreadCount(savedThreads);
+    qsim::selectSimdIsa(savedIsa, nullptr);
+
+    ASSERT_GE(traces.size(), 3u);
+    for (size_t i = 1; i < traces.size(); ++i)
+        EXPECT_EQ(traces[i], traces[0]) << "trace " << i << " diverged";
+    std::remove(path.c_str());
+}
+
+TEST(TuneTuner, ExploreSequenceIsDeterministic)
+{
+    // Two fresh tuners with the same options walk the same explore
+    // schedule: default arm first, one knob deviating at a time.
+    Tuner a(pinnedOptions(TuneMode::Auto, ""));
+    Tuner b(pinnedOptions(TuneMode::Auto, ""));
+    const WorkloadFingerprint fp = sampleFingerprint();
+    EXPECT_EQ(decisionTrace(a, fp, 10), decisionTrace(b, fp, 10));
+
+    Tuner c(pinnedOptions(TuneMode::Auto, ""));
+    TuneDecision d1 = c.decide(fp);
+    TuneDecision d2 = c.decide(fp);
+    TuneDecision d3 = c.decide(fp);
+    EXPECT_EQ(d1.source, "explore:engine=search");
+    EXPECT_EQ(d2.source, "explore:engine=search");
+    EXPECT_EQ(d3.source, "explore:engine=dense");
+    EXPECT_TRUE(d3.denseLookup());
+    EXPECT_TRUE(d3.tuned);
+    // The deviating knob is the ONLY deviation.
+    ArmAssignment expected = defaultArms();
+    expected[kKnobEngine] = "dense";
+    EXPECT_EQ(renderArms(d3.arms), renderArms(expected));
+}
+
+TEST(TuneTuner, ExploitPicksFasterArmPastMargin)
+{
+    const std::string path = tempPath("tune_exploit_model.jsonl");
+    const WorkloadFingerprint fp = sampleFingerprint();
+    const std::string bucket = fingerprintBucket(fp);
+    ArmAssignment dense = defaultArms();
+    dense[kKnobEngine] = "dense";
+    ArmAssignment plansOff = defaultArms();
+    plansOff[kKnobPlans] = "off";
+
+    std::string journal;
+    for (int i = 0; i < 3; ++i) {
+        journal += encodeMeasurement(
+                       measurement(defaultArms(), 100.0, bucket)) +
+                   "\n";
+        journal +=
+            encodeMeasurement(measurement(dense, 50.0, bucket)) + "\n";
+    }
+    // plans=off is ~1% faster: inside the 3% noise margin, so its
+    // default must hold even though every arm is fully sampled.
+    journal +=
+        encodeMeasurement(measurement(plansOff, 99.0, bucket)) + "\n";
+    journal +=
+        encodeMeasurement(measurement(plansOff, 99.0, bucket)) + "\n";
+    writeFile(path, journal);
+
+    Tuner tuner(pinnedOptions(TuneMode::Auto, path));
+    CostModel::LoadStats stats = tuner.load();
+    EXPECT_EQ(stats.records, 8u);
+    EXPECT_EQ(stats.debris, 0u);
+
+    TuneDecision d = tuner.decide(fp);
+    EXPECT_EQ(d.source, "model");
+    EXPECT_TRUE(d.tuned);
+    EXPECT_TRUE(d.denseLookup()) << "2x-faster dense arm must win";
+    EXPECT_TRUE(d.cachePlans()) << "1% win must not clear the 3% margin";
+
+    // An UNMEASURED bucket on the same tuner still explores from the
+    // default arm -- exploit knowledge never leaks across buckets.
+    WorkloadFingerprint otherFp = fp;
+    otherFp.numVars = 64;
+    TuneDecision other = tuner.decide(otherFp);
+    EXPECT_EQ(other.source, "explore:engine=search");
+    std::remove(path.c_str());
+}
+
+TEST(TuneTuner, ExploitMarginProtectsDefault)
+{
+    const std::string path = tempPath("tune_margin_model.jsonl");
+    const WorkloadFingerprint fp = sampleFingerprint();
+    const std::string bucket = fingerprintBucket(fp);
+    ArmAssignment dense = defaultArms();
+    dense[kKnobEngine] = "dense";
+    ArmAssignment plansOff = defaultArms();
+    plansOff[kKnobPlans] = "off";
+
+    std::string journal;
+    for (int i = 0; i < 2; ++i) {
+        journal += encodeMeasurement(
+                       measurement(defaultArms(), 100.0, bucket)) +
+                   "\n";
+        journal +=
+            encodeMeasurement(measurement(dense, 98.0, bucket)) + "\n";
+        journal +=
+            encodeMeasurement(measurement(plansOff, 100.0, bucket)) +
+            "\n";
+    }
+    writeFile(path, journal);
+
+    Tuner tuner(pinnedOptions(TuneMode::Auto, path));
+    tuner.load();
+    TuneDecision d = tuner.decide(fp);
+    EXPECT_EQ(d.source, "default");
+    EXPECT_FALSE(d.tuned);
+    EXPECT_EQ(renderArms(d.arms), renderArms(defaultArms()));
+    std::remove(path.c_str());
+}
+
+TEST(TuneTuner, RecordPersistsAndDrains)
+{
+    const std::string path = tempPath("tune_record_model.jsonl");
+    Tuner tuner(pinnedOptions(TuneMode::Observe, path));
+    tuner.load();
+
+    Measurement m = measurement(defaultArms(), 3.25, "b");
+    tuner.record(m);
+    std::vector<std::string> lines = tuner.drainRecords();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], encodeMeasurement(m));
+    EXPECT_TRUE(tuner.drainRecords().empty());
+
+    // The journal append lands on disk, and a later run loads it.
+    CostModel model;
+    CostModel::LoadStats stats = model.loadFile(path);
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(model.samples("b", kKnobEngine, "search"), 1u);
+
+    // Off mode never records.
+    Tuner off(pinnedOptions(TuneMode::Off, path));
+    off.record(m);
+    EXPECT_TRUE(off.drainRecords().empty());
+    EXPECT_EQ(off.stats().recorded, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TuneTuner, AbsorbLinesJournalsValidDropsGarbage)
+{
+    const std::string path = tempPath("tune_absorb_model.jsonl");
+    Tuner tuner(pinnedOptions(TuneMode::Auto, path));
+    tuner.load();
+
+    const std::string good1 =
+        encodeMeasurement(measurement(defaultArms(), 4.0, "b"));
+    const std::string good2 =
+        encodeMeasurement(measurement(defaultArms(), 6.0, "b"));
+    const size_t absorbed =
+        tuner.absorbLines(good1 + "\nnot a measurement\n" + good2 + "\n");
+    EXPECT_EQ(absorbed, 2u);
+    EXPECT_EQ(tuner.stats().absorbed, 2u);
+    EXPECT_EQ(tuner.stats().absorbDropped, 1u);
+
+    // Absorbed lines reach the on-disk journal for FUTURE runs...
+    CostModel model;
+    EXPECT_EQ(model.loadFile(path).records, 2u);
+
+    // ...but never the live model: this run's decisions still follow
+    // the cold-start explore schedule.
+    TuneDecision d = tuner.decide(sampleFingerprint());
+    EXPECT_EQ(d.source, "explore:engine=search");
+    std::remove(path.c_str());
+}
+
+TEST(TuneTuner, HintRoundTripsThroughRequestLine)
+{
+    // The coordinator renders a decision as a hint, ships it inside the
+    // forwarded request line, and the worker parses it back.  The hint
+    // must round-trip the request codec -- and must NOT change the
+    // canonical request text that derives child seeds.
+    Tuner tuner(pinnedOptions(TuneMode::Auto, ""));
+    TuneDecision d = tuner.decide(sampleFingerprint());
+    const std::string hint = renderHint(d);
+
+    ArmAssignment arms;
+    std::string bucket;
+    std::string source;
+    ASSERT_TRUE(parseArms(hint, &arms, &bucket, &source));
+    EXPECT_EQ(bucket, d.bucket);
+    EXPECT_EQ(source, d.source);
+    EXPECT_EQ(renderArms(arms), renderArms(d.arms));
+
+    serve::JobRequest req;
+    req.id = "job-1";
+    req.benchmark = "F1";
+    serve::JobRequest hinted = req;
+    hinted.tuneHint = hint;
+
+    const std::string plainLine = serve::writeRequest(req);
+    const std::string hintedLine = serve::writeRequest(hinted);
+    EXPECT_EQ(plainLine.find("tune"), std::string::npos);
+    EXPECT_NE(hintedLine.find(hint), std::string::npos);
+
+    serve::RequestParseResult parsed = serve::parseRequest(hintedLine);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.request.tuneHint, hint);
+
+    EXPECT_EQ(serve::canonicalRequestText(req, "problem"),
+              serve::canonicalRequestText(hinted, "problem"));
+}
+
+TEST(TuneTuner, StatsCountDecisions)
+{
+    Tuner tuner(pinnedOptions(TuneMode::Auto, ""));
+    const WorkloadFingerprint fp = sampleFingerprint();
+    for (int i = 0; i < 4; ++i)
+        (void)tuner.decide(fp);
+    Tuner::Stats stats = tuner.stats();
+    EXPECT_EQ(stats.decisions, 4u);
+    EXPECT_EQ(stats.explored, 4u);
+    EXPECT_EQ(stats.exploited, 0u);
+}
+
+} // namespace
+} // namespace rasengan::tune

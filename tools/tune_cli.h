@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared --tune/--tune-model plumbing for the CLI tools.
+ *
+ * Every entry point takes the same two flags:
+ *
+ *   --tune off|observe|auto   adaptive-execution mode (default: the
+ *                             RASENGAN_TUNE env var, then off)
+ *   --tune-model PATH         cost-model journal (default: the
+ *                             RASENGAN_TUNE_MODEL env var, then
+ *                             rasengan_tune_model.jsonl)
+ *
+ * resolveTunerOptions() folds flag > env > default, and
+ * fillHostKnobs() fills the host-capability fields (thread ceiling,
+ * available ISAs) for tools that can honor process-wide knobs.
+ * applyTuneDecision()/restoreTuneDefaults() are the process-knob
+ * apply/undo pair for strictly serial executors.
+ */
+
+#ifndef RASENGAN_TOOLS_TUNE_CLI_H
+#define RASENGAN_TOOLS_TUNE_CLI_H
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "circuit/fusion.h"
+#include "common/parallel.h"
+#include "qsim/simd.h"
+#include "tune/tuner.h"
+
+namespace rasengan::tools {
+
+inline constexpr const char *kDefaultTuneModelPath =
+    "rasengan_tune_model.jsonl";
+
+/**
+ * Resolve --tune/--tune-model into @p opts (mode + modelPath only).
+ * @p modeSpec and @p modelSpec are the raw flag values ("" = not
+ * given).  Returns false after a diagnostic on a bad mode spec.
+ */
+inline bool
+resolveTunerOptions(const std::string &modeSpec,
+                    const std::string &modelSpec,
+                    tune::TunerOptions &opts)
+{
+    opts.mode = tune::envTuneMode(tune::TuneMode::Off);
+    if (!modeSpec.empty() && !tune::parseTuneMode(modeSpec, &opts.mode)) {
+        std::fprintf(stderr, "--tune wants off|observe|auto, got '%s'\n",
+                     modeSpec.c_str());
+        return false;
+    }
+    opts.modelPath = modelSpec.empty()
+                         ? tune::envTuneModel(kDefaultTuneModelPath)
+                         : modelSpec;
+    return true;
+}
+
+/**
+ * Fill the host-capability fields for a PROCESS-knob-capable tuner:
+ * current pool threads as the default arm, hardware concurrency as the
+ * explore ceiling, and the active/available SIMD ISAs.  Call AFTER
+ * --threads/--simd have been applied so the default arms reproduce the
+ * untuned configuration exactly.
+ */
+inline void
+fillHostKnobs(tune::TunerOptions &opts)
+{
+    opts.defaultThreads = parallel::threadCount();
+    opts.maxThreads = std::max(
+        1, static_cast<int>(std::thread::hardware_concurrency()));
+    opts.maxThreads = std::max(opts.maxThreads, opts.defaultThreads);
+    opts.defaultIsa = qsim::simdIsaName(qsim::simdActiveIsa());
+    opts.isas.clear();
+    for (qsim::SimdIsa isa : qsim::simdAvailableIsas())
+        opts.isas.push_back(qsim::simdIsaName(isa));
+}
+
+/**
+ * Apply a decision's PROCESS-WIDE knobs (threads, fusion, SIMD ISA).
+ * Only strictly serial executors may call this -- the knobs are global,
+ * so a concurrent scheduler would leak one job's arms into another's
+ * measurement.  All three knobs are result-invariant.
+ */
+inline void
+applyTuneDecision(const tune::TuneDecision &d)
+{
+    if (d.threads() > 0)
+        parallel::setThreadCount(d.threads());
+    circuit::setFusionEnabled(d.fusion());
+    if (!d.isa().empty())
+        qsim::selectSimdIsa(d.isa(), nullptr);
+}
+
+} // namespace rasengan::tools
+
+#endif // RASENGAN_TOOLS_TUNE_CLI_H
