@@ -16,6 +16,10 @@
  *  3. solver_trace: a full F1 solve with tracing off vs on -- the
  *     end-to-end price of recording a complete trace, plus the event
  *     count a solve produces.
+ *  4. flight_overhead: the same solve with the always-on flight
+ *     recorder off vs on.  flight_overhead_pct (spans per solve times
+ *     the measured per-record formatting cost, over the solve wall
+ *     time) is gated at <= 1% alongside the disabled-span bound.
  *
  * Knobs: RASENGAN_BENCH_FAST=1 shrinks repeats for CI smoke runs;
  * RASENGAN_BENCH_JSON overrides the output path.
@@ -32,6 +36,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/rasengan.h"
+#include "obs/flight.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "problems/suite.h"
@@ -298,6 +303,90 @@ benchSolverTrace(int repeats)
                 events, enabledPct);
 }
 
+/**
+ * Flight-recorder price.  With the ring enabled every closed span
+ * formats one bounded JSON entry (the always-on production
+ * configuration), so the committed flight_overhead_pct follows the
+ * disabled-overhead precedent: a stable derived bound -- spans per
+ * solve times the per-record formatting cost, over the solve's wall
+ * time -- with the noisier direct A/B reported alongside as evidence.
+ *
+ * The gated workload is the SAMPLED execution path (the paper's real
+ * operating mode): spans there wrap whole segment evolutions and shot
+ * loops, which is where an always-on recorder must stay invisible.
+ * The exact brief-F1 solve of solver_trace is span-dense microspans
+ * (a few us of work per span) -- useful for the tracing A/B above,
+ * but no bounded-format recorder can stay under 1% of a 2 us span,
+ * and production jobs are not shaped like that.
+ */
+double
+benchFlightOverhead(int repeats)
+{
+    problems::Problem p = problems::makeBenchmark("F1");
+    core::RasenganOptions opts;
+    opts.execution = core::RasenganOptions::Execution::SampledSparse;
+    opts.shotsPerSegment = bench::fastMode() ? 50'000 : 200'000;
+    opts.maxIterations = bench::fastMode() ? 5 : 15;
+
+    // How many spans one solve closes (count once, tracing briefly on).
+    obs::clearTrace();
+    obs::startTracing();
+    core::RasenganSolver(p, opts).run();
+    obs::stopTracing();
+    const size_t spans = obs::traceEventCount() / 2; // B/E pairs
+    obs::clearTrace();
+
+    // Per-record formatting cost, measured in a tight loop against the
+    // live ring (overwrite path included: the ring wraps many times).
+    constexpr int kRecords = 200'000;
+    const std::string detail = "it=12 seg=3";
+    obs::flight::configure();
+    for (int i = 0; i < kRecords / 10; ++i) // warmup
+        obs::flight::recordSpan("bench", "flight", detail, 1000);
+    Stopwatch sw;
+    sw.start();
+    for (int i = 0; i < kRecords; ++i)
+        obs::flight::recordSpan("bench", "flight", detail, 1000);
+    sw.stop();
+    const double perRecordNs = sw.milliseconds() * 1e6 / kRecords;
+    obs::flight::disable();
+
+    std::vector<double> offMs, onMs;
+    for (int r = 0; r < repeats; ++r) {
+        sw.reset();
+        sw.start();
+        core::RasenganSolver(p, opts).run();
+        sw.stop();
+        offMs.push_back(sw.milliseconds());
+
+        obs::flight::configure(); // re-enable the (already sized) ring
+        sw.reset();
+        sw.start();
+        core::RasenganSolver(p, opts).run();
+        sw.stop();
+        obs::flight::disable();
+        onMs.push_back(sw.milliseconds());
+    }
+
+    const double flightPct = static_cast<double>(spans) * perRecordNs /
+                             (minOfVec(offMs) * 1e6) * 100.0;
+    const double directAbPct =
+        (minOfVec(onMs) - minOfVec(offMs)) / minOfVec(offMs) * 100.0;
+
+    record("flight_overhead", "flight_off", repeats, offMs);
+    char extra[160];
+    std::snprintf(extra, sizeof(extra),
+                  ", \"flight_overhead_pct\": %.4f, "
+                  "\"direct_ab_pct\": %.4f, \"per_record_ns\": %.1f, "
+                  "\"spans_per_solve\": %zu",
+                  flightPct, directAbPct, perRecordNs, spans);
+    record("flight_overhead", "flight_on", repeats, onMs, extra);
+    std::printf("  flight overhead %.4f%% (direct A/B %+.4f%%, "
+                "%.0f ns/record, %zu spans/solve)\n",
+                flightPct, directAbPct, perRecordNs, spans);
+    return flightPct;
+}
+
 } // namespace
 
 int
@@ -314,19 +403,30 @@ main()
     const double disabledPct =
         benchKernelWorkload(repeats, fast ? 1000 : 4000, perCallNs);
     benchSolverTrace(repeats);
+    const double flightPct = benchFlightOverhead(repeats);
 
     parallel::setThreadCount(0);
 
     const char *env = std::getenv("RASENGAN_BENCH_JSON");
     writeJson(env && *env ? env : "BENCH_obs.json");
 
+    bool failed = false;
     if (disabledPct > 1.0) {
         std::fprintf(stderr,
                      "FAIL: disabled-path overhead %.4f%% exceeds 1%%\n",
                      disabledPct);
-        return 1;
+        failed = true;
     }
-    std::printf("disabled-path overhead %.4f%% within the 1%% budget\n",
-                disabledPct);
+    if (flightPct > 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: flight-recorder overhead %.4f%% exceeds 1%%\n",
+                     flightPct);
+        failed = true;
+    }
+    if (failed)
+        return 1;
+    std::printf("disabled-path overhead %.4f%% and flight overhead "
+                "%.4f%% within the 1%% budget\n",
+                disabledPct, flightPct);
     return 0;
 }

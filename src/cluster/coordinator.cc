@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -95,6 +96,13 @@ Coordinator::submit(const serve::JobRequest &req)
             tuner_.decide(tune::fingerprintForJob(screened.prepared));
         screened.prepared.req.tuneHint = tune::renderHint(d);
     }
+    // Mint the job's trace id exactly as a single-process
+    // BatchScheduler would (deterministic, unconditional), so telemetry
+    // bytes match single-process runs and the worker's job span carries
+    // the same id the coordinator hands to trace consumers.
+    if (screened.prepared.req.traceHint.empty())
+        screened.prepared.req.traceHint =
+            serve::traceIdForJob(screened.prepared);
     AdmittedJob job;
     job.slot = slot;
     job.id = screened.prepared.req.id;
@@ -201,8 +209,21 @@ Coordinator::handleFrame(int w, const Message &msg)
 {
     WorkerConn &conn = conns_[static_cast<size_t>(w)];
     if (msg.type == "hello_ack") {
-        if (msg.version != kProtocolVersion)
+        if (msg.version != kProtocolVersion) {
             workerDied(w, "protocol version mismatch");
+            return;
+        }
+        // Clock alignment: assume the ack's network delay is symmetric,
+        // so the worker stamped `now` at the midpoint of our
+        // send->receive window.  offset = coordinator time at midpoint
+        // minus the worker's clock; shipped span timestamps add it.
+        obs::TimeNanos recv = obs::nowNanos();
+        int64_t midpoint = static_cast<int64_t>(conn.helloSent) +
+                           (static_cast<int64_t>(recv) -
+                            static_cast<int64_t>(conn.helloSent)) /
+                               2;
+        conn.clockOffsetNanos =
+            midpoint - static_cast<int64_t>(msg.now);
         return;
     }
     if (msg.type == "result") {
@@ -216,6 +237,14 @@ Coordinator::handleFrame(int w, const Message &msg)
     if (msg.type == "batch_done") {
         conn.lastDone = msg;
         conn.haveDone = true;
+        if (!msg.spans.empty()) {
+            std::vector<obs::FlatEvent> shipped =
+                obs::decodeSpanEvents(msg.spans);
+            conn.spans.insert(conn.spans.end(),
+                              std::make_move_iterator(shipped.begin()),
+                              std::make_move_iterator(shipped.end()));
+        }
+        conn.spansDropped += msg.spansDropped;
         if (!msg.tuneRecords.empty())
             tuner_.absorbLines(msg.tuneRecords);
         if (options_.importMetrics && !msg.metrics.empty()) {
@@ -367,9 +396,11 @@ Coordinator::runAll(std::string *error)
     }
     // A worker death mid-write must surface as EPIPE, not a signal.
     std::signal(SIGPIPE, SIG_IGN);
+    // Detail must not mention the worker count: the merged span-tree
+    // signature is compared byte-for-byte across cluster shapes.
     obs::Span span("cluster", "coordinator-batch",
-                   std::to_string(admitted_.size()) + " jobs on " +
-                       std::to_string(conns_.size()) + " workers");
+                   "jobs=" + std::to_string(admitted_.size()));
+    const bool tracing = obs::tracingEnabled();
 
     // Configure every worker, then shard the batch.
     for (size_t w = 0; w < conns_.size(); ++w) {
@@ -382,6 +413,11 @@ Coordinator::runAll(std::string *error)
         hello.cacheBudgetBytes = options_.cacheBudgetBytes;
         if (static_cast<int>(w) == options_.faultWorker)
             hello.fault = options_.faultSpec;
+        if (tracing) {
+            hello.traceSpans = true;
+            hello.traceParent = span.id();
+        }
+        conns_[w].helloSent = obs::nowNanos();
         queueFrame(static_cast<int>(w), hello);
     }
     std::vector<size_t> initial(admitted_.size());
@@ -517,6 +553,52 @@ Coordinator::drainWorkers()
         }
         conn.alive = false;
     }
+}
+
+std::vector<obs::ForeignSpans>
+Coordinator::foreignSpans() const
+{
+    std::vector<obs::ForeignSpans> out;
+    for (size_t w = 0; w < conns_.size(); ++w) {
+        const WorkerConn &conn = conns_[w];
+        if (conn.spans.empty())
+            continue;
+        obs::ForeignSpans f;
+        f.process = "worker " + std::to_string(w);
+        f.clockOffsetNanos = conn.clockOffsetNanos;
+        f.events = conn.spans;
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+bool
+Coordinator::writeMergedTrace(const std::string &path,
+                              std::string *error) const
+{
+    if (!obs::writeMergedChromeTrace(path, obs::snapshotTraceEvents(),
+                                     foreignSpans())) {
+        if (error)
+            *error = "cannot write merged trace to " + path;
+        return false;
+    }
+    return true;
+}
+
+std::string
+Coordinator::mergedSignature() const
+{
+    return obs::mergedSpanTreeSignature(obs::snapshotTraceEvents(),
+                                        foreignSpans());
+}
+
+uint64_t
+Coordinator::shippedSpansDropped() const
+{
+    uint64_t total = 0;
+    for (const WorkerConn &conn : conns_)
+        total += conn.spansDropped;
+    return total;
 }
 
 } // namespace rasengan::cluster

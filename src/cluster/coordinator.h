@@ -49,6 +49,7 @@
 #include "cluster/protocol.h"
 #include "common/rng.h"
 #include "exec/retry.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/runner.h"
 #include "tune/tuner.h"
@@ -139,6 +140,30 @@ class Coordinator
     /** The coordinator's tuner (decision/absorb stats for tests/CLI). */
     const tune::Tuner &tuner() const { return tuner_; }
 
+    /**
+     * Span forests shipped by workers in batch_done (decoded,
+     * accumulated across cycles), each tagged with its Perfetto process
+     * name and the clock offset measured at hello_ack.  Empty unless
+     * tracing was enabled during runAll.
+     */
+    std::vector<obs::ForeignSpans> foreignSpans() const;
+
+    /**
+     * Stitch the coordinator's local trace buffers and every worker's
+     * shipped spans into ONE Chrome trace-event JSON at @p path (see
+     * obs::writeMergedChromeTrace).  Call after runAll.
+     */
+    bool writeMergedTrace(const std::string &path,
+                          std::string *error) const;
+
+    /** obs::mergedSpanTreeSignature over local + shipped forests:
+     *  byte-identical across worker and thread counts. */
+    std::string mergedSignature() const;
+
+    /** Span events workers dropped to fit batch_done under the frame
+     *  cap (summed; nonzero means the merged trace has holes). */
+    uint64_t shippedSpansDropped() const;
+
   private:
     struct AdmittedJob
     {
@@ -160,6 +185,13 @@ class Coordinator
         bool haveDone = false;
         Message lastDone;             ///< latest batch_done snapshot
         std::set<uint64_t> outstanding; ///< slots awaiting results
+        /** nowNanos() when the hello was queued (clock-offset probe). */
+        obs::TimeNanos helloSent = 0;
+        /** Coordinator clock minus worker clock, from hello_ack. */
+        int64_t clockOffsetNanos = 0;
+        /** Decoded span events shipped in batch_done, across cycles. */
+        std::vector<obs::FlatEvent> spans;
+        uint64_t spansDropped = 0;
 
         explicit WorkerConn(int f, size_t maxFrame)
             : fd(f), decoder(maxFrame)

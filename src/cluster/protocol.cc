@@ -134,6 +134,16 @@ u64Field(const serve::JsonObject &obj, const char *key, uint64_t *out)
 }
 
 bool
+boolField(const serve::JsonObject &obj, const char *key, bool *out)
+{
+    const serve::JsonValue *v = field(obj, key);
+    if (v == nullptr || v->kind != serve::JsonValue::Kind::Bool)
+        return false;
+    *out = v->flag;
+    return true;
+}
+
+bool
 intField(const serve::JsonObject &obj, const char *key, int *out)
 {
     const serve::JsonValue *v = field(obj, key);
@@ -176,9 +186,14 @@ encodeMessage(const Message &msg)
         w.field("cache_bytes", msg.cacheBudgetBytes);
         if (!msg.fault.empty())
             w.field("fault", msg.fault);
+        if (msg.traceSpans) {
+            w.boolean("trace", true);
+            w.field("trace_parent", std::to_string(msg.traceParent));
+        }
     } else if (msg.type == "hello_ack") {
         w.field("version", msg.version);
         w.field("worker", msg.worker);
+        w.field("now", std::to_string(msg.now));
     } else if (msg.type == "job") {
         w.field("index", msg.index);
         w.field("request", msg.request);
@@ -198,6 +213,10 @@ encodeMessage(const Message &msg)
             w.field("metrics", msg.metrics);
         if (!msg.tuneRecords.empty())
             w.field("tune_records", msg.tuneRecords);
+        if (!msg.spans.empty())
+            w.field("spans", msg.spans);
+        if (msg.spansDropped != 0)
+            w.field("spans_dropped", msg.spansDropped);
     }
     // "drain" and "bye" carry only the type.
     return w.str();
@@ -224,9 +243,14 @@ parseMessage(const std::string &payload)
             !u64Field(obj, "cache_bytes", &msg.cacheBudgetBytes))
             return fail("hello is missing a required field");
         strField(obj, "fault", &msg.fault); // optional
+        if (boolField(obj, "trace", &msg.traceSpans) && msg.traceSpans) {
+            if (!u64StrField(obj, "trace_parent", &msg.traceParent))
+                return fail("hello trace is missing trace_parent");
+        }
     } else if (msg.type == "hello_ack") {
         if (!intField(obj, "version", &msg.version) ||
-            !intField(obj, "worker", &msg.worker))
+            !intField(obj, "worker", &msg.worker) ||
+            !u64StrField(obj, "now", &msg.now))
             return fail("hello_ack is missing a required field");
     } else if (msg.type == "job") {
         if (!u64Field(obj, "index", &msg.index) ||
@@ -249,6 +273,8 @@ parseMessage(const std::string &payload)
         u64Field(obj, "cache_bytes_in_use", &msg.cacheBytesInUse);
         strField(obj, "metrics", &msg.metrics);
         strField(obj, "tune_records", &msg.tuneRecords);
+        strField(obj, "spans", &msg.spans);
+        u64Field(obj, "spans_dropped", &msg.spansDropped);
     } else if (msg.type == "drain" || msg.type == "bye") {
         // type-only messages
     } else {

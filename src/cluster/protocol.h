@@ -20,18 +20,22 @@
  *
  *   coordinator -> worker
  *     hello       version, worker index, batch seed, threads, cache
- *                 budget, forwarded fault spec
+ *                 budget, forwarded fault spec; when the coordinator is
+ *                 tracing also trace=true + trace_parent (the span id
+ *                 worker job spans open under)
  *     job         slot index + one writeRequest() line
  *     run         execute the jobs accumulated since the last run
  *     drain       finish up and exit cleanly
  *
  *   worker -> coordinator
- *     hello_ack   version echo + worker index
+ *     hello_ack   version echo + worker index + the worker's clock
+ *                 ("now", nanoseconds) for span-timestamp alignment
  *     result      slot index + writeResult() + writeTelemetry() lines
  *     batch_done  jobs finished this cycle + cache stats + a
  *                 jsonText() snapshot of the worker's metric registry
  *                 + optional tune measurement lines for the
- *                 coordinator's cost-model journal
+ *                 coordinator's cost-model journal + optional compacted
+ *                 span buffers (encodeSpanEvents) when tracing
  *     bye         clean shutdown acknowledgment
  *
  * Determinism contract: result payloads are the exact writeResult()
@@ -49,8 +53,11 @@
 
 namespace rasengan::cluster {
 
-/** Bumped on any wire-incompatible change; hello/hello_ack carry it. */
-constexpr int kProtocolVersion = 1;
+/** Bumped on any wire-incompatible change; hello/hello_ack carry it.
+ *  v2: distributed tracing -- hello carries trace/trace_parent, every
+ *  hello_ack carries the worker's clock (`now`, for offset alignment),
+ *  batch_done may carry compacted span buffers. */
+constexpr int kProtocolVersion = 2;
 
 /**
  * Default frame cap: a request line tops out at LineReader's 1 MiB,
@@ -123,6 +130,16 @@ struct Message
     int threads = 0;
     uint64_t cacheBudgetBytes = 0;
     std::string fault; ///< forwarded ProcessFaultPlan spec ("" = none)
+    /** hello: ship span buffers back (the coordinator is tracing). */
+    bool traceSpans = false;
+    /** hello: the coordinator-side span id worker job spans open under
+     *  (a REMOTE parent; carried outside the request line because it is
+     *  batch-scoped, not job-scoped). */
+    uint64_t traceParent = 0;
+    /** hello_ack: the worker's obs::nowNanos() at ack time; with the
+     *  coordinator's send/receive times it yields the per-worker clock
+     *  offset that aligns shipped span timestamps. */
+    uint64_t now = 0;
 
     // job / result
     uint64_t index = 0;    ///< coordinator-side result slot
@@ -143,6 +160,11 @@ struct Message
      *  ("" = none); the coordinator appends them to its cost-model
      *  journal so the next run's decisions learn from the fleet. */
     std::string tuneRecords;
+    /** batch_done: obs::encodeSpanEvents() of the cycle's job span
+     *  subtrees ("" = none / tracing off). */
+    std::string spans;
+    /** batch_done: span events the worker dropped to fit the frame cap. */
+    uint64_t spansDropped = 0;
 };
 
 struct MessageParseResult

@@ -11,11 +11,13 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "exec/faults.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/job.h"
 #include "serve/scheduler.h"
 #include "tune/tuner.h"
@@ -48,6 +50,11 @@ struct WorkerState
     int workerIndex = -1;
     uint64_t batchSeed = 0;
     int threads = 0;
+    size_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Coordinator asked for span shipping at hello. */
+    bool shipSpans = false;
+    /** Coordinator-side span id this cycle's job spans open under. */
+    uint64_t traceParent = 0;
     std::shared_ptr<serve::ArtifactCache> cache;
     exec::ProcessFaultPlan fault;
     std::atomic<uint64_t> faultEvents{0};
@@ -148,11 +155,20 @@ handleHello(WorkerState &state, const Message &msg, std::string *error)
     state.fault = fault.plan;
     state.cache =
         std::make_shared<serve::ArtifactCache>(msg.cacheBudgetBytes);
+    if (msg.traceSpans) {
+        state.shipSpans = true;
+        state.traceParent = msg.traceParent;
+        obs::startTracing(); // idempotent; in-process tests share it
+    }
 
     Message ack;
     ack.type = "hello_ack";
     ack.version = kProtocolVersion;
     ack.worker = msg.worker;
+    // The worker's clock at ack time: with the coordinator's local
+    // send/receive timestamps this yields the per-worker offset that
+    // rebases shipped span timestamps onto the coordinator's clock.
+    ack.now = static_cast<uint64_t>(obs::nowNanos());
     sendMessage(state, ack);
     return true;
 }
@@ -174,6 +190,13 @@ runCycle(WorkerState &state, uint64_t expectedJobs, std::string *error)
     // screening again here would double-count the batch budget.
     options.limits = serve::AdmissionLimits::unlimited();
     options.stopFlag = &state.stop;
+    if (state.shipSpans) {
+        // Job spans open under the coordinator's batch span (remote
+        // parent); the local batch span is suppressed so the merged
+        // forest does not depend on how jobs shard across workers.
+        options.traceRemoteParent = state.traceParent;
+        options.suppressBatchSpan = true;
+    }
     std::vector<uint64_t> slotOf; // local result index -> coordinator slot
     slotOf.reserve(state.cycleJobs.size());
     options.onJobComplete = [&](size_t local,
@@ -195,6 +218,7 @@ runCycle(WorkerState &state, uint64_t expectedJobs, std::string *error)
     };
 
     serve::BatchScheduler scheduler(options, state.cache);
+    std::set<std::string> cycleTraceIds;
     for (const auto &[slot, line] : state.cycleJobs) {
         serve::RequestParseResult parsed = serve::parseRequest(line);
         if (!parsed.ok) {
@@ -203,6 +227,8 @@ runCycle(WorkerState &state, uint64_t expectedJobs, std::string *error)
             *error = "unparseable forwarded request: " + parsed.error;
             return false;
         }
+        if (!parsed.request.traceHint.empty())
+            cycleTraceIds.insert(parsed.request.traceHint);
         size_t local = scheduler.submit(parsed.request);
         slotOf.push_back(slot);
         // With unlimited admission only a validation defect can reject;
@@ -236,6 +262,28 @@ runCycle(WorkerState &state, uint64_t expectedJobs, std::string *error)
         }
         state.tuneLines.clear();
     }
+    if (state.shipSpans) {
+        // Ship only the subtrees rooted at this cycle's remote-parented
+        // job spans: in-process deployments share the trace registry
+        // with the coordinator, and earlier cycles' events are already
+        // on the wire.  The trace buffers are NOT cleared -- the
+        // per-cycle trace-id filter makes re-shipment impossible.
+        std::vector<obs::FlatEvent> ship = obs::remoteRootedEvents(
+            obs::snapshotTraceEvents(), cycleTraceIds);
+        uint64_t dropped = 0;
+        size_t cap = ship.size();
+        std::string encoded = obs::encodeSpanEvents(ship, 0, &dropped);
+        // Keep the span payload well under the frame cap; halving the
+        // event budget converges fast and keeps the earliest (root-
+        // most) events, which matter most for stitching.
+        while (!encoded.empty() && cap > 0 &&
+               encoded.size() > state.maxFrameBytes / 2) {
+            cap /= 2;
+            encoded = obs::encodeSpanEvents(ship, cap, &dropped);
+        }
+        done.spans = std::move(encoded);
+        done.spansDropped = dropped;
+    }
     sendMessage(state, done);
     return true;
 }
@@ -251,6 +299,7 @@ runWorker(int fd, size_t maxFrameBytes)
     WorkerOutcome outcome;
     WorkerState state;
     state.fd = fd;
+    state.maxFrameBytes = maxFrameBytes;
     FrameDecoder decoder(maxFrameBytes);
     std::string payload;
     char buf[1 << 16];

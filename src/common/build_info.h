@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Build identity constants, compiled in by CMake.
+ *
+ * RASENGAN_VERSION / RASENGAN_GIT_DESCRIBE are injected as compile
+ * definitions (see the root CMakeLists); out-of-CMake builds fall back
+ * to placeholders rather than failing.  The daemon publishes these as
+ * the `rasengan_build_info` gauge so operators can tell from /metrics
+ * exactly which build is serving.
+ */
+
+#ifndef RASENGAN_COMMON_BUILD_INFO_H
+#define RASENGAN_COMMON_BUILD_INFO_H
+
+namespace rasengan {
+
+inline const char *
+buildVersion()
+{
+#ifdef RASENGAN_VERSION
+    return RASENGAN_VERSION;
+#else
+    return "dev";
+#endif
+}
+
+/** `git describe --always --dirty` at configure time ("unknown" when
+ *  the source tree is not a git checkout). */
+inline const char *
+buildGitDescribe()
+{
+#ifdef RASENGAN_GIT_DESCRIBE
+    return RASENGAN_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace rasengan
+
+#endif // RASENGAN_COMMON_BUILD_INFO_H

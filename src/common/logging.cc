@@ -27,7 +27,23 @@ globalLevel()
     return level;
 }
 
+std::atomic<LogTapFn> g_logTap{nullptr};
+
+void
+tapLine(const char *level, const std::string &msg)
+{
+    LogTapFn tap = g_logTap.load(std::memory_order_acquire);
+    if (tap != nullptr)
+        tap(level, msg.c_str(), msg.size());
+}
+
 } // namespace
+
+void
+setLogTap(LogTapFn tap)
+{
+    g_logTap.store(tap, std::memory_order_release);
+}
 
 void
 setLogLevel(LogLevel level)
@@ -78,6 +94,7 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    tapLine("panic", msg);
     std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
               << std::endl;
     std::abort();
@@ -86,6 +103,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    tapLine("fatal", msg);
     std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
               << std::endl;
     std::exit(1);
@@ -94,18 +112,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    tapLine("warn", msg);
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
+    tapLine("info", msg);
     std::cout << "info: " << msg << std::endl;
 }
 
 void
 debugImpl(const std::string &msg)
 {
+    tapLine("debug", msg);
     std::cerr << "debug: " << msg << std::endl;
 }
 

@@ -16,6 +16,7 @@
 #ifndef RASENGAN_COMMON_LOGGING_H
 #define RASENGAN_COMMON_LOGGING_H
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 
@@ -36,6 +37,22 @@ LogLevel logLevel();
 
 /** Parse a level name or digit; returns fallback when unrecognised. */
 LogLevel parseLogLevel(const std::string &text, LogLevel fallback);
+
+/**
+ * Observer called for every emitted log line (and for panic/fatal
+ * before they terminate), with the level name ("warn", "info",
+ * "debug", "panic", "fatal") and the formatted message.  One tap
+ * process-wide; the flight recorder installs one so recent log lines
+ * are present in crash dumps.  Pass nullptr to remove.  The tap must
+ * be async-signal-tolerant in the sense that it may be invoked on any
+ * thread, but it is never invoked from a signal handler by this
+ * library.
+ */
+using LogTapFn = void (*)(const char *level, const char *text,
+                          size_t len);
+
+/** Install (or clear, with nullptr) the process-wide log tap. */
+void setLogTap(LogTapFn tap);
 
 /**
  * Structured key=value tail appended to a log line, for output that is

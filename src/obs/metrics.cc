@@ -144,6 +144,17 @@ Histogram::quantileUpperBound(double q) const
 }
 
 void
+Histogram::importSnapshot(const std::array<uint64_t, kBuckets> &counts,
+                          double sum, uint64_t count)
+{
+    for (int k = 0; k < kBuckets; ++k)
+        buckets_[static_cast<size_t>(k)].store(
+            counts[static_cast<size_t>(k)], std::memory_order_relaxed);
+    sum_.set(sum);
+    count_.store(count, std::memory_order_relaxed);
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets_)
@@ -219,11 +230,24 @@ Registry::histogram(const std::string &name, const std::string &help,
                 .histogram;
 }
 
+namespace {
+
+/** The derived quantile exports share one suffix/q table. */
+constexpr std::pair<const char *, double> kQuantileExports[] = {
+    {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+
+} // namespace
+
 std::string
 Registry::promText() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
+    // Derived per-histogram quantile gauges are separate metric
+    // families (name_p50, ...), so they collect here and render after
+    // the main pass -- one HELP/TYPE block per family, label variants
+    // grouped, families in sorted order.
+    std::map<std::string, std::vector<std::string>> derived;
     const std::string *lastAnnotated = nullptr;
     for (const auto &[key, inst] : instruments_) {
         // One HELP/TYPE block per metric family (label variants share it).
@@ -272,9 +296,20 @@ Registry::promText() const
                << fmtDouble(h.sum()) << "\n";
             os << inst->name << "_count" << labels << " " << h.count()
                << "\n";
+            for (const auto &[suffix, q] : kQuantileExports)
+                derived[inst->name + suffix].push_back(
+                    inst->name + suffix + labels + " " +
+                    fmtDouble(h.quantileUpperBound(q)) + "\n");
             break;
           }
         }
+    }
+    for (const auto &[family, lines] : derived) {
+        os << "# HELP " << family
+           << " Derived quantile upper bound (log-2 bucket edge)\n";
+        os << "# TYPE " << family << " gauge\n";
+        for (const std::string &line : lines)
+            os << line;
     }
     return os.str();
 }
@@ -306,11 +341,39 @@ Registry::jsonText() const
             emit(series, rendered);
             break;
           }
-          case Kind::Histogram:
-            emit(series + "_count",
-                 std::to_string(inst->histogram->count()));
-            emit(series + "_sum", fmtDouble(inst->histogram->sum()));
+          case Kind::Histogram: {
+            const Histogram &h = *inst->histogram;
+            const std::string labels = renderLabels(inst->labels);
+            // Canonical suffix-before-labels keys so importFlat can
+            // parse them back (and reconstruct the histogram).  Key
+            // order inside one family stays sorted: _bucket < _count
+            // < _p50 < _p95 < _p99 < _sum.
+            uint64_t cumulative = 0;
+            for (int k = 0; k < Histogram::kBuckets; ++k) {
+                uint64_t in_bucket = h.bucketCount(k);
+                cumulative += in_bucket;
+                if (in_bucket == 0 && k != Histogram::kBuckets - 1)
+                    continue;
+                std::string le =
+                    k == Histogram::kBuckets - 1
+                        ? "+Inf"
+                        : fmtDouble(Histogram::bucketUpperBound(k));
+                emit(inst->name + "_bucket" +
+                         renderLabelsWith(inst->labels, "le", le),
+                     std::to_string(cumulative));
+            }
+            emit(inst->name + "_count" + labels,
+                 std::to_string(h.count()));
+            for (const auto &[suffix, q] : kQuantileExports) {
+                double v = h.quantileUpperBound(q);
+                std::string rendered = fmtDouble(v);
+                if (!std::isfinite(v))
+                    rendered = "\"" + rendered + "\"";
+                emit(inst->name + suffix + labels, rendered);
+            }
+            emit(inst->name + "_sum" + labels, fmtDouble(h.sum()));
             break;
+          }
         }
     }
     os << "}\n";
@@ -330,6 +393,44 @@ Registry::resetAllForTest()
     }
 }
 
+namespace {
+
+/** `le` rendering -> bucket index, built once from the fixed edges. */
+bool
+bucketIndexForLe(const std::string &le, int *k)
+{
+    static const std::map<std::string, int> *index = [] {
+        auto *m = new std::map<std::string, int>();
+        for (int b = 0; b < Histogram::kBuckets - 1; ++b)
+            (*m)[fmtDouble(Histogram::bucketUpperBound(b))] = b;
+        (*m)["+Inf"] = Histogram::kBuckets - 1;
+        return m;
+    }();
+    auto it = index->find(le);
+    if (it == index->end())
+        return false;
+    *k = it->second;
+    return true;
+}
+
+const char *kSumSuffix = "_sum";
+const char *kCountSuffix = "_count";
+const char *kBucketSuffix = "_bucket";
+
+bool
+stripSuffix(const std::string &name, const char *suffix,
+            std::string *base)
+{
+    size_t n = std::char_traits<char>::length(suffix);
+    if (name.size() <= n ||
+        name.compare(name.size() - n, n, suffix) != 0)
+        return false;
+    *base = name.substr(0, name.size() - n);
+    return true;
+}
+
+} // namespace
+
 size_t
 Registry::importFlat(const std::map<std::string, double> &values,
                      const std::string &prefix, const Labels &extra,
@@ -337,16 +438,119 @@ Registry::importFlat(const std::map<std::string, double> &values,
 {
     size_t imported = 0;
     size_t malformed = 0, collisions = 0;
-    for (const auto &[key, value] : values) {
+
+    // Pass 1: parse every key and collect histogram families -- a
+    // `base_bucket{le="..."}` series declares one.  The family's
+    // _count/_sum series (same base, same labels minus `le`) are
+    // claimed by the reconstruction so they don't double-import as
+    // gauges.
+    struct Entry
+    {
         std::string name;
         Labels labels;
-        if (!parseInstrumentKey(key, &name, &labels)) {
+        double value;
+        bool consumed = false;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(values.size());
+    struct HistAcc
+    {
+        Labels labels; ///< without `le`
+        std::map<int, uint64_t> cumulative;
+        double sum = 0.0;
+        bool haveCount = false;
+        uint64_t count = 0;
+        size_t series = 0; ///< consumed source series
+        bool broken = false;
+    };
+    std::map<std::pair<std::string, std::string>, HistAcc> hists;
+    for (const auto &[key, value] : values) {
+        Entry e;
+        e.value = value;
+        if (!parseInstrumentKey(key, &e.name, &e.labels)) {
             ++malformed;
             continue;
         }
+        std::string base;
+        auto leIt = e.labels.find("le");
+        if (leIt != e.labels.end() &&
+            stripSuffix(e.name, kBucketSuffix, &base)) {
+            int k = 0;
+            if (!bucketIndexForLe(leIt->second, &k) || value < 0 ||
+                value != std::floor(value)) {
+                ++malformed;
+                continue;
+            }
+            Labels rest = e.labels;
+            rest.erase("le");
+            HistAcc &acc = hists[{base, renderLabels(rest)}];
+            acc.labels = std::move(rest);
+            acc.cumulative[k] = static_cast<uint64_t>(value);
+            ++acc.series;
+            continue;
+        }
+        entries.push_back(std::move(e));
+    }
+
+    // Pass 2: attach _count/_sum to their families; everything left
+    // imports through the gauge path unchanged.
+    for (Entry &e : entries) {
+        std::string base;
+        bool isCount = stripSuffix(e.name, kCountSuffix, &base);
+        if (!isCount && !stripSuffix(e.name, kSumSuffix, &base))
+            continue;
+        auto it = hists.find({base, renderLabels(e.labels)});
+        if (it == hists.end())
+            continue;
+        if (isCount) {
+            it->second.haveCount = true;
+            it->second.count = static_cast<uint64_t>(e.value);
+        } else {
+            it->second.sum = e.value;
+        }
+        ++it->second.series;
+        e.consumed = true;
+    }
+
+    for (auto &[key, acc] : hists) {
+        // De-accumulate the cumulative edge counts; a non-monotone
+        // series means the snapshot is corrupt, so the whole family is
+        // dropped rather than half-imported.
+        std::array<uint64_t, Histogram::kBuckets> counts{};
+        uint64_t prev = 0;
+        for (const auto &[k, cum] : acc.cumulative) {
+            if (cum < prev) {
+                acc.broken = true;
+                break;
+            }
+            counts[static_cast<size_t>(k)] = cum - prev;
+            prev = cum;
+        }
+        if (acc.broken) {
+            malformed += acc.series;
+            continue;
+        }
+        Labels labels = acc.labels;
         for (const auto &[k, v] : extra)
             labels[k] = v;
-        Gauge *g = tryGauge(prefix + name, help, std::move(labels));
+        Histogram *h =
+            tryHistogram(prefix + key.first, help, std::move(labels));
+        if (h == nullptr) {
+            collisions += acc.series;
+            continue;
+        }
+        h->importSnapshot(counts, acc.sum,
+                          acc.haveCount ? acc.count : prev);
+        imported += acc.series;
+    }
+
+    for (Entry &e : entries) {
+        if (e.consumed)
+            continue;
+        Labels labels = std::move(e.labels);
+        for (const auto &[k, v] : extra)
+            labels[k] = v;
+        Gauge *g = tryGauge(prefix + e.name, help, std::move(labels));
         if (g == nullptr) {
             // The series name is already registered locally as a
             // counter or histogram; snapshots come from another
@@ -355,7 +559,7 @@ Registry::importFlat(const std::map<std::string, double> &values,
             ++collisions;
             continue;
         }
-        g->set(value);
+        g->set(e.value);
         ++imported;
     }
     if (malformed + collisions > 0) {
@@ -392,6 +596,28 @@ Registry::tryGauge(const std::string &name, const std::string &help,
     auto [pos, inserted] = instruments_.emplace(key, std::move(inst));
     (void)inserted;
     return pos->second->gauge.get();
+}
+
+Histogram *
+Registry::tryHistogram(const std::string &name, const std::string &help,
+                       Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    InstrumentKey key{name, renderLabels(labels)};
+    auto it = instruments_.find(key);
+    if (it != instruments_.end())
+        return it->second->kind == Kind::Histogram
+                   ? it->second->histogram.get()
+                   : nullptr;
+    auto inst = std::make_unique<Instrument>();
+    inst->kind = Kind::Histogram;
+    inst->name = name;
+    inst->help = help;
+    inst->labels = std::move(labels);
+    inst->histogram = std::make_unique<Histogram>();
+    auto [pos, inserted] = instruments_.emplace(key, std::move(inst));
+    (void)inserted;
+    return pos->second->histogram.get();
 }
 
 bool

@@ -140,6 +140,15 @@ class Histogram
      */
     double quantileUpperBound(double q) const;
 
+    /**
+     * Overwrite this histogram with an imported snapshot (the cluster
+     * merge path): per-bucket counts, total sum, total count.  Imported
+     * snapshots use last-write-wins semantics like imported gauges --
+     * each batch_done carries the worker's full registry state.
+     */
+    void importSnapshot(const std::array<uint64_t, kBuckets> &counts,
+                        double sum, uint64_t count);
+
     void reset();
 
   private:
@@ -169,8 +178,11 @@ class Registry
     /** Prometheus text exposition (sorted, escaped, deterministic). */
     std::string promText() const;
 
-    /** Flat JSON: {"name{label=\"v\"}": value, ...} plus histogram
-     *  _count/_sum/_bucket entries.  Sorted keys. */
+    /** Flat JSON: {"name{label=\"v\"}": value, ...}.  Histograms emit
+     *  canonical `name_bucket{...,le="..."}` cumulative entries (edges
+     *  separating observations plus +Inf, as in promText), _count and
+     *  _sum, and derived _p50/_p95/_p99 quantile upper bounds
+     *  (non-finite values render as quoted strings).  Sorted keys. */
     std::string jsonText() const;
 
     /** Zero every instrument; references stay valid. */
@@ -185,11 +197,22 @@ class Registry
      * labels (extra wins on collision, so the coordinator's
      * worker="N" tag cannot be spoofed by the snapshot).  Counters
      * arrive as gauges deliberately: an imported value is a snapshot,
-     * not a live monotone stream.  Returns the number of series
-     * imported.  Malformed keys and series whose prefixed name is
-     * already registered locally as a NON-gauge are dropped with a
-     * structured warning and counted in cluster_import_skipped_total
-     * (never a crash: the snapshot is another process's data).
+     * not a live monotone stream.
+     *
+     * Histogram series are reconstructed histogram-aware: a family of
+     * `base_bucket{le="..."}` entries (plus its `base_count`/`base_sum`)
+     * becomes a real imported HISTOGRAM named prefix + base -- the
+     * cumulative counts are de-accumulated back into per-bucket counts
+     * on the fixed log-2 edges, so the merged export re-derives correct
+     * quantiles instead of carrying opaque per-edge gauges.  Unknown
+     * `le` edges and non-monotone cumulative counts are dropped into
+     * the malformed tally.
+     *
+     * Returns the number of series imported.  Malformed keys and
+     * series whose prefixed name is already registered locally as a
+     * different kind are dropped with a structured warning and counted
+     * in cluster_import_skipped_total (never a crash: the snapshot is
+     * another process's data).
      */
     size_t importFlat(const std::map<std::string, double> &values,
                       const std::string &prefix, const Labels &extra,
@@ -222,6 +245,10 @@ class Registry
      */
     Gauge *tryGauge(const std::string &name, const std::string &help,
                     Labels labels);
+
+    /** Histogram counterpart of tryGauge (importFlat's histogram path). */
+    Histogram *tryHistogram(const std::string &name,
+                            const std::string &help, Labels labels);
 
     mutable std::mutex mutex_;
     /** Keyed by (name, rendered labels); map keeps export order sorted. */

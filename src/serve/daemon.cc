@@ -14,10 +14,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qsim/simd.h"
 
 namespace rasengan::serve {
 
@@ -385,6 +388,26 @@ Daemon::start(std::string *error)
         enqueue(std::move(job));
     }
 
+    // Flight recorder: always on for a daemon unless RASENGAN_FLIGHT
+    // or an explicit --flight decision turned it off; SIGQUIT (and
+    // fatal signals) dump the ring.
+    if (!obs::flight::explicitlyConfigured())
+        obs::flight::configureFromEnv(/*defaultOn=*/true);
+    obs::flight::installSignalHandlers();
+
+    // Build identity + uptime, so /metrics says exactly what is
+    // serving and for how long (uptime ticks in the IO loop).
+    obs::Registry::global()
+        .gauge("rasengan_build_info",
+               "Build metadata carried in labels; the value is always 1",
+               {{"version", buildVersion()},
+                {"isa", qsim::simdIsaName(qsim::simdActiveIsa())},
+                {"git", buildGitDescribe()}})
+        .set(1.0);
+    obs::Registry::global()
+        .gauge("uptime_seconds", "Seconds since the daemon started")
+        .set(0.0);
+
     running_.store(true, std::memory_order_release);
     draining_.store(false, std::memory_order_release);
     workerThread_ = std::thread([this] { workerLoop(); });
@@ -417,8 +440,26 @@ Daemon::stop()
 void
 Daemon::ioLoop()
 {
+    static obs::Gauge &uptime = obs::Registry::global().gauge(
+        "uptime_seconds", "Seconds since the daemon started");
     bool workerJoined = false;
+    double lastFlightNoteMs = 0.0;
     while (true) {
+        uptime.set(nowMs() * 1e-3);
+        // Periodic metric snapshot into the flight recorder, so a
+        // post-mortem dump shows the load shape leading up to the end.
+        if (obs::flight::enabled() &&
+            nowMs() - lastFlightNoteMs >= 5000.0) {
+            lastFlightNoteMs = nowMs();
+            DaemonStats s = stats();
+            obs::flight::note(
+                "metrics",
+                "queue=" + std::to_string(s.queueDepth) +
+                    " accepted=" + std::to_string(s.accepted) +
+                    " completed=" + std::to_string(s.completed) +
+                    " rejected=" + std::to_string(s.rejected) +
+                    " shed=" + std::to_string(s.shed));
+        }
         std::vector<pollfd> fds;
         fds.push_back({controlPipe_[0], POLLIN, 0});
         // Drain (in drainControlPipe below) closes the listener
@@ -736,6 +777,13 @@ Daemon::handleHttp(Conn &conn, const std::string &line)
     } else if (path == "/metrics.json") {
         response = httpResponse(200, "OK", "application/json",
                                 obs::Registry::global().jsonText() + "\n");
+    } else if (path == "/debug/flight") {
+        response = obs::flight::enabled()
+                       ? httpResponse(200, "OK", "application/json",
+                                      obs::flight::renderJson() + "\n")
+                       : httpResponse(503, "Service Unavailable",
+                                      "text/plain",
+                                      "flight recorder disabled\n");
     } else {
         response = httpResponse(404, "Not Found", "text/plain",
                                 "unknown probe path\n");
@@ -931,6 +979,11 @@ Daemon::workerLoop()
 void
 Daemon::runOne(QueuedJob job)
 {
+    // Same deterministic mint the batch scheduler performs, so a job's
+    // telemetry line is byte-identical whether it ran here or in a
+    // batch (a client-supplied hint wins, as everywhere else).
+    if (job.prepared.req.traceHint.empty())
+        job.prepared.req.traceHint = traceIdForJob(job.prepared);
     const JobRequest &req = job.prepared.req;
     {
         std::lock_guard<std::mutex> lock(journalMutex_);
@@ -967,13 +1020,16 @@ Daemon::runOne(QueuedJob job)
     if (options_.onJobPrepared)
         options_.onJobPrepared(job.prepared);
 
-    obs::Span span("daemon", "job", req.id);
+    obs::SpanContext ctx;
+    ctx.traceId = req.traceHint;
+    obs::Span span("daemon", "job", req.id, ctx);
     const double startMs = nowMs();
     // The token is passed even when unarmed so a drain can still
     // cooperatively cancel a replayed or deadline-less job.
     JobResult result = runner_.run(job.prepared, &token);
     const double endMs = nowMs();
     result.costUnits = job.slo.costUnits;
+    result.telemetry.traceId = req.traceHint;
     result.telemetry.queueWaitMs = std::max(startMs - job.acceptMs, 0.0);
     result.telemetry.wallMs = endMs - startMs;
     if (options_.onJobComplete)

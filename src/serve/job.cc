@@ -28,6 +28,7 @@ const std::set<std::string> kKnownKeys = {
     "simplify",   "prune",      "purify",     "shot_growth",
     "penalty_lambda", "layers", "fault_rate", "max_attempts",
     "priority",   "deadline_ms", "timeout_ms", "tune",
+    "trace",
 };
 
 bool
@@ -179,7 +180,8 @@ parseRequest(const std::string &line)
     if (!getString(parsed.object, "priority", req.priority, err) ||
         !getNumber(parsed.object, "deadline_ms", req.deadlineMs, err) ||
         !getNumber(parsed.object, "timeout_ms", req.timeoutMs, err) ||
-        !getString(parsed.object, "tune", req.tuneHint, err))
+        !getString(parsed.object, "tune", req.tuneHint, err) ||
+        !getString(parsed.object, "trace", req.traceHint, err))
         return result;
 
     result.ok = true;
@@ -225,6 +227,10 @@ writeRequest(const JobRequest &req)
     // so untuned request files round-trip byte-identically.
     if (!req.tuneHint.empty())
         w.field("tune", req.tuneHint);
+    // Trace hint: observability metadata (never hashed), omitted when
+    // empty so untraced request files round-trip byte-identically.
+    if (!req.traceHint.empty())
+        w.field("trace", req.traceHint);
     return w.str();
 }
 
@@ -364,6 +370,8 @@ writeTelemetry(const JobResult &result)
         w.field("tune_decision", result.telemetry.tuneDecision);
     if (!result.telemetry.tuneSource.empty())
         w.field("tune_source", result.telemetry.tuneSource);
+    if (!result.telemetry.traceId.empty())
+        w.field("trace_id", result.telemetry.traceId);
     return w.str();
 }
 

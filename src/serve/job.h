@@ -94,6 +94,18 @@ struct JobRequest
     /// @{
     std::string tuneHint;
     /// @}
+
+    /// @name Distributed-trace hint (cluster coordinator -> worker)
+    ///
+    /// The job's 32-hex 128-bit trace id, minted deterministically at
+    /// admission, carried so worker spans stitch under the same trace.
+    /// Like tune/priority it is EXCLUDED from canonicalRequestText:
+    /// tracing observes what a job does, never changes it, so the
+    /// child seed and result bytes cannot depend on it.  Empty = mint
+    /// locally at admission.
+    /// @{
+    std::string traceHint; ///< request key "trace"
+    /// @}
 };
 
 struct JobTelemetry
@@ -137,6 +149,9 @@ struct JobTelemetry
     std::string tuneDecision; ///< renderArms() of the applied knobs
     std::string tuneSource;   ///< default|explore:...|model|hint
     /// @}
+
+    /** Distributed trace id this job ran under ("" when untraced). */
+    std::string traceId;
 };
 
 struct JobResult

@@ -153,6 +153,18 @@ makeResilience(const JobRequest &req, uint64_t child_seed,
 
 } // namespace
 
+std::string
+traceIdForJob(const PreparedJob &job)
+{
+    // Pure function of (childSeed, job id): the coordinator and a
+    // single-process scheduler derive the same id for the same
+    // admitted job.  The domain constant keeps trace ids disjoint from
+    // every seed-derivation stream.
+    uint64_t hi = mixSeed(job.childSeed ^ 0x7261636554726163ull);
+    uint64_t lo = mixSeed(hi ^ fnv1a64(job.req.id));
+    return hex16(hi) + hex16(lo);
+}
+
 JobRunner::JobRunner(RunnerOptions options,
                      std::shared_ptr<ArtifactCache> cache)
     : options_(std::move(options)), cache_(std::move(cache))

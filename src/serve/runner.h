@@ -88,6 +88,17 @@ struct PrepareOutcome
     PreparedJob job;
 };
 
+/**
+ * Deterministic 128-bit (32-hex) distributed trace id for @p job: a
+ * pure function of the job's child seed and its correlation id, so the
+ * cluster coordinator and a single-process scheduler mint the SAME id
+ * for the same admitted job -- telemetry stays byte-comparable between
+ * cluster and single-process runs -- while two submissions of equal
+ * work under different job ids still get distinct traces.  Never
+ * folded back into seeds or results (tracing observes, only).
+ */
+std::string traceIdForJob(const PreparedJob &job);
+
 class JobRunner
 {
   public:

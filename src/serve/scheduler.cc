@@ -1,5 +1,6 @@
 #include "serve/scheduler.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -70,6 +71,13 @@ BatchScheduler::submit(const JobRequest &req)
     // function of the request stream, independent of thread count.
     if (options_.onJobPrepared)
         options_.onJobPrepared(screened.prepared);
+    // Every admitted job gets a trace id (forwarded hint wins --
+    // cluster workers must stitch under the coordinator's id).
+    // Minting is unconditional and deterministic, so telemetry lines
+    // stay byte-identical whether tracing is on or off.
+    if (screened.prepared.req.traceHint.empty())
+        screened.prepared.req.traceHint =
+            traceIdForJob(screened.prepared);
     obs::instantEvent("serve", "job-queued", req.id);
     pending_.push_back(PendingJob{std::move(screened.prepared),
                                   screened.costUnits, index,
@@ -86,10 +94,13 @@ BatchScheduler::runAll()
         parallel::setThreadCount(options_.threads);
     // Per-job spans run on pool threads, which do not inherit this
     // thread's span stack; the batch span id is passed down explicitly
-    // so the job spans still parent under the batch.
-    obs::Span batch_span("serve", "batch",
-                         "jobs=" + std::to_string(pending_.size()));
-    const obs::SpanId batch_id = batch_span.id();
+    // so the job spans still parent under the batch.  Cluster workers
+    // suppress it: the coordinator's span is the batch parent there.
+    std::optional<obs::Span> batch_span;
+    if (!options_.suppressBatchSpan)
+        batch_span.emplace("serve", "batch",
+                           "jobs=" + std::to_string(pending_.size()));
+    const obs::SpanId batch_id = batch_span ? batch_span->id() : 0;
     parallel::parallelForDynamic(0, pending_.size(),
                                  [this, batch_id](uint64_t i) {
                                      runJob(pending_[i], batch_id);
@@ -100,7 +111,14 @@ void
 BatchScheduler::runJob(PendingJob &job, obs::SpanId batch_span)
 {
     const JobRequest &req = job.prepared.req;
-    obs::Span span("serve", "job", req.id, batch_span);
+    // Remote parent (cluster worker) wins over the local batch span;
+    // either way the job span carries the job's trace id so shipped
+    // forests stitch under it.
+    obs::SpanContext ctx;
+    ctx.traceId = req.traceHint;
+    ctx.remote = options_.traceRemoteParent != 0;
+    ctx.parent = ctx.remote ? options_.traceRemoteParent : batch_span;
+    obs::Span span("serve", "job", req.id, ctx);
     const obs::TimeNanos start = obs::nowNanos();
 
     JobResult result;
@@ -132,6 +150,7 @@ BatchScheduler::runJob(PendingJob &job, obs::SpanId batch_span)
     }
 
     result.costUnits = job.costUnits;
+    result.telemetry.traceId = req.traceHint;
     const obs::TimeNanos end = obs::nowNanos();
     result.telemetry.queueWaitMs =
         static_cast<double>(start - job.submitTime) * 1e-6;

@@ -79,6 +79,18 @@ struct ServeOptions
      * library; the tools and cluster wire a tune::Tuner in here.
      */
     std::function<void(PreparedJob &)> onJobPrepared;
+    /**
+     * Distributed-trace wiring for cluster workers.  When
+     * traceRemoteParent is nonzero, per-job spans open under that
+     * REMOTE parent (the coordinator's batch span id, propagated at
+     * hello) instead of the local batch span, flagged as crossing a
+     * process boundary.  suppressBatchSpan drops the local
+     * "serve:batch" span entirely: the coordinator owns the batch-level
+     * span, and a per-worker batch span would make the merged span
+     * forest depend on the worker count.
+     */
+    obs::SpanId traceRemoteParent = 0;
+    bool suppressBatchSpan = false;
 };
 
 /**

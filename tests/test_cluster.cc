@@ -19,6 +19,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,7 +30,9 @@
 #include "cluster/placement.h"
 #include "cluster/protocol.h"
 #include "cluster/worker.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "exec/faults.h"
 #include "serve/admission.h"
 #include "serve/job.h"
@@ -403,6 +408,8 @@ struct LoopbackRun
     CoordinatorStats stats;
     bool ok = false;
     std::string error;
+    std::string mergedSignature; ///< "" unless tracing was enabled
+    uint64_t spansDropped = 0;
 };
 
 /** Run @p requests through a coordinator with @p workers loopback
@@ -410,7 +417,8 @@ struct LoopbackRun
 LoopbackRun
 runLoopback(const std::vector<serve::JobRequest> &requests,
             uint64_t batchSeed, int workers,
-            const std::string &faultSpec = "", int faultWorker = -1)
+            const std::string &faultSpec = "", int faultWorker = -1,
+            int threadCount = 0)
 {
     LoopbackRun run;
     std::vector<int> coordinatorFds;
@@ -427,6 +435,7 @@ runLoopback(const std::vector<serve::JobRequest> &requests,
 
     CoordinatorOptions options;
     options.batchSeed = batchSeed;
+    options.threads = threadCount;
     options.faultSpec = faultSpec;
     options.faultWorker = faultWorker;
     options.retry.initialDelaySeconds = 0.0; // no test-time backoff
@@ -439,6 +448,8 @@ runLoopback(const std::vector<serve::JobRequest> &requests,
         t.join();
     run.lines = coordinator.resultLines();
     run.stats = coordinator.stats();
+    run.mergedSignature = coordinator.mergedSignature();
+    run.spansDropped = coordinator.shippedSpansDropped();
     return run;
 }
 
@@ -540,4 +551,140 @@ TEST(Cluster, RejectionsMergeIntoTheirSubmissionSlots)
     EXPECT_EQ(coordinator.resultLines(), expected);
     EXPECT_EQ(coordinator.stats().rejected, 1u);
     EXPECT_EQ(coordinator.telemetryLines().size(), requests.size());
+}
+
+// ---------------------------------------------------------------------
+// Distributed tracing
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** RAII: stop tracing, drop events, restore the thread config. */
+struct ClusterTraceGuard
+{
+    ~ClusterTraceGuard()
+    {
+        obs::stopTracing();
+        obs::clearTrace();
+        parallel::setThreadCount(0);
+    }
+};
+
+} // namespace
+
+TEST(ClusterTrace, MergedSignatureInvariantAcrossWorkersAndThreads)
+{
+    ClusterTraceGuard guard;
+    std::vector<serve::JobRequest> requests =
+        serve::generateWorkload(6, 29);
+    std::vector<std::string> expected = singleProcessLines(requests, 37);
+
+    // The stitched span forest must not betray HOW the batch was
+    // partitioned: same signature at every worker count and every
+    // worker thread count.
+    std::string reference;
+    for (int workers : {1, 2, 3}) {
+        for (int threadCount : {1, 2, 7}) {
+            obs::clearTrace();
+            obs::startTracing();
+            LoopbackRun run = runLoopback(requests, 37, workers, "", -1,
+                                          threadCount);
+            obs::stopTracing();
+            ASSERT_TRUE(run.ok) << run.error;
+            EXPECT_EQ(run.lines, expected)
+                << workers << " workers, " << threadCount << " threads";
+            EXPECT_EQ(run.spansDropped, 0u);
+            ASSERT_FALSE(run.mergedSignature.empty());
+            // Every job's span made it into the merged forest.
+            for (const auto &req : requests)
+                EXPECT_NE(run.mergedSignature.find("[" + req.id + "]"),
+                          std::string::npos)
+                    << req.id;
+            if (reference.empty())
+                reference = run.mergedSignature;
+            EXPECT_EQ(run.mergedSignature, reference)
+                << workers << " workers, " << threadCount << " threads";
+            obs::clearTrace();
+        }
+    }
+}
+
+TEST(ClusterTrace, TracingDoesNotPerturbResultBytes)
+{
+    ClusterTraceGuard guard;
+    std::vector<serve::JobRequest> requests =
+        serve::generateWorkload(5, 41);
+
+    obs::stopTracing();
+    obs::clearTrace();
+    LoopbackRun untraced = runLoopback(requests, 43, 2);
+    ASSERT_TRUE(untraced.ok) << untraced.error;
+    EXPECT_TRUE(untraced.mergedSignature.empty());
+
+    obs::clearTrace();
+    obs::startTracing();
+    LoopbackRun traced = runLoopback(requests, 43, 2);
+    obs::stopTracing();
+    ASSERT_TRUE(traced.ok) << traced.error;
+    EXPECT_FALSE(traced.mergedSignature.empty());
+
+    // Observation changes WHAT WE SEE, never WHAT WE COMPUTE.
+    EXPECT_EQ(traced.lines, untraced.lines);
+}
+
+TEST(ClusterTrace, MergedChromeTraceCarriesEveryWorkerProcess)
+{
+    ClusterTraceGuard guard;
+    std::vector<serve::JobRequest> requests =
+        serve::generateWorkload(6, 47);
+
+    obs::clearTrace();
+    obs::startTracing();
+
+    std::vector<int> coordinatorFds;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 3; ++w) {
+        int pair[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+        coordinatorFds.push_back(pair[0]);
+        threads.emplace_back([fd = pair[1]]() { runWorker(fd); });
+    }
+    CoordinatorOptions options;
+    options.batchSeed = 53;
+    Coordinator coordinator(options, std::move(coordinatorFds));
+    for (const auto &req : requests)
+        coordinator.submit(req);
+    std::string error;
+    ASSERT_TRUE(coordinator.runAll(&error)) << error;
+    for (auto &t : threads)
+        t.join();
+    obs::stopTracing();
+
+    // Spans arrived from every worker (the placer spreads 6 jobs over
+    // 3 idle workers).
+    std::vector<obs::ForeignSpans> foreign = coordinator.foreignSpans();
+    EXPECT_EQ(foreign.size(), 3u);
+
+    const std::string path =
+        ::testing::TempDir() + "cluster_merged_trace.json";
+    ASSERT_TRUE(coordinator.writeMergedTrace(path, &error)) << error;
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"coordinator\""), std::string::npos);
+    for (int w = 0; w < 3; ++w)
+        EXPECT_NE(text.find("\"worker " + std::to_string(w) + "\""),
+                  std::string::npos)
+            << w;
+    // Every job span is attributed to its 128-bit trace id.
+    size_t traceIds = 0;
+    for (size_t pos = 0;
+         (pos = text.find("\"trace_id\":\"", pos)) != std::string::npos;
+         ++pos)
+        ++traceIds;
+    EXPECT_GE(traceIds, requests.size());
 }

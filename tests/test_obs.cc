@@ -12,9 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +27,7 @@
 #include "common/timer.h"
 #include "core/rasengan.h"
 #include "obs/clock.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
@@ -613,6 +618,387 @@ TEST(Metrics, ImportFlatPrefixesSeriesAndPinsExtraLabels)
                         {{"worker", "3"}})
                   .value(),
               12.0);
+}
+
+// ---------------------------------------------------------------------
+// Derived quantile exports
+// ---------------------------------------------------------------------
+
+/** Exact quantile upper bound over raw observations, quantized to the
+ *  same log-2 edges the histogram uses -- the oracle the exports must
+ *  agree with. */
+double
+exactRankUpperBound(std::vector<double> values, double q)
+{
+    std::vector<double> bounds;
+    bounds.reserve(values.size());
+    for (double v : values) {
+        int k = obs::Histogram::bucketFor(v);
+        bounds.push_back(k == obs::Histogram::kBuckets - 1
+                             ? std::numeric_limits<double>::infinity()
+                             : obs::Histogram::bucketUpperBound(k));
+    }
+    std::sort(bounds.begin(), bounds.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(bounds.size())));
+    if (rank == 0)
+        rank = 1;
+    return bounds[rank - 1];
+}
+
+TEST(Metrics, QuantileExportsMatchExactRanks)
+{
+    obs::Registry reg;
+    obs::Histogram &h = reg.histogram("lat_ms", "latency");
+    std::vector<double> values;
+    for (int i = 1; i <= 100; ++i)
+        values.push_back(0.1 * i); // 0.1 .. 10.0 across several buckets
+    for (double v : values)
+        h.observe(v);
+
+    for (auto [q, suffix] : {std::pair<double, const char *>{0.50, "_p50"},
+                             {0.95, "_p95"},
+                             {0.99, "_p99"}}) {
+        EXPECT_EQ(h.quantileUpperBound(q), exactRankUpperBound(values, q))
+            << suffix;
+    }
+
+    // Both exports carry the derived gauges.
+    const std::string prom = reg.promText();
+    EXPECT_NE(prom.find("# TYPE lat_ms_p50 gauge"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE lat_ms_p95 gauge"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE lat_ms_p99 gauge"), std::string::npos);
+    EXPECT_NE(prom.find("lat_ms_p95 "), std::string::npos);
+
+    const std::string json = reg.jsonText();
+    serve::JsonParseResult parsed = serve::parseFlatJson(json);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    for (auto [q, suffix] : {std::pair<double, const char *>{0.50, "_p50"},
+                             {0.95, "_p95"},
+                             {0.99, "_p99"}}) {
+        auto it = parsed.object.find(std::string("lat_ms") + suffix);
+        ASSERT_NE(it, parsed.object.end()) << suffix;
+        ASSERT_EQ(it->second.kind, serve::JsonValue::Kind::Number);
+        EXPECT_EQ(it->second.num, h.quantileUpperBound(q)) << suffix;
+    }
+    // Bucket keys are canonical suffix-before-labels renderings.
+    EXPECT_NE(json.find("\"lat_ms_bucket{le=\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"lat_ms_count\":100"), std::string::npos);
+}
+
+TEST(Metrics, ImportFlatReconstructsHistograms)
+{
+    obs::Registry source;
+    obs::Histogram &h = source.histogram("lat_ms", "", {{"queue", "slow"}});
+    h.observe(0.75); // le="1"
+    h.observe(0.75);
+    h.observe(3.0);  // le="4"
+
+    // Round-trip through the wire format the cluster actually ships:
+    // jsonText -> flat JSON parse -> importFlat.
+    serve::JsonParseResult parsed = serve::parseFlatJson(source.jsonText());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::map<std::string, double> snapshot;
+    for (const auto &[key, value] : parsed.object)
+        if (value.kind == serve::JsonValue::Kind::Number)
+            snapshot[key] = value.num;
+
+    obs::Registry reg;
+    size_t imported =
+        reg.importFlat(snapshot, "cluster_worker_", {{"worker", "3"}});
+    EXPECT_GT(imported, 0u);
+
+    // The family came back as a real histogram (not per-edge gauges):
+    // typed as histogram, per-bucket counts de-accumulated, quantiles
+    // re-derived from the imported counts.
+    obs::Histogram &imp = reg.histogram(
+        "cluster_worker_lat_ms", "", {{"queue", "slow"}, {"worker", "3"}});
+    EXPECT_EQ(imp.count(), 3u);
+    EXPECT_DOUBLE_EQ(imp.sum(), 4.5);
+    EXPECT_EQ(imp.bucketCount(obs::Histogram::bucketFor(0.75)), 2u);
+    EXPECT_EQ(imp.bucketCount(obs::Histogram::bucketFor(3.0)), 1u);
+    EXPECT_EQ(imp.quantileUpperBound(0.5), h.quantileUpperBound(0.5));
+    EXPECT_EQ(imp.quantileUpperBound(0.99), h.quantileUpperBound(0.99));
+
+    const std::string prom = reg.promText();
+    EXPECT_NE(prom.find("# TYPE cluster_worker_lat_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(prom.find("cluster_worker_lat_ms_bucket{le=\"1\","
+                        "queue=\"slow\",worker=\"3\"} 2"),
+              std::string::npos);
+}
+
+TEST(Metrics, ImportFlatDropsNonMonotoneHistogramFamilies)
+{
+    obs::Registry reg;
+    std::map<std::string, double> snapshot = {
+        {"bad_bucket{le=\"1\"}", 5.0},
+        {"bad_bucket{le=\"4\"}", 3.0}, // cumulative count went DOWN
+        {"bad_bucket{le=\"+Inf\"}", 7.0},
+        {"bad_sum", 9.0},
+        {"bad_count", 7.0},
+        {"good_total", 1.0},
+    };
+    size_t imported = reg.importFlat(snapshot, "w_", {});
+    EXPECT_EQ(imported, 1u); // only good_total survives
+    EXPECT_EQ(reg.gauge("w_good_total").value(), 1.0);
+    EXPECT_EQ(reg.promText().find("w_bad"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Distributed span shipping: wire format and merged stitching
+// ---------------------------------------------------------------------
+
+obs::FlatEvent
+flatEvent(char phase, const char *cat, const char *name,
+          std::string detail, obs::TimeNanos ts, obs::SpanId id,
+          obs::SpanId parent, bool remote, std::string traceId,
+          uint32_t tid, uint64_t seq)
+{
+    obs::FlatEvent fe;
+    fe.event.phase = phase;
+    fe.event.category = cat;
+    fe.event.name = name;
+    fe.event.detail = std::move(detail);
+    fe.event.ts = ts;
+    fe.event.id = id;
+    fe.event.parent = parent;
+    fe.event.remoteParent = remote;
+    fe.event.traceId = std::move(traceId);
+    fe.tid = tid;
+    fe.seq = seq;
+    return fe;
+}
+
+TEST(Trace, SpanWireFormatRoundTrips)
+{
+    std::vector<obs::FlatEvent> events;
+    // Awkward bytes in every escaped field: tabs and newlines must
+    // survive the tab-separated wire format.
+    events.push_back(flatEvent('B', "serve", "job", "d\te\ntail", 100, 7,
+                               3, true,
+                               "00112233445566778899aabbccddeeff", 1, 0));
+    events.push_back(flatEvent('i', "serve", "tick", "", 150, 0, 7, false,
+                               "", 1, 1));
+    events.push_back(flatEvent('E', "serve", "job", "", 200, 7, 3, true,
+                               "00112233445566778899aabbccddeeff", 1, 2));
+
+    std::string encoded = obs::encodeSpanEvents(events);
+    std::vector<obs::FlatEvent> decoded = obs::decodeSpanEvents(encoded);
+    ASSERT_EQ(decoded.size(), events.size());
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(decoded[i].event.phase, events[i].event.phase) << i;
+        EXPECT_STREQ(decoded[i].event.category, events[i].event.category)
+            << i;
+        EXPECT_STREQ(decoded[i].event.name, events[i].event.name) << i;
+        EXPECT_EQ(decoded[i].event.detail, events[i].event.detail) << i;
+        EXPECT_EQ(decoded[i].event.ts, events[i].event.ts) << i;
+        EXPECT_EQ(decoded[i].event.id, events[i].event.id) << i;
+        EXPECT_EQ(decoded[i].event.parent, events[i].event.parent) << i;
+        EXPECT_EQ(decoded[i].event.remoteParent,
+                  events[i].event.remoteParent)
+            << i;
+        EXPECT_EQ(decoded[i].event.traceId, events[i].event.traceId) << i;
+        EXPECT_EQ(decoded[i].tid, events[i].tid) << i;
+        EXPECT_EQ(decoded[i].seq, events[i].seq) << i;
+    }
+
+    // The cap drops from the tail and counts what it dropped.
+    uint64_t dropped = 0;
+    std::string capped = obs::encodeSpanEvents(events, 1, &dropped);
+    EXPECT_EQ(dropped, 2u);
+    EXPECT_EQ(obs::decodeSpanEvents(capped).size(), 1u);
+
+    // Tolerates empty and garbage input without crashing.
+    EXPECT_TRUE(obs::decodeSpanEvents("").empty());
+    EXPECT_TRUE(obs::decodeSpanEvents("not\ta\tspan\n").empty());
+}
+
+/**
+ * Synthetic cluster forest: a coordinator batch span with two
+ * remote-rooted job subtrees, as recorded when workers run in-process
+ * (the loopback tests).  Returns {local, t1 subtree, t2 subtree}.
+ */
+std::vector<std::vector<obs::FlatEvent>>
+syntheticClusterForest()
+{
+    const char *t1 = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    const char *t2 = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb";
+    std::vector<obs::FlatEvent> local = {
+        flatEvent('B', "cluster", "batch", "jobs=2", 10, 1, 0, false, "",
+                  0, 0),
+        flatEvent('E', "cluster", "batch", "", 500, 1, 0, false, "", 0, 1),
+    };
+    std::vector<obs::FlatEvent> sub1 = {
+        flatEvent('B', "serve", "job", "j1", 20, 100, 1, true, t1, 5, 0),
+        flatEvent('B', "segment-evolve", "evolve", "", 30, 101, 100, false,
+                  t1, 5, 1),
+        flatEvent('E', "segment-evolve", "evolve", "", 40, 101, 100, false,
+                  t1, 5, 2),
+        flatEvent('E', "serve", "job", "", 50, 100, 1, true, t1, 5, 3),
+    };
+    // The kernel-category child must NOT reach the merged signature:
+    // which hot-path kernels run depends on the worker's private plan
+    // cache, so they cannot be partition-invariant.
+    std::vector<obs::FlatEvent> sub2 = {
+        flatEvent('B', "serve", "job", "j2", 60, 200, 1, true, t2, 6, 0),
+        flatEvent('B', "kernel", "sparse-pair-rotation", "", 62, 201, 200,
+                  false, t2, 6, 1),
+        flatEvent('E', "kernel", "sparse-pair-rotation", "", 64, 201, 200,
+                  false, t2, 6, 2),
+        flatEvent('E', "serve", "job", "", 70, 200, 1, true, t2, 6, 3),
+    };
+    return {local, sub1, sub2};
+}
+
+TEST(Trace, MergedSignatureInvariantToWorkerPartition)
+{
+    auto forest = syntheticClusterForest();
+    const auto &local = forest[0];
+    const auto &sub1 = forest[1];
+    const auto &sub2 = forest[2];
+
+    auto concat = [](std::vector<obs::FlatEvent> a,
+                     const std::vector<obs::FlatEvent> &b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+    };
+
+    // One worker ran both jobs...
+    std::vector<obs::ForeignSpans> one(1);
+    one[0].process = "worker 0";
+    one[0].events = concat(sub1, sub2);
+    const std::string sigOne = obs::mergedSpanTreeSignature(local, one);
+
+    // ...vs two workers with one job each (ids deliberately collide
+    // across workers: the per-worker remap keeps them apart).
+    std::vector<obs::ForeignSpans> two(2);
+    two[0].process = "worker 0";
+    two[0].events = sub1;
+    two[1].process = "worker 1";
+    two[1].events = sub2;
+    const std::string sigTwo = obs::mergedSpanTreeSignature(local, two);
+
+    ASSERT_FALSE(sigOne.empty());
+    EXPECT_EQ(sigOne, sigTwo);
+    EXPECT_EQ(sigOne,
+              "cluster:batch[jobs=2](serve:job[j1](segment-evolve:evolve),"
+              "serve:job[j2])\n");
+
+    // In-process workers leave their spans in the coordinator's own
+    // buffers too; the merge must not double-count them (the shipped
+    // copies are the authoritative ones).
+    std::vector<obs::FlatEvent> pollutedLocal =
+        concat(concat(local, sub1), sub2);
+    EXPECT_EQ(obs::mergedSpanTreeSignature(pollutedLocal, two), sigOne);
+}
+
+TEST(Trace, RemoteRootedSelectionFollowsTraceIds)
+{
+    auto forest = syntheticClusterForest();
+    std::vector<obs::FlatEvent> all = forest[0];
+    all.insert(all.end(), forest[1].begin(), forest[1].end());
+    all.insert(all.end(), forest[2].begin(), forest[2].end());
+
+    // Only the requested cycle's trace ids ship.
+    std::vector<obs::FlatEvent> t1only = obs::remoteRootedEvents(
+        all, {"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"});
+    EXPECT_EQ(t1only.size(), forest[1].size());
+    for (const auto &fe : t1only)
+        EXPECT_EQ(fe.event.traceId, "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+
+    // The local view strips every remote-rooted subtree.
+    std::vector<obs::FlatEvent> localOnly = obs::withoutRemoteRooted(all);
+    EXPECT_EQ(localOnly.size(), forest[0].size());
+    EXPECT_EQ(obs::spanTreeSignature(localOnly),
+              "cluster:batch[jobs=2]\n");
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(Flight, RingOverflowCountsDropsAndDumpStaysParseable)
+{
+    obs::flight::configure(16); // idempotent: first capacity wins
+    obs::flight::resetForTest();
+    ASSERT_TRUE(obs::flight::enabled());
+    EXPECT_TRUE(obs::flight::explicitlyConfigured());
+
+    for (int i = 0; i < 40; ++i)
+        obs::flight::recordInstant("test", "tick", std::to_string(i));
+    EXPECT_EQ(obs::flight::recordedCount(), 40u);
+    // Overwriting the oldest entries is the point, and it is counted.
+    EXPECT_EQ(obs::flight::droppedCount(), 40u - 16u);
+
+    const std::string json = obs::flight::renderJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"flight\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\":24"), std::string::npos);
+    EXPECT_NE(json.find("\"events\":["), std::string::npos);
+    // Ring wrap kept the NEWEST entries: ticks 0..23 were overwritten,
+    // 24..39 survive.
+    EXPECT_EQ(json.find("\"detail\":\"23\""), std::string::npos);
+    EXPECT_NE(json.find("\"detail\":\"24\""), std::string::npos);
+    EXPECT_NE(json.find("\"detail\":\"39\""), std::string::npos);
+
+    // The signal-path dump produces the same shape through raw write(2).
+    const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        size_t wrote = obs::flight::dump(fileno(f));
+        std::fclose(f);
+        EXPECT_EQ(wrote, 16u);
+    }
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::remove(path.c_str());
+    const std::string dumped = buf.str();
+    EXPECT_NE(dumped.find("\"flight\":{"), std::string::npos);
+    EXPECT_NE(dumped.find("\"events\":["), std::string::npos);
+    // Braces and brackets balance: the dump is one well-formed object.
+    int depth = 0;
+    bool inString = false;
+    for (size_t i = 0; i < dumped.size(); ++i) {
+        char c = dumped[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(inString);
+}
+
+TEST(Flight, CapturesClosedSpansEvenWithTracingOff)
+{
+    obs::flight::configure();
+    obs::flight::resetForTest();
+    ASSERT_FALSE(obs::tracingEnabled());
+    const uint64_t before = obs::flight::recordedCount();
+    {
+        obs::Span span("solver", "flight-only", "d=3");
+    }
+    EXPECT_EQ(obs::flight::recordedCount(), before + 1);
+    const std::string json = obs::flight::renderJson();
+    EXPECT_NE(json.find("flight-only"), std::string::npos);
+    EXPECT_NE(json.find("d=3"), std::string::npos);
+
+    // Truncation is counted, never an error.
+    obs::flight::note("test", std::string(4096, 'x'));
+    EXPECT_GE(obs::flight::truncatedCount(), 1u);
 }
 
 } // namespace

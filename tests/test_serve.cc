@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 #include "problems/io.h"
 #include "problems/suite.h"
 #include "serve/admission.h"
@@ -804,6 +805,92 @@ TEST(Scheduler, StopFlagInterruptsUnstartedJobsGracefully)
         EXPECT_NE(r.error.find("interrupted"), std::string::npos);
         EXPECT_NE(r.childSeed, 0u); // identity fields still filled
     }
+}
+
+// ---------------------------------------------------------------------
+// Distributed trace ids
+// ---------------------------------------------------------------------
+
+TEST(Jsonl, TraceHintRoundTripsAndStaysOffTheCanonicalText)
+{
+    JobRequest req;
+    req.id = "traced";
+    req.benchmark = "F1";
+    // No hint -> no "trace" key on the wire (byte compatibility with
+    // pre-tracing request files).
+    EXPECT_EQ(writeRequest(req).find("\"trace\":"), std::string::npos);
+
+    req.traceHint = "00112233445566778899aabbccddeeff";
+    const std::string line = writeRequest(req);
+    EXPECT_NE(line.find("\"trace\":\"00112233445566778899aabbccddeeff\""),
+              std::string::npos);
+    RequestParseResult parsed = parseRequest(line);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.request.traceHint, req.traceHint);
+
+    // Like priority/tune, the trace id says WHO IS WATCHING a job, not
+    // WHAT it computes: the canonical text (and therefore the child
+    // seed and every result byte) must not see it.
+    JobRequest bare = req;
+    bare.traceHint.clear();
+    EXPECT_EQ(canonicalRequestText(bare, "p"),
+              canonicalRequestText(req, "p"));
+}
+
+TEST(Scheduler, TraceIdsMintedDeterministicallyAndMirroredInTelemetry)
+{
+    auto runOnce = [](const std::string &hint) {
+        ServeOptions options;
+        options.threads = 1;
+        BatchScheduler scheduler(options);
+        JobRequest req;
+        req.id = "t0";
+        req.benchmark = "F1";
+        req.iterations = 5;
+        req.traceHint = hint;
+        scheduler.submit(req);
+        scheduler.runAll();
+        return scheduler.results()[0];
+    };
+
+    // Minted unconditionally (tracing enabled or not) so telemetry
+    // bytes never depend on whether anyone was watching.
+    JobResult a = runOnce("");
+    ASSERT_EQ(a.telemetry.traceId.size(), 32u);
+    EXPECT_EQ(a.telemetry.traceId.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_NE(writeTelemetry(a).find("\"trace_id\":\"" +
+                                     a.telemetry.traceId + "\""),
+              std::string::npos);
+    // Result lines carry no trace id at all: WHO IS WATCHING must not
+    // reach the bytes consumers diff.
+    EXPECT_EQ(writeResult(a).find("trace_id"), std::string::npos);
+
+    // Content-derived: the same request mints the same id across runs.
+    JobResult b = runOnce("");
+    EXPECT_EQ(a.telemetry.traceId, b.telemetry.traceId);
+
+    // A propagated hint (the cluster coordinator's mint) wins verbatim.
+    JobResult c = runOnce("ffeeddccbbaa99887766554433221100");
+    EXPECT_EQ(c.telemetry.traceId, "ffeeddccbbaa99887766554433221100");
+    // And never perturbs the computation.
+    EXPECT_EQ(writeResult(c), writeResult(a));
+}
+
+TEST(Scheduler, ResultBytesIdenticalWithTracingOn)
+{
+    std::vector<JobRequest> reqs = tinyWorkload();
+    std::vector<std::string> off = runBatch(reqs, 2);
+
+    obs::clearTrace();
+    obs::startTracing();
+    std::vector<std::string> on = runBatch(reqs, 2);
+    obs::stopTracing();
+    EXPECT_GT(obs::traceEventCount(), 0u);
+    obs::clearTrace();
+
+    EXPECT_EQ(off, on);
+    parallel::setThreadCount(0);
 }
 
 TEST(Scheduler, PerJobTimeoutSurfacesDeadlineTelemetry)

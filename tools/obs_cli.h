@@ -1,12 +1,13 @@
 /**
  * @file
- * Shared --trace/--metrics/--simd plumbing for the CLI tools.
+ * Shared --trace/--metrics/--simd/--flight plumbing for the CLI tools.
  *
  * Usage: call obsCliStart() once flags are parsed (enables tracing when
- * a trace path was given) and obsCliFinish() before exit (writes the
- * Chrome trace JSON and the metrics exposition).  A metrics path ending
- * in ".json" selects the flat JSON export; anything else gets
- * Prometheus text.
+ * a trace path was given, configures the flight recorder from --flight
+ * or RASENGAN_FLIGHT and installs its dump signal handlers) and
+ * obsCliFinish() before exit (writes the Chrome trace JSON and the
+ * metrics exposition).  A metrics path ending in ".json" selects the
+ * flat JSON export; anything else gets Prometheus text.
  *
  * obsCliStart() also pins the SIMD kernel tier: it resolves the active
  * ISA (registering the simd_isa_info gauge before any export can run)
@@ -21,6 +22,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qsim/simd.h"
@@ -31,6 +33,11 @@ struct ObsCliOptions
 {
     std::string tracePath;
     std::string metricsPath;
+    /** --flight value: on|off|N (ring entries)|/dump/path; "" falls
+     *  back to RASENGAN_FLIGHT, then to flightDefaultOn. */
+    std::string flightSpec;
+    /** Daemon-shaped tools keep the recorder on by default. */
+    bool flightDefaultOn = false;
 };
 
 /**
@@ -58,6 +65,13 @@ obsCliStart(const ObsCliOptions &opts)
     // Resolving the active ISA here registers the simd_isa_info gauge
     // before any metrics export can run.
     const char *isa = qsim::simdIsaName(qsim::simdActiveIsa());
+    const bool flight =
+        opts.flightSpec.empty()
+            ? obs::flight::configureFromEnv(opts.flightDefaultOn)
+            : obs::flight::configureFromSpec(opts.flightSpec,
+                                             opts.flightDefaultOn);
+    if (flight)
+        obs::flight::installSignalHandlers();
     if (!opts.tracePath.empty()) {
         obs::clearTrace();
         obs::startTracing();

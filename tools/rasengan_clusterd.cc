@@ -45,12 +45,21 @@
  *   --tune-model FILE       cost-model journal (default:
  *                           RASENGAN_TUNE_MODEL env, then
  *                           rasengan_tune_model.jsonl)
- *   --simd ISA, --trace FILE, --metrics FILE
+ *   --simd ISA, --trace FILE, --metrics FILE, --flight SPEC
+ *
+ * Distributed tracing: with --trace the coordinator propagates a
+ * per-job 128-bit trace id inside every forwarded request, workers
+ * ship their span forests back in batch_done, and FILE receives ONE
+ * merged Chrome trace (coordinator + every worker under per-worker
+ * pids, clock-aligned).  --trace-signature FILE additionally writes
+ * the canonical merged span-tree signature, which is byte-identical
+ * across worker counts and thread counts for a deterministic batch.
  *
  * Environment:
  *   RASENGAN_CLUSTER_WORKERS    default for --workers
  *   RASENGAN_CLUSTER_FAULT      default for --fault
  *   RASENGAN_CLUSTER_MAX_FRAME  wire frame size cap in bytes
+ *   RASENGAN_FLIGHT             default for --flight
  *
  * Exit status: 0 all jobs ok, 1 usage/I-O/cluster failure, 2 some
  * admitted job failed (rejections alone are reported outcomes).
@@ -114,6 +123,7 @@ struct Args
     std::string tune;
     std::string tuneModel;
     tools::ObsCliOptions obs;
+    std::string traceSignature; ///< merged signature output path
 };
 
 void
@@ -131,7 +141,8 @@ usage()
         "  [--max-placements N] [--fault SPEC] [--fault-worker W]\n"
         "  [--tune off|observe|auto] [--tune-model FILE]\n"
         "  [--simd auto|avx2|neon|scalar] [--trace FILE] "
-        "[--metrics FILE]\n"
+        "[--trace-signature FILE]\n"
+        "  [--metrics FILE] [--flight on|off|N|PATH]\n"
         "   or: rasengan_clusterd --worker --connect HOST:PORT\n");
 }
 
@@ -197,8 +208,12 @@ parseArgs(int argc, char **argv, Args &args)
             args.simd = v;
         else if (flag == "--trace" && (v = next()))
             args.obs.tracePath = v;
+        else if (flag == "--trace-signature" && (v = next()))
+            args.traceSignature = v;
         else if (flag == "--metrics" && (v = next()))
             args.obs.metricsPath = v;
+        else if (flag == "--flight" && (v = next()))
+            args.obs.flightSpec = v;
         else {
             std::fprintf(stderr, "unknown or incomplete flag: %s\n",
                          flag.c_str());
@@ -367,6 +382,12 @@ main(int argc, char **argv)
     Args args;
     if (!parseArgs(argc, argv, args)) {
         usage();
+        return 1;
+    }
+    if (!args.traceSignature.empty() && args.obs.tracePath.empty()) {
+        std::fprintf(stderr,
+                     "--trace-signature requires --trace (the signature "
+                     "is computed over the merged trace)\n");
         return 1;
     }
 
@@ -556,6 +577,42 @@ main(int argc, char **argv)
     for (pid_t pid : children) {
         int status = 0;
         ::waitpid(pid, &status, 0);
+    }
+
+    // The cluster trace is stitched from every worker's shipped spans,
+    // so the merged writer replaces the plain per-process export that
+    // obsCliFinish() would produce.
+    if (!args.obs.tracePath.empty()) {
+        obs::stopTracing();
+        std::string traceError;
+        if (!coordinator.writeMergedTrace(args.obs.tracePath,
+                                          &traceError)) {
+            std::fprintf(stderr, "cluster trace: %s\n",
+                         traceError.c_str());
+            return 1;
+        }
+        size_t foreign = 0;
+        for (const auto &f : coordinator.foreignSpans())
+            foreign += f.events.size();
+        std::fprintf(stderr,
+                     "cluster trace: %zu coordinator events + %zu "
+                     "worker events -> %s\n",
+                     obs::traceEventCount(), foreign,
+                     args.obs.tracePath.c_str());
+        if (uint64_t dropped = coordinator.shippedSpansDropped())
+            std::fprintf(
+                stderr,
+                "cluster trace: %llu worker spans dropped (frame cap)\n",
+                static_cast<unsigned long long>(dropped));
+        args.obs.tracePath.clear(); // merged trace already written
+    }
+    if (!args.traceSignature.empty()) {
+        const std::string sig = coordinator.mergedSignature() + "\n";
+        if (!obs::writeTextFile(args.traceSignature, sig)) {
+            std::fprintf(stderr, "cannot write trace signature to '%s'\n",
+                         args.traceSignature.c_str());
+            return 1;
+        }
     }
 
     if (!tools::obsCliFinish(args.obs))

@@ -113,7 +113,8 @@ usage()
                  "  [--max-cost UNITS] [--dump-workload]\n"
                  "  [--simd auto|avx2|neon|scalar]\n"
                  "  [--tune off|observe|auto] [--tune-model FILE]\n"
-                 "  [--trace FILE] [--metrics FILE]\n");
+                 "  [--trace FILE] [--metrics FILE] "
+                 "[--flight on|off|N|PATH]\n");
 }
 
 bool
@@ -159,6 +160,8 @@ parseArgs(int argc, char **argv, Args &args)
             args.obs.tracePath = v;
         else if (flag == "--metrics" && (v = next()))
             args.obs.metricsPath = v;
+        else if (flag == "--flight" && (v = next()))
+            args.obs.flightSpec = v;
         else if (flag == "--dump-workload")
             args.dumpWorkload = true;
         else {

@@ -7,7 +7,8 @@
  * `deadline_ms`, and `timeout_ms`) and streams one deterministic
  * result line back per job as it finishes.  A line starting with
  * "GET " is answered as an HTTP/1.0 probe: /healthz, /readyz,
- * /metrics (Prometheus text), /metrics.json.
+ * /metrics (Prometheus text), /metrics.json, /debug/flight (the live
+ * flight-recorder ring as JSON).
  *
  * With --journal the daemon is crash-safe: every accepted request is
  * journaled before acknowledgment, and a restarted daemon re-runs
@@ -53,6 +54,11 @@
  *                        result-invariant
  *   --tune-model FILE    cost-model journal (default: RASENGAN_TUNE_MODEL
  *                        env, then rasengan_tune_model.jsonl)
+ *   --flight SPEC        flight recorder: on|off|N (ring entries)|
+ *                        /dump/path (default: RASENGAN_FLIGHT env, then
+ *                        ON -- the daemon always keeps a flight ring).
+ *                        SIGQUIT dumps the ring and keeps serving; the
+ *                        live ring is at GET /debug/flight
  *
  * Exit status: 0 after a clean drain, 1 on startup failure.
  */
@@ -63,6 +69,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/flight.h"
 #include "qsim/simd.h"
 #include "serve/daemon.h"
 #include "tune_cli.h"
@@ -93,7 +100,8 @@ usage()
         "[--max-cost UNITS]\n"
         "  [--cost-rate UNITS_PER_S] [--shed-margin FRACTION]\n"
         "  [--simd auto|avx2|neon|scalar]\n"
-        "  [--tune off|observe|auto] [--tune-model FILE]\n");
+        "  [--tune off|observe|auto] [--tune-model FILE]\n"
+        "  [--flight on|off|N|PATH]\n");
 }
 
 } // namespace
@@ -107,6 +115,7 @@ main(int argc, char **argv)
     std::string simdSpec;
     std::string tuneSpec;
     std::string tuneModelSpec;
+    std::string flightSpec;
 
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
@@ -152,6 +161,8 @@ main(int argc, char **argv)
             tuneSpec = v;
         else if (flag == "--tune-model" && (v = next()))
             tuneModelSpec = v;
+        else if (flag == "--flight" && (v = next()))
+            flightSpec = v;
         else {
             std::fprintf(stderr, "unknown or incomplete flag: %s\n",
                          flag.c_str());
@@ -181,6 +192,11 @@ main(int argc, char **argv)
         }
     }
     const char *simdIsa = qsim::simdIsaName(qsim::simdActiveIsa());
+
+    // An explicit --flight decision sticks: Daemon::start() applies the
+    // env/default-ON convention only when nothing was decided here.
+    if (!flightSpec.empty())
+        obs::flight::configureFromSpec(flightSpec, /*defaultOn=*/true);
 
     // Adaptive execution: the daemon's worker thread runs jobs strictly
     // serially, so process knobs (threads, fusion, ISA) can be retuned

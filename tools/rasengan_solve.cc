@@ -96,7 +96,8 @@ usage()
                  "  [--faults RATE] [--retries N] [--checkpoint PATH]\n"
                  "  [--threads N] [--simd auto|avx2|neon|scalar]\n"
                  "  [--tune off|observe|auto] [--tune-model PATH]\n"
-                 "  [--trace PATH] [--metrics PATH]\n");
+                 "  [--trace PATH] [--metrics PATH] "
+                 "[--flight on|off|N|PATH]\n");
 }
 
 bool
@@ -206,6 +207,11 @@ parseArgs(int argc, char **argv, Args &args)
             if (!v)
                 return false;
             args.obs.metricsPath = v;
+        } else if (flag == "--flight") {
+            const char *v = next();
+            if (!v)
+                return false;
+            args.obs.flightSpec = v;
         } else if (flag == "--draw") {
             args.draw = true;
         } else if (flag == "--qasm") {
